@@ -1,0 +1,71 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not part of the paper's evaluation, but useful for understanding where the
+implementation spends its time:
+
+* storage backend: in-memory engine vs the SQLite/SQL code path;
+* Min-Ones solver: exact branch-and-bound vs the greedy fallback;
+* step semantics: greedy Algorithm 2 vs the exhaustive firing-sequence search
+  (on the vertex-cover gadget where the exhaustive search is feasible).
+"""
+
+from benchmarks.conftest import run_once
+from repro import RepairEngine, Semantics, SQLiteDatabase
+from repro.complexity import random_graph, step_instance_from_graph
+from repro.workloads.mas import generate_mas
+from repro.workloads.programs_mas import mas_program
+
+
+def test_ablation_memory_vs_sqlite_backend(benchmark, repro_scale):
+    mas = generate_mas(scale=repro_scale, seed=7)
+    program = mas_program(mas, "16")
+
+    def run_both():
+        memory = RepairEngine(mas.fresh_db(), program).repair(Semantics.STAGE)
+        sqlite_db = SQLiteDatabase.from_database(mas.db)
+        sqlite = RepairEngine(sqlite_db, program).repair(Semantics.STAGE)
+        return memory, sqlite
+
+    memory, sqlite = run_once(benchmark, run_both)
+    print(
+        f"\nstage on program 16: in-memory={memory.runtime:.4f}s "
+        f"sqlite={sqlite.runtime:.4f}s (same result: {memory.deleted == sqlite.deleted})"
+    )
+    assert memory.deleted == sqlite.deleted
+
+
+def test_ablation_exact_vs_greedy_solver(benchmark, repro_scale):
+    mas = generate_mas(scale=repro_scale, seed=7)
+    program = mas_program(mas, "14")
+
+    def run_both():
+        exact = RepairEngine(mas.fresh_db(), program).repair(Semantics.INDEPENDENT)
+        greedy = RepairEngine(mas.fresh_db(), program).repair(
+            Semantics.INDEPENDENT, exact_variable_limit=1
+        )
+        return exact, greedy
+
+    exact, greedy = run_once(benchmark, run_both)
+    print(
+        f"\nindependent on program 14: exact={exact.size} tuples "
+        f"({exact.runtime:.4f}s), greedy fallback={greedy.size} tuples "
+        f"({greedy.runtime:.4f}s)"
+    )
+    assert exact.size <= greedy.size
+
+
+def test_ablation_greedy_vs_exhaustive_step(benchmark):
+    graph = random_graph(7, 0.35, seed=3)
+    db, program = step_instance_from_graph(graph)
+
+    def run_both():
+        greedy = RepairEngine(db, program).repair(Semantics.STEP)
+        exact = RepairEngine(db, program).repair(Semantics.STEP, method="exhaustive")
+        return greedy, exact
+
+    greedy, exact = run_once(benchmark, run_both)
+    print(
+        f"\nstep on a 7-node vertex-cover gadget: greedy={greedy.size} "
+        f"({greedy.runtime:.4f}s), exhaustive={exact.size} ({exact.runtime:.4f}s)"
+    )
+    assert exact.size <= greedy.size

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 10 (runtime vs #errors and vs #rows on the DC workload)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure10
+
+
+@pytest.mark.parametrize("panel", ["a", "b"])
+def test_figure10_runtime_sweeps(benchmark, repro_rows, panel):
+    if panel == "a":
+        report = run_once(
+            benchmark,
+            figure10.run,
+            panel="a",
+            error_counts=(10, 30, 50),
+            n_rows=repro_rows,
+        )
+    else:
+        report = run_once(
+            benchmark,
+            figure10.run,
+            panel="b",
+            row_counts=(repro_rows // 2, repro_rows, repro_rows * 2),
+            n_errors=30,
+        )
+    print("\n" + report.render())
+    assert len(report.rows) == 3
+    for row in report.rows:
+        assert all(value >= 0.0 for value in row[1:])

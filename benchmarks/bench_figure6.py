@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 6 (result sizes of the MAS programs, panels a-c)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure6
+
+
+@pytest.mark.parametrize("panel", ["6a", "6b", "6c"])
+def test_figure6_result_sizes(benchmark, repro_scale, panel):
+    report = run_once(benchmark, figure6.run, panel=panel, scale=repro_scale)
+    print("\n" + report.render())
+    for _program, end, stage, step, ind in report.rows:
+        assert ind <= min(stage, step)
+        assert stage <= end and step <= end
+    if panel == "6c":
+        # Pure cascade chain: all four semantics coincide.
+        for _program, end, stage, step, ind in report.rows:
+            assert end == stage == step == ind

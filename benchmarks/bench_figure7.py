@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 7 (runtimes of the four semantics, MAS programs)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure7
+
+
+def test_figure7_runtimes(benchmark, repro_scale):
+    report = run_once(benchmark, figure7.run, scale=repro_scale)
+    print("\n" + report.render())
+    assert len(report.rows) == 20
+    averages = report.data["averages"]
+    # The provenance-based algorithms carry the overhead (paper Figure 7).
+    assert averages["independent"] + averages["step"] >= averages["stage"]

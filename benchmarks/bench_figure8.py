@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 8 (runtime breakdown of Algorithms 1 and 2)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure8
+
+
+def test_figure8_runtime_breakdown(benchmark, repro_scale):
+    report = run_once(benchmark, figure8.run, scale=repro_scale)
+    print("\n" + report.render())
+    assert set(report.data["breakdowns"]) == {"8a", "8b", "8c", "8d"}
+    for breakdown in report.data["breakdowns"].values():
+        assert 0.9 <= sum(breakdown.values()) <= 1.0 + 1e-6

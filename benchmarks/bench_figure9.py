@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 9 (TPC-H result sizes and runtimes)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure9
+
+
+def test_figure9_tpch(benchmark, repro_scale):
+    report = run_once(benchmark, figure9.run, scale=repro_scale)
+    print("\n" + report.render())
+    assert len(report.rows) == 6
+    for row in report.rows:
+        _name, end, stage, step, ind = row[:5]
+        assert ind <= min(stage, step) and stage <= end and step <= end

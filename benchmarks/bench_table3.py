@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 3 (containment of results, MAS + TPC-H programs)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3
+
+
+def test_table3_containment(benchmark, repro_scale):
+    report = run_once(
+        benchmark, table3.run, mas_scale=repro_scale, tpch_scale=repro_scale
+    )
+    print("\n" + report.render())
+    assert report.data["invariant_failures"] == []
+    assert len(report.rows) == 26  # 20 MAS + 6 TPC-H programs

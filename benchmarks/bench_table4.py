@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table 4 (over-deletions vs HoloClean under-repairs)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4
+
+
+def test_table4_over_deletions(benchmark, repro_rows):
+    errors = tuple(
+        count for count in (10, 20, 30, 50, 70, 100) if count <= repro_rows // 3
+    )
+    report = run_once(benchmark, table4.run, error_counts=errors, n_rows=repro_rows)
+    print("\n" + report.render())
+    # Independent semantics deletes exactly the injected duplicates.
+    assert all(row[1] == "+0" for row in report.rows)
+    for errors_count, info in report.data["details"].items():
+        assert info["sizes"]["independent"] == errors_count
+        assert info["sizes"]["end"] >= errors_count

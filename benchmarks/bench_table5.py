@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 5 (residual DC violations after repair)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table5
+
+
+def test_table5_residual_violations(benchmark, repro_rows):
+    errors = tuple(
+        count for count in (10, 20, 30, 50, 70, 100) if count <= repro_rows // 3
+    )
+    report = run_once(benchmark, table5.run, error_counts=errors, n_rows=repro_rows)
+    print("\n" + report.render())
+    for errors_count, detail in report.data["details"].items():
+        # Our semantics always fix every violation (Proposition 3.18).
+        assert sum(detail["semantics_after"].values()) == 0
+        assert sum(detail["holoclean_before"].values()) > 0

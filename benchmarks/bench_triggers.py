@@ -1,0 +1,18 @@
+"""Benchmark regenerating the Section-6 trigger comparison (programs 3, 4, 5, 8, 20)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import triggers_cmp
+
+
+def test_trigger_comparison(benchmark, repro_scale):
+    report = run_once(benchmark, triggers_cmp.run, scale=repro_scale)
+    print("\n" + report.render())
+    rows = {row[0]: row for row in report.rows}
+    # Pure cascade programs: trigger results equal the cascade semantics.
+    for program in ("5", "20"):
+        _name, postgres, mysql, end, stage, _step, _ind = rows[program]
+        assert postgres == mysql == end == stage
+    # Programs with several triggers on one event over-delete vs step/independent.
+    for program in ("3", "4"):
+        _name, postgres, _mysql, _end, _stage, step, ind = rows[program]
+        assert postgres >= step >= ind

@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures via the
+corresponding :mod:`repro.experiments` module and prints the resulting report,
+so ``pytest benchmarks/ --benchmark-only -s`` reproduces the whole evaluation
+section in one run.  Scales are kept small enough for a laptop-class pure
+Python run; pass ``--repro-scale`` to raise them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: "pytest.Parser") -> None:
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        type=float,
+        default=0.35,
+        help="scale factor for the synthetic MAS/TPC-H instances used by the benchmarks",
+    )
+    parser.addoption(
+        "--repro-rows",
+        action="store",
+        type=int,
+        default=300,
+        help="row count of the Author table used by the DC / HoloClean benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request: "pytest.FixtureRequest") -> float:
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def repro_rows(request: "pytest.FixtureRequest") -> int:
+    return request.config.getoption("--repro-rows")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and return its report."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

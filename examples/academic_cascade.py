@@ -1,0 +1,73 @@
+"""Scenario: cascade deletions on a synthetic academic (MAS) database.
+
+An organization is being purged from an academic-search database; its authors,
+their authorship records, their publications, and the citations of those
+publications should go with it (Table 1, program 20 of the paper).  The script
+compares:
+
+* the four delta-rule semantics,
+* the same rules run as SQL-style "after delete" triggers with the PostgreSQL
+  (alphabetical) and MySQL (creation-order) firing policies,
+
+and shows that for a pure cascade every execution model agrees — while for a
+DC-like variant with two triggers on the same event the trigger results depend
+on the firing policy and over-delete compared to step/independent semantics.
+
+Run with::
+
+    python examples/academic_cascade.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import RepairEngine, Semantics
+from repro.baselines import FiringPolicy, TriggerEngine
+from repro.baselines.trigger_engine import seed_deletions
+from repro.workloads import generate_mas, mas_program
+from repro.utils.text import format_table
+
+
+def compare_program(mas, program_id: str) -> None:
+    program = mas_program(mas, program_id)
+    engine = RepairEngine(mas.fresh_db(), program)
+    rows = []
+    for semantics in Semantics:
+        result = engine.repair(semantics)
+        rows.append([f"{semantics.value} semantics", result.size, f"{result.runtime:.4f}s"])
+
+    seeds = seed_deletions(mas.fresh_db(), program)
+    for policy in (FiringPolicy.POSTGRESQL, FiringPolicy.MYSQL):
+        run = TriggerEngine.from_program(program, policy).run(mas.fresh_db(), seeds)
+        rows.append([f"{policy.value} triggers", run.size, f"{run.runtime:.4f}s"])
+
+    print(
+        format_table(
+            ["execution model", "deleted tuples", "runtime"],
+            rows,
+            title=f"MAS program {program_id}",
+        )
+    )
+    print()
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    mas = generate_mas(scale=scale, seed=7)
+    print(f"synthetic MAS instance: {mas.total_tuples} tuples {mas.counts}")
+    print(f"purging organization oid={mas.constants.target_org_id}\n")
+
+    # Program 20: the full 5-level cascade (organization -> ... -> citations).
+    compare_program(mas, "20")
+    # Program 3: two rules with the same body — execution order starts to matter.
+    compare_program(mas, "3")
+    print(
+        "For the pure cascade (program 20) every execution model deletes the same\n"
+        "tuples; for program 3 the triggers and the coarse semantics over-delete,\n"
+        "while step/independent semantics delete a single Author tuple."
+    )
+
+
+if __name__ == "__main__":
+    main()

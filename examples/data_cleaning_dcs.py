@@ -1,0 +1,88 @@
+"""Scenario: denial-constraint data cleaning vs a cell-repair baseline.
+
+A registry of authors (``Author(aid, name, oid, organization)``) is polluted
+with duplicate rows whose attributes were mistyped.  Four denial constraints
+(DC1-DC4 from Section 6 of the paper) describe consistency; the script
+
+1. injects a configurable number of errors into a clean table,
+2. repairs the table by tuple deletion under independent semantics (the
+   minimum repair) and under end semantics (the conservative repair),
+3. runs the HoloClean-style probabilistic cell repairer, and
+4. reports deletions / repaired cells / residual violations side by side
+   (the Table 4 / Table 5 comparison of the paper).
+
+Run with::
+
+    python examples/data_cleaning_dcs.py [rows] [errors]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import RepairEngine, Semantics
+from repro.baselines import HoloCleanStyleRepairer
+from repro.utils.text import format_table
+from repro.workloads import dc_constraints, dc_program, generate_author_table, inject_errors
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    errors = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+
+    clean = generate_author_table(rows, seed=11)
+    dirty = inject_errors(clean, errors, seed=13)
+    constraints = dc_constraints()
+    program = dc_program()
+    repairer = HoloCleanStyleRepairer(list(constraints.values()))
+
+    print(f"author table: {rows} clean rows, {errors} injected duplicate errors")
+    initial_violations = repairer.count_violations(dirty.db)
+    print(f"violating tuples per DC before repair: {initial_violations}\n")
+
+    engine = RepairEngine(dirty.db, program)
+    independent = engine.repair(Semantics.INDEPENDENT)
+    end = engine.repair(Semantics.END)
+    cell_result = repairer.repair(dirty.db)
+
+    rows_out = [
+        [
+            "independent semantics (min deletion)",
+            independent.size,
+            "-",
+            sum(repairer.count_violations(independent.repaired).values()),
+            f"{independent.runtime:.3f}s",
+        ],
+        [
+            "end semantics (delete all violators)",
+            end.size,
+            "-",
+            sum(repairer.count_violations(end.repaired).values()),
+            f"{end.runtime:.3f}s",
+        ],
+        [
+            "HoloClean-style cell repair",
+            0,
+            cell_result.repaired_cell_count,
+            cell_result.total_residual_violations(),
+            f"{cell_result.runtime:.3f}s",
+        ],
+    ]
+    print(
+        format_table(
+            ["method", "deleted tuples", "repaired cells", "residual violations", "runtime"],
+            rows_out,
+            title="repair comparison",
+        )
+    )
+
+    recovered = sum(1 for item in dirty.injected if item in independent.deleted)
+    print(
+        f"\nindependent semantics deleted {independent.size} tuples "
+        f"({recovered} of the {errors} injected duplicates) and left zero violations;\n"
+        "the cell-repair baseline keeps every row but may leave residual violations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Regenerate any table or figure of the paper's evaluation from the command line.
+
+Usage::
+
+    python examples/paper_experiments.py                 # list available experiments
+    python examples/paper_experiments.py table3          # run one experiment
+    python examples/paper_experiments.py all --scale 0.5 # run everything
+
+The same experiments are wrapped in pytest-benchmark under ``benchmarks/``;
+this script is the interactive way to run them and inspect the reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table3,
+    table4,
+    table5,
+    triggers_cmp,
+)
+
+#: Experiment name -> callable(scale, rows) returning a list of reports.
+EXPERIMENTS = {
+    "table3": lambda scale, rows: [table3.run(mas_scale=scale, tpch_scale=scale)],
+    "figure6": lambda scale, rows: [
+        figure6.run(panel=panel, scale=scale) for panel in ("6a", "6b", "6c")
+    ],
+    "figure7": lambda scale, rows: [figure7.run(scale=scale)],
+    "figure8": lambda scale, rows: [figure8.run(scale=scale)],
+    "figure9": lambda scale, rows: [figure9.run(scale=scale)],
+    "table4": lambda scale, rows: [table4.run(n_rows=rows)],
+    "table5": lambda scale, rows: [table5.run(n_rows=rows)],
+    "figure10": lambda scale, rows: [
+        figure10.run(panel="a", n_rows=rows),
+        figure10.run(panel="b", row_counts=(rows // 2, rows, rows * 2)),
+    ],
+    "triggers": lambda scale, rows: [triggers_cmp.run(scale=scale)],
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=[*EXPERIMENTS, "all"],
+        help="which experiment to run (omit to list them)",
+    )
+    parser.add_argument("--scale", type=float, default=0.35, help="MAS/TPC-H scale factor")
+    parser.add_argument("--rows", type=int, default=300, help="Author-table rows for the DC experiments")
+    args = parser.parse_args()
+
+    if args.experiment is None:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("  all")
+        return
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        for report in EXPERIMENTS[name](args.scale, args.rows):
+            print(report.render())
+            print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works on environments whose setuptools/wheel stack
+predates PEP 660 editable installs (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

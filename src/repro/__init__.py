@@ -1,0 +1,99 @@
+"""repro — a reproduction of *On Multiple Semantics for Declarative Database Repairs*.
+
+The library implements the paper's delta-rule framework end to end:
+
+* a relational storage engine (in-memory and SQLite-backed);
+* a non-recursive datalog engine with a textual rule syntax;
+* the four repair semantics — end, stage, step, independent — including the
+  provenance-based Algorithms 1 and 2 and a from-scratch Min-Ones SAT solver;
+* constraint front-ends (denial constraints, "after delete" triggers, causal
+  rules) compiled to delta rules;
+* synthetic MAS / TPC-H workloads, the paper's test programs, baselines
+  (trigger engine, HoloClean-style cell repair), and an experiment harness
+  regenerating every table and figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro import Database, Schema, DeltaProgram, RepairEngine, Semantics
+>>> schema = Schema.from_arities({"R": 1, "S": 1})
+>>> db = Database.from_dicts(schema, {"R": [(1,)], "S": [(1,)]})
+>>> program = DeltaProgram.from_text("delta R(x) :- R(x), S(x).")
+>>> RepairEngine(db, program).repair(Semantics.INDEPENDENT).size
+1
+"""
+
+from repro.core import (
+    ContainmentReport,
+    RepairEngine,
+    RepairResult,
+    Semantics,
+    compare_results,
+    compute_repair,
+    end_semantics,
+    independent_semantics,
+    is_stable,
+    is_stabilizing_set,
+    stage_semantics,
+    step_semantics,
+    verify_repair,
+)
+from repro.datalog import (
+    Atom,
+    Comparison,
+    Constant,
+    DeltaProgram,
+    Program,
+    Rule,
+    Variable,
+    parse_program,
+    parse_rule,
+)
+from repro.storage import (
+    Attribute,
+    BaseDatabase,
+    Database,
+    Fact,
+    RelationSchema,
+    Schema,
+    SQLiteDatabase,
+    fact,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # storage
+    "Attribute",
+    "RelationSchema",
+    "Schema",
+    "Fact",
+    "fact",
+    "BaseDatabase",
+    "Database",
+    "SQLiteDatabase",
+    # datalog
+    "Variable",
+    "Constant",
+    "Atom",
+    "Comparison",
+    "Rule",
+    "Program",
+    "DeltaProgram",
+    "parse_rule",
+    "parse_program",
+    # core
+    "Semantics",
+    "RepairResult",
+    "RepairEngine",
+    "compute_repair",
+    "end_semantics",
+    "stage_semantics",
+    "step_semantics",
+    "independent_semantics",
+    "is_stable",
+    "is_stabilizing_set",
+    "verify_repair",
+    "ContainmentReport",
+    "compare_results",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Baselines the paper compares against: SQL triggers and HoloClean-style repair."""
+
+from repro.baselines.trigger_engine import FiringPolicy, TriggerEngine, TriggerRun
+from repro.baselines.holoclean import HoloCleanStyleRepairer, CellRepairResult
+
+__all__ = [
+    "FiringPolicy",
+    "TriggerEngine",
+    "TriggerRun",
+    "HoloCleanStyleRepairer",
+    "CellRepairResult",
+]

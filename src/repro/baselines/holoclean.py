@@ -1,0 +1,234 @@
+"""A HoloClean-style probabilistic cell-repair baseline.
+
+The paper compares its deletion-based semantics against HoloClean, which
+relaxes the constraints and repairs *cells* using a probabilistic model over
+co-occurrence statistics.  HoloClean itself (and its Torch dependency) is not
+available offline, so this module implements a simplified baseline that
+preserves the behaviours the comparison measures (see DESIGN.md):
+
+* it repairs attribute values instead of deleting tuples;
+* it does not cascade and does not guarantee consistency — residual violations
+  remain, and their number grows with the error rate (Table 5);
+* it repairs fewer cells than required when the statistical signal is weak
+  (Table 4's negative "under-repair" column).
+
+Pipeline (mirroring HoloClean's detect → domain → infer stages):
+
+1. **Detect** — cells participating in a DC violation are marked noisy, using
+   the comparison structure of each DC to blame the attributes being compared.
+2. **Domain** — candidate values for a noisy cell are collected from the
+   values co-occurring with the row's other attributes across the relation.
+3. **Infer** — each candidate is scored by its co-occurrence support; the cell
+   is repaired to the best candidate only when that candidate beats the
+   current value by a confidence margin (ties keep the current value, which is
+   where under-repair comes from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.constraints.denial import DenialConstraint
+from repro.datalog.ast import Comparison, Variable
+from repro.datalog.evaluation import find_assignments
+from repro.storage.database import BaseDatabase
+from repro.storage.facts import Fact
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class CellRepairResult:
+    """The outcome of a HoloClean-style repair run."""
+
+    repaired_db: BaseDatabase
+    repaired_cells: Dict[Tuple[Fact, int], object]
+    noisy_cells: set[Tuple[Fact, int]]
+    residual_violations: Dict[str, int]
+    initial_violations: Dict[str, int]
+    runtime: float
+
+    @property
+    def repaired_cell_count(self) -> int:
+        """Number of cells whose value was changed."""
+        return len(self.repaired_cells)
+
+    @property
+    def repaired_tuple_count(self) -> int:
+        """Number of distinct tuples touched by a repair (what Table 4 reports)."""
+        return len({item for item, _position in self.repaired_cells})
+
+    def total_residual_violations(self) -> int:
+        """Sum of per-DC residual violation counts (Table 5's "Total" column)."""
+        return sum(self.residual_violations.values())
+
+    def total_initial_violations(self) -> int:
+        """Sum of per-DC violation counts before the repair."""
+        return sum(self.initial_violations.values())
+
+
+@dataclass
+class HoloCleanStyleRepairer:
+    """Simplified HoloClean: detect noisy cells, score candidates, repair independently.
+
+    Parameters
+    ----------
+    constraints:
+        The denial constraints used both for violation detection and for the
+        final residual-violation report.
+    confidence_margin:
+        A candidate value must have strictly more support than the current
+        value times this margin to trigger a repair; raising it makes the
+        baseline more conservative (more under-repair).
+    """
+
+    constraints: Sequence[DenialConstraint]
+    confidence_margin: float = 1.0
+
+    # -- public API -------------------------------------------------------------
+
+    def repair(self, db: BaseDatabase) -> CellRepairResult:
+        """Run detect → domain → infer over ``db`` and return the repaired copy."""
+        watch = Stopwatch()
+        watch.start()
+        initial = self.count_violations(db)
+        noisy = self._detect_noisy_cells(db)
+        statistics = self._cooccurrence_statistics(db)
+        repairs: Dict[Tuple[Fact, int], object] = {}
+        for item, position in sorted(noisy, key=lambda cell: (cell[0].sort_key(), cell[1])):
+            best = self._best_candidate(item, position, statistics)
+            if best is not None and best != item.values[position]:
+                repairs[(item, position)] = best
+        repaired_db = self._apply(db, repairs)
+        residual = self.count_violations(repaired_db)
+        return CellRepairResult(
+            repaired_db=repaired_db,
+            repaired_cells=repairs,
+            noisy_cells=noisy,
+            residual_violations=residual,
+            initial_violations=initial,
+            runtime=watch.stop(),
+        )
+
+    def count_violations(self, db: BaseDatabase) -> Dict[str, int]:
+        """Tuples participating in at least one violation, per constraint.
+
+        This is the quantity Table 5 reports ("number of tuples that violate a
+        DC with other tuples in the table").
+        """
+        counts: Dict[str, int] = {}
+        for constraint in self.constraints:
+            rule = constraint.to_delta_rule()
+            participants: set[Fact] = set()
+            for assignment in find_assignments(db, rule):
+                facts = assignment.base_facts()
+                if len(set(facts)) < 2:
+                    continue  # a tuple cannot conflict with itself
+                participants.update(facts)
+            counts[constraint.name] = len(participants)
+        return counts
+
+    # -- detection ----------------------------------------------------------------
+
+    def _detect_noisy_cells(self, db: BaseDatabase) -> set[Tuple[Fact, int]]:
+        """Cells blamed by some violated DC (the attributes its ``!=`` predicates compare)."""
+        noisy: set[Tuple[Fact, int]] = set()
+        for constraint in self.constraints:
+            rule = constraint.to_delta_rule()
+            blamed = self._blamed_positions(constraint)
+            for assignment in find_assignments(db, rule):
+                facts = assignment.base_facts()
+                if len(set(facts)) < 2:
+                    continue
+                for atom_index, item in enumerate(facts):
+                    for position in blamed.get(atom_index, ()):
+                        noisy.add((item, position))
+        return noisy
+
+    def _blamed_positions(self, constraint: DenialConstraint) -> Dict[int, List[int]]:
+        """Per constraint atom, the attribute positions compared with ``!=``."""
+        variable_positions: Dict[str, List[Tuple[int, int]]] = {}
+        for atom_index, atom in enumerate(constraint.atoms):
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    variable_positions.setdefault(term.name, []).append(
+                        (atom_index, position)
+                    )
+        blamed: Dict[int, List[int]] = {}
+        for comparison in constraint.comparisons:
+            if comparison.op != "!=":
+                continue
+            for term in (comparison.lhs, comparison.rhs):
+                if isinstance(term, Variable):
+                    for atom_index, position in variable_positions.get(term.name, ()):
+                        blamed.setdefault(atom_index, []).append(position)
+        return blamed
+
+    # -- domain + inference ----------------------------------------------------------
+
+    def _cooccurrence_statistics(
+        self, db: BaseDatabase
+    ) -> Dict[str, Dict[Tuple[int, object, int], Dict[object, int]]]:
+        """Counts of value co-occurrence within tuples, per relation.
+
+        ``statistics[relation][(evidence_position, evidence_value, target_position)]``
+        maps candidate target values to how often they co-occur with the
+        evidence value.
+        """
+        statistics: Dict[str, Dict[Tuple[int, object, int], Dict[object, int]]] = {}
+        for relation in db.relation_names():
+            table: Dict[Tuple[int, object, int], Dict[object, int]] = {}
+            for item in db.active_facts(relation):
+                for evidence_position, evidence_value in enumerate(item.values):
+                    for target_position, target_value in enumerate(item.values):
+                        if target_position == evidence_position:
+                            continue
+                        key = (evidence_position, evidence_value, target_position)
+                        bucket = table.setdefault(key, {})
+                        bucket[target_value] = bucket.get(target_value, 0) + 1
+            statistics[relation] = table
+        return statistics
+
+    def _best_candidate(
+        self,
+        item: Fact,
+        position: int,
+        statistics: Dict[str, Dict[Tuple[int, object, int], Dict[object, int]]],
+    ) -> object | None:
+        """The highest-support candidate value for one cell (None = no evidence)."""
+        table = statistics.get(item.relation, {})
+        scores: Dict[object, int] = {}
+        for evidence_position, evidence_value in enumerate(item.values):
+            if evidence_position == position:
+                continue
+            bucket = table.get((evidence_position, evidence_value, position), {})
+            for candidate, count in bucket.items():
+                scores[candidate] = scores.get(candidate, 0) + count
+        if not scores:
+            return None
+        current_value = item.values[position]
+        current_score = scores.get(current_value, 0)
+        best_value = max(scores, key=lambda value: (scores[value], str(value)))
+        if best_value == current_value:
+            return None
+        if scores[best_value] <= current_score * self.confidence_margin:
+            return None
+        return best_value
+
+    # -- application -------------------------------------------------------------------
+
+    def _apply(
+        self, db: BaseDatabase, repairs: Dict[Tuple[Fact, int], object]
+    ) -> BaseDatabase:
+        """Apply cell repairs to a clone of ``db`` (merging repairs on the same tuple)."""
+        by_fact: Dict[Fact, Dict[int, object]] = {}
+        for (item, position), value in repairs.items():
+            by_fact.setdefault(item, {})[position] = value
+        repaired = db.clone()
+        for item, cell_updates in by_fact.items():
+            values = list(item.values)
+            for position, value in cell_updates.items():
+                values[position] = value
+            repaired.drop_active(item)
+            repaired.insert(Fact(item.relation, tuple(values), tid=item.tid))
+        return repaired

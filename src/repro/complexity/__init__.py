@@ -1,0 +1,17 @@
+"""Complexity gadgets: the vertex-cover reductions of Proposition 4.2."""
+
+from repro.complexity.vertex_cover import (
+    independent_instance_from_graph,
+    step_instance_from_graph,
+    cover_from_result,
+    minimum_vertex_cover_bruteforce,
+    random_graph,
+)
+
+__all__ = [
+    "independent_instance_from_graph",
+    "step_instance_from_graph",
+    "cover_from_result",
+    "minimum_vertex_cover_bruteforce",
+    "random_graph",
+]

@@ -1,0 +1,28 @@
+"""Constraint front-ends compiled to delta rules (Section 3.6 of the paper).
+
+Delta rules can express several classic constraint formalisms; this package
+provides first-class objects for each of them together with their translation
+to delta rules:
+
+* :class:`~repro.constraints.denial.DenialConstraint` — denial constraints
+  (DCs), with the "any tuple of the violating set" reading under independent
+  semantics and the per-atom reading under step semantics;
+* :class:`~repro.constraints.triggers.DeleteTrigger` — the "after delete,
+  delete" subset of SQL triggers;
+* :class:`~repro.constraints.causal.CausalRule` — causal rules without
+  recursion (Roy & Suciu style cascade deletions);
+* :class:`~repro.constraints.domain.DomainConstraint` — domain (attribute
+  range / allowed value) constraints.
+"""
+
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.triggers import DeleteTrigger
+from repro.constraints.causal import CausalRule
+from repro.constraints.domain import DomainConstraint
+
+__all__ = [
+    "DenialConstraint",
+    "DeleteTrigger",
+    "CausalRule",
+    "DomainConstraint",
+]

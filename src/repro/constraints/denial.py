@@ -1,0 +1,102 @@
+"""Denial constraints and their translation to delta rules.
+
+A denial constraint (DC) forbids a combination of tuples:
+
+.. math::
+
+    \\forall \\bar x_1 .. \\bar x_m\\;
+    \\neg ( R_1(\\bar x_1) \\wedge ... \\wedge R_m(\\bar x_m) \\wedge \\varphi )
+
+where ``φ`` is a conjunction of comparisons.  Section 3.6 of the paper shows
+two delta-rule encodings:
+
+* **single-head** — one rule whose head deletes (say) the first atom.  Under
+  independent semantics this yields the classic minimum DC repair, because the
+  head is irrelevant to ``Ind(P, D)``;
+* **per-atom** — one rule per atom, each deleting that atom.  Under step
+  semantics this lets the repair delete *any one* tuple of each violating set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.datalog.ast import Atom, Comparison, Rule
+from repro.datalog.delta import DeltaProgram
+from repro.exceptions import RuleValidationError
+
+
+@dataclass(frozen=True)
+class DenialConstraint:
+    """A denial constraint over base atoms plus comparison predicates."""
+
+    atoms: tuple[Atom, ...]
+    comparisons: tuple[Comparison, ...] = ()
+    name: str = "dc"
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise RuleValidationError("a denial constraint needs at least one atom")
+        for atom in self.atoms:
+            if atom.is_delta:
+                raise RuleValidationError(
+                    f"denial constraint {self.name!r}: atoms must be base atoms, got {atom}"
+                )
+
+    # -- translations ----------------------------------------------------------
+
+    def to_delta_rule(self, head_index: int = 0) -> Rule:
+        """The single-head encoding: delete the atom at ``head_index`` when violated."""
+        if not 0 <= head_index < len(self.atoms):
+            raise RuleValidationError(
+                f"denial constraint {self.name!r}: head index {head_index} out of range"
+            )
+        head = self.atoms[head_index].as_delta()
+        return Rule(head, self.atoms, self.comparisons, name=f"{self.name}_h{head_index}")
+
+    def to_delta_rules_per_atom(self) -> tuple[Rule, ...]:
+        """The per-atom encoding: one rule per atom of the constraint."""
+        return tuple(self.to_delta_rule(index) for index in range(len(self.atoms)))
+
+    def to_program(self, per_atom: bool = False) -> DeltaProgram:
+        """Wrap the encoding in a validated delta program."""
+        rules = self.to_delta_rules_per_atom() if per_atom else (self.to_delta_rule(),)
+        return DeltaProgram.from_rules(rules)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def relations(self) -> frozenset[str]:
+        """Relations mentioned by the constraint."""
+        return frozenset(atom.relation for atom in self.atoms)
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.atoms]
+        parts += [str(comparison) for comparison in self.comparisons]
+        return f"¬({' ∧ '.join(parts)})"
+
+
+def program_from_denial_constraints(
+    constraints: Iterable[DenialConstraint],
+    per_atom: bool = False,
+) -> DeltaProgram:
+    """Combine several DCs into one delta program (as in the HoloClean experiments)."""
+    rules: list[Rule] = []
+    for constraint in constraints:
+        if per_atom:
+            rules.extend(constraint.to_delta_rules_per_atom())
+        else:
+            rules.append(constraint.to_delta_rule())
+    return DeltaProgram.from_rules(rules)
+
+
+def violating_sets(db, constraint: DenialConstraint) -> list[tuple]:
+    """All tuple combinations of ``db`` violating the constraint.
+
+    Used by the HoloClean comparison (Table 5) to count residual violations
+    before and after a repair.
+    """
+    from repro.datalog.evaluation import find_assignments
+
+    rule = constraint.to_delta_rule()
+    return [assignment.base_facts() for assignment in find_assignments(db, rule)]

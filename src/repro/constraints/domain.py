@@ -1,0 +1,102 @@
+"""Domain constraints as delta rules.
+
+A domain constraint restricts the admissible values of one attribute of a
+relation (an allowed set, or a closed interval).  Tuples outside the domain
+are deleted; the encoding is a selection rule per forbidden region, following
+the paper's remark that delta rules capture domain constraints (Section 3.6,
+citing Deutch & Frost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.datalog.ast import Atom, Comparison, Constant, Rule, Variable
+from repro.datalog.delta import DeltaProgram
+from repro.exceptions import RuleValidationError
+from repro.storage.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class DomainConstraint:
+    """Admissible values for one attribute of one relation.
+
+    Exactly one of ``allowed_values`` / (``minimum``, ``maximum``) must be
+    provided.  ``allowed_values`` keeps only tuples whose attribute is in the
+    set; an interval keeps tuples with ``minimum <= value <= maximum`` (either
+    bound may be omitted).
+    """
+
+    relation: RelationSchema
+    attribute: str
+    allowed_values: tuple[Any, ...] | None = None
+    minimum: Any | None = None
+    maximum: Any | None = None
+    name: str = "domain"
+
+    def __post_init__(self) -> None:
+        has_set = self.allowed_values is not None
+        has_range = self.minimum is not None or self.maximum is not None
+        if has_set == has_range:
+            raise RuleValidationError(
+                f"domain constraint {self.name!r}: provide either allowed_values or "
+                "a minimum/maximum range (not both, not neither)"
+            )
+        self.relation.position_of(self.attribute)  # raises for unknown attributes
+
+    def _head_and_guard(self) -> tuple[Atom, Atom, Variable]:
+        variables = tuple(
+            Variable(f"x{i}") for i in range(self.relation.arity)
+        )
+        position = self.relation.position_of(self.attribute)
+        head = Atom(self.relation.name, variables, is_delta=True)
+        guard = Atom(self.relation.name, variables, is_delta=False)
+        return head, guard, variables[position]
+
+    def to_delta_rules(self) -> tuple[Rule, ...]:
+        """Rules deleting every tuple whose attribute value is outside the domain."""
+        head, guard, target = self._head_and_guard()
+        rules: list[Rule] = []
+        if self.allowed_values is not None:
+            # One rule per allowed value would keep tuples; to delete violators we
+            # instead emit a rule whose comparisons say "differs from every
+            # allowed value".
+            comparisons = tuple(
+                Comparison(target, "!=", Constant(value)) for value in self.allowed_values
+            )
+            rules.append(Rule(head, (guard,), comparisons, name=f"{self.name}_notin"))
+            return tuple(rules)
+        if self.minimum is not None:
+            rules.append(
+                Rule(
+                    head,
+                    (guard,),
+                    (Comparison(target, "<", Constant(self.minimum)),),
+                    name=f"{self.name}_below",
+                )
+            )
+        if self.maximum is not None:
+            rules.append(
+                Rule(
+                    head,
+                    (guard,),
+                    (Comparison(target, ">", Constant(self.maximum)),),
+                    name=f"{self.name}_above",
+                )
+            )
+        return tuple(rules)
+
+    def to_program(self) -> DeltaProgram:
+        """The constraint as a stand-alone delta program."""
+        return DeltaProgram.from_rules(self.to_delta_rules())
+
+    def admits(self, value: Any) -> bool:
+        """True when ``value`` belongs to the declared domain."""
+        if self.allowed_values is not None:
+            return value in self.allowed_values
+        if self.minimum is not None and value < self.minimum:
+            return False
+        if self.maximum is not None and value > self.maximum:
+            return False
+        return True

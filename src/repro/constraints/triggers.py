@@ -1,0 +1,101 @@
+""""After delete, delete" SQL triggers as delta rules.
+
+The paper compares its semantics against the subset of SQL triggers that
+delete tuples in response to another deletion.  :class:`DeleteTrigger`
+describes such a trigger declaratively; the trigger *simulator* (with the
+PostgreSQL alphabetical-order and MySQL creation-order firing policies) lives
+in :mod:`repro.baselines.trigger_engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.datalog.ast import Atom, Comparison, Rule
+from repro.datalog.delta import DeltaProgram
+from repro.exceptions import RuleValidationError
+
+
+@dataclass(frozen=True)
+class DeleteTrigger:
+    """A row-level "after delete on <watched>, delete <target>" trigger.
+
+    Parameters
+    ----------
+    name:
+        Trigger name — PostgreSQL fires same-event triggers alphabetically by
+        this name, MySQL by creation order.
+    watched:
+        The atom whose deletion fires the trigger (becomes a delta body atom).
+    target:
+        The atom to delete when the trigger fires (becomes the head and its
+        base guard atom).
+    condition:
+        Additional base atoms joined in the trigger's WHEN condition.
+    comparisons:
+        Comparison predicates of the WHEN condition.
+    """
+
+    name: str
+    watched: Atom
+    target: Atom
+    condition: tuple[Atom, ...] = ()
+    comparisons: tuple[Comparison, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.watched.is_delta or self.target.is_delta:
+            raise RuleValidationError(
+                f"trigger {self.name!r}: watched/target atoms must be base atoms"
+            )
+        for atom in self.condition:
+            if atom.is_delta:
+                raise RuleValidationError(
+                    f"trigger {self.name!r}: condition atoms must be base atoms"
+                )
+
+    def to_delta_rule(self) -> Rule:
+        """The delta rule this trigger corresponds to."""
+        head = self.target.as_delta()
+        body = (self.target, *self.condition, self.watched.as_delta())
+        return Rule(head, body, self.comparisons, name=self.name)
+
+    def __str__(self) -> str:
+        return (
+            f"CREATE TRIGGER {self.name} AFTER DELETE ON {self.watched.relation} "
+            f"DELETE {self.target}"
+        )
+
+
+def program_from_triggers(triggers: Iterable[DeleteTrigger]) -> DeltaProgram:
+    """Compile a set of triggers into a delta program (declaration order preserved)."""
+    return DeltaProgram.from_rules(trigger.to_delta_rule() for trigger in triggers)
+
+
+def triggers_from_program(program: DeltaProgram) -> list[DeleteTrigger]:
+    """Best-effort inverse translation: delta rules with exactly one delta body atom.
+
+    Rules without a delta body atom (seed/selection rules) are skipped — the
+    trigger simulator treats them as the initial deletion events instead.
+    """
+    triggers: list[DeleteTrigger] = []
+    for index, rule in enumerate(program):
+        delta_atoms = [atom for atom in rule.body if atom.is_delta]
+        if len(delta_atoms) != 1:
+            continue
+        guard = rule.guard_atom()
+        if guard is None:
+            continue
+        condition = tuple(
+            atom for atom in rule.body if not atom.is_delta and atom is not guard
+        )
+        triggers.append(
+            DeleteTrigger(
+                name=rule.name or f"trg_{index}",
+                watched=delta_atoms[0].as_base(),
+                target=guard,
+                condition=condition,
+                comparisons=rule.comparisons,
+            )
+        )
+    return triggers

@@ -1,0 +1,47 @@
+"""Core repair framework: the four semantics, the repair engine, and analysis.
+
+This is the paper's primary contribution packaged behind a small public API:
+
+>>> from repro.core import RepairEngine, Semantics
+>>> # engine = RepairEngine(db, program)
+>>> # result = engine.repair(Semantics.INDEPENDENT)
+"""
+
+from repro.core.semantics import (
+    RepairResult,
+    Semantics,
+    end_semantics,
+    independent_semantics,
+    stage_semantics,
+    step_semantics,
+    compute_repair,
+)
+from repro.core.repair import RepairEngine
+from repro.core.stability import (
+    is_stable,
+    is_stabilizing_set,
+    violating_assignments,
+    verify_repair,
+)
+from repro.core.containment import ContainmentReport, compare_results
+from repro.core.explain import DeletionExplanation, explain_deletion, explain_repair
+
+__all__ = [
+    "DeletionExplanation",
+    "explain_deletion",
+    "explain_repair",
+    "Semantics",
+    "RepairResult",
+    "end_semantics",
+    "stage_semantics",
+    "step_semantics",
+    "independent_semantics",
+    "compute_repair",
+    "RepairEngine",
+    "is_stable",
+    "is_stabilizing_set",
+    "violating_assignments",
+    "verify_repair",
+    "ContainmentReport",
+    "compare_results",
+]

@@ -1,0 +1,106 @@
+"""Containment and size relationships between the results of the four semantics.
+
+The paper summarises the relationships in Figure 3 and reports, per program,
+the three conditions of Table 3 (``Step = Stage``, ``Ind ⊆ Stage``,
+``Ind ⊆ Step``); the other relationships (``Stage ⊆ End``, ``Step ⊆ End``,
+``|Ind| ≤ |Step|, |Stage|``) always hold (Proposition 3.20).  This module
+computes all of them from a set of :class:`RepairResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.core.semantics.base import RepairResult, Semantics
+from repro.utils.text import format_table
+
+
+@dataclass(frozen=True)
+class ContainmentReport:
+    """The pairwise relationships between the four results for one program."""
+
+    name: str
+    sizes: tuple[tuple[str, int], ...]
+    step_equals_stage: bool
+    ind_subset_of_stage: bool
+    ind_subset_of_step: bool
+    stage_subset_of_end: bool
+    step_subset_of_end: bool
+    ind_not_larger_than_stage: bool
+    ind_not_larger_than_step: bool
+
+    @property
+    def size_map(self) -> Dict[str, int]:
+        """Result sizes keyed by semantics name."""
+        return dict(self.sizes)
+
+    def invariants_hold(self) -> bool:
+        """The relationships of Proposition 3.20 that must always hold."""
+        return (
+            self.stage_subset_of_end
+            and self.step_subset_of_end
+            and self.ind_not_larger_than_stage
+            and self.ind_not_larger_than_step
+        )
+
+    def table3_row(self) -> tuple[str, bool, bool, bool]:
+        """The row this program contributes to the paper's Table 3."""
+        return (
+            self.name,
+            self.step_equals_stage,
+            self.ind_subset_of_stage,
+            self.ind_subset_of_step,
+        )
+
+    def describe(self) -> str:
+        """Multi-line rendering of sizes and relationships."""
+        rows = [
+            ["|End|", self.size_map.get("end", "-")],
+            ["|Stage|", self.size_map.get("stage", "-")],
+            ["|Step|", self.size_map.get("step", "-")],
+            ["|Ind|", self.size_map.get("independent", "-")],
+            ["Step = Stage", self.step_equals_stage],
+            ["Ind ⊆ Stage", self.ind_subset_of_stage],
+            ["Ind ⊆ Step", self.ind_subset_of_step],
+            ["Stage ⊆ End", self.stage_subset_of_end],
+            ["Step ⊆ End", self.step_subset_of_end],
+        ]
+        return format_table(["property", "value"], rows, title=f"program {self.name}")
+
+
+def compare_results(
+    results: Mapping[Semantics | str, RepairResult], name: str = ""
+) -> ContainmentReport:
+    """Build a :class:`ContainmentReport` from per-semantics results.
+
+    All four semantics must be present in ``results``.
+    """
+    normalized: Dict[Semantics, RepairResult] = {
+        Semantics.parse(key): value for key, value in results.items()
+    }
+    missing = [member for member in Semantics if member not in normalized]
+    if missing:
+        raise ValueError(
+            "compare_results needs all four semantics; missing: "
+            + ", ".join(member.value for member in missing)
+        )
+    end = normalized[Semantics.END]
+    stage = normalized[Semantics.STAGE]
+    step = normalized[Semantics.STEP]
+    ind = normalized[Semantics.INDEPENDENT]
+    sizes = tuple(
+        (member.value, normalized[member].size)
+        for member in (Semantics.END, Semantics.STAGE, Semantics.STEP, Semantics.INDEPENDENT)
+    )
+    return ContainmentReport(
+        name=name,
+        sizes=sizes,
+        step_equals_stage=step.deleted == stage.deleted,
+        ind_subset_of_stage=ind.deleted <= stage.deleted,
+        ind_subset_of_step=ind.deleted <= step.deleted,
+        stage_subset_of_end=stage.deleted <= end.deleted,
+        step_subset_of_end=step.deleted <= end.deleted,
+        ind_not_larger_than_stage=ind.size <= stage.size,
+        ind_not_larger_than_step=ind.size <= step.size,
+    )

@@ -1,0 +1,161 @@
+"""Explanations for repairs: why was a tuple deleted, and what did it cost?
+
+The paper leans on provenance to *compute* repairs (Algorithms 1 and 2); the
+same provenance also answers the user-facing question "why is this tuple in
+the repair?".  This module derives two kinds of explanations from a
+:class:`~repro.core.semantics.base.RepairResult`:
+
+* a **derivation explanation** — for operational semantics (end / stage /
+  step), the chain of rule firings that forced the deletion, read off the
+  provenance graph of ``End(P, D)``;
+* a **conflict explanation** — for independent semantics, the violated
+  hypothetical assignments (CNF clauses) this deletion voids, i.e. the
+  conflicts the tuple was sacrificed to resolve.
+
+These are diagnostics for humans; they do not affect any repair computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.core.semantics.base import RepairResult
+from repro.datalog.ast import Program, Rule
+from repro.datalog.delta import DeltaProgram
+from repro.provenance.boolean import build_boolean_provenance
+from repro.provenance.graph import ProvenanceGraph, build_provenance_graph
+from repro.storage.database import BaseDatabase
+from repro.storage.facts import Fact
+
+ProgramLike = DeltaProgram | Program | Iterable[Rule]
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """One rule firing in a derivation explanation."""
+
+    rule: str
+    used: tuple[str, ...]
+    derived: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {', '.join(self.used)} ⟹ delete {self.derived}"
+
+
+@dataclass(frozen=True)
+class DeletionExplanation:
+    """Why one tuple appears in a repair."""
+
+    target: Fact
+    semantics: str
+    derivation: tuple[DerivationStep, ...]
+    conflicts: tuple[str, ...]
+
+    def is_seed(self) -> bool:
+        """True when the tuple was deleted directly by a selection/seed rule."""
+        return len(self.derivation) <= 1 and not self.conflicts
+
+    def render(self) -> str:
+        """A human-readable multi-line explanation."""
+        lines = [f"{self.target} (deleted under {self.semantics} semantics)"]
+        if self.derivation:
+            lines.append("  derivation chain:")
+            lines.extend(f"    {index + 1}. {step}" for index, step in enumerate(self.derivation))
+        if self.conflicts:
+            lines.append("  conflicts resolved by this deletion:")
+            lines.extend(f"    - {conflict}" for conflict in self.conflicts)
+        if len(lines) == 1:
+            lines.append("  (no recorded derivation — requested or seed deletion)")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _derivation_chain(graph: ProvenanceGraph, target: Fact) -> List[DerivationStep]:
+    """The shallowest derivation chain ending at ``Δ(target)``, leaf to target."""
+    steps: List[DerivationStep] = []
+    current = target
+    seen: set[Fact] = set()
+    while current in graph.layers and current not in seen:
+        seen.add(current)
+        derivations = graph.assignments_deriving(current)
+        if not derivations:
+            break
+        # Prefer the derivation realised earliest (fewest delta dependencies).
+        best = min(
+            derivations,
+            key=lambda assignment: (
+                max((graph.layers.get(dep, 0) for dep in assignment.delta_facts()), default=0),
+                len(assignment.delta_facts()),
+            ),
+        )
+        steps.append(
+            DerivationStep(
+                rule=best.rule.display_name(),
+                used=tuple(
+                    ("Δ" if atom.is_delta else "") + str(item) for atom, item in best.used
+                ),
+                derived=str(current),
+            )
+        )
+        dependencies = best.delta_facts()
+        if not dependencies:
+            break
+        current = min(dependencies, key=lambda dep: graph.layers.get(dep, 0))
+    steps.reverse()
+    return steps
+
+
+def explain_deletion(
+    db: BaseDatabase,
+    program: ProgramLike,
+    result: RepairResult,
+    target: Fact,
+) -> DeletionExplanation:
+    """Explain why ``target`` belongs to ``result``.
+
+    Raises ``ValueError`` when the tuple was not deleted by the given result.
+    """
+    rules = list(program)
+    if target not in result.deleted:
+        raise ValueError(f"{target} is not part of the {result.semantics.value} repair")
+
+    graph = build_provenance_graph(db, rules)
+    derivation = tuple(_derivation_chain(graph, target))
+
+    conflicts: tuple[str, ...] = ()
+    if result.semantics.value == "independent":
+        provenance = build_boolean_provenance(db, rules)
+        involved = [
+            clause
+            for clause in provenance.clauses
+            if target in clause.positives and not clause.satisfied_by(result.deleted - {target})
+        ]
+        conflicts = tuple(
+            f"[{clause.rule_name}] would delete "
+            f"{clause.derived.label() if clause.derived else '?'} via "
+            + ", ".join(sorted(str(item) for item in clause.variables()))
+            for clause in involved
+        )
+    return DeletionExplanation(
+        target=target,
+        semantics=result.semantics.value,
+        derivation=derivation,
+        conflicts=conflicts,
+    )
+
+
+def explain_repair(
+    db: BaseDatabase,
+    program: ProgramLike,
+    result: RepairResult,
+    limit: int | None = None,
+) -> List[DeletionExplanation]:
+    """Explanations for every deleted tuple of ``result`` (optionally capped)."""
+    targets = sorted(result.deleted, key=lambda item: item.sort_key())
+    if limit is not None:
+        targets = targets[:limit]
+    rules = list(program)
+    return [explain_deletion(db, rules, result, target) for target in targets]

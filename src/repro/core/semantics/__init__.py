@@ -1,0 +1,62 @@
+"""The four repair semantics and a uniform dispatch entry point."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable
+
+from repro.core.semantics.base import (
+    PHASE_EVAL,
+    PHASE_PROCESS_PROV,
+    PHASE_SOLVE,
+    PHASE_TRAVERSE,
+    RepairResult,
+    Semantics,
+)
+from repro.core.semantics.end import end_semantics
+from repro.core.semantics.independent import independent_semantics
+from repro.core.semantics.stage import stage_semantics
+from repro.core.semantics.step import step_semantics
+from repro.datalog.ast import Program, Rule
+from repro.datalog.delta import DeltaProgram
+from repro.storage.database import BaseDatabase
+
+#: Dispatch table from semantics to its implementation.
+SEMANTICS_IMPLEMENTATIONS: Dict[Semantics, Callable[..., RepairResult]] = {
+    Semantics.END: end_semantics,
+    Semantics.STAGE: stage_semantics,
+    Semantics.STEP: step_semantics,
+    Semantics.INDEPENDENT: independent_semantics,
+}
+
+
+def compute_repair(
+    db: BaseDatabase,
+    program: DeltaProgram | Program | Iterable[Rule],
+    semantics: Semantics | str,
+    **options: Any,
+) -> RepairResult:
+    """Compute the repair of ``db`` under ``program`` for the given semantics.
+
+    ``options`` are forwarded to the specific implementation (e.g.
+    ``method="exhaustive"`` for step semantics, ``exact_variable_limit`` for
+    independent semantics).
+    """
+    resolved = Semantics.parse(semantics)
+    implementation = SEMANTICS_IMPLEMENTATIONS[resolved]
+    return implementation(db, program, **options)
+
+
+__all__ = [
+    "Semantics",
+    "RepairResult",
+    "end_semantics",
+    "stage_semantics",
+    "step_semantics",
+    "independent_semantics",
+    "compute_repair",
+    "SEMANTICS_IMPLEMENTATIONS",
+    "PHASE_EVAL",
+    "PHASE_PROCESS_PROV",
+    "PHASE_SOLVE",
+    "PHASE_TRAVERSE",
+]

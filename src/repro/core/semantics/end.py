@@ -1,0 +1,63 @@
+"""End semantics (Definition 3.10): standard datalog evaluation of delta relations.
+
+End semantics treats the delta relations as ordinary intensional relations:
+every derivable delta tuple is derived against the *original* relations, and
+only once the fixpoint is reached are the derived tuples removed from the
+database.  It is the most permissive of the four semantics (its result
+contains both the stage and step results) and serves as the paper's baseline.
+Computing it is PTIME (Proposition 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.semantics.base import PHASE_EVAL, RepairResult, Semantics
+from repro.datalog.ast import Program, Rule
+from repro.datalog.delta import DeltaProgram
+from repro.datalog.evaluation import find_assignments
+from repro.storage.database import BaseDatabase
+from repro.utils.timing import PhaseTimer
+
+
+def end_semantics(
+    db: BaseDatabase,
+    program: DeltaProgram | Program | Iterable[Rule],
+    timer: PhaseTimer | None = None,
+) -> RepairResult:
+    """Compute ``End(P, D)``.
+
+    The input database is never modified; the returned result carries a
+    repaired clone.
+    """
+    timer = timer if timer is not None else PhaseTimer()
+    rules = list(program)
+    working = db.clone()
+    rounds = 0
+    with timer.phase(PHASE_EVAL):
+        # Derive all delta tuples to fixpoint; the active relations stay frozen
+        # at D^0 (mark_deleted only touches the delta extents).
+        while True:
+            rounds += 1
+            new_fact = False
+            for rule in rules:
+                for assignment in find_assignments(working, rule):
+                    if working.mark_deleted(assignment.derived):
+                        new_fact = True
+            if not new_fact:
+                break
+        # Final state T: remove every derived tuple from the active relations.
+        deleted = set()
+        for relation in working.relation_names():
+            for item in working.delta_facts(relation):
+                if working.has_active(item):
+                    working.drop_active(item)
+                    deleted.add(item)
+    return RepairResult(
+        semantics=Semantics.END,
+        deleted=frozenset(deleted),
+        repaired=working,
+        timer=timer,
+        rounds=rounds,
+        metadata={"derived_delta_tuples": working.count_delta()},
+    )

@@ -1,0 +1,70 @@
+"""Stage semantics (Definition 3.7): semi-naive rounds with immediate deletion.
+
+At every stage all satisfying assignments over the *current* state of the
+database are evaluated, all the derived tuples are deleted together, and the
+next stage starts from the updated state.  The evaluation is deterministic and
+rule-order independent, and converges to a unique fixpoint (Proposition 3.9);
+computing it is PTIME (Proposition 4.1).
+
+Stage semantics models cascade deletions by SQL triggers that fire in rounds
+(statement-level "after delete" triggers), as discussed in Section 3.4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.semantics.base import PHASE_EVAL, RepairResult, Semantics
+from repro.datalog.ast import Program, Rule
+from repro.datalog.delta import DeltaProgram
+from repro.datalog.evaluation import find_assignments
+from repro.storage.database import BaseDatabase
+from repro.utils.timing import PhaseTimer
+
+
+def stage_semantics(
+    db: BaseDatabase,
+    program: DeltaProgram | Program | Iterable[Rule],
+    timer: PhaseTimer | None = None,
+) -> RepairResult:
+    """Compute ``Stage(P, D)``.
+
+    The input database is never modified; the returned result carries a
+    repaired clone and the number of stages until the fixpoint.
+    """
+    timer = timer if timer is not None else PhaseTimer()
+    rules = list(program)
+    working = db.clone()
+    deleted: set = set()
+    stages = 0
+    with timer.phase(PHASE_EVAL):
+        while True:
+            stages += 1
+            # Evaluate every rule against the state at the start of the stage.
+            derived_now = set()
+            for rule in rules:
+                for assignment in find_assignments(working, rule):
+                    derived_now.add(assignment.derived)
+            # Only tuples still active lead to a state change.
+            newly_deleted = {
+                item
+                for item in derived_now
+                if working.has_active(item) or not working.has_delta(item)
+            }
+            changed = False
+            for item in newly_deleted:
+                was_active = working.has_active(item)
+                if working.delete(item) or was_active:
+                    changed = True
+                if was_active:
+                    deleted.add(item)
+            if not changed:
+                break
+    return RepairResult(
+        semantics=Semantics.STAGE,
+        deleted=frozenset(deleted),
+        repaired=working,
+        timer=timer,
+        rounds=stages,
+        metadata={},
+    )

@@ -1,0 +1,113 @@
+"""Stability of databases and verification of stabilizing sets (Section 3.6).
+
+A database is *stable* with respect to a delta program when no rule has a
+satisfying assignment (Definition 3.12); a *stabilizing set* is a set of
+tuples whose deletion (and recording in the delta relations) makes the
+database stable (Definition 3.14).  These checks underpin the correctness
+tests of every semantics and the experiment harness's validation step.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List
+
+from repro.core.semantics.base import RepairResult
+from repro.datalog.ast import Program, Rule
+from repro.datalog.delta import DeltaProgram
+from repro.datalog.evaluation import Assignment, find_assignments
+from repro.exceptions import SemanticsError
+from repro.storage.database import BaseDatabase, stabilized_copy
+from repro.storage.facts import Fact
+
+ProgramLike = DeltaProgram | Program | Iterable[Rule]
+
+
+def violating_assignments(db: BaseDatabase, program: ProgramLike) -> List[Assignment]:
+    """All satisfying assignments of the program's rules over ``db``.
+
+    An empty list means the database is stable.
+    """
+    found: List[Assignment] = []
+    for rule in program:
+        found.extend(find_assignments(db, rule))
+    return found
+
+
+def is_stable(db: BaseDatabase, program: ProgramLike) -> bool:
+    """True when ``db`` satisfies no rule of ``program`` (Definition 3.12)."""
+    for rule in program:
+        if find_assignments(db, rule):
+            return False
+    return True
+
+
+def is_stabilizing_set(
+    db: BaseDatabase, program: ProgramLike, deleted: Iterable[Fact]
+) -> bool:
+    """True when removing ``deleted`` (and adding ``Δ(deleted)``) stabilizes ``db``."""
+    rules = list(program)
+    return is_stable(stabilized_copy(db, deleted), rules)
+
+
+def verify_repair(db: BaseDatabase, program: ProgramLike, result: RepairResult) -> bool:
+    """Check that a :class:`RepairResult` really is a stabilizing set of ``db``.
+
+    The repaired database carried by the result is also cross-checked against a
+    freshly constructed ``(D \\ S) ∪ Δ(S)``.
+    """
+    rules = list(program)
+    if not is_stabilizing_set(db, rules, result.deleted):
+        return False
+    expected = stabilized_copy(db, result.deleted)
+    return expected.same_state_as(result.repaired)
+
+
+def minimum_stabilizing_set_bruteforce(
+    db: BaseDatabase,
+    program: ProgramLike,
+    max_tuples: int = 16,
+) -> frozenset[Fact]:
+    """The exact minimum stabilizing set, by exhaustive subset enumeration.
+
+    Exponential in the database size — refuse to run beyond ``max_tuples``
+    tuples.  This is the ground truth the test suite compares independent
+    semantics against (Definition 3.3 made executable).
+    """
+    rules = list(program)
+    facts = sorted(db.all_active(), key=lambda item: item.sort_key())
+    if len(facts) > max_tuples:
+        raise SemanticsError(
+            f"brute-force minimum stabilizing set refused: {len(facts)} tuples "
+            f"exceeds the limit of {max_tuples}"
+        )
+    for size in range(len(facts) + 1):
+        for subset in combinations(facts, size):
+            if is_stabilizing_set(db, rules, subset):
+                return frozenset(subset)
+    # Proposition 3.18: the full database is always stabilizing, so we cannot
+    # reach this point.
+    raise SemanticsError("no stabilizing set found (violates Proposition 3.18)")
+
+
+def all_minimum_stabilizing_sets(
+    db: BaseDatabase,
+    program: ProgramLike,
+    max_tuples: int = 14,
+) -> List[frozenset[Fact]]:
+    """Every minimum-cardinality stabilizing set (Proposition 3.19 may give several)."""
+    rules = list(program)
+    facts = sorted(db.all_active(), key=lambda item: item.sort_key())
+    if len(facts) > max_tuples:
+        raise SemanticsError(
+            f"enumeration refused: {len(facts)} tuples exceeds the limit of {max_tuples}"
+        )
+    for size in range(len(facts) + 1):
+        found = [
+            frozenset(subset)
+            for subset in combinations(facts, size)
+            if is_stabilizing_set(db, rules, subset)
+        ]
+        if found:
+            return found
+    raise SemanticsError("no stabilizing set found (violates Proposition 3.18)")

@@ -1,0 +1,47 @@
+"""Non-recursive datalog engine and the delta-rule framework built on it.
+
+The paper (Section 2) uses standard non-recursive (bounded) datalog programs
+whose intensional relations are all *delta relations* ``ΔR``.  This package
+provides:
+
+* :mod:`repro.datalog.ast` — terms, atoms, comparisons, rules, programs;
+* :mod:`repro.datalog.parser` — a textual syntax for rules and programs;
+* :mod:`repro.datalog.delta` — delta programs: validation per Definition 3.1,
+  deletion-request rules (the paper's rule (0)), DC translation hooks;
+* :mod:`repro.datalog.evaluation` — assignment enumeration and naive /
+  semi-naive evaluation over any storage backend;
+* :mod:`repro.datalog.analysis` — dependency graphs, recursion detection,
+  relation stratification;
+* :mod:`repro.datalog.sql_compiler` — compilation of rule bodies to SQL joins
+  for the SQLite backend.
+"""
+
+from repro.datalog.ast import (
+    Atom,
+    Comparison,
+    Constant,
+    Program,
+    Rule,
+    Term,
+    Variable,
+)
+from repro.datalog.delta import DeltaProgram, deletion_request_rule
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.evaluation import Assignment, find_assignments, derive_closure
+
+__all__ = [
+    "Term",
+    "Variable",
+    "Constant",
+    "Atom",
+    "Comparison",
+    "Rule",
+    "Program",
+    "DeltaProgram",
+    "deletion_request_rule",
+    "parse_program",
+    "parse_rule",
+    "Assignment",
+    "find_assignments",
+    "derive_closure",
+]

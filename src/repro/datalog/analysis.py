@@ -1,0 +1,144 @@
+"""Static analysis of delta programs.
+
+The paper restricts attention to *bounded* programs — programs that may
+mention a delta relation both in heads and bodies but are equivalent to a
+non-recursive program (Section 2).  Evaluation over the finite delta domain
+always terminates regardless, but the provenance-based Algorithms 1 and 2
+assume the provenance has polynomial size, which is what boundedness buys.
+
+This module builds the delta-relation dependency graph of a program, detects
+(syntactic) recursion, and computes the relation strata used to organise the
+provenance graph into layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import networkx as nx
+
+from repro.datalog.ast import Program, Rule
+
+
+def dependency_graph(program: Program | Iterable[Rule]) -> "nx.DiGraph":
+    """The delta-dependency graph of a program.
+
+    Nodes are relation names.  There is an edge ``S -> R`` when some rule with
+    head ``ΔR`` mentions ``ΔS`` in its body — i.e. deleting an ``S`` tuple can
+    trigger deleting an ``R`` tuple.  Base-atom dependencies are recorded as a
+    ``base`` edge attribute set to True (they never create recursion since base
+    relations only shrink).
+    """
+    graph = nx.DiGraph()
+    for rule in program:
+        head = rule.head.relation
+        graph.add_node(head)
+        for atom in rule.body:
+            graph.add_node(atom.relation)
+            if atom.is_delta:
+                graph.add_edge(atom.relation, head, base=False)
+            elif not graph.has_edge(atom.relation, head):
+                graph.add_edge(atom.relation, head, base=True)
+    return graph
+
+
+def delta_dependency_graph(program: Program | Iterable[Rule]) -> "nx.DiGraph":
+    """Like :func:`dependency_graph` but keeping only delta-to-delta edges."""
+    graph = dependency_graph(program)
+    removable = [
+        (source, target)
+        for source, target, data in graph.edges(data=True)
+        if data.get("base", False)
+    ]
+    graph.remove_edges_from(removable)
+    return graph
+
+
+def is_syntactically_recursive(program: Program | Iterable[Rule]) -> bool:
+    """True when the delta-dependency graph has a cycle (including self-loops)."""
+    graph = delta_dependency_graph(program)
+    try:
+        nx.find_cycle(graph)
+        return True
+    except nx.NetworkXNoCycle:
+        return False
+
+
+def relation_strata(program: Program | Iterable[Rule]) -> Dict[str, int]:
+    """Assign each head relation a stratum (longest delta-dependency depth).
+
+    Relations never appearing in a head get stratum 0.  For recursive programs
+    the strata of relations on a cycle collapse to the same value (the longest
+    acyclic path into their strongly connected component).
+    """
+    rules = list(program)
+    graph = delta_dependency_graph(rules)
+    condensation = nx.condensation(graph)
+    component_of: Dict[str, int] = {}
+    for component_id, members in condensation.nodes(data="members"):
+        for member in members:
+            component_of[member] = component_id
+    depth: Dict[int, int] = {}
+    for component_id in nx.topological_sort(condensation):
+        predecessors = list(condensation.predecessors(component_id))
+        if predecessors:
+            depth[component_id] = 1 + max(depth[p] for p in predecessors)
+        else:
+            depth[component_id] = 0
+    heads = {rule.head.relation for rule in rules}
+    strata: Dict[str, int] = {}
+    for relation in graph.nodes:
+        strata[relation] = depth[component_of[relation]] if relation in heads else 0
+    for rule in rules:
+        strata.setdefault(rule.head.relation, 0)
+        for atom in rule.body:
+            strata.setdefault(atom.relation, 0)
+    return strata
+
+
+@dataclass(frozen=True)
+class ProgramReport:
+    """A static summary of a delta program, for documentation and experiments."""
+
+    rule_count: int
+    relations: tuple[str, ...]
+    head_relations: tuple[str, ...]
+    max_body_atoms: int
+    max_join_width: int
+    recursive: bool
+    strata: tuple[tuple[str, int], ...]
+
+    def describe(self) -> str:
+        """Human-readable multi-line description of the program's shape."""
+        lines = [
+            f"rules: {self.rule_count}",
+            f"relations: {', '.join(self.relations)}",
+            f"head (deletable) relations: {', '.join(self.head_relations)}",
+            f"max body atoms: {self.max_body_atoms}",
+            f"max join width: {self.max_join_width}",
+            f"syntactically recursive: {'yes' if self.recursive else 'no'}",
+            "strata: " + ", ".join(f"{rel}={level}" for rel, level in self.strata),
+        ]
+        return "\n".join(lines)
+
+
+def analyze_program(program: Program | Iterable[Rule]) -> ProgramReport:
+    """Compute a :class:`ProgramReport` for ``program``."""
+    rules: List[Rule] = list(program)
+    relations = sorted({relation for rule in rules for relation in rule.relations()})
+    heads = sorted({rule.head.relation for rule in rules})
+    max_body = max((len(rule.body) for rule in rules), default=0)
+    max_join = max(
+        (len(rule.body) + len(rule.comparisons) for rule in rules), default=0
+    )
+    strata = relation_strata(rules) if rules else {}
+    return ProgramReport(
+        rule_count=len(rules),
+        relations=tuple(relations),
+        head_relations=tuple(heads),
+        max_body_atoms=max_body,
+        max_join_width=max_join,
+        recursive=is_syntactically_recursive(rules) if rules else False,
+        strata=tuple(sorted(strata.items())),
+    )

@@ -1,0 +1,324 @@
+"""Abstract syntax of datalog / delta rules.
+
+The grammar follows the paper's notation:
+
+* a **term** is a variable (``a``, ``pid``) or a constant (``2``, ``'ERC'``);
+* an **atom** is ``R(t1, ..., tn)`` over a base relation or ``ΔR(t1, ..., tn)``
+  over a delta relation (``is_delta=True``);
+* a **comparison** is ``t1 ◦ t2`` with ``◦ ∈ {=, !=, <, <=, >, >=}``;
+* a **rule** is ``head :- body-atoms, comparisons`` where, for delta rules,
+  the head is a delta atom and the body contains the matching base atom
+  (Definition 3.1 — enforced by :mod:`repro.datalog.delta`);
+* a **program** is a finite set of rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import RuleValidationError
+
+#: Comparison operators supported in rule bodies.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+_OP_FUNCTIONS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Term:
+    """Base class for terms appearing in atoms and comparisons."""
+
+    __slots__ = ()
+
+    def is_variable(self) -> bool:
+        """True for variables, False for constants."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A logic variable, identified by name."""
+
+    name: str
+
+    def is_variable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(Term):
+    """A constant value (int, float, or string)."""
+
+    value: Any
+
+    def is_variable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A relational atom ``R(t1, ..., tn)`` or delta atom ``ΔR(t1, ..., tn)``.
+
+    ``relation`` is always the *base* relation name; ``is_delta`` marks the
+    delta counterpart.  This mirrors the paper's convention of writing ``Δ_R``
+    for the delta relation of ``R``.
+    """
+
+    relation: str
+    terms: tuple[Term, ...]
+    is_delta: bool = False
+
+    @property
+    def arity(self) -> int:
+        """Number of terms."""
+        return len(self.terms)
+
+    def variables(self) -> tuple[Variable, ...]:
+        """All variable occurrences, in positional order (with repetitions)."""
+        return tuple(term for term in self.terms if isinstance(term, Variable))
+
+    def variable_names(self) -> frozenset[str]:
+        """The set of variable names used in this atom."""
+        return frozenset(term.name for term in self.terms if isinstance(term, Variable))
+
+    def constants(self) -> tuple[Constant, ...]:
+        """All constant occurrences, in positional order."""
+        return tuple(term for term in self.terms if isinstance(term, Constant))
+
+    def as_delta(self) -> "Atom":
+        """The delta counterpart of this atom (same relation and terms)."""
+        return Atom(self.relation, self.terms, is_delta=True)
+
+    def as_base(self) -> "Atom":
+        """The base (non-delta) counterpart of this atom."""
+        return Atom(self.relation, self.terms, is_delta=False)
+
+    def substitute(self, bindings: Mapping[str, Any]) -> "Atom":
+        """Replace bound variables by constants according to ``bindings``."""
+        new_terms = []
+        for term in self.terms:
+            if isinstance(term, Variable) and term.name in bindings:
+                new_terms.append(Constant(bindings[term.name]))
+            else:
+                new_terms.append(term)
+        return Atom(self.relation, tuple(new_terms), self.is_delta)
+
+    def __str__(self) -> str:
+        prefix = "delta " if self.is_delta else ""
+        rendered = ", ".join(str(term) for term in self.terms)
+        return f"{prefix}{self.relation}({rendered})"
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A comparison ``lhs ◦ rhs`` between two terms."""
+
+    lhs: Term
+    op: str
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise RuleValidationError(f"unsupported comparison operator: {self.op!r}")
+
+    def variable_names(self) -> frozenset[str]:
+        """Variable names appearing on either side."""
+        names = set()
+        for term in (self.lhs, self.rhs):
+            if isinstance(term, Variable):
+                names.add(term.name)
+        return frozenset(names)
+
+    def is_ground(self, bindings: Mapping[str, Any]) -> bool:
+        """True when both sides are constants or bound in ``bindings``."""
+        for term in (self.lhs, self.rhs):
+            if isinstance(term, Variable) and term.name not in bindings:
+                return False
+        return True
+
+    def evaluate(self, bindings: Mapping[str, Any]) -> bool:
+        """Evaluate the comparison under ``bindings`` (both sides must be bound)."""
+        def resolve(term: Term) -> Any:
+            if isinstance(term, Variable):
+                return bindings[term.name]
+            assert isinstance(term, Constant)
+            return term.value
+
+        try:
+            return _OP_FUNCTIONS[self.op](resolve(self.lhs), resolve(self.rhs))
+        except TypeError:
+            # Mixed-type comparisons (e.g. int < str) are false rather than fatal:
+            # synthetic data generators may mix key domains.
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A single (delta) rule ``head :- body, comparisons``."""
+
+    head: Atom
+    body: tuple[Atom, ...]
+    comparisons: tuple[Comparison, ...] = ()
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise RuleValidationError("a rule must have a non-empty body")
+
+    # -- introspection -------------------------------------------------------
+
+    def variables(self) -> frozenset[str]:
+        """All variable names used anywhere in the rule."""
+        names = set(self.head.variable_names())
+        for atom in self.body:
+            names |= atom.variable_names()
+        for comparison in self.comparisons:
+            names |= comparison.variable_names()
+        return frozenset(names)
+
+    def body_relations(self) -> frozenset[str]:
+        """Base relation names referenced (positively) in the body."""
+        return frozenset(atom.relation for atom in self.body if not atom.is_delta)
+
+    def delta_body_relations(self) -> frozenset[str]:
+        """Relation names referenced through delta atoms in the body."""
+        return frozenset(atom.relation for atom in self.body if atom.is_delta)
+
+    def relations(self) -> frozenset[str]:
+        """All relation names mentioned by the rule (head and body)."""
+        return frozenset({self.head.relation, *[atom.relation for atom in self.body]})
+
+    def is_safe(self) -> bool:
+        """True when every head variable also occurs in some body atom.
+
+        Safety guarantees that ``α(head)`` is fully ground for any assignment
+        ``α`` to the body (the standard datalog range-restriction condition).
+        """
+        body_vars: set[str] = set()
+        for atom in self.body:
+            body_vars |= atom.variable_names()
+        return self.head.variable_names() <= body_vars
+
+    def guard_atom(self) -> Atom | None:
+        """The body atom ``R(X)`` matching the head ``ΔR(X)`` term-for-term.
+
+        Definition 3.1 requires delta rules to contain this atom so that only
+        existing facts are deleted.  Returns None when no such atom exists.
+        """
+        for atom in self.body:
+            if (
+                not atom.is_delta
+                and atom.relation == self.head.relation
+                and atom.terms == self.head.terms
+            ):
+                return atom
+        return None
+
+    def display_name(self) -> str:
+        """The rule's explicit name, or a short auto-generated one."""
+        if self.name:
+            return self.name
+        return f"rule[{self.head.relation}]"
+
+    def rename(self, name: str) -> "Rule":
+        """Return a copy of the rule with a different display name."""
+        return Rule(self.head, self.body, self.comparisons, name=name)
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.body]
+        parts += [str(comparison) for comparison in self.comparisons]
+        return f"{self.head} :- {', '.join(parts)}"
+
+
+@dataclass(frozen=True)
+class Program:
+    """An ordered collection of rules.
+
+    Order matters for the baselines that emulate trigger systems (MySQL fires
+    triggers in creation order), but none of the four repair semantics depends
+    on it.
+    """
+
+    rules: tuple[Rule, ...] = ()
+
+    # -- collection behaviour -----------------------------------------------
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __getitem__(self, index: int) -> Rule:
+        return self.rules[index]
+
+    # -- introspection ---------------------------------------------------------
+
+    def head_relations(self) -> frozenset[str]:
+        """Relations that appear in some rule head (the intensional relations)."""
+        return frozenset(rule.head.relation for rule in self.rules)
+
+    def relations(self) -> frozenset[str]:
+        """All relation names mentioned anywhere in the program."""
+        names: set[str] = set()
+        for rule in self.rules:
+            names |= rule.relations()
+        return frozenset(names)
+
+    def rules_for_head(self, relation: str) -> tuple[Rule, ...]:
+        """All rules whose head is ``Δ(relation)``."""
+        return tuple(rule for rule in self.rules if rule.head.relation == relation)
+
+    # -- construction ------------------------------------------------------------
+
+    def extended(self, extra_rules: Iterable[Rule]) -> "Program":
+        """Return a new program with ``extra_rules`` appended."""
+        return Program((*self.rules, *tuple(extra_rules)))
+
+    @classmethod
+    def of(cls, *rules: Rule) -> "Program":
+        """Build a program from rules given as positional arguments."""
+        return cls(tuple(rules))
+
+    def __str__(self) -> str:
+        return "\n".join(f"({i}) {rule}" for i, rule in enumerate(self.rules))
+
+
+def make_atom(relation: str, *terms: Any, delta: bool = False) -> Atom:
+    """Convenience atom constructor.
+
+    Strings are treated as variable names; any other Python value becomes a
+    constant.  To force a string constant, pass a :class:`Constant` explicitly.
+
+    >>> str(make_atom("Author", "a", "n"))
+    'Author(a, n)'
+    >>> str(make_atom("Grant", "g", Constant("ERC"), delta=True))
+    "delta Grant(g, 'ERC')"
+    """
+    converted: list[Term] = []
+    for term in terms:
+        if isinstance(term, Term):
+            converted.append(term)
+        elif isinstance(term, str):
+            converted.append(Variable(term))
+        else:
+            converted.append(Constant(term))
+    return Atom(relation, tuple(converted), is_delta=delta)

@@ -1,0 +1,195 @@
+"""Delta programs: validation and helpers specific to the repair framework.
+
+A *delta rule* (Definition 3.1) has the form::
+
+    ΔR_i(X) :- R_i(X), Q_1(Y_1), ..., Q_l(Y_l)
+
+where each ``Q_j`` is a base or delta relation.  The head's term vector ``X``
+must literally re-appear in a body atom over ``R_i`` — this "guard atom"
+guarantees that only existing tuples are deleted.
+
+:class:`DeltaProgram` wraps a plain datalog :class:`Program`, checks these
+conditions (and, optionally, schema conformance and safety), and provides the
+two initialisation mechanisms of Section 3.6: starting from an unstable
+database, or injecting *deletion requests* (the paper's rule (0)) that seed the
+deletion process with specific tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.datalog.ast import Atom, Constant, Program, Rule, Variable
+from repro.datalog.parser import parse_program
+from repro.exceptions import ProgramValidationError, RuleValidationError
+from repro.storage.facts import Fact
+from repro.storage.schema import Schema
+
+
+def validate_delta_rule(rule: Rule, require_guard: bool = True) -> None:
+    """Check that ``rule`` is a well-formed delta rule.
+
+    Raises :class:`RuleValidationError` when:
+
+    * the head is not a delta atom,
+    * the rule is unsafe (head variables not bound by the body),
+    * ``require_guard`` is set and the body has no guard atom ``R(X)``
+      matching the head ``ΔR(X)``.
+    """
+    if not rule.head.is_delta:
+        raise RuleValidationError(
+            f"rule {rule.display_name()}: the head must be a delta atom, got {rule.head}"
+        )
+    if not rule.is_safe():
+        raise RuleValidationError(
+            f"rule {rule.display_name()}: unsafe rule — every head variable must "
+            "appear in the body"
+        )
+    if require_guard and rule.guard_atom() is None:
+        raise RuleValidationError(
+            f"rule {rule.display_name()}: the body must contain the guard atom "
+            f"{rule.head.relation}({', '.join(str(t) for t in rule.head.terms)}) "
+            "(Definition 3.1)"
+        )
+
+
+def deletion_request_rule(item: Fact, name: str | None = None) -> Rule:
+    """Build the paper's rule (0): ``ΔR(c̄) :- R(c̄)`` for a specific tuple.
+
+    This is how a repair is *initialised* when the database itself is stable
+    but the user wants to delete a particular tuple (Section 3.6): the rule is
+    satisfiable exactly as long as the tuple is still present, so every
+    semantics will delete it and then cascade through the other rules.
+    """
+    constants = tuple(Constant(value) for value in item.values)
+    head = Atom(item.relation, constants, is_delta=True)
+    guard = Atom(item.relation, constants, is_delta=False)
+    return Rule(head, (guard,), name=name or f"request_{item.relation}")
+
+
+def selection_request_rule(
+    relation: str,
+    arity: int,
+    position: int,
+    op: str,
+    value: object,
+    name: str | None = None,
+) -> Rule:
+    """Build a rule deleting all tuples of ``relation`` whose attribute matches.
+
+    ``ΔR(x0..xn) :- R(x0..xn), x<position> <op> <value>`` — the form used by
+    most of the paper's Table 1/2 programs to select the seed tuples by a
+    constant (``aid = C``, ``sk < C`` ...).
+    """
+    variables = tuple(Variable(f"x{i}") for i in range(arity))
+    head = Atom(relation, variables, is_delta=True)
+    guard = Atom(relation, variables, is_delta=False)
+    from repro.datalog.ast import Comparison  # local import avoids cycle warnings
+
+    comparison = Comparison(variables[position], op, Constant(value))
+    return Rule(head, (guard,), (comparison,), name=name or f"select_{relation}")
+
+
+@dataclass(frozen=True)
+class DeltaProgram:
+    """A validated delta program.
+
+    Parameters
+    ----------
+    program:
+        The underlying datalog program (all heads must be delta atoms).
+    require_guard:
+        Enforce the Definition 3.1 guard-atom condition (default True).
+    """
+
+    program: Program
+    require_guard: bool = True
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for rule in self.program:
+            validate_delta_rule(rule, require_guard=self.require_guard)
+            key = (rule.head, rule.body, rule.comparisons)
+            if key in seen:
+                raise ProgramValidationError(
+                    f"duplicate rule in program: {rule}"
+                )
+            seen.add(key)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_rules(cls, rules: Iterable[Rule], require_guard: bool = True) -> "DeltaProgram":
+        """Build and validate a delta program from an iterable of rules."""
+        return cls(Program(tuple(rules)), require_guard=require_guard)
+
+    @classmethod
+    def from_text(cls, source: str, require_guard: bool = True) -> "DeltaProgram":
+        """Parse and validate a delta program from its textual syntax."""
+        return cls(parse_program(source), require_guard=require_guard)
+
+    # -- collection behaviour ----------------------------------------------------
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        """The rules of the program, in declaration order."""
+        return self.program.rules
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.program)
+
+    def __len__(self) -> int:
+        return len(self.program)
+
+    def __getitem__(self, index: int) -> Rule:
+        return self.program[index]
+
+    # -- schema conformance ------------------------------------------------------
+
+    def validate_against_schema(self, schema: Schema) -> None:
+        """Check every atom's relation exists and has the right arity."""
+        for rule in self.program:
+            atoms = (rule.head, *rule.body)
+            for atom in atoms:
+                if atom.relation not in schema:
+                    raise ProgramValidationError(
+                        f"rule {rule.display_name()}: unknown relation {atom.relation!r}"
+                    )
+                expected = schema.arity(atom.relation)
+                if atom.arity != expected:
+                    raise ProgramValidationError(
+                        f"rule {rule.display_name()}: atom {atom} has arity "
+                        f"{atom.arity}, schema says {expected}"
+                    )
+
+    # -- extension ------------------------------------------------------------------
+
+    def with_deletion_requests(self, items: Sequence[Fact]) -> "DeltaProgram":
+        """Return a new program with a rule (0)-style request per fact in ``items``."""
+        extra = [
+            deletion_request_rule(item, name=f"request_{index}")
+            for index, item in enumerate(items)
+        ]
+        return DeltaProgram(
+            self.program.extended(extra), require_guard=self.require_guard
+        )
+
+    def with_rules(self, rules: Iterable[Rule]) -> "DeltaProgram":
+        """Return a new program extended with additional delta rules."""
+        return DeltaProgram(
+            self.program.extended(rules), require_guard=self.require_guard
+        )
+
+    # -- introspection ---------------------------------------------------------------
+
+    def head_relations(self) -> frozenset[str]:
+        """Relations whose tuples the program may delete."""
+        return self.program.head_relations()
+
+    def relations(self) -> frozenset[str]:
+        """All relations mentioned by the program."""
+        return self.program.relations()
+
+    def __str__(self) -> str:
+        return str(self.program)

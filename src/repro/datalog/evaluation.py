@@ -1,0 +1,336 @@
+"""Rule evaluation: enumerating assignments of rule bodies to database facts.
+
+An *assignment* ``α`` (Section 2 of the paper) maps every body atom of a rule
+to a fact of the database, consistently with variable bindings, such that all
+comparison atoms hold.  ``α(head)`` is then the delta fact the rule derives.
+
+The evaluator works over any :class:`~repro.storage.database.BaseDatabase`:
+
+* base atoms ``R(Ȳ)`` match the **active** extent of ``R``;
+* delta atoms ``ΔR(Ȳ)`` match the **delta** extent of ``R`` — except in
+  *hypothetical mode* (used by Algorithm 1 / independent semantics), where a
+  delta atom may match any tuple of the original database, modelling "this
+  tuple could have been deleted";
+* when the database is a :class:`~repro.storage.sqlite_backend.SQLiteDatabase`
+  the body is compiled to a SQL join (see :mod:`repro.datalog.sql_compiler`)
+  instead of being evaluated tuple-at-a-time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Sequence
+
+from repro.datalog.ast import Atom, Comparison, Constant, Program, Rule, Variable
+from repro.exceptions import EvaluationError
+from repro.storage.database import BaseDatabase
+from repro.storage.facts import Fact
+from repro.storage.sqlite_backend import SQLiteDatabase
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One satisfying assignment of a rule body.
+
+    Attributes
+    ----------
+    rule:
+        The rule being satisfied.
+    bindings:
+        Mapping from variable name to the value it was bound to.
+    used:
+        The ``(atom, fact)`` pairs, one per relational body atom, in the
+        rule's body order.
+    derived:
+        The fact ``α(head)`` — the tuple the rule asks to delete.  It is always
+        a *base* fact (of the head's relation); delta membership is tracked by
+        the database, not by the fact object.
+    """
+
+    rule: Rule
+    bindings: tuple[tuple[str, Any], ...]
+    used: tuple[tuple[Atom, Fact], ...]
+    derived: Fact
+
+    @property
+    def binding_map(self) -> Dict[str, Any]:
+        """The bindings as a dictionary."""
+        return dict(self.bindings)
+
+    def base_facts(self) -> tuple[Fact, ...]:
+        """Facts matched by the non-delta (positive) body atoms."""
+        return tuple(item for atom, item in self.used if not atom.is_delta)
+
+    def delta_facts(self) -> tuple[Fact, ...]:
+        """Facts matched by the delta body atoms (as their base counterparts)."""
+        return tuple(item for atom, item in self.used if atom.is_delta)
+
+    def all_facts(self) -> tuple[Fact, ...]:
+        """Every fact the assignment touches, in body order."""
+        return tuple(item for _, item in self.used)
+
+    def signature(self) -> tuple:
+        """A hashable signature identifying this assignment up to rule + facts."""
+        return (
+            self.rule.display_name(),
+            tuple((atom.relation, atom.is_delta, item) for atom, item in self.used),
+        )
+
+    def __str__(self) -> str:
+        facts = ", ".join(
+            ("Δ" if atom.is_delta else "") + item.label() for atom, item in self.used
+        )
+        return f"{self.rule.display_name()}: [{facts}] ⟹ Δ{self.derived.label()}"
+
+
+def ground_head(rule: Rule, bindings: Dict[str, Any]) -> Fact:
+    """Instantiate ``α(head)`` from the rule head and a complete binding map."""
+    values = []
+    for term in rule.head.terms:
+        if isinstance(term, Variable):
+            if term.name not in bindings:
+                raise EvaluationError(
+                    f"rule {rule.display_name()}: head variable {term.name!r} is unbound"
+                )
+            values.append(bindings[term.name])
+        else:
+            assert isinstance(term, Constant)
+            values.append(term.value)
+    return Fact(rule.head.relation, tuple(values))
+
+
+def _bound_positions(atom: Atom, bindings: Dict[str, Any]) -> Dict[int, Any]:
+    """Positions of ``atom`` whose value is fixed by constants or current bindings."""
+    fixed: Dict[int, Any] = {}
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            fixed[position] = term.value
+        elif isinstance(term, Variable) and term.name in bindings:
+            fixed[position] = bindings[term.name]
+    return fixed
+
+
+def _match_atom(atom: Atom, item: Fact, bindings: Dict[str, Any]) -> Dict[str, Any] | None:
+    """Try to unify ``atom`` with ``item`` under ``bindings``.
+
+    Returns the extended bindings on success, None on failure.  Handles
+    repeated variables within the atom and constants at any position.
+    """
+    extended = dict(bindings)
+    for term, value in zip(atom.terms, item.values):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            assert isinstance(term, Variable)
+            if term.name in extended:
+                if extended[term.name] != value:
+                    return None
+            else:
+                extended[term.name] = value
+    return extended
+
+
+def _candidate_facts(
+    db: BaseDatabase,
+    atom: Atom,
+    bindings: Dict[str, Any],
+    hypothetical_deltas: bool,
+) -> Iterator[Fact]:
+    """Facts the ``atom`` may match given the current bindings."""
+    fixed = _bound_positions(atom, bindings)
+    if atom.is_delta and hypothetical_deltas:
+        # Independent semantics: a delta atom may match the delta counterpart of
+        # any tuple of the database — both still-active tuples (hypothetically
+        # deleted) and tuples already recorded as deleted.
+        seen: set[Fact] = set()
+        for item in itertools.chain(
+            db.candidates(atom.relation, fixed, delta=False),
+            db.candidates(atom.relation, fixed, delta=True),
+        ):
+            if item not in seen:
+                seen.add(item)
+                yield item
+        return
+    yield from db.candidates(atom.relation, fixed, delta=atom.is_delta)
+
+
+def _check_ready_comparisons(
+    comparisons: Sequence[Comparison], bindings: Dict[str, Any], checked: set[int]
+) -> bool:
+    """Evaluate every not-yet-checked comparison whose variables are all bound.
+
+    Mutates ``checked`` with the indexes that became ground.  Returns False as
+    soon as one ground comparison fails.
+    """
+    for index, comparison in enumerate(comparisons):
+        if index in checked:
+            continue
+        if comparison.is_ground(bindings):
+            checked.add(index)
+            if not comparison.evaluate(bindings):
+                return False
+    return True
+
+
+def find_assignments(
+    db: BaseDatabase,
+    rule: Rule,
+    hypothetical_deltas: bool = False,
+    use_sql: bool | None = None,
+) -> List[Assignment]:
+    """Enumerate every satisfying assignment of ``rule`` over ``db``.
+
+    Parameters
+    ----------
+    db:
+        The database state to evaluate against.
+    rule:
+        The (delta) rule whose body is matched.
+    hypothetical_deltas:
+        When True, delta atoms may match any tuple of the database (its
+        hypothetical deletion) rather than only the recorded deletions.  This
+        is the mode Algorithm 1 uses to build the full Boolean provenance.
+    use_sql:
+        Force (True) or forbid (False) the SQL evaluation path.  By default the
+        SQL path is used exactly when ``db`` is a SQLite-backed engine.
+    """
+    if use_sql is None:
+        use_sql = isinstance(db, SQLiteDatabase)
+    if use_sql and isinstance(db, SQLiteDatabase):
+        from repro.datalog.sql_compiler import find_assignments_sql
+
+        return find_assignments_sql(db, rule, hypothetical_deltas=hypothetical_deltas)
+
+    results: List[Assignment] = []
+    body = list(rule.body)
+    comparisons = list(rule.comparisons)
+
+    def extend(
+        bindings: Dict[str, Any],
+        used: List[tuple[Atom, Fact]],
+        remaining: List[Atom],
+        checked: set[int],
+    ) -> None:
+        if not _check_ready_comparisons(comparisons, bindings, checked):
+            return
+        if not remaining:
+            if len(checked) != len(comparisons):
+                unchecked = [
+                    str(comparisons[i]) for i in range(len(comparisons)) if i not in checked
+                ]
+                raise EvaluationError(
+                    f"rule {rule.display_name()}: comparisons with unbound variables: "
+                    + ", ".join(unchecked)
+                )
+            derived = ground_head(rule, bindings)
+            results.append(
+                Assignment(
+                    rule=rule,
+                    bindings=tuple(sorted(bindings.items(), key=lambda kv: kv[0])),
+                    used=tuple(used),
+                    derived=derived,
+                )
+            )
+            return
+        # Choose the most constrained remaining atom (most bound positions) to
+        # keep intermediate results small; ties keep body order for determinism.
+        best_index = 0
+        best_bound = -1
+        for index, atom in enumerate(remaining):
+            bound = len(_bound_positions(atom, bindings))
+            if bound > best_bound:
+                best_index, best_bound = index, bound
+        atom = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1 :]
+        for item in _candidate_facts(db, atom, bindings, hypothetical_deltas):
+            extended = _match_atom(atom, item, bindings)
+            if extended is None:
+                continue
+            extend(extended, used + [(atom, item)], rest, set(checked))
+
+    extend({}, [], body, set())
+    # Restore body order inside each assignment for readability/determinism:
+    # for every body-atom occurrence, pick the first not-yet-consumed used pair
+    # matching that atom (handles duplicate atoms in the body).
+    ordered_results = []
+    for assignment in results:
+        remaining_pairs = list(assignment.used)
+        ordered: List[tuple[Atom, Fact]] = []
+        for atom in rule.body:
+            for pair_index, (used_atom, used_fact) in enumerate(remaining_pairs):
+                if used_atom == atom:
+                    ordered.append((used_atom, used_fact))
+                    remaining_pairs.pop(pair_index)
+                    break
+        ordered.extend(remaining_pairs)
+        ordered_results.append(
+            Assignment(
+                assignment.rule, assignment.bindings, tuple(ordered), assignment.derived
+            )
+        )
+    return ordered_results
+
+
+def find_all_assignments(
+    db: BaseDatabase,
+    program: Program | Iterable[Rule],
+    hypothetical_deltas: bool = False,
+) -> List[Assignment]:
+    """All assignments of every rule of ``program`` over ``db``."""
+    assignments: List[Assignment] = []
+    for rule in program:
+        assignments.extend(
+            find_assignments(db, rule, hypothetical_deltas=hypothetical_deltas)
+        )
+    return assignments
+
+
+def is_rule_satisfied(db: BaseDatabase, rule: Rule) -> bool:
+    """True when ``rule`` has at least one satisfying assignment over ``db``."""
+    return bool(find_assignments(db, rule))
+
+
+def derive_closure(
+    db: BaseDatabase,
+    program: Program | Iterable[Rule],
+    on_assignment=None,
+    max_rounds: int | None = None,
+) -> list[Assignment]:
+    """End-semantics style closure: derive all delta facts without deleting.
+
+    Repeatedly evaluates every rule against ``db`` and records each newly
+    derived delta fact with :meth:`BaseDatabase.mark_deleted` (the active
+    extents are untouched), until a fixpoint is reached.  Returns every
+    assignment observed, including ones that re-derive already-known facts in
+    later rounds only if their used-fact signature is new.
+
+    ``on_assignment`` (if given) is called with every *new* assignment — the
+    provenance tracker uses this hook.
+    """
+    rules = list(program)
+    all_assignments: list[Assignment] = []
+    seen_signatures: set[tuple] = set()
+    rounds = 0
+    while True:
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise EvaluationError(
+                f"closure did not converge within {max_rounds} rounds"
+            )
+        new_delta = False
+        for rule in rules:
+            for assignment in find_assignments(db, rule):
+                signature = assignment.signature()
+                if signature in seen_signatures:
+                    continue
+                seen_signatures.add(signature)
+                all_assignments.append(assignment)
+                if on_assignment is not None:
+                    on_assignment(assignment)
+                if db.mark_deleted(assignment.derived):
+                    new_delta = True
+        if not new_delta:
+            break
+    return all_assignments

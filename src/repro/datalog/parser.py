@@ -1,0 +1,272 @@
+"""Textual syntax for delta rules and programs.
+
+The concrete syntax mirrors the paper's notation with ``delta`` spelled out:
+
+.. code-block:: text
+
+    % rule (1) of Figure 2
+    delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).
+
+    % comparisons use =, !=, <, <=, >, >=
+    delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+
+Grammar
+-------
+
+* a program is a sequence of rules, each terminated by ``.``;
+* ``%`` and ``#`` start a comment running to the end of the line;
+* a delta atom is written ``delta R(...)``, ``Delta R(...)``, ``ΔR(...)`` or
+  ``*R(...)`` — all equivalent;
+* identifiers starting with a letter or underscore are variables inside atom
+  argument lists; quoted strings and numeric literals are constants;
+* an optional label ``[name]`` before a rule sets :attr:`Rule.name`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.datalog.ast import (
+    Atom,
+    Comparison,
+    Constant,
+    Program,
+    Rule,
+    Term,
+    Variable,
+)
+from repro.exceptions import ParseError
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"[%#][^\n]*"),
+    ("IMPLIES", r":-|<-"),
+    ("NEQ", r"!=|<>"),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("EQ", r"="),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("STAR", r"\*"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("NUMBER", r"-?\d+\.\d+|-?\d+"),
+    ("DELTA", r"Δ|∆"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("MISMATCH", r"."),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_COMPARISON_TOKENS = {"EQ": "=", "NEQ": "!=", "LT": "<", "LE": "<=", "GT": ">", "GE": ">="}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(source: str) -> Iterator[_Token]:
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup or "MISMATCH"
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise ParseError(f"unexpected character {text!r}", line, column)
+        yield _Token(kind, text, line, column)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens: List[_Token] = list(_tokenize(source))
+        self._position = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"expected {kind}, found end of input")
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.text!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _at(self, kind: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == kind
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        rules = []
+        while self._peek() is not None:
+            rules.append(self.parse_rule())
+        return Program(tuple(rules))
+
+    def parse_rule(self) -> Rule:
+        name = None
+        if self._at("LBRACKET"):
+            self._advance()
+            name = self._expect("IDENT").text
+            self._expect("RBRACKET")
+        head = self._parse_atom()
+        self._expect("IMPLIES")
+        body_atoms: list[Atom] = []
+        comparisons: list[Comparison] = []
+        while True:
+            item = self._parse_body_item()
+            if isinstance(item, Atom):
+                body_atoms.append(item)
+            else:
+                comparisons.append(item)
+            if self._at("COMMA"):
+                self._advance()
+                continue
+            break
+        if self._at("DOT"):
+            self._advance()
+        return Rule(head, tuple(body_atoms), tuple(comparisons), name=name)
+
+    def _parse_body_item(self) -> Atom | Comparison:
+        # An atom starts with (delta marker)? IDENT LPAREN; otherwise it is a
+        # comparison between two terms.
+        saved = self._position
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in rule body")
+        if token.kind in ("DELTA", "STAR") or (
+            token.kind == "IDENT" and self._looks_like_atom()
+        ):
+            try:
+                return self._parse_atom()
+            except ParseError:
+                self._position = saved
+        return self._parse_comparison()
+
+    def _looks_like_atom(self) -> bool:
+        token = self._peek()
+        if token is None or token.kind != "IDENT":
+            return False
+        if token.text.lower() == "delta":
+            return True
+        following = (
+            self._tokens[self._position + 1]
+            if self._position + 1 < len(self._tokens)
+            else None
+        )
+        return following is not None and following.kind == "LPAREN"
+
+    def _parse_atom(self) -> Atom:
+        is_delta = False
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected an atom, found end of input")
+        if token.kind in ("DELTA", "STAR"):
+            self._advance()
+            is_delta = True
+        elif token.kind == "IDENT" and token.text.lower() == "delta":
+            self._advance()
+            is_delta = True
+        relation = self._expect("IDENT").text
+        self._expect("LPAREN")
+        terms: list[Term] = []
+        if not self._at("RPAREN"):
+            terms.append(self._parse_term())
+            while self._at("COMMA"):
+                self._advance()
+                terms.append(self._parse_term())
+        self._expect("RPAREN")
+        return Atom(relation, tuple(terms), is_delta=is_delta)
+
+    def _parse_comparison(self) -> Comparison:
+        lhs = self._parse_term()
+        token = self._peek()
+        if token is None or token.kind not in _COMPARISON_TOKENS:
+            found = token.text if token else "end of input"
+            line = token.line if token else None
+            column = token.column if token else None
+            raise ParseError(f"expected a comparison operator, found {found!r}", line, column)
+        op = _COMPARISON_TOKENS[self._advance().kind]
+        rhs = self._parse_term()
+        return Comparison(lhs, op, rhs)
+
+    def _parse_term(self) -> Term:
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected a term, found end of input")
+        if token.kind == "STRING":
+            self._advance()
+            return Constant(token.text[1:-1])
+        if token.kind == "NUMBER":
+            self._advance()
+            text = token.text
+            if "." in text:
+                return Constant(float(text))
+            return Constant(int(text))
+        if token.kind == "IDENT":
+            self._advance()
+            return Variable(token.text)
+        raise ParseError(f"expected a term, found {token.text!r}", token.line, token.column)
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule from text.
+
+    >>> rule = parse_rule("delta Grant(g, n) :- Grant(g, n), n = 'ERC'.")
+    >>> rule.head.is_delta
+    True
+    """
+    parser = _Parser(source)
+    rule = parser.parse_rule()
+    if parser._peek() is not None:
+        token = parser._peek()
+        assert token is not None
+        raise ParseError(
+            f"unexpected trailing input starting at {token.text!r}", token.line, token.column
+        )
+    return rule
+
+
+def parse_program(source: str) -> "Program":
+    """Parse a whole program (a sequence of ``.``-terminated rules).
+
+    Returns a plain :class:`~repro.datalog.ast.Program`; wrap it in
+    :class:`~repro.datalog.delta.DeltaProgram` to validate and use it with the
+    repair semantics.
+    """
+    return _Parser(source).parse_program()

@@ -1,0 +1,194 @@
+"""Compilation of delta-rule bodies to SQL for the SQLite backend.
+
+The paper's prototype evaluates delta rules as SQL queries over PostgreSQL;
+this module reproduces that code path on SQLite.  Every body atom becomes a
+table alias in the ``FROM`` clause (the active table for base atoms, the delta
+table for delta atoms), repeated variables become equality join conditions,
+constants and comparison atoms become ``WHERE`` predicates, and the ``SELECT``
+list pulls every aliased column plus the ``tid`` labels so that full
+:class:`~repro.datalog.evaluation.Assignment` objects can be reconstructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.datalog.ast import Atom, Comparison, Constant, Rule, Variable
+from repro.exceptions import EvaluationError
+from repro.storage.facts import Fact
+from repro.storage.sqlite_backend import SQLiteDatabase, active_table, delta_table
+
+_SQL_OPS = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """The SQL form of a rule body.
+
+    Attributes
+    ----------
+    sql:
+        A ``SELECT`` statement whose result rows contain, for each body atom
+        ``i`` (in body order), its value columns followed by its ``tid``.
+    params:
+        Bind parameters for the constant predicates.
+    atom_arities:
+        The arity of each body atom, used to slice result rows back into facts.
+    """
+
+    sql: str
+    params: tuple[Any, ...]
+    atom_arities: tuple[int, ...]
+
+
+def compile_rule(
+    rule: Rule,
+    hypothetical_deltas: bool = False,
+) -> List[CompiledRule]:
+    """Compile ``rule`` into one or more SQL queries.
+
+    In hypothetical mode a delta atom may range over both the active and the
+    delta table of its relation; the compiler then emits one query per
+    combination of source tables (the union of their results is the assignment
+    set).  In normal mode exactly one query is produced.
+    """
+    delta_positions = [
+        index for index, atom in enumerate(rule.body) if atom.is_delta
+    ]
+    source_choices: List[Dict[int, str]] = [{}]
+    if hypothetical_deltas and delta_positions:
+        source_choices = []
+        for mask in range(2 ** len(delta_positions)):
+            choice = {}
+            for bit, position in enumerate(delta_positions):
+                choice[position] = "active" if (mask >> bit) & 1 else "delta"
+            source_choices.append(choice)
+
+    compiled = []
+    for choice in source_choices:
+        compiled.append(_compile_single(rule, choice))
+    return compiled
+
+
+def _table_for(atom: Atom, index: int, choice: Dict[int, str]) -> str:
+    if atom.is_delta:
+        source = choice.get(index, "delta")
+        if source == "active":
+            return active_table(atom.relation)
+        return delta_table(atom.relation)
+    return active_table(atom.relation)
+
+
+def _compile_single(rule: Rule, choice: Dict[int, str]) -> CompiledRule:
+    aliases = [f"a{i}" for i in range(len(rule.body))]
+    select_parts: List[str] = []
+    from_parts: List[str] = []
+    where: List[str] = []
+    params: List[Any] = []
+    arities: List[int] = []
+
+    # First column reference of every variable, for join conditions and
+    # comparison predicates.
+    variable_column: Dict[str, str] = {}
+
+    for index, atom in enumerate(rule.body):
+        alias = aliases[index]
+        from_parts.append(f"{_table_for(atom, index, choice)} AS {alias}")
+        arities.append(atom.arity)
+        for position in range(atom.arity):
+            select_parts.append(f"{alias}.c{position}")
+        select_parts.append(f"{alias}.tid")
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.c{position}"
+            if isinstance(term, Constant):
+                where.append(f"{column} = ?")
+                params.append(term.value)
+            else:
+                assert isinstance(term, Variable)
+                if term.name in variable_column:
+                    where.append(f"{column} = {variable_column[term.name]}")
+                else:
+                    variable_column[term.name] = column
+
+    for comparison in rule.comparisons:
+        where.append(_compile_comparison(comparison, variable_column, params, rule))
+
+    sql = f"SELECT {', '.join(select_parts)} FROM {', '.join(from_parts)}"
+    if where:
+        sql += " WHERE " + " AND ".join(where)
+    return CompiledRule(sql, tuple(params), tuple(arities))
+
+
+def _compile_comparison(
+    comparison: Comparison,
+    variable_column: Dict[str, str],
+    params: List[Any],
+    rule: Rule,
+) -> str:
+    def operand(term: Any) -> str:
+        if isinstance(term, Variable):
+            if term.name not in variable_column:
+                raise EvaluationError(
+                    f"rule {rule.display_name()}: comparison variable {term.name!r} "
+                    "does not occur in any body atom"
+                )
+            return variable_column[term.name]
+        assert isinstance(term, Constant)
+        params.append(term.value)
+        return "?"
+
+    left = operand(comparison.lhs)
+    right = operand(comparison.rhs)
+    return f"{left} {_SQL_OPS[comparison.op]} {right}"
+
+
+def find_assignments_sql(
+    db: SQLiteDatabase,
+    rule: Rule,
+    hypothetical_deltas: bool = False,
+):
+    """Evaluate ``rule`` over a SQLite-backed database via compiled SQL.
+
+    Returns the same :class:`~repro.datalog.evaluation.Assignment` objects the
+    in-memory evaluator produces (up to ordering), so the two backends are
+    interchangeable for the semantics implementations.
+    """
+    from repro.datalog.evaluation import Assignment, ground_head
+
+    assignments = []
+    seen: set[tuple] = set()
+    for compiled in compile_rule(rule, hypothetical_deltas=hypothetical_deltas):
+        cursor = db.execute(compiled.sql, compiled.params)
+        for row in cursor.fetchall():
+            used = []
+            bindings: Dict[str, Any] = {}
+            offset = 0
+            valid = True
+            for atom, arity in zip(rule.body, compiled.atom_arities):
+                values = tuple(row[offset : offset + arity])
+                tid = row[offset + arity]
+                offset += arity + 1
+                item = Fact(atom.relation, values, tid=tid)
+                used.append((atom, item))
+                for term, value in zip(atom.terms, values):
+                    if isinstance(term, Variable):
+                        if term.name in bindings and bindings[term.name] != value:
+                            valid = False
+                            break
+                        bindings[term.name] = value
+                if not valid:
+                    break
+            if not valid:
+                continue
+            assignment = Assignment(
+                rule=rule,
+                bindings=tuple(sorted(bindings.items(), key=lambda kv: kv[0])),
+                used=tuple(used),
+                derived=ground_head(rule, bindings),
+            )
+            signature = assignment.signature()
+            if signature not in seen:
+                seen.add(signature)
+                assignments.append(assignment)
+    return assignments

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Sub-classes are organised by subsystem:
+schema/storage, datalog parsing/validation, evaluation, solving, and the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a schema definition is invalid or a relation is unknown."""
+
+
+class StorageError(ReproError):
+    """Raised when a fact or a storage operation is inconsistent with the schema."""
+
+
+class UnknownRelationError(SchemaError):
+    """Raised when a relation name is not present in the schema."""
+
+    def __init__(self, relation: str) -> None:
+        super().__init__(f"unknown relation: {relation!r}")
+        self.relation = relation
+
+
+class ArityMismatchError(StorageError):
+    """Raised when a fact's arity does not match its relation schema."""
+
+    def __init__(self, relation: str, expected: int, got: int) -> None:
+        super().__init__(
+            f"relation {relation!r} expects {expected} attributes, got {got}"
+        )
+        self.relation = relation
+        self.expected = expected
+        self.got = got
+
+
+class ParseError(ReproError):
+    """Raised when textual datalog / delta-rule syntax cannot be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            if column is not None:
+                location += f", column {column}"
+            location += ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class RuleValidationError(ReproError):
+    """Raised when a rule violates the delta-rule well-formedness conditions."""
+
+
+class ProgramValidationError(ReproError):
+    """Raised when a delta program as a whole is invalid (e.g. schema mismatch)."""
+
+
+class EvaluationError(ReproError):
+    """Raised when rule evaluation fails (unbound variables, bad comparisons...)."""
+
+
+class SolverError(ReproError):
+    """Raised when the SAT / Min-Ones solver is given an invalid formula."""
+
+
+class UnsatisfiableError(SolverError):
+    """Raised when a CNF formula handed to the solver has no satisfying assignment."""
+
+
+class SemanticsError(ReproError):
+    """Raised when a repair semantics cannot produce a result."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for invalid configurations."""

@@ -1,0 +1,44 @@
+"""The experiment harness: one module per table / figure of the paper's Section 6.
+
+Every module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.runner.ExperimentReport` whose rows mirror the rows
+or series the paper reports; ``report.render()`` prints them as a plain-text
+table.  The ``benchmarks/`` directory wraps these runs in pytest-benchmark so
+the whole evaluation regenerates with ``pytest benchmarks/ --benchmark-only``.
+
+Absolute numbers differ from the paper (synthetic data, pure-Python engine, no
+PostgreSQL/Z3/HoloClean), but the shapes the paper argues from are preserved;
+EXPERIMENTS.md records paper-vs-measured for every experiment.
+"""
+
+from repro.experiments.runner import (
+    ExperimentReport,
+    SemanticsRun,
+    run_program_suite,
+)
+from repro.experiments import (
+    table3,
+    table4,
+    table5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    triggers_cmp,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "SemanticsRun",
+    "run_program_suite",
+    "table3",
+    "table4",
+    "table5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "triggers_cmp",
+]

@@ -1,0 +1,77 @@
+"""Figure 8 — runtime breakdown of Algorithms 1 and 2.
+
+The paper breaks the runtime of Algorithm 1 (independent semantics) into
+Eval / Process Prov / Solve and of Algorithm 2 (step semantics) into
+Eval / Process Prov / Traverse, averaged over MAS programs 1–15 (panels a, b)
+and 16–20 (panels c, d).  The semantics implementations record exactly those
+phases in their :class:`~repro.utils.timing.PhaseTimer`, so the harness just
+averages the fractions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.semantics import (
+    PHASE_EVAL,
+    PHASE_PROCESS_PROV,
+    PHASE_SOLVE,
+    PHASE_TRAVERSE,
+    Semantics,
+)
+from repro.experiments.runner import ExperimentReport, average, run_program_suite
+from repro.workloads.mas import generate_mas
+from repro.workloads.programs_mas import mas_programs
+
+#: The two program groups of Figure 8.
+GROUPS = {
+    "1-15": tuple(str(number) for number in range(1, 16)),
+    "16-20": tuple(str(number) for number in range(16, 21)),
+}
+
+#: Panel layout of the figure: (algorithm, program group, phases reported).
+PANELS = {
+    "8a": (Semantics.INDEPENDENT, "1-15", (PHASE_EVAL, PHASE_PROCESS_PROV, PHASE_SOLVE)),
+    "8b": (Semantics.STEP, "1-15", (PHASE_EVAL, PHASE_PROCESS_PROV, PHASE_TRAVERSE)),
+    "8c": (Semantics.INDEPENDENT, "16-20", (PHASE_EVAL, PHASE_PROCESS_PROV, PHASE_SOLVE)),
+    "8d": (Semantics.STEP, "16-20", (PHASE_EVAL, PHASE_PROCESS_PROV, PHASE_TRAVERSE)),
+}
+
+
+def run(scale: float = 0.5, seed: int = 7) -> ExperimentReport:
+    """Regenerate the Figure-8 phase breakdown on a synthetic MAS instance."""
+    mas = generate_mas(scale=scale, seed=seed)
+    all_ids = tuple(program_id for ids in GROUPS.values() for program_id in ids)
+    runs = run_program_suite(
+        mas.db,
+        mas_programs(mas, all_ids),
+        semantics=(Semantics.STEP, Semantics.INDEPENDENT),
+    )
+
+    report = ExperimentReport(
+        name="Figure 8 — runtime breakdown of Algorithms 1 (ind.) and 2 (step)",
+        headers=["panel", "algorithm", "programs", "phase", "fraction of runtime"],
+    )
+    breakdowns: Dict[str, Dict[str, float]] = {}
+    for panel, (semantics, group, phases) in PANELS.items():
+        fractions_per_phase: Dict[str, list[float]] = {phase: [] for phase in phases}
+        for program_id in GROUPS[group]:
+            result = runs[program_id].result(semantics)
+            fractions = result.timer.fractions()
+            for phase in phases:
+                fractions_per_phase[phase].append(fractions.get(phase, 0.0))
+        panel_breakdown = {
+            phase: average(values) for phase, values in fractions_per_phase.items()
+        }
+        breakdowns[panel] = panel_breakdown
+        algorithm = "Algorithm 1" if semantics is Semantics.INDEPENDENT else "Algorithm 2"
+        for phase, fraction in panel_breakdown.items():
+            report.add_row([panel, algorithm, group, phase, round(fraction, 4)])
+
+    report.add_note(
+        "expected shape: evaluation + provenance storage dominates; Solve/Traverse is "
+        "second; converting the provenance is negligible (paper Figure 8)"
+    )
+    report.data["runs"] = runs
+    report.data["breakdowns"] = breakdowns
+    return report

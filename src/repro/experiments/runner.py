@@ -1,0 +1,114 @@
+"""Shared plumbing for the experiment modules.
+
+The paper's evaluation repeatedly runs the same loop — for each test program,
+compute the repair under all four semantics, record sizes, runtimes, and the
+phase breakdown — and then slices the measurements per table or figure.
+:func:`run_program_suite` is that loop; :class:`ExperimentReport` is the
+uniform result container every experiment module returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+from repro.core.containment import ContainmentReport, compare_results
+from repro.core.repair import RepairEngine
+from repro.core.semantics import RepairResult, Semantics
+from repro.datalog.delta import DeltaProgram
+from repro.storage.database import BaseDatabase
+from repro.utils.text import format_table
+
+
+@dataclass
+class SemanticsRun:
+    """All four semantics evaluated on one (program, database) pair."""
+
+    name: str
+    results: Dict[Semantics, RepairResult]
+    containment: ContainmentReport
+
+    @property
+    def sizes(self) -> Dict[str, int]:
+        """Result size per semantics (keyed by semantics name)."""
+        return {semantics.value: result.size for semantics, result in self.results.items()}
+
+    @property
+    def runtimes(self) -> Dict[str, float]:
+        """Wall-clock seconds per semantics (keyed by semantics name)."""
+        return {
+            semantics.value: result.runtime for semantics, result in self.results.items()
+        }
+
+    def result(self, semantics: Semantics | str) -> RepairResult:
+        """The result for one semantics."""
+        return self.results[Semantics.parse(semantics)]
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered experiment: a named table of rows plus free-form notes.
+
+    ``data`` carries experiment-specific structured results (e.g. the raw
+    :class:`SemanticsRun` objects) so tests can assert on them without parsing
+    the rendered text.
+    """
+
+    name: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        """Append one row (same order as ``headers``)."""
+        self.rows.append(list(row))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form note shown below the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The report as an aligned plain-text table followed by its notes."""
+        text = format_table(self.headers, self.rows, title=self.name)
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return text
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def run_program_suite(
+    db: BaseDatabase,
+    programs: Mapping[str, DeltaProgram],
+    semantics: Iterable[Semantics | str] | None = None,
+    verify: bool = False,
+    **options: Any,
+) -> Dict[str, SemanticsRun]:
+    """Evaluate every program of ``programs`` under the requested semantics.
+
+    Each program gets a fresh clone of ``db``.  When all four semantics are
+    requested (the default) the containment report of Table 3 is computed as
+    well; otherwise a partial report is built against empty placeholders.
+    """
+    requested = (
+        [Semantics.parse(member) for member in semantics]
+        if semantics is not None
+        else list(Semantics)
+    )
+    runs: Dict[str, SemanticsRun] = {}
+    for name, program in programs.items():
+        engine = RepairEngine(db.clone(), program, verify=verify)
+        results = {member: engine.repair(member, **options) for member in requested}
+        if set(requested) == set(Semantics):
+            containment = compare_results(results, name=name)
+        else:
+            containment = None  # type: ignore[assignment]
+        runs[name] = SemanticsRun(name=name, results=results, containment=containment)
+    return runs
+
+
+def average(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,68 @@
+"""Table 3 — containment of results across the MAS and TPC-H programs.
+
+For every program the paper reports three booleans: ``Step = Stage``,
+``Ind ⊆ Stage`` and ``Ind ⊆ Step``; the remaining relationships always hold
+(Figure 3 / Proposition 3.20) and are asserted here as invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentReport, run_program_suite
+from repro.workloads.mas import generate_mas
+from repro.workloads.programs_mas import MAS_PROGRAM_IDS, mas_programs
+from repro.workloads.programs_tpch import TPCH_PROGRAM_IDS, tpch_programs
+from repro.workloads.tpch import generate_tpch
+
+
+def run(
+    mas_scale: float = 0.5,
+    tpch_scale: float = 0.5,
+    seed: int = 7,
+    mas_ids: Sequence[str] = MAS_PROGRAM_IDS,
+    tpch_ids: Sequence[str] = TPCH_PROGRAM_IDS,
+    verify: bool = False,
+) -> ExperimentReport:
+    """Regenerate Table 3 on synthetic MAS and TPC-H instances."""
+    report = ExperimentReport(
+        name="Table 3 — containment of results",
+        headers=["program", "Step = Stage", "Ind ⊆ Stage", "Ind ⊆ Step"],
+    )
+
+    mas = generate_mas(scale=mas_scale, seed=seed)
+    mas_runs = run_program_suite(
+        mas.db, mas_programs(mas, tuple(mas_ids)), verify=verify
+    )
+    tpch = generate_tpch(scale=tpch_scale, seed=seed)
+    tpch_runs = run_program_suite(
+        tpch.db, tpch_programs(tpch, tuple(tpch_ids)), verify=verify
+    )
+
+    invariant_failures = []
+    for name, run_result in {**mas_runs, **tpch_runs}.items():
+        containment = run_result.containment
+        report.add_row(
+            [
+                name,
+                containment.step_equals_stage,
+                containment.ind_subset_of_stage,
+                containment.ind_subset_of_step,
+            ]
+        )
+        if not containment.invariants_hold():
+            invariant_failures.append(name)
+
+    report.add_note(
+        "Stage ⊆ End, Step ⊆ End and |Ind| ≤ |Step|, |Stage| hold for every program "
+        "(Proposition 3.20)"
+        if not invariant_failures
+        else f"INVARIANT VIOLATION for programs: {', '.join(invariant_failures)}"
+    )
+    report.add_note(
+        f"MAS instance: {mas.total_tuples} tuples, TPC-H instance: {tpch.total_tuples} tuples"
+    )
+    report.data["mas_runs"] = mas_runs
+    report.data["tpch_runs"] = tpch_runs
+    report.data["invariant_failures"] = invariant_failures
+    return report

@@ -1,0 +1,23 @@
+"""Provenance structures used by the algorithms for the intractable semantics.
+
+* :mod:`repro.provenance.boolean` — Boolean (DNF/CNF) provenance of delta
+  tuples, as used by Algorithm 1 (independent semantics);
+* :mod:`repro.provenance.graph` — the provenance graph (union of derivation
+  trees) with layers and tuple benefits, as used by Algorithm 2 (step
+  semantics).
+"""
+
+from repro.provenance.boolean import (
+    BooleanProvenance,
+    Clause,
+    build_boolean_provenance,
+)
+from repro.provenance.graph import ProvenanceGraph, build_provenance_graph
+
+__all__ = [
+    "Clause",
+    "BooleanProvenance",
+    "build_boolean_provenance",
+    "ProvenanceGraph",
+    "build_provenance_graph",
+]

@@ -1,0 +1,31 @@
+"""Min-Ones SAT solving.
+
+The paper's Algorithm 1 hands the negated Boolean provenance to the Z3 MaxSMT
+engine and asks for a satisfying assignment with the minimum number of
+"deleted" variables set to true (the *Min-Ones SAT* problem).  Z3 is not
+available offline, so this package implements the solver from scratch:
+
+* :mod:`repro.solver.cnf` — a small CNF container with simplification and
+  connected-component decomposition;
+* :mod:`repro.solver.minones` — an exact branch-and-bound Min-Ones solver with
+  unit propagation and a greedy hitting-set fallback for oversized components;
+* :mod:`repro.solver.bruteforce` — exhaustive minimisation for tiny formulas,
+  used by the test suite to validate the branch-and-bound solver.
+
+The substitution preserves the behaviour the paper relies on: an exact
+minimum-cardinality model at evaluation scale, and — like any satisfying
+assignment — a sound stabilizing set even when the greedy fallback is used.
+"""
+
+from repro.solver.cnf import CNF, SignedLiteral
+from repro.solver.minones import MinOnesResult, SolverStats, solve_min_ones
+from repro.solver.bruteforce import solve_min_ones_bruteforce
+
+__all__ = [
+    "CNF",
+    "SignedLiteral",
+    "MinOnesResult",
+    "SolverStats",
+    "solve_min_ones",
+    "solve_min_ones_bruteforce",
+]

@@ -1,0 +1,40 @@
+"""Exhaustive Min-Ones solver for tiny formulas.
+
+Used by the test suite (and by the step-semantics exhaustive search) to
+validate the branch-and-bound solver: it enumerates candidate True-sets in
+increasing cardinality and returns the first satisfying one, which is optimal
+by construction.  Exponential — only call it when the variable count is small
+(the default guard refuses more than 22 variables).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict
+
+from repro.exceptions import SolverError, UnsatisfiableError
+from repro.solver.cnf import CNF
+from repro.solver.minones import MinOnesResult, SolverStats
+
+
+def solve_min_ones_bruteforce(cnf: CNF, max_variables: int = 22) -> MinOnesResult:
+    """Enumerate True-sets by increasing size and return the first model found."""
+    variables = sorted(cnf.variables())
+    if len(variables) > max_variables:
+        raise SolverError(
+            f"brute force refused: {len(variables)} variables exceeds the limit of "
+            f"{max_variables}"
+        )
+    for size in range(len(variables) + 1):
+        for chosen in combinations(variables, size):
+            assignment: Dict[int, bool] = {variable: False for variable in variables}
+            for variable in chosen:
+                assignment[variable] = True
+            if cnf.is_satisfied_by(assignment):
+                return MinOnesResult(
+                    assignment=assignment,
+                    true_variables=frozenset(chosen),
+                    optimal=True,
+                    stats=SolverStats(components=1, exact_components=1),
+                )
+    raise UnsatisfiableError("no satisfying assignment exists")

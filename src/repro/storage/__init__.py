@@ -1,0 +1,35 @@
+"""Relational storage engines.
+
+The paper stores the data in PostgreSQL and evaluates delta rules as SQL
+queries.  This package provides two interchangeable storage engines behind the
+same :class:`~repro.storage.database.BaseDatabase` interface:
+
+* :class:`~repro.storage.database.Database` — an in-memory engine with
+  per-attribute hash indexes.  It is the default backend for the semantics
+  implementations and the tests.
+* :class:`~repro.storage.sqlite_backend.SQLiteDatabase` — a ``sqlite3``-backed
+  engine; rule bodies are compiled to SQL joins by :mod:`repro.storage.sql`,
+  exercising the same "rules as SQL queries" code path as the paper's
+  prototype.
+
+Both engines model a database instance ``D`` over a schema ``R`` *and* the
+delta relations ``Δ`` of the paper: every relation has an *active* extent (the
+current content of ``R_i``) and a *delta* extent (the content of ``Δ_i``, i.e.
+the record of deleted tuples).
+"""
+
+from repro.storage.schema import Attribute, RelationSchema, Schema
+from repro.storage.facts import Fact, fact
+from repro.storage.database import BaseDatabase, Database
+from repro.storage.sqlite_backend import SQLiteDatabase
+
+__all__ = [
+    "Attribute",
+    "RelationSchema",
+    "Schema",
+    "Fact",
+    "fact",
+    "BaseDatabase",
+    "Database",
+    "SQLiteDatabase",
+]

@@ -1,0 +1,121 @@
+"""Per-attribute hash indexes for the in-memory storage engine.
+
+Rule-body evaluation repeatedly asks "give me all facts of relation ``R``
+whose attribute at position ``i`` equals ``v``" while extending a partial
+assignment.  :class:`RelationIndex` answers those lookups in expected O(1) by
+maintaining one hash index per attribute position, built lazily on first use
+and maintained incrementally afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Set
+
+from repro.storage.facts import Fact
+
+
+class RelationIndex:
+    """Hash indexes over a single relation extent (active or delta).
+
+    The index only ever stores references to :class:`Fact` objects owned by the
+    database; it never copies values.  Positions are indexed lazily: the first
+    lookup on position ``i`` scans the extent once and subsequent inserts and
+    removals keep that position's index up to date.
+    """
+
+    __slots__ = ("_facts", "_by_position")
+
+    def __init__(self, facts: Iterable[Fact] | None = None) -> None:
+        self._facts: Set[Fact] = set(facts) if facts is not None else set()
+        self._by_position: Dict[int, Dict[Any, Set[Fact]]] = {}
+
+    # -- extent maintenance --------------------------------------------------
+
+    def add(self, item: Fact) -> bool:
+        """Insert a fact; returns False when it was already present."""
+        if item in self._facts:
+            return False
+        self._facts.add(item)
+        for position, buckets in self._by_position.items():
+            buckets.setdefault(item.values[position], set()).add(item)
+        return True
+
+    def discard(self, item: Fact) -> bool:
+        """Remove a fact if present; returns True when something was removed."""
+        if item not in self._facts:
+            return False
+        self._facts.discard(item)
+        for position, buckets in self._by_position.items():
+            bucket = buckets.get(item.values[position])
+            if bucket is not None:
+                bucket.discard(item)
+                if not bucket:
+                    del buckets[item.values[position]]
+        return True
+
+    def clear(self) -> None:
+        """Remove every fact and drop all indexes."""
+        self._facts.clear()
+        self._by_position.clear()
+
+    # -- lookups --------------------------------------------------------------
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def facts(self) -> frozenset[Fact]:
+        """A frozen snapshot of the extent."""
+        return frozenset(self._facts)
+
+    def _ensure_position(self, position: int) -> Dict[Any, Set[Fact]]:
+        buckets = self._by_position.get(position)
+        if buckets is None:
+            buckets = {}
+            for item in self._facts:
+                buckets.setdefault(item.values[position], set()).add(item)
+            self._by_position[position] = buckets
+        return buckets
+
+    def lookup(self, position: int, value: Any) -> frozenset[Fact]:
+        """All facts whose attribute at ``position`` equals ``value``."""
+        buckets = self._ensure_position(position)
+        return frozenset(buckets.get(value, ()))
+
+    def candidates(self, bindings: Dict[int, Any]) -> Iterator[Fact]:
+        """Facts matching every ``position -> value`` constraint in ``bindings``.
+
+        With an empty ``bindings`` this iterates the whole extent.  Otherwise a
+        single indexed position (the one with the smallest bucket) narrows the
+        scan and the remaining constraints are checked per candidate.
+        """
+        if not bindings:
+            yield from self._facts
+            return
+        # Pick the most selective bound position to drive the scan.
+        best_position = None
+        best_bucket: Set[Fact] | None = None
+        for position, value in bindings.items():
+            bucket = self._ensure_position(position).get(value, set())
+            if best_bucket is None or len(bucket) < len(best_bucket):
+                best_position, best_bucket = position, bucket
+                if not bucket:
+                    return
+        assert best_bucket is not None
+        remaining = {
+            position: value
+            for position, value in bindings.items()
+            if position != best_position
+        }
+        for item in best_bucket:
+            if all(item.values[position] == value for position, value in remaining.items()):
+                yield item
+
+    def copy(self) -> "RelationIndex":
+        """Return a copy sharing no mutable state (indexes are rebuilt lazily)."""
+        return RelationIndex(self._facts)

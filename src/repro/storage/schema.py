@@ -1,0 +1,195 @@
+"""Relational schemas.
+
+A :class:`Schema` is the paper's ``R = (R1, ..., Rk)``: a collection of named
+relations, each with an ordered list of typed attributes.  Delta relations
+``Δ_i`` are not declared separately — every relation implicitly has a delta
+counterpart with the same attributes (Section 3.1 of the paper), and the
+storage engines materialise it as a second extent of the same relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import SchemaError, UnknownRelationError
+
+#: Attribute types understood by the storage engines and the SQLite compiler.
+VALID_TYPES = ("int", "str", "float")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single typed attribute of a relation.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within its relation.
+    dtype:
+        One of ``"int"``, ``"str"``, ``"float"``.  Only used for validation and
+        for choosing SQLite column types; the in-memory engine stores Python
+        values as-is.
+    """
+
+    name: str
+    dtype: str = "str"
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+        if self.dtype not in VALID_TYPES:
+            raise SchemaError(
+                f"invalid attribute type {self.dtype!r}; expected one of {VALID_TYPES}"
+            )
+
+    def validate(self, value: object) -> bool:
+        """Return True when ``value`` is acceptable for this attribute's type."""
+        if self.dtype == "int":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.dtype == "float":
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return isinstance(value, str)
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The schema of a single relation: a name plus ordered attributes."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid relation name: {self.name!r}")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} must have at least one attribute")
+        names = [attribute.name for attribute in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation {self.name!r} has duplicate attribute names")
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def position_of(self, attribute_name: str) -> int:
+        """Return the 0-based position of ``attribute_name``.
+
+        Raises :class:`SchemaError` when the attribute does not exist.
+        """
+        for index, attribute in enumerate(self.attributes):
+            if attribute.name == attribute_name:
+                return index
+        raise SchemaError(
+            f"relation {self.name!r} has no attribute {attribute_name!r}"
+        )
+
+    def validate_values(self, values: Sequence[object], typed: bool = False) -> None:
+        """Check arity (and optionally attribute types) of a value vector."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} expects {self.arity} values, got {len(values)}"
+            )
+        if typed:
+            for attribute, value in zip(self.attributes, values):
+                if not attribute.validate(value):
+                    raise SchemaError(
+                        f"value {value!r} is not a valid {attribute.dtype} for "
+                        f"{self.name}.{attribute.name}"
+                    )
+
+    @classmethod
+    def of(cls, name: str, *attribute_specs: str) -> "RelationSchema":
+        """Build a schema from ``"attr"`` or ``"attr:type"`` strings.
+
+        >>> RelationSchema.of("Author", "aid:int", "name", "oid:int").arity
+        3
+        """
+        attributes = []
+        for spec in attribute_specs:
+            if ":" in spec:
+                attr_name, dtype = spec.split(":", 1)
+            else:
+                attr_name, dtype = spec, "str"
+            attributes.append(Attribute(attr_name, dtype))
+        return cls(name, tuple(attributes))
+
+
+@dataclass
+class Schema:
+    """A full relational schema: a mapping from relation name to its definition."""
+
+    relations: Dict[str, RelationSchema] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Normalise: keys must match the relation schema names.
+        for name, relation in self.relations.items():
+            if name != relation.name:
+                raise SchemaError(
+                    f"schema key {name!r} does not match relation name {relation.name!r}"
+                )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_relations(cls, relations: Iterable[RelationSchema]) -> "Schema":
+        """Build a schema from an iterable of relation schemas."""
+        schema = cls()
+        for relation in relations:
+            schema.add(relation)
+        return schema
+
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int]) -> "Schema":
+        """Build an untyped schema where relation ``R`` gets attributes a0..a(n-1).
+
+        Convenient for tests and for the complexity-reduction gadgets where the
+        attribute names carry no meaning.
+        """
+        relations = []
+        for name, arity in arities.items():
+            attributes = tuple(Attribute(f"a{i}") for i in range(arity))
+            relations.append(RelationSchema(name, attributes))
+        return cls.from_relations(relations)
+
+    # -- mutation / lookup -------------------------------------------------
+
+    def add(self, relation: RelationSchema) -> None:
+        """Add a relation; raises :class:`SchemaError` if the name already exists."""
+        if relation.name in self.relations:
+            raise SchemaError(f"relation {relation.name!r} already defined")
+        self.relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        """Return the schema of relation ``name`` or raise :class:`UnknownRelationError`."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def arity(self, name: str) -> int:
+        """Arity of relation ``name``."""
+        return self.relation(name).arity
+
+    def names(self) -> tuple[str, ...]:
+        """All relation names in insertion order."""
+        return tuple(self.relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def copy(self) -> "Schema":
+        """Return a shallow copy (relation schemas are immutable)."""
+        return Schema(dict(self.relations))

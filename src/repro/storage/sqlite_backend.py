@@ -1,0 +1,253 @@
+"""SQLite-backed storage engine.
+
+The paper's prototype keeps the data in PostgreSQL and evaluates delta rules
+as SQL queries over it.  PostgreSQL is not available in this environment, so
+this module provides the closest substitute that exercises the same code path:
+a :class:`SQLiteDatabase` engine storing every relation ``R`` in a table
+``r_R`` and its delta relation ``Δ_R`` in a table ``d_R``, both with columns
+``c0 .. c{arity-1}`` plus a ``tid`` label column.
+
+Rule bodies are compiled to SQL ``SELECT`` joins by
+:mod:`repro.datalog.sql_compiler`; the generic evaluator automatically uses
+that path whenever the database is a :class:`SQLiteDatabase`.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Dict, Iterable, Iterator, Mapping
+
+from repro.exceptions import ArityMismatchError, StorageError, UnknownRelationError
+from repro.storage.database import BaseDatabase
+from repro.storage.facts import Fact
+from repro.storage.schema import Schema
+
+#: Mapping from repro attribute types to SQLite column types.
+_SQL_TYPES = {"int": "INTEGER", "str": "TEXT", "float": "REAL"}
+
+
+def active_table(relation: str) -> str:
+    """Name of the SQLite table holding the active extent of ``relation``."""
+    return f"r_{relation}"
+
+
+def delta_table(relation: str) -> str:
+    """Name of the SQLite table holding the delta extent of ``relation``."""
+    return f"d_{relation}"
+
+
+class SQLiteDatabase(BaseDatabase):
+    """A :class:`BaseDatabase` implementation backed by an SQLite connection.
+
+    Example
+    -------
+    >>> from repro.storage import Schema, RelationSchema, fact
+    >>> schema = Schema.from_relations([RelationSchema.of("R", "x:int", "y:str")])
+    >>> db = SQLiteDatabase(schema)
+    >>> _ = db.insert(fact("R", 1, "a"))
+    >>> db.count_active("R")
+    1
+    """
+
+    def __init__(self, schema: Schema, path: str = ":memory:") -> None:
+        self._schema = schema
+        self._path = path
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA synchronous = OFF")
+        self._connection.execute("PRAGMA journal_mode = MEMORY")
+        self._create_tables()
+
+    # -- schema / DDL ---------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying SQLite connection (exposed for the SQL compiler)."""
+        return self._connection
+
+    def _columns(self, relation: str) -> list[str]:
+        arity = self._schema.arity(relation)
+        return [f"c{i}" for i in range(arity)]
+
+    def _create_tables(self) -> None:
+        cursor = self._connection.cursor()
+        for relation_schema in self._schema:
+            column_defs = ", ".join(
+                f"c{i} {_SQL_TYPES[attribute.dtype]}"
+                for i, attribute in enumerate(relation_schema.attributes)
+            )
+            for table in (active_table(relation_schema.name), delta_table(relation_schema.name)):
+                cursor.execute(
+                    f"CREATE TABLE IF NOT EXISTS {table} ({column_defs}, tid TEXT, "
+                    f"PRIMARY KEY ({', '.join(self._columns(relation_schema.name))}))"
+                )
+            # Index every column: rule bodies join on arbitrary positions.
+            for i in range(relation_schema.arity):
+                cursor.execute(
+                    f"CREATE INDEX IF NOT EXISTS idx_{relation_schema.name}_a_{i} "
+                    f"ON {active_table(relation_schema.name)} (c{i})"
+                )
+                cursor.execute(
+                    f"CREATE INDEX IF NOT EXISTS idx_{relation_schema.name}_d_{i} "
+                    f"ON {delta_table(relation_schema.name)} (c{i})"
+                )
+        self._connection.commit()
+
+    def _check(self, item: Fact) -> None:
+        if item.relation not in self._schema:
+            raise UnknownRelationError(item.relation)
+        expected = self._schema.arity(item.relation)
+        if item.arity != expected:
+            raise ArityMismatchError(item.relation, expected, item.arity)
+
+    # -- reading -----------------------------------------------------------------
+
+    def _rows_to_facts(self, relation: str, rows: Iterable[tuple]) -> Iterator[Fact]:
+        arity = self._schema.arity(relation)
+        for row in rows:
+            yield Fact(relation, row[:arity], tid=row[arity])
+
+    def active_facts(self, relation: str) -> frozenset[Fact]:
+        if relation not in self._schema:
+            raise UnknownRelationError(relation)
+        rows = self._connection.execute(f"SELECT * FROM {active_table(relation)}")
+        return frozenset(self._rows_to_facts(relation, rows))
+
+    def delta_facts(self, relation: str) -> frozenset[Fact]:
+        if relation not in self._schema:
+            raise UnknownRelationError(relation)
+        rows = self._connection.execute(f"SELECT * FROM {delta_table(relation)}")
+        return frozenset(self._rows_to_facts(relation, rows))
+
+    def candidates(
+        self, relation: str, bindings: Mapping[int, Any], delta: bool = False
+    ) -> Iterator[Fact]:
+        if relation not in self._schema:
+            raise UnknownRelationError(relation)
+        table = delta_table(relation) if delta else active_table(relation)
+        where = ""
+        params: list[Any] = []
+        if bindings:
+            clauses = []
+            for position, value in bindings.items():
+                clauses.append(f"c{position} = ?")
+                params.append(value)
+            where = " WHERE " + " AND ".join(clauses)
+        rows = self._connection.execute(f"SELECT * FROM {table}{where}", params)
+        return self._rows_to_facts(relation, rows)
+
+    def has_active(self, item: Fact) -> bool:
+        return self._exists(active_table(item.relation), item)
+
+    def has_delta(self, item: Fact) -> bool:
+        return self._exists(delta_table(item.relation), item)
+
+    def _exists(self, table: str, item: Fact) -> bool:
+        self._check(item)
+        clauses = " AND ".join(f"c{i} = ?" for i in range(item.arity))
+        row = self._connection.execute(
+            f"SELECT 1 FROM {table} WHERE {clauses} LIMIT 1", item.values
+        ).fetchone()
+        return row is not None
+
+    def count_active(self, relation: str | None = None) -> int:
+        if relation is not None:
+            return self._count(active_table(relation))
+        return sum(self._count(active_table(name)) for name in self._schema.names())
+
+    def count_delta(self, relation: str | None = None) -> int:
+        if relation is not None:
+            return self._count(delta_table(relation))
+        return sum(self._count(delta_table(name)) for name in self._schema.names())
+
+    def _count(self, table: str) -> int:
+        row = self._connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
+        return int(row[0])
+
+    # -- writing -----------------------------------------------------------------
+
+    def insert(self, item: Fact) -> bool:
+        self._check(item)
+        return self._insert_into(active_table(item.relation), item)
+
+    def _insert_into(self, table: str, item: Fact) -> bool:
+        placeholders = ", ".join("?" for _ in range(item.arity + 1))
+        cursor = self._connection.execute(
+            f"INSERT OR IGNORE INTO {table} VALUES ({placeholders})",
+            (*item.values, item.tid),
+        )
+        return cursor.rowcount > 0
+
+    def _delete_from(self, table: str, item: Fact) -> bool:
+        clauses = " AND ".join(f"c{i} = ?" for i in range(item.arity))
+        cursor = self._connection.execute(
+            f"DELETE FROM {table} WHERE {clauses}", item.values
+        )
+        return cursor.rowcount > 0
+
+    def delete(self, item: Fact) -> bool:
+        self._check(item)
+        self._delete_from(active_table(item.relation), item)
+        return self._insert_into(delta_table(item.relation), item)
+
+    def mark_deleted(self, item: Fact) -> bool:
+        self._check(item)
+        return self._insert_into(delta_table(item.relation), item)
+
+    def drop_active(self, item: Fact) -> bool:
+        self._check(item)
+        return self._delete_from(active_table(item.relation), item)
+
+    def insert_all(self, items: Iterable[Fact]) -> int:
+        inserted = 0
+        with self._connection:
+            for item in items:
+                if self.insert(item):
+                    inserted += 1
+        return inserted
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def clone(self) -> "SQLiteDatabase":
+        copy = SQLiteDatabase(self._schema)
+        for relation in self._schema.names():
+            for item in self.active_facts(relation):
+                copy.insert(item)
+            for item in self.delta_facts(relation):
+                copy.mark_deleted(item)
+        return copy
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def execute(self, sql: str, params: Iterable[Any] = ()) -> sqlite3.Cursor:
+        """Run a raw SQL statement against the backing connection."""
+        try:
+            return self._connection.execute(sql, tuple(params))
+        except sqlite3.Error as error:
+            raise StorageError(f"SQL execution failed: {error}") from error
+
+    @classmethod
+    def from_database(cls, source: BaseDatabase, path: str = ":memory:") -> "SQLiteDatabase":
+        """Copy an existing (e.g. in-memory) database into a SQLite engine."""
+        copy = cls(source.schema, path=path)
+        for relation in source.relation_names():
+            copy.insert_all(source.active_facts(relation))
+            for item in source.delta_facts(relation):
+                copy.mark_deleted(item)
+        return copy
+
+    def __repr__(self) -> str:
+        return self.summary()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BaseDatabase):
+            return NotImplemented
+        return self.same_state_as(other)
+
+    def __hash__(self) -> int:  # pragma: no cover
+        raise TypeError("SQLiteDatabase instances are mutable and unhashable")

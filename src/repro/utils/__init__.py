@@ -1,0 +1,13 @@
+"""Small shared utilities: timers, deterministic RNG helpers, text tables."""
+
+from repro.utils.timing import PhaseTimer, Stopwatch
+from repro.utils.text import format_table
+from repro.utils.rng import make_rng, stable_hash
+
+__all__ = [
+    "PhaseTimer",
+    "Stopwatch",
+    "format_table",
+    "make_rng",
+    "stable_hash",
+]

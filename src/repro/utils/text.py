@@ -1,0 +1,63 @@
+"""Plain-text table rendering for the experiment reports.
+
+The experiment harness prints the same rows the paper's tables and figures
+report; :func:`format_table` renders them as aligned monospace tables so the
+benchmark output is directly readable in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _stringify(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Example
+    -------
+    >>> print(format_table(["program", "size"], [["MAS-1", 12]]))
+    program | size
+    --------+-----
+    MAS-1   | 12
+    """
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ]
+        return " | ".join(padded).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_percentages(values: dict[str, float]) -> str:
+    """Format a ``{phase: fraction}`` mapping as ``phase=12.3%`` pairs."""
+    parts = [f"{name}={fraction * 100:.1f}%" for name, fraction in values.items()]
+    return ", ".join(parts)

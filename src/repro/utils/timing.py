@@ -1,0 +1,104 @@
+"""Timing helpers used by the semantics implementations and the experiment harness.
+
+The paper reports both end-to-end runtimes (Figures 7, 9b, 10) and a phase
+breakdown for Algorithms 1 and 2 (Figure 8: Eval / Process Prov / Solve /
+Traverse).  :class:`PhaseTimer` records named phases so the experiment modules
+can reproduce that breakdown without re-instrumenting the algorithms.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """A simple start/stop wall-clock stopwatch.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> watch.start()
+    >>> _ = sum(range(1000))
+    >>> elapsed = watch.stop()
+    >>> elapsed >= 0.0
+    True
+    """
+
+    _started_at: float | None = None
+    _elapsed: float = 0.0
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total elapsed seconds."""
+        if self._started_at is not None:
+            self._elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Reset the accumulated time and stop the stopwatch."""
+        self._started_at = None
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds, including the currently running interval if any."""
+        running = 0.0
+        if self._started_at is not None:
+            running = time.perf_counter() - self._started_at
+        return self._elapsed + running
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    Used to reproduce the Figure-8 runtime breakdown: the semantics
+    implementations wrap their major stages in ``with timer.phase("eval"):``
+    blocks, and the experiment code reads :attr:`phases` afterwards.
+    """
+
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed time of the block to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = self.phases.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the accumulated time of phase ``name``."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        """Return the accumulated seconds for ``name`` (0.0 if never recorded)."""
+        return self.phases.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Total seconds across all phases."""
+        return sum(self.phases.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Return the per-phase fraction of the total time (sums to 1.0)."""
+        total = self.total
+        if total <= 0.0:
+            return {name: 0.0 for name in self.phases}
+        return {name: seconds / total for name, seconds in self.phases.items()}
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Accumulate all phases from ``other`` into this timer."""
+        for name, seconds in other.phases.items():
+            self.add(name, seconds)

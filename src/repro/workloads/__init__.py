@@ -1,0 +1,39 @@
+"""Synthetic workloads and the paper's test programs.
+
+The paper evaluates on a fragment of the Microsoft Academic Search database
+(MAS) and on a TPC-H fragment.  Neither dataset is redistributable / buildable
+offline, so this package generates synthetic instances over the same schemas
+with configurable scale and seeded randomness (see DESIGN.md, substitution 3),
+plus:
+
+* :mod:`repro.workloads.errors` — the duplicate-with-perturbation error
+  injector used by the DC / HoloClean experiments (Tables 4-5, Figure 10);
+* :mod:`repro.workloads.programs_mas` — the 20 MAS programs of Table 1;
+* :mod:`repro.workloads.programs_tpch` — the 6 TPC-H programs of Table 2;
+* :mod:`repro.workloads.programs_dc` — the four denial constraints DC1-DC4.
+"""
+
+from repro.workloads.mas import MASDataset, generate_mas, mas_schema
+from repro.workloads.tpch import TPCHDataset, generate_tpch, tpch_schema
+from repro.workloads.errors import ErrorInjectionResult, generate_author_table, inject_errors
+from repro.workloads.programs_mas import mas_programs, mas_program
+from repro.workloads.programs_tpch import tpch_programs, tpch_program
+from repro.workloads.programs_dc import dc_constraints, dc_program
+
+__all__ = [
+    "MASDataset",
+    "generate_mas",
+    "mas_schema",
+    "TPCHDataset",
+    "generate_tpch",
+    "tpch_schema",
+    "ErrorInjectionResult",
+    "generate_author_table",
+    "inject_errors",
+    "mas_programs",
+    "mas_program",
+    "tpch_programs",
+    "tpch_program",
+    "dc_constraints",
+    "dc_program",
+]

@@ -1,0 +1,144 @@
+"""The Author table and error injection for the DC / HoloClean experiments.
+
+Section 6 of the paper compares the four semantics against HoloClean on a
+single extended Author table ``Author(aid, name, oid, organization)`` with four
+denial constraints (DC1–DC4), a fixed number of rows, and an increasing number
+of injected errors (Tables 4 and 5, Figure 10).
+
+The injector follows the standard duplicate-with-perturbation recipe: each
+error duplicates a randomly chosen clean row under the same ``aid`` but with
+one attribute perturbed, so that the pair violates at least one DC.  The
+injected row is recorded, which gives the experiments their ground truth: the
+minimum deletion repair removes exactly the injected rows, and the minimum
+cell repair fixes exactly the perturbed cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.exceptions import ExperimentError
+from repro.storage.database import Database
+from repro.storage.facts import Fact
+from repro.storage.schema import RelationSchema, Schema
+from repro.utils.rng import make_rng
+
+#: The extended Author relation used by the HoloClean comparison.
+AUTHOR_EXT_RELATION = "Author"
+
+
+def author_table_schema() -> Schema:
+    """Schema of the single-table HoloClean comparison: Author(aid, name, oid, organization)."""
+    return Schema.from_relations(
+        [
+            RelationSchema.of(
+                AUTHOR_EXT_RELATION, "aid:int", "name:str", "oid:int", "organization:str"
+            )
+        ]
+    )
+
+
+def generate_author_table(n_rows: int, n_orgs: int | None = None, seed: int = 0) -> Database:
+    """A clean extended Author table.
+
+    Every ``aid`` appears once, and ``organization`` is functionally determined
+    by ``oid`` (the dependency DC4 protects).
+    """
+    rng = make_rng(seed, "author-table", n_rows)
+    n_orgs = n_orgs if n_orgs is not None else max(5, n_rows // 50)
+    org_names = {oid: f"Organization {oid}" for oid in range(1, n_orgs + 1)}
+    schema = author_table_schema()
+    db = Database(schema)
+    for aid in range(1, n_rows + 1):
+        oid = rng.randint(1, n_orgs)
+        db.insert(
+            Fact(
+                AUTHOR_EXT_RELATION,
+                (aid, f"Author {aid}", oid, org_names[oid]),
+                tid=f"a{aid}",
+            )
+        )
+    return db
+
+
+@dataclass
+class ErrorInjectionResult:
+    """The outcome of :func:`inject_errors`.
+
+    Attributes
+    ----------
+    db:
+        The dirty database (clean rows plus injected duplicates).
+    injected:
+        The injected (erroneous) facts — the ground-truth minimum deletion
+        repair.
+    perturbed_attribute:
+        For every injected fact, the attribute position that was perturbed —
+        the ground-truth cell repair.
+    clean_counterpart:
+        For every injected fact, the clean fact it was duplicated from.
+    """
+
+    db: Database
+    injected: List[Fact]
+    perturbed_attribute: Dict[Fact, int]
+    clean_counterpart: Dict[Fact, Fact]
+
+    @property
+    def error_count(self) -> int:
+        """Number of injected errors."""
+        return len(self.injected)
+
+
+#: Attribute positions of Author(aid, name, oid, organization).
+_POS_AID, _POS_NAME, _POS_OID, _POS_ORG = 0, 1, 2, 3
+
+
+def inject_errors(
+    clean_db: Database,
+    n_errors: int,
+    seed: int = 0,
+    perturbable_positions: Sequence[int] = (_POS_NAME, _POS_OID, _POS_ORG),
+) -> ErrorInjectionResult:
+    """Inject ``n_errors`` duplicate-with-perturbation errors into a clean Author table.
+
+    Each error copies a distinct clean row, keeps its ``aid``, and perturbs one
+    of ``name`` / ``oid`` / ``organization``, so the (original, duplicate) pair
+    violates DC2 / DC1 / DC3 respectively (and organization perturbations also
+    violate DC4 against the other rows of the same organization).
+    """
+    clean_facts = sorted(
+        clean_db.active_facts(AUTHOR_EXT_RELATION), key=lambda item: item.values[_POS_AID]
+    )
+    if n_errors > len(clean_facts):
+        raise ExperimentError(
+            f"cannot inject {n_errors} errors into a table of {len(clean_facts)} rows"
+        )
+    rng = make_rng(seed, "error-injection", n_errors)
+    victims = rng.sample(clean_facts, n_errors)
+
+    dirty = clean_db.clone()
+    injected: List[Fact] = []
+    perturbed_attribute: Dict[Fact, int] = {}
+    clean_counterpart: Dict[Fact, Fact] = {}
+    for index, victim in enumerate(victims):
+        position = perturbable_positions[index % len(perturbable_positions)]
+        values = list(victim.values)
+        if position == _POS_NAME:
+            values[_POS_NAME] = f"Typo {values[_POS_NAME]}"
+        elif position == _POS_OID:
+            values[_POS_OID] = values[_POS_OID] + 10_000 + index
+        else:
+            values[_POS_ORG] = f"Misspelled {values[_POS_ORG]}"
+        bad = Fact(AUTHOR_EXT_RELATION, tuple(values), tid=f"err{index}")
+        dirty.insert(bad)
+        injected.append(bad)
+        perturbed_attribute[bad] = position
+        clean_counterpart[bad] = victim
+    return ErrorInjectionResult(
+        db=dirty,
+        injected=injected,
+        perturbed_attribute=perturbed_attribute,
+        clean_counterpart=clean_counterpart,
+    )

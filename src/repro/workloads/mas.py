@@ -1,0 +1,188 @@
+"""Synthetic MAS (Microsoft Academic Search) workload.
+
+The paper's MAS fragment has five relations — ``Organization(oid, name)``,
+``Author(aid, name, oid)``, ``Writes(aid, pid)``, ``Publication(pid, title)``
+and ``Cite(citing, cited)`` — totalling ~124K tuples.  The original fragment is
+not redistributable, so :func:`generate_mas` builds a synthetic academic graph
+over the same schema:
+
+* authors are assigned to organizations (skewed: a few large organizations);
+* every publication has 1–4 authors drawn with preferential attachment, so a
+  few prolific authors exist (the constants the paper's programs select on);
+* citations point from newer to older publications with a skewed in-degree.
+
+The generator also chooses the constants used by the Table-1 programs (the
+most prolific author, the largest organization, the most cited publication, a
+median publication id as a ``<`` threshold) so experiments do not depend on
+hard-coded magic values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.storage.database import Database
+from repro.storage.facts import Fact
+from repro.storage.schema import RelationSchema, Schema
+from repro.utils.rng import make_rng
+
+#: A pool of plausible name fragments for synthetic entities.
+_FIRST_NAMES = [
+    "Ada", "Alan", "Grace", "Edgar", "Barbara", "Donald", "Edsger", "Frances",
+    "John", "Leslie", "Margaret", "Niklaus", "Radia", "Shafi", "Tim", "Tony",
+]
+_LAST_NAMES = [
+    "Lovelace", "Turing", "Hopper", "Codd", "Liskov", "Knuth", "Dijkstra",
+    "Allen", "Backus", "Lamport", "Hamilton", "Wirth", "Perlman", "Goldwasser",
+    "Berners-Lee", "Hoare",
+]
+_ORG_SUFFIXES = ["University", "Institute", "Lab", "College", "Center"]
+_TITLE_WORDS = [
+    "Declarative", "Repairs", "Provenance", "Datalog", "Consistency", "Queries",
+    "Semantics", "Constraints", "Deletion", "Propagation", "Causality", "Triggers",
+]
+
+
+def mas_schema() -> Schema:
+    """The MAS relational schema used throughout the experiments."""
+    return Schema.from_relations(
+        [
+            RelationSchema.of("Organization", "oid:int", "name:str"),
+            RelationSchema.of("Author", "aid:int", "name:str", "oid:int"),
+            RelationSchema.of("Writes", "aid:int", "pid:int"),
+            RelationSchema.of("Publication", "pid:int", "title:str"),
+            RelationSchema.of("Cite", "citing:int", "cited:int"),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class MASConstants:
+    """The constants the Table-1 programs select on, chosen per generated instance."""
+
+    target_author_id: int
+    target_author_name: str
+    target_org_id: int
+    target_pub_id: int
+    pid_threshold: int
+
+
+@dataclass
+class MASDataset:
+    """A generated MAS instance plus its selected constants and size summary."""
+
+    db: Database
+    schema: Schema
+    constants: MASConstants
+    counts: Dict[str, int]
+
+    @property
+    def total_tuples(self) -> int:
+        """Total number of tuples across all five relations."""
+        return sum(self.counts.values())
+
+    def fresh_db(self) -> Database:
+        """A deep copy of the instance (experiments mutate repaired clones only)."""
+        return self.db.clone()
+
+
+def generate_mas(scale: float = 1.0, seed: int = 0) -> MASDataset:
+    """Generate a synthetic MAS instance.
+
+    Parameters
+    ----------
+    scale:
+        Linear size multiplier.  ``scale=1.0`` produces roughly 1.5K tuples —
+        small enough that all 20 programs x 4 semantics finish quickly in pure
+        Python; the benchmark harness raises it for the runtime figures.
+    seed:
+        Seed for the deterministic RNG.
+    """
+    rng = make_rng(seed, "mas", scale)
+    n_orgs = max(5, round(20 * scale))
+    n_authors = max(20, round(150 * scale))
+    n_pubs = max(25, round(200 * scale))
+
+    schema = mas_schema()
+    db = Database(schema)
+
+    # Organizations -----------------------------------------------------------
+    for oid in range(1, n_orgs + 1):
+        name = (
+            f"{rng.choice(_LAST_NAMES)} {rng.choice(_ORG_SUFFIXES)} {oid}"
+        )
+        db.insert(Fact("Organization", (oid, name), tid=f"o{oid}"))
+
+    # Authors (organization sizes are skewed: ~zipf over organizations) --------
+    org_weights = [1.0 / (rank + 1) for rank in range(n_orgs)]
+    authors: Dict[int, tuple[str, int]] = {}
+    for aid in range(1, n_authors + 1):
+        name = f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)} {aid}"
+        oid = rng.choices(range(1, n_orgs + 1), weights=org_weights, k=1)[0]
+        authors[aid] = (name, oid)
+        db.insert(Fact("Author", (aid, name, oid), tid=f"a{aid}"))
+
+    # Publications and authorship (preferential attachment over authors) -------
+    author_pub_count: Dict[int, int] = {aid: 1 for aid in authors}
+    writes: List[tuple[int, int]] = []
+    pubs: List[int] = []
+    for pid in range(1, n_pubs + 1):
+        title = " ".join(rng.sample(_TITLE_WORDS, 3)) + f" {pid}"
+        db.insert(Fact("Publication", (pid, title), tid=f"p{pid}"))
+        pubs.append(pid)
+        n_coauthors = rng.randint(1, 4)
+        weights = [author_pub_count[aid] for aid in authors]
+        chosen: set[int] = set()
+        for _ in range(n_coauthors):
+            aid = rng.choices(list(authors), weights=weights, k=1)[0]
+            chosen.add(aid)
+        for aid in chosen:
+            author_pub_count[aid] += 1
+            writes.append((aid, pid))
+            db.insert(Fact("Writes", (aid, pid), tid=f"w{aid}_{pid}"))
+
+    # Citations: newer publications cite older ones, skewed towards early pubs.
+    cite_count = 0
+    cited_in_degree: Dict[int, int] = {pid: 1 for pid in pubs}
+    for pid in pubs:
+        if pid <= 2:
+            continue
+        n_cites = rng.randint(1, min(4, pid - 1))
+        older = list(range(1, pid))
+        weights = [cited_in_degree[old] for old in older]
+        targets = set()
+        for _ in range(n_cites):
+            cited = rng.choices(older, weights=weights, k=1)[0]
+            targets.add(cited)
+        for cited in targets:
+            cited_in_degree[cited] += 1
+            db.insert(Fact("Cite", (pid, cited), tid=f"c{pid}_{cited}"))
+            cite_count += 1
+
+    # Constants ----------------------------------------------------------------
+    pubs_per_author: Dict[int, int] = {}
+    for aid, _pid in writes:
+        pubs_per_author[aid] = pubs_per_author.get(aid, 0) + 1
+    target_author_id = max(pubs_per_author, key=lambda aid: (pubs_per_author[aid], -aid))
+    authors_per_org: Dict[int, int] = {}
+    for aid, (_name, oid) in authors.items():
+        authors_per_org[oid] = authors_per_org.get(oid, 0) + 1
+    target_org_id = max(authors_per_org, key=lambda oid: (authors_per_org[oid], -oid))
+    target_pub_id = max(cited_in_degree, key=lambda pid: (cited_in_degree[pid], -pid))
+    constants = MASConstants(
+        target_author_id=target_author_id,
+        target_author_name=authors[target_author_id][0],
+        target_org_id=target_org_id,
+        target_pub_id=target_pub_id,
+        pid_threshold=max(2, n_pubs // 2),
+    )
+
+    counts = {
+        "Organization": n_orgs,
+        "Author": n_authors,
+        "Publication": n_pubs,
+        "Writes": len(writes),
+        "Cite": cite_count,
+    }
+    return MASDataset(db=db, schema=schema, constants=constants, counts=counts)

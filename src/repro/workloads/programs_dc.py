@@ -1,0 +1,68 @@
+"""The four denial constraints DC1–DC4 of the HoloClean comparison (Section 6).
+
+All four constraints range over the extended single-table schema
+``Author(aid, name, oid, organization)`` (see
+:func:`repro.workloads.errors.author_table_schema`):
+
+* DC1 — the same ``aid`` cannot have two different ``oid`` values;
+* DC2 — the same ``aid`` cannot have two different names;
+* DC3 — the same ``aid`` cannot have two different organization names;
+* DC4 — the same ``oid`` cannot have two different organization names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.constraints.denial import DenialConstraint, program_from_denial_constraints
+from repro.datalog.ast import Atom, Comparison, Variable
+from repro.datalog.delta import DeltaProgram
+from repro.workloads.errors import AUTHOR_EXT_RELATION
+
+
+def _author_atom(suffix: str) -> Atom:
+    return Atom(
+        AUTHOR_EXT_RELATION,
+        (
+            Variable(f"a{suffix}"),
+            Variable(f"n{suffix}"),
+            Variable(f"o{suffix}"),
+            Variable(f"on{suffix}"),
+        ),
+    )
+
+
+def dc_constraints() -> Dict[str, DenialConstraint]:
+    """DC1–DC4 as :class:`DenialConstraint` objects keyed by their paper name."""
+    first = _author_atom("1")
+    second = _author_atom("2")
+
+    def equal(lhs: str, rhs: str) -> Comparison:
+        return Comparison(Variable(lhs), "=", Variable(rhs))
+
+    def different(lhs: str, rhs: str) -> Comparison:
+        return Comparison(Variable(lhs), "!=", Variable(rhs))
+
+    return {
+        "DC1": DenialConstraint(
+            (first, second), (equal("a1", "a2"), different("o1", "o2")), name="DC1"
+        ),
+        "DC2": DenialConstraint(
+            (first, second), (equal("a1", "a2"), different("n1", "n2")), name="DC2"
+        ),
+        "DC3": DenialConstraint(
+            (first, second), (equal("a1", "a2"), different("on1", "on2")), name="DC3"
+        ),
+        "DC4": DenialConstraint(
+            (first, second), (equal("o1", "o2"), different("on1", "on2")), name="DC4"
+        ),
+    }
+
+
+def dc_program(per_atom: bool = False) -> DeltaProgram:
+    """DC1–DC4 combined into one delta program (the paper's comparison workload).
+
+    ``per_atom=True`` uses the per-atom encoding (one rule per DC atom), which
+    lets step semantics delete either side of a violating pair.
+    """
+    return program_from_denial_constraints(dc_constraints().values(), per_atom=per_atom)

@@ -1,0 +1,142 @@
+"""Synthetic TPC-H workload.
+
+The paper's second dataset is a 376K-tuple TPC-H fragment over the eight
+standard tables.  TPC-H's ``dbgen`` is not available offline, so
+:func:`generate_tpch` produces a synthetic instance over the same schema shape
+(region → nation → supplier/customer, part → partsupp, customer → orders →
+lineitem), with the referential fan-outs the Table-2 programs exercise.  The
+attribute sets are trimmed to the columns the programs actually touch (the
+paper itself abbreviates the remaining attributes as ``X``/``Y``/``Z``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.storage.database import Database
+from repro.storage.facts import Fact
+from repro.storage.schema import RelationSchema, Schema
+from repro.utils.rng import make_rng
+
+_REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+_ORDER_STATUSES = ["O", "F", "P"]
+
+
+def tpch_schema() -> Schema:
+    """The (trimmed) TPC-H schema used by the Table-2 programs."""
+    return Schema.from_relations(
+        [
+            RelationSchema.of("Region", "rk:int", "name:str"),
+            RelationSchema.of("Nation", "nk:int", "name:str", "rk:int"),
+            RelationSchema.of("Supplier", "sk:int", "name:str", "nk:int"),
+            RelationSchema.of("Customer", "ck:int", "name:str", "nk:int"),
+            RelationSchema.of("Part", "pk:int", "name:str"),
+            RelationSchema.of("PartSupp", "sk:int", "pk:int", "availqty:int"),
+            RelationSchema.of("Orders", "ok:int", "ck:int", "status:str"),
+            RelationSchema.of("LineItem", "ok:int", "sk:int", "pk:int"),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class TPCHConstants:
+    """The selection constants used by the Table-2 programs."""
+
+    supplier_key_threshold: int
+    order_key_threshold: int
+    target_nation_key: int
+    customer_key_threshold: int
+
+
+@dataclass
+class TPCHDataset:
+    """A generated TPC-H instance plus its constants and size summary."""
+
+    db: Database
+    schema: Schema
+    constants: TPCHConstants
+    counts: Dict[str, int]
+
+    @property
+    def total_tuples(self) -> int:
+        """Total tuple count across the eight tables."""
+        return sum(self.counts.values())
+
+    def fresh_db(self) -> Database:
+        """A deep copy of the generated instance."""
+        return self.db.clone()
+
+
+def generate_tpch(scale: float = 1.0, seed: int = 0) -> TPCHDataset:
+    """Generate a synthetic TPC-H instance.
+
+    ``scale=1.0`` yields roughly 1.3K tuples; the benchmark harness raises the
+    scale for the runtime figures.  Thresholds are picked so the selection
+    rules of Table 2 seed roughly 10% of the keyed relation.
+    """
+    rng = make_rng(seed, "tpch", scale)
+    n_suppliers = max(10, round(30 * scale))
+    n_customers = max(15, round(60 * scale))
+    n_parts = max(20, round(80 * scale))
+    n_orders = max(25, round(100 * scale))
+
+    schema = tpch_schema()
+    db = Database(schema)
+
+    for rk, name in enumerate(_REGION_NAMES, start=1):
+        db.insert(Fact("Region", (rk, name), tid=f"r{rk}"))
+    n_nations = len(_NATION_NAMES)
+    for nk, name in enumerate(_NATION_NAMES, start=1):
+        rk = (nk % len(_REGION_NAMES)) + 1
+        db.insert(Fact("Nation", (nk, name, rk), tid=f"n{nk}"))
+
+    for sk in range(1, n_suppliers + 1):
+        nk = rng.randint(1, n_nations)
+        db.insert(Fact("Supplier", (sk, f"Supplier#{sk:05d}", nk), tid=f"s{sk}"))
+    for ck in range(1, n_customers + 1):
+        nk = rng.randint(1, n_nations)
+        db.insert(Fact("Customer", (ck, f"Customer#{ck:05d}", nk), tid=f"c{ck}"))
+    for pk in range(1, n_parts + 1):
+        db.insert(Fact("Part", (pk, f"Part#{pk:05d}"), tid=f"p{pk}"))
+
+    partsupp: List[tuple[int, int]] = []
+    for pk in range(1, n_parts + 1):
+        for sk in rng.sample(range(1, n_suppliers + 1), k=min(n_suppliers, rng.randint(2, 3))):
+            qty = rng.randint(1, 9999)
+            partsupp.append((sk, pk))
+            db.insert(Fact("PartSupp", (sk, pk, qty), tid=f"ps{sk}_{pk}"))
+
+    lineitem_count = 0
+    for ok in range(1, n_orders + 1):
+        ck = rng.randint(1, n_customers)
+        status = rng.choice(_ORDER_STATUSES)
+        db.insert(Fact("Orders", (ok, ck, status), tid=f"ord{ok}"))
+        for _ in range(rng.randint(2, 4)):
+            sk, pk = rng.choice(partsupp)
+            if db.insert(Fact("LineItem", (ok, sk, pk), tid=f"li{ok}_{sk}_{pk}")):
+                lineitem_count += 1
+
+    constants = TPCHConstants(
+        supplier_key_threshold=max(2, n_suppliers // 10 + 1),
+        order_key_threshold=max(2, n_orders // 10 + 1),
+        target_nation_key=rng.randint(1, n_nations),
+        customer_key_threshold=max(2, n_customers // 10 + 1),
+    )
+    counts = {
+        "Region": len(_REGION_NAMES),
+        "Nation": n_nations,
+        "Supplier": n_suppliers,
+        "Customer": n_customers,
+        "Part": n_parts,
+        "PartSupp": len(partsupp),
+        "Orders": n_orders,
+        "LineItem": lineitem_count,
+    }
+    return TPCHDataset(db=db, schema=schema, constants=constants, counts=counts)

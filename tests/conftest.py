@@ -1,0 +1,74 @@
+"""Shared fixtures: the paper's running example and small reusable instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, DeltaProgram, RelationSchema, Schema
+from repro.workloads.mas import generate_mas
+from repro.workloads.tpch import generate_tpch
+
+#: Figure 1 of the paper, keyed by the tuple identifiers used in the text.
+PAPER_DATA = {
+    "Grant": [(1, "NSF"), (2, "ERC")],
+    "AuthGrant": [(2, 1), (4, 2), (5, 2)],
+    "Author": [(2, "Maggie"), (4, "Marge"), (5, "Homer")],
+    "Writes": [(4, 6), (5, 7)],
+    "Pub": [(6, "x"), (7, "y")],
+    "Cite": [(7, 6)],
+}
+
+#: Figure 2 of the paper (rules (0)-(4)).
+PAPER_PROGRAM_TEXT = """
+    delta Grant(g, n) :- Grant(g, n), n = 'ERC'.
+    delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).
+    delta Pub(p, t) :- Pub(p, t), Writes(a, p), delta Author(a, n).
+    delta Writes(a, p) :- Pub(p, t), Writes(a, p), delta Author(a, n).
+    delta Cite(c, p) :- Cite(c, p), delta Pub(p, t), Writes(a1, c), Writes(a2, p).
+"""
+
+
+def make_paper_schema() -> Schema:
+    """The academic schema of Figure 1."""
+    return Schema.from_relations(
+        [
+            RelationSchema.of("Grant", "gid:int", "name:str"),
+            RelationSchema.of("AuthGrant", "aid:int", "gid:int"),
+            RelationSchema.of("Author", "aid:int", "name:str"),
+            RelationSchema.of("Writes", "aid:int", "pid:int"),
+            RelationSchema.of("Pub", "pid:int", "title:str"),
+            RelationSchema.of("Cite", "citing:int", "cited:int"),
+        ]
+    )
+
+
+def make_paper_database() -> Database:
+    """A fresh copy of the Figure-1 instance."""
+    return Database.from_dicts(make_paper_schema(), PAPER_DATA)
+
+
+@pytest.fixture
+def paper_schema() -> Schema:
+    return make_paper_schema()
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    return make_paper_database()
+
+
+@pytest.fixture
+def paper_program() -> DeltaProgram:
+    return DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+
+
+@pytest.fixture(scope="session")
+def small_mas():
+    """A small, deterministic synthetic MAS instance shared across tests."""
+    return generate_mas(scale=0.25, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_tpch():
+    """A small, deterministic synthetic TPC-H instance shared across tests."""
+    return generate_tpch(scale=0.25, seed=11)

@@ -1,0 +1,91 @@
+"""Unit tests for program analysis (repro.datalog.analysis)."""
+
+from repro.datalog.analysis import (
+    analyze_program,
+    delta_dependency_graph,
+    dependency_graph,
+    is_syntactically_recursive,
+    relation_strata,
+)
+from repro.datalog.parser import parse_program
+
+CASCADE = """
+    delta O(o) :- O(o), o = 1.
+    delta A(a, o) :- A(a, o), delta O(o).
+    delta W(a, p) :- W(a, p), delta A(a, o).
+"""
+
+RECURSIVE = """
+    delta E(x, y) :- E(x, y), delta E(y, z).
+"""
+
+
+class TestDependencyGraphs:
+    def test_dependency_graph_nodes_and_edges(self):
+        graph = dependency_graph(parse_program(CASCADE))
+        assert set(graph.nodes) == {"O", "A", "W"}
+        assert graph.has_edge("O", "A")
+        assert graph.has_edge("A", "W")
+
+    def test_base_edges_marked(self):
+        graph = dependency_graph(parse_program("delta R(x) :- R(x), S(x)."))
+        assert graph.edges["S", "R"]["base"] is True
+
+    def test_delta_dependency_graph_drops_base_edges(self):
+        graph = delta_dependency_graph(parse_program(CASCADE))
+        assert graph.has_edge("O", "A")
+        assert not graph.has_edge("O", "O")
+        # The guard R(x) base edge is gone.
+        assert all(not data.get("base", False) for _, _, data in graph.edges(data=True))
+
+
+class TestRecursion:
+    def test_cascade_is_not_recursive(self):
+        assert not is_syntactically_recursive(parse_program(CASCADE))
+
+    def test_self_loop_is_recursive(self):
+        assert is_syntactically_recursive(parse_program(RECURSIVE))
+
+    def test_mutual_recursion_detected(self):
+        program = parse_program(
+            "delta R(x) :- R(x), delta S(x). delta S(x) :- S(x), delta R(x)."
+        )
+        assert is_syntactically_recursive(program)
+
+
+class TestStrata:
+    def test_cascade_strata_increase_along_chain(self):
+        strata = relation_strata(parse_program(CASCADE))
+        assert strata["O"] < strata["A"] < strata["W"]
+
+    def test_non_head_relations_get_stratum_zero(self):
+        strata = relation_strata(parse_program("delta R(x) :- R(x), S(x)."))
+        assert strata["S"] == 0
+
+    def test_recursive_relations_share_a_stratum(self):
+        strata = relation_strata(
+            parse_program(
+                "delta R(x) :- R(x), delta S(x). delta S(x) :- S(x), delta R(x)."
+            )
+        )
+        assert strata["R"] == strata["S"]
+
+
+class TestAnalyzeProgram:
+    def test_report_fields(self):
+        report = analyze_program(parse_program(CASCADE))
+        assert report.rule_count == 3
+        assert report.head_relations == ("A", "O", "W")
+        assert report.max_body_atoms == 2
+        assert not report.recursive
+        assert dict(report.strata)["W"] == 2
+
+    def test_describe_mentions_everything(self):
+        text = analyze_program(parse_program(CASCADE)).describe()
+        assert "rules: 3" in text
+        assert "recursive: no" in text
+
+    def test_empty_program(self):
+        report = analyze_program([])
+        assert report.rule_count == 0
+        assert not report.recursive

@@ -1,0 +1,146 @@
+"""Unit tests for the datalog AST (repro.datalog.ast)."""
+
+import pytest
+
+from repro.datalog.ast import (
+    Atom,
+    Comparison,
+    Constant,
+    Program,
+    Rule,
+    Variable,
+    make_atom,
+)
+from repro.exceptions import RuleValidationError
+
+
+class TestTerms:
+    def test_variable_and_constant_flags(self):
+        assert Variable("x").is_variable()
+        assert not Constant(3).is_variable()
+
+    def test_constant_str_quotes_strings(self):
+        assert str(Constant("ERC")) == "'ERC'"
+        assert str(Constant(3)) == "3"
+
+
+class TestAtom:
+    def test_make_atom_converts_terms(self):
+        atom = make_atom("Author", "a", 4, delta=True)
+        assert atom.is_delta
+        assert atom.terms == (Variable("a"), Constant(4))
+
+    def test_variables_and_constants(self):
+        atom = make_atom("R", "x", 1, "x")
+        assert atom.variable_names() == frozenset({"x"})
+        assert len(atom.variables()) == 2
+        assert atom.constants() == (Constant(1),)
+
+    def test_as_delta_and_as_base(self):
+        atom = make_atom("R", "x")
+        assert atom.as_delta().is_delta
+        assert atom.as_delta().as_base() == atom
+
+    def test_substitute(self):
+        atom = make_atom("R", "x", "y")
+        grounded = atom.substitute({"x": 1})
+        assert grounded.terms == (Constant(1), Variable("y"))
+
+    def test_str_rendering(self):
+        assert str(make_atom("R", "x", delta=True)) == "delta R(x)"
+
+
+class TestComparison:
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(RuleValidationError):
+            Comparison(Variable("x"), "~", Constant(1))
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 1, 1, True),
+            ("!=", 1, 2, True),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 1, 2, False),
+        ],
+    )
+    def test_operators(self, op, left, right, expected):
+        comparison = Comparison(Variable("x"), op, Constant(right))
+        assert comparison.evaluate({"x": left}) is expected
+
+    def test_is_ground(self):
+        comparison = Comparison(Variable("x"), "<", Variable("y"))
+        assert not comparison.is_ground({"x": 1})
+        assert comparison.is_ground({"x": 1, "y": 2})
+
+    def test_mixed_type_comparison_is_false_not_error(self):
+        comparison = Comparison(Variable("x"), "<", Constant("abc"))
+        assert comparison.evaluate({"x": 1}) is False
+
+
+class TestRule:
+    def make_rule(self) -> Rule:
+        return Rule(
+            head=make_atom("R", "x", delta=True),
+            body=(make_atom("R", "x"), make_atom("S", "x", "y")),
+            comparisons=(Comparison(Variable("y"), ">", Constant(0)),),
+            name="r1",
+        )
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(RuleValidationError):
+            Rule(make_atom("R", "x", delta=True), ())
+
+    def test_variables(self):
+        assert self.make_rule().variables() == frozenset({"x", "y"})
+
+    def test_body_relations_split_by_delta(self):
+        rule = Rule(
+            make_atom("R", "x", delta=True),
+            (make_atom("R", "x"), make_atom("S", "x", delta=True)),
+        )
+        assert rule.body_relations() == frozenset({"R"})
+        assert rule.delta_body_relations() == frozenset({"S"})
+        assert rule.relations() == frozenset({"R", "S"})
+
+    def test_safety(self):
+        unsafe = Rule(make_atom("R", "x", "z", delta=True), (make_atom("R", "x", "y"),))
+        assert not unsafe.is_safe()
+        assert self.make_rule().is_safe()
+
+    def test_guard_atom(self):
+        assert self.make_rule().guard_atom() == make_atom("R", "x")
+        no_guard = Rule(make_atom("R", "x", delta=True), (make_atom("S", "x", "y"),))
+        assert no_guard.guard_atom() is None
+
+    def test_display_name_and_rename(self):
+        rule = self.make_rule()
+        assert rule.display_name() == "r1"
+        assert rule.rename("other").display_name() == "other"
+
+    def test_str(self):
+        assert "delta R(x) :- " in str(self.make_rule())
+
+
+class TestProgram:
+    def test_collection_protocol(self):
+        rule = Rule(make_atom("R", "x", delta=True), (make_atom("R", "x"),))
+        program = Program.of(rule)
+        assert len(program) == 1
+        assert program[0] is rule
+        assert list(program) == [rule]
+
+    def test_head_relations_and_rules_for_head(self):
+        r1 = Rule(make_atom("R", "x", delta=True), (make_atom("R", "x"),))
+        r2 = Rule(make_atom("S", "x", delta=True), (make_atom("S", "x"),))
+        program = Program.of(r1, r2)
+        assert program.head_relations() == frozenset({"R", "S"})
+        assert program.rules_for_head("R") == (r1,)
+
+    def test_extended_preserves_order(self):
+        r1 = Rule(make_atom("R", "x", delta=True), (make_atom("R", "x"),))
+        r2 = Rule(make_atom("S", "x", delta=True), (make_atom("S", "x"),))
+        program = Program.of(r1).extended([r2])
+        assert program.rules == (r1, r2)

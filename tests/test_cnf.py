@@ -1,0 +1,80 @@
+"""Unit tests for the CNF container (repro.solver.cnf)."""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solver.cnf import (
+    CNF,
+    FactVariableMap,
+    literal_is_positive,
+    literal_variable,
+)
+
+
+class TestLiterals:
+    def test_variable_and_sign(self):
+        assert literal_variable(-3) == 3
+        assert literal_variable(3) == 3
+        assert literal_is_positive(3)
+        assert not literal_is_positive(-3)
+
+
+class TestCNF:
+    def test_add_clause_and_counts(self):
+        cnf = CNF.from_clauses([[1, 2], [-1, 3]])
+        assert cnf.clause_count == 2
+        assert cnf.variable_count == 3
+        assert cnf.variables() == frozenset({1, 2, 3})
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(SolverError):
+            CNF().add_clause([])
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SolverError):
+            CNF().add_clause([0])
+
+    def test_satisfaction_with_default_false(self):
+        cnf = CNF.from_clauses([[1, 2], [-3]])
+        assert cnf.is_satisfied_by({1: True})
+        assert not cnf.is_satisfied_by({})  # clause [1,2] needs a True
+        assert cnf.is_satisfied_by({2: True, 3: False})
+        assert not cnf.is_satisfied_by({2: True, 3: True})
+
+    def test_unsatisfied_clauses(self):
+        cnf = CNF.from_clauses([[1], [2]])
+        failing = cnf.unsatisfied_clauses({1: True})
+        assert failing == [frozenset({2})]
+
+    def test_simplified_removes_tautologies(self):
+        cnf = CNF.from_clauses([[1, -1], [2]])
+        assert cnf.simplified().clause_count == 1
+
+    def test_simplified_removes_subsumed_clauses(self):
+        cnf = CNF.from_clauses([[1], [1, 2], [2, 3]])
+        simplified = cnf.simplified()
+        assert frozenset({1, 2}) not in simplified.clauses
+        assert simplified.clause_count == 2
+
+    def test_components_split_on_shared_variables(self):
+        cnf = CNF.from_clauses([[1, 2], [2, 3], [4, 5]])
+        components = cnf.components()
+        sizes = sorted(component.variable_count for component in components)
+        assert len(components) == 2
+        assert sizes == [2, 3]
+
+    def test_components_of_empty_formula(self):
+        assert CNF().components() == []
+
+    def test_str_rendering(self):
+        text = str(CNF.from_clauses([[1, -2]]))
+        assert "x1" in text and "¬x2" in text
+        assert str(CNF()) == "⊤"
+
+
+class TestFactVariableMap:
+    def test_round_trip(self):
+        mapping = FactVariableMap.from_keys(["a", "b", "c"])
+        assert mapping.key_to_var == {"a": 1, "b": 2, "c": 3}
+        assert mapping.var_to_key[2] == "b"
+        assert len(mapping) == 3

@@ -1,0 +1,94 @@
+"""Tests for the vertex-cover reduction of Proposition 4.2."""
+
+import networkx as nx
+import pytest
+
+from repro import RepairEngine, Semantics
+from repro.complexity import (
+    cover_from_result,
+    independent_instance_from_graph,
+    minimum_vertex_cover_bruteforce,
+    random_graph,
+    step_instance_from_graph,
+)
+from repro.complexity.vertex_cover import is_vertex_cover
+
+
+def triangle() -> "nx.Graph":
+    graph = nx.Graph()
+    graph.add_edges_from([(1, 2), (2, 3), (1, 3)])
+    return graph
+
+
+def star(leaves: int = 4) -> "nx.Graph":
+    graph = nx.Graph()
+    graph.add_edges_from([(0, leaf) for leaf in range(1, leaves + 1)])
+    return graph
+
+
+class TestReductionConstruction:
+    def test_database_shape(self):
+        db, program = independent_instance_from_graph(triangle())
+        assert db.count_active("VC") == 3
+        assert db.count_active("E") == 6  # both directions per edge
+        assert len(program) == 3
+
+    def test_step_instance_has_single_rule(self):
+        _db, program = step_instance_from_graph(triangle())
+        assert len(program) == 1
+
+    def test_random_graph_is_seeded(self):
+        first = random_graph(8, 0.4, seed=3)
+        second = random_graph(8, 0.4, seed=3)
+        assert set(first.edges) == set(second.edges)
+
+
+class TestBruteForceCover:
+    def test_triangle_needs_two(self):
+        cover = minimum_vertex_cover_bruteforce(triangle())
+        assert len(cover) == 2
+        assert is_vertex_cover(triangle(), cover)
+
+    def test_star_needs_one(self):
+        cover = minimum_vertex_cover_bruteforce(star())
+        assert cover == frozenset({0})
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            minimum_vertex_cover_bruteforce(random_graph(30, 0.5, seed=1), max_nodes=10)
+
+
+class TestReductionCorrectness:
+    @pytest.mark.parametrize("builder", [triangle, star])
+    def test_independent_semantics_finds_minimum_cover(self, builder):
+        graph = builder()
+        db, program = independent_instance_from_graph(graph)
+        result = RepairEngine(db, program).repair(Semantics.INDEPENDENT)
+        cover = cover_from_result(result)
+        assert is_vertex_cover(graph, cover)
+        assert len(cover) == len(minimum_vertex_cover_bruteforce(graph))
+        # Rules (2)/(3) make edge deletions pointless: only VC tuples are deleted.
+        assert all(item.relation == "VC" for item in result.deleted)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_independent_matches_bruteforce_on_random_graphs(self, seed):
+        graph = random_graph(7, 0.35, seed=seed)
+        db, program = independent_instance_from_graph(graph)
+        result = RepairEngine(db, program).repair(Semantics.INDEPENDENT)
+        assert len(cover_from_result(result)) == len(
+            minimum_vertex_cover_bruteforce(graph)
+        )
+
+    def test_exhaustive_step_finds_minimum_cover_on_triangle(self):
+        graph = triangle()
+        db, program = step_instance_from_graph(graph)
+        result = RepairEngine(db, program).repair(Semantics.STEP, method="exhaustive")
+        cover = cover_from_result(result)
+        assert is_vertex_cover(graph, cover)
+        assert len(cover) == 2
+
+    def test_greedy_step_returns_a_cover(self):
+        graph = random_graph(8, 0.3, seed=5)
+        db, program = step_instance_from_graph(graph)
+        result = RepairEngine(db, program).repair(Semantics.STEP)
+        assert is_vertex_cover(graph, cover_from_result(result))

@@ -1,0 +1,179 @@
+"""Unit tests for the constraint front-ends (DCs, triggers, causal, domain)."""
+
+import pytest
+
+from repro import Database, RepairEngine, Schema, Semantics, fact
+from repro.constraints import CausalRule, DeleteTrigger, DenialConstraint, DomainConstraint
+from repro.constraints.causal import program_from_causal_rules
+from repro.constraints.denial import program_from_denial_constraints, violating_sets
+from repro.constraints.triggers import program_from_triggers, triggers_from_program
+from repro.datalog.ast import Comparison, Constant, Variable, make_atom
+from repro.datalog.delta import DeltaProgram
+from repro.exceptions import RuleValidationError
+from repro.storage.schema import RelationSchema
+
+
+class TestDenialConstraint:
+    def make_dc(self) -> DenialConstraint:
+        return DenialConstraint(
+            atoms=(make_atom("R", "x", "y"), make_atom("R", "x2", "y2")),
+            comparisons=(
+                Comparison(Variable("x"), "=", Variable("x2")),
+                Comparison(Variable("y"), "!=", Variable("y2")),
+            ),
+            name="fd",
+        )
+
+    def test_single_head_translation(self):
+        rule = self.make_dc().to_delta_rule()
+        assert rule.head.is_delta and rule.head.relation == "R"
+        assert len(rule.body) == 2
+        assert rule.guard_atom() is not None
+
+    def test_per_atom_translation(self):
+        rules = self.make_dc().to_delta_rules_per_atom()
+        assert len(rules) == 2
+        assert rules[1].head.terms == (Variable("x2"), Variable("y2"))
+
+    def test_head_index_out_of_range(self):
+        with pytest.raises(RuleValidationError):
+            self.make_dc().to_delta_rule(head_index=5)
+
+    def test_delta_atoms_rejected(self):
+        with pytest.raises(RuleValidationError):
+            DenialConstraint(atoms=(make_atom("R", "x", delta=True),))
+
+    def test_empty_atoms_rejected(self):
+        with pytest.raises(RuleValidationError):
+            DenialConstraint(atoms=())
+
+    def test_independent_repair_is_minimum_fd_repair(self):
+        schema = Schema.from_arities({"R": 2})
+        db = Database.from_dicts(schema, {"R": [(1, "a"), (1, "b"), (2, "c")]})
+        program = self.make_dc().to_program()
+        result = RepairEngine(db, program).repair(Semantics.INDEPENDENT)
+        assert result.size == 1
+        assert result.deleted <= {fact("R", 1, "a"), fact("R", 1, "b")}
+
+    def test_violating_sets(self):
+        schema = Schema.from_arities({"R": 2})
+        db = Database.from_dicts(schema, {"R": [(1, "a"), (1, "b"), (2, "c")]})
+        sets = violating_sets(db, self.make_dc())
+        assert len(sets) == 2  # the violating pair in both orientations
+
+    def test_program_from_constraints(self):
+        program = program_from_denial_constraints([self.make_dc()], per_atom=True)
+        assert len(program) == 2
+        assert isinstance(program, DeltaProgram)
+
+    def test_str_rendering(self):
+        assert "¬(" in str(self.make_dc())
+
+
+class TestDeleteTrigger:
+    def make_trigger(self) -> DeleteTrigger:
+        return DeleteTrigger(
+            name="trg_writes",
+            watched=make_atom("Author", "a", "n"),
+            target=make_atom("Writes", "a", "p"),
+        )
+
+    def test_to_delta_rule(self):
+        rule = self.make_trigger().to_delta_rule()
+        assert rule.head.relation == "Writes" and rule.head.is_delta
+        assert rule.body[-1].is_delta and rule.body[-1].relation == "Author"
+
+    def test_delta_atoms_rejected(self):
+        with pytest.raises(RuleValidationError):
+            DeleteTrigger("t", make_atom("A", "x", delta=True), make_atom("B", "x"))
+
+    def test_round_trip_through_program(self):
+        program = program_from_triggers([self.make_trigger()])
+        recovered = triggers_from_program(program)
+        assert len(recovered) == 1
+        assert recovered[0].watched.relation == "Author"
+        assert recovered[0].target.relation == "Writes"
+
+    def test_seed_rules_are_not_triggers(self):
+        program = DeltaProgram.from_text(
+            "delta A(x) :- A(x), x = 1. delta B(x) :- B(x), delta A(x)."
+        )
+        recovered = triggers_from_program(program)
+        assert len(recovered) == 1
+        assert recovered[0].watched.relation == "A"
+
+    def test_str_mentions_sql(self):
+        assert "AFTER DELETE ON Author" in str(self.make_trigger())
+
+
+class TestCausalRule:
+    def test_to_delta_rule(self):
+        causal = CausalRule(
+            cause=make_atom("Author", "a", "n"),
+            effect=make_atom("Writes", "a", "p"),
+            name="fk",
+        )
+        rule = causal.to_delta_rule()
+        assert rule.head.relation == "Writes"
+        assert rule.guard_atom() is not None
+
+    def test_program_with_interventions(self):
+        causal = CausalRule(
+            cause=make_atom("Author", "a", "n"), effect=make_atom("Writes", "a", "p")
+        )
+        program = program_from_causal_rules([causal], interventions=[fact("Author", 1, "x")])
+        assert len(program) == 2
+        schema = Schema.from_arities({"Author": 2, "Writes": 2})
+        db = Database.from_dicts(
+            schema, {"Author": [(1, "x"), (2, "y")], "Writes": [(1, 10), (2, 20)]}
+        )
+        result = RepairEngine(db, program).repair(Semantics.STAGE)
+        assert result.deleted == frozenset({fact("Author", 1, "x"), fact("Writes", 1, 10)})
+
+    def test_delta_atoms_rejected(self):
+        with pytest.raises(RuleValidationError):
+            CausalRule(cause=make_atom("A", "x", delta=True), effect=make_atom("B", "x"))
+
+
+class TestDomainConstraint:
+    def relation(self) -> RelationSchema:
+        return RelationSchema.of("Reading", "sensor:int", "value:int")
+
+    def test_range_constraint_rules(self):
+        constraint = DomainConstraint(
+            self.relation(), "value", minimum=0, maximum=100, name="range"
+        )
+        rules = constraint.to_delta_rules()
+        assert len(rules) == 2
+        assert constraint.admits(50)
+        assert not constraint.admits(-1)
+        assert not constraint.admits(101)
+
+    def test_allowed_values_constraint(self):
+        constraint = DomainConstraint(
+            self.relation(), "sensor", allowed_values=(1, 2), name="sensors"
+        )
+        rules = constraint.to_delta_rules()
+        assert len(rules) == 1
+        assert constraint.admits(1) and not constraint.admits(3)
+
+    def test_repair_deletes_out_of_domain_tuples(self):
+        schema = Schema.from_relations([self.relation()])
+        db = Database.from_dicts(
+            schema, {"Reading": [(1, 50), (1, 150), (2, -5), (2, 99)]}
+        )
+        constraint = DomainConstraint(self.relation(), "value", minimum=0, maximum=100)
+        result = RepairEngine(db, constraint.to_program()).repair(Semantics.END)
+        assert result.deleted == frozenset({fact("Reading", 1, 150), fact("Reading", 2, -5)})
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(RuleValidationError):
+            DomainConstraint(self.relation(), "value")
+        with pytest.raises(RuleValidationError):
+            DomainConstraint(
+                self.relation(), "value", allowed_values=(1,), minimum=0
+            )
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(Exception):
+            DomainConstraint(self.relation(), "missing", minimum=0)

@@ -1,0 +1,142 @@
+"""Unit tests for the in-memory storage engine (repro.storage.database)."""
+
+import pytest
+
+from repro.exceptions import ArityMismatchError, StorageError, UnknownRelationError
+from repro.storage.database import Database, stabilized_copy
+from repro.storage.facts import Fact, fact
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.from_arities({"R": 2, "S": 1})
+
+
+@pytest.fixture
+def db(schema: Schema) -> Database:
+    return Database.from_dicts(schema, {"R": [(1, "a"), (2, "b")], "S": [(1,)]})
+
+
+class TestConstruction:
+    def test_from_dicts_counts(self, db: Database):
+        assert db.count_active("R") == 2
+        assert db.count_active("S") == 1
+        assert db.count_active() == 3
+        assert db.count_delta() == 0
+
+    def test_from_facts(self, schema: Schema):
+        built = Database.from_facts(schema, [fact("R", 1, "a"), fact("S", 2)])
+        assert built.count_active() == 2
+
+    def test_insert_assigns_tid(self, schema: Schema):
+        built = Database(schema)
+        built.insert(fact("R", 1, "a"))
+        stored = next(iter(built.active_facts("R")))
+        assert stored.tid is not None
+
+    def test_insert_preserves_existing_tid(self, schema: Schema):
+        built = Database(schema)
+        built.insert(fact("R", 1, "a", tid="g2"))
+        assert next(iter(built.active_facts("R"))).tid == "g2"
+
+
+class TestValidation:
+    def test_unknown_relation_rejected(self, db: Database):
+        with pytest.raises(UnknownRelationError):
+            db.insert(fact("T", 1))
+        with pytest.raises(UnknownRelationError):
+            db.active_facts("T")
+
+    def test_arity_mismatch_rejected(self, db: Database):
+        with pytest.raises(ArityMismatchError):
+            db.insert(fact("R", 1))
+
+
+class TestMutation:
+    def test_delete_moves_to_delta(self, db: Database):
+        assert db.delete(fact("R", 1, "a"))
+        assert not db.has_active(fact("R", 1, "a"))
+        assert db.has_delta(fact("R", 1, "a"))
+        assert db.count_active("R") == 1
+        assert db.count_delta("R") == 1
+
+    def test_delete_is_idempotent_on_delta(self, db: Database):
+        db.delete(fact("R", 1, "a"))
+        assert not db.delete(fact("R", 1, "a"))
+
+    def test_mark_deleted_keeps_active(self, db: Database):
+        db.mark_deleted(fact("R", 1, "a"))
+        assert db.has_active(fact("R", 1, "a"))
+        assert db.has_delta(fact("R", 1, "a"))
+
+    def test_drop_active_only(self, db: Database):
+        assert db.drop_active(fact("R", 1, "a"))
+        assert not db.has_active(fact("R", 1, "a"))
+        assert not db.has_delta(fact("R", 1, "a"))
+
+    def test_insert_all_and_delete_all(self, schema: Schema):
+        built = Database(schema)
+        assert built.insert_all([fact("S", 1), fact("S", 2), fact("S", 1)]) == 2
+        assert built.delete_all([fact("S", 1), fact("S", 2)]) == 2
+        assert built.count_delta("S") == 2
+
+    def test_reset_deltas(self, db: Database):
+        db.delete(fact("R", 1, "a"))
+        db.reset_deltas()
+        assert db.count_delta() == 0
+        assert db.count_active("R") == 1
+
+
+class TestQueries:
+    def test_candidates_active_and_delta(self, db: Database):
+        db.delete(fact("R", 2, "b"))
+        active = set(db.candidates("R", {0: 1}))
+        deltas = set(db.candidates("R", {0: 2}, delta=True))
+        assert active == {fact("R", 1, "a")}
+        assert deltas == {fact("R", 2, "b")}
+
+    def test_all_active_and_all_deltas(self, db: Database):
+        db.delete(fact("S", 1))
+        assert set(db.all_active()) == {fact("R", 1, "a"), fact("R", 2, "b")}
+        assert set(db.all_deltas()) == {fact("S", 1)}
+
+    def test_state_and_equality(self, db: Database):
+        other = db.clone()
+        assert db.same_state_as(other)
+        assert db == other
+        other.delete(fact("R", 1, "a"))
+        assert db != other
+
+    def test_summary_mentions_counts(self, db: Database):
+        text = db.summary()
+        assert "active=3" in text and "delta=0" in text
+
+    def test_not_hashable(self, db: Database):
+        with pytest.raises(TypeError):
+            hash(db)
+
+
+class TestClone:
+    def test_clone_is_deep(self, db: Database):
+        copy = db.clone()
+        copy.delete(fact("R", 1, "a"))
+        assert db.has_active(fact("R", 1, "a"))
+        assert not db.has_delta(fact("R", 1, "a"))
+
+    def test_clone_preserves_deltas(self, db: Database):
+        db.delete(fact("S", 1))
+        copy = db.clone()
+        assert copy.has_delta(fact("S", 1))
+
+
+class TestStabilizedCopy:
+    def test_builds_d_minus_s_union_delta_s(self, db: Database):
+        repaired = stabilized_copy(db, [fact("R", 1, "a")])
+        assert not repaired.has_active(fact("R", 1, "a"))
+        assert repaired.has_delta(fact("R", 1, "a"))
+        assert db.has_active(fact("R", 1, "a"))  # the original is untouched
+
+    def test_rejects_foreign_tuples(self, db: Database):
+        with pytest.raises(StorageError):
+            stabilized_copy(db, [Fact("R", (99, "zz"))])

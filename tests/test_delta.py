@@ -1,0 +1,106 @@
+"""Unit tests for delta-program validation (repro.datalog.delta)."""
+
+import pytest
+
+from repro.datalog.ast import Program
+from repro.datalog.delta import (
+    DeltaProgram,
+    deletion_request_rule,
+    selection_request_rule,
+    validate_delta_rule,
+)
+from repro.datalog.parser import parse_rule
+from repro.exceptions import ProgramValidationError, RuleValidationError
+from repro.storage.facts import fact
+from repro.storage.schema import Schema
+
+
+class TestValidateDeltaRule:
+    def test_valid_rule_passes(self):
+        validate_delta_rule(parse_rule("delta R(x) :- R(x), S(x)."))
+
+    def test_non_delta_head_rejected(self):
+        rule = parse_rule("delta R(x) :- R(x).")
+        base_head_rule = type(rule)(rule.head.as_base(), rule.body)
+        with pytest.raises(RuleValidationError):
+            validate_delta_rule(base_head_rule)
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(RuleValidationError):
+            validate_delta_rule(parse_rule("delta R(x, z) :- R(x, y)."))
+
+    def test_missing_guard_rejected(self):
+        with pytest.raises(RuleValidationError):
+            validate_delta_rule(parse_rule("delta R(x) :- S(x)."))
+
+    def test_guard_check_can_be_disabled(self):
+        validate_delta_rule(parse_rule("delta R(x) :- S(x)."), require_guard=False)
+
+
+class TestDeltaProgram:
+    def test_from_text_validates(self):
+        program = DeltaProgram.from_text("delta R(x) :- R(x), S(x).")
+        assert len(program) == 1
+
+    def test_invalid_rule_rejected(self):
+        with pytest.raises(RuleValidationError):
+            DeltaProgram.from_text("delta R(x) :- S(x).")
+
+    def test_duplicate_rules_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            DeltaProgram.from_text(
+                "delta R(x) :- R(x), S(x). delta R(x) :- R(x), S(x)."
+            )
+
+    def test_collection_protocol(self):
+        program = DeltaProgram.from_text("delta R(x) :- R(x). delta S(x) :- S(x).")
+        assert len(program) == 2
+        assert program[0].head.relation == "R"
+        assert [rule.head.relation for rule in program] == ["R", "S"]
+
+    def test_head_and_all_relations(self):
+        program = DeltaProgram.from_text("delta R(x) :- R(x), S(x).")
+        assert program.head_relations() == frozenset({"R"})
+        assert program.relations() == frozenset({"R", "S"})
+
+    def test_validate_against_schema_accepts_matching(self):
+        program = DeltaProgram.from_text("delta R(x) :- R(x), S(x).")
+        program.validate_against_schema(Schema.from_arities({"R": 1, "S": 1}))
+
+    def test_validate_against_schema_unknown_relation(self):
+        program = DeltaProgram.from_text("delta R(x) :- R(x), S(x).")
+        with pytest.raises(ProgramValidationError):
+            program.validate_against_schema(Schema.from_arities({"R": 1}))
+
+    def test_validate_against_schema_arity_mismatch(self):
+        program = DeltaProgram.from_text("delta R(x) :- R(x), S(x).")
+        with pytest.raises(ProgramValidationError):
+            program.validate_against_schema(Schema.from_arities({"R": 2, "S": 1}))
+
+    def test_with_rules_extends(self):
+        program = DeltaProgram.from_text("delta R(x) :- R(x).")
+        extended = program.with_rules([parse_rule("delta S(x) :- S(x).")])
+        assert len(extended) == 2
+        assert len(program) == 1
+
+    def test_empty_program_allowed(self):
+        assert len(DeltaProgram(Program())) == 0
+
+
+class TestRequestRules:
+    def test_deletion_request_rule_shape(self):
+        rule = deletion_request_rule(fact("Grant", 2, "ERC"))
+        assert rule.head.is_delta
+        assert str(rule) == "delta Grant(2, 'ERC') :- Grant(2, 'ERC')"
+
+    def test_with_deletion_requests(self):
+        program = DeltaProgram.from_text("delta R(x) :- R(x), delta Grant(g, n).")
+        extended = program.with_deletion_requests([fact("Grant", 2, "ERC")])
+        assert len(extended) == 2
+        assert extended[1].name == "request_0"
+
+    def test_selection_request_rule(self):
+        rule = selection_request_rule("Writes", 2, 0, "=", 4)
+        assert rule.head.relation == "Writes"
+        assert rule.comparisons[0].op == "="
+        validate_delta_rule(rule)

@@ -1,0 +1,142 @@
+"""Unit tests for assignment enumeration and closures (repro.datalog.evaluation)."""
+
+import pytest
+
+from repro.datalog.delta import DeltaProgram
+from repro.datalog.evaluation import (
+    Assignment,
+    derive_closure,
+    find_all_assignments,
+    find_assignments,
+    ground_head,
+    is_rule_satisfied,
+)
+from repro.datalog.parser import parse_rule
+from repro.exceptions import EvaluationError
+from repro.storage.database import Database
+from repro.storage.facts import fact
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.from_arities({"R": 2, "S": 2, "T": 1})
+
+
+@pytest.fixture
+def db(schema: Schema) -> Database:
+    return Database.from_dicts(
+        schema,
+        {"R": [(1, "a"), (2, "b")], "S": [(1, 10), (1, 20), (3, 30)], "T": [(1,)]},
+    )
+
+
+class TestFindAssignments:
+    def test_simple_join(self, db):
+        rule = parse_rule("delta R(x, y) :- R(x, y), S(x, z).")
+        assignments = find_assignments(db, rule)
+        assert len(assignments) == 2  # R(1,a) joins with two S tuples
+        assert {a.derived for a in assignments} == {fact("R", 1, "a")}
+
+    def test_constants_in_atoms(self, db):
+        rule = parse_rule("delta R(x, 'b') :- R(x, 'b').")
+        assignments = find_assignments(db, rule)
+        assert [a.derived for a in assignments] == [fact("R", 2, "b")]
+
+    def test_comparison_filters(self, db):
+        rule = parse_rule("delta S(x, z) :- S(x, z), z > 15.")
+        derived = {a.derived for a in find_assignments(db, rule)}
+        assert derived == {fact("S", 1, 20), fact("S", 3, 30)}
+
+    def test_repeated_variable_within_atom(self, schema):
+        db = Database.from_dicts(schema, {"R": [(1, 1), (1, 2)]})
+        rule = parse_rule("delta R(x, x) :- R(x, x).")
+        derived = {a.derived for a in find_assignments(db, rule)}
+        assert derived == {fact("R", 1, 1)}
+
+    def test_delta_atom_matches_only_recorded_deletions(self, db):
+        rule = parse_rule("delta R(x, y) :- R(x, y), delta T(x).")
+        assert find_assignments(db, rule) == []
+        db.delete(fact("T", 1))
+        derived = {a.derived for a in find_assignments(db, rule)}
+        assert derived == {fact("R", 1, "a")}
+
+    def test_hypothetical_deltas_match_active_tuples(self, db):
+        rule = parse_rule("delta R(x, y) :- R(x, y), delta T(x).")
+        derived = {
+            a.derived for a in find_assignments(db, rule, hypothetical_deltas=True)
+        }
+        assert derived == {fact("R", 1, "a")}
+
+    def test_unbound_comparison_variable_raises(self, db):
+        rule = parse_rule("delta R(x, y) :- R(x, y), w > 3.")
+        with pytest.raises(EvaluationError):
+            find_assignments(db, rule)
+
+    def test_assignment_exposes_used_facts_in_body_order(self, db):
+        rule = parse_rule("delta R(x, y) :- R(x, y), S(x, z).")
+        assignment = find_assignments(db, rule)[0]
+        assert assignment.used[0][0].relation == "R"
+        assert assignment.used[1][0].relation == "S"
+        assert assignment.base_facts()[0] == fact("R", 1, "a")
+        assert assignment.delta_facts() == ()
+
+    def test_assignment_bindings(self, db):
+        rule = parse_rule("delta T(x) :- T(x), R(x, y).")
+        assignment = find_assignments(db, rule)[0]
+        assert assignment.binding_map == {"x": 1, "y": "a"}
+
+    def test_signature_distinguishes_used_facts(self, db):
+        rule = parse_rule("delta R(x, y) :- R(x, y), S(x, z).")
+        signatures = {a.signature() for a in find_assignments(db, rule)}
+        assert len(signatures) == 2
+
+    def test_no_assignment_when_join_fails(self, db):
+        rule = parse_rule("delta R(x, y) :- R(x, y), S(x, z), z > 1000.")
+        assert not is_rule_satisfied(db, rule)
+
+
+class TestGroundHead:
+    def test_grounds_variables_and_constants(self):
+        rule = parse_rule("delta R(x, 'k') :- R(x, 'k').")
+        assert ground_head(rule, {"x": 7}) == fact("R", 7, "k")
+
+    def test_missing_binding_raises(self):
+        rule = parse_rule("delta R(x, y) :- R(x, y).")
+        with pytest.raises(EvaluationError):
+            ground_head(rule, {"x": 7})
+
+
+class TestClosure:
+    def test_find_all_assignments_covers_all_rules(self, db):
+        program = DeltaProgram.from_text(
+            "delta T(x) :- T(x). delta R(x, y) :- R(x, y), S(x, z)."
+        )
+        assignments = find_all_assignments(db, program)
+        assert {a.rule.head.relation for a in assignments} == {"T", "R"}
+
+    def test_derive_closure_marks_without_deleting(self, schema):
+        db = Database.from_dicts(schema, {"T": [(1,)], "R": [(1, "a")], "S": []})
+        program = DeltaProgram.from_text(
+            "delta T(x) :- T(x). delta R(x, y) :- R(x, y), delta T(x)."
+        )
+        assignments = derive_closure(db, program)
+        assert db.count_active() == 2  # active extents untouched
+        assert set(db.all_deltas()) == {fact("T", 1), fact("R", 1, "a")}
+        assert len(assignments) == 2
+
+    def test_derive_closure_callback_sees_new_assignments_once(self, schema):
+        db = Database.from_dicts(schema, {"T": [(1,)], "R": [(1, "a")], "S": []})
+        program = DeltaProgram.from_text(
+            "delta T(x) :- T(x). delta R(x, y) :- R(x, y), delta T(x)."
+        )
+        seen = []
+        derive_closure(db, program, on_assignment=seen.append)
+        assert len(seen) == 2
+        assert all(isinstance(item, Assignment) for item in seen)
+
+    def test_derive_closure_round_limit(self, schema):
+        db = Database.from_dicts(schema, {"T": [(1,)], "R": [], "S": []})
+        program = DeltaProgram.from_text("delta T(x) :- T(x).")
+        with pytest.raises(EvaluationError):
+            derive_closure(db, program, max_rounds=0)

@@ -1,0 +1,108 @@
+"""Smoke and shape tests for the experiment harness (small scales only)."""
+
+import pytest
+
+from repro.core.semantics import Semantics
+from repro.experiments import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table3,
+    table4,
+    table5,
+    triggers_cmp,
+)
+from repro.experiments.runner import ExperimentReport, average, run_program_suite
+from repro.workloads.mas import generate_mas
+from repro.workloads.programs_mas import mas_programs
+
+
+class TestRunner:
+    def test_run_program_suite_produces_containment(self):
+        mas = generate_mas(scale=0.2, seed=3)
+        runs = run_program_suite(mas.db, mas_programs(mas, ("2", "16")))
+        assert set(runs) == {"2", "16"}
+        assert runs["2"].containment.invariants_hold()
+        assert runs["2"].sizes["independent"] <= runs["2"].sizes["end"]
+        assert runs["2"].result("end").semantics is Semantics.END
+
+    def test_report_rendering(self):
+        report = ExperimentReport("demo", ["a", "b"])
+        report.add_row([1, 2])
+        report.add_note("hello")
+        text = report.render()
+        assert "demo" in text and "hello" in text and "1" in text
+
+    def test_average(self):
+        assert average([1.0, 3.0]) == 2.0
+        assert average([]) == 0.0
+
+
+class TestTableAndFigureModules:
+    def test_table3_invariants_hold(self):
+        report = table3.run(
+            mas_scale=0.2, tpch_scale=0.2, mas_ids=("2", "8", "16"), tpch_ids=("T-2",)
+        )
+        assert report.data["invariant_failures"] == []
+        assert len(report.rows) == 4
+
+    def test_figure6_panel_b_shape(self):
+        report = figure6.run(panel="6b", scale=0.2)
+        sizes = {row[0]: row for row in report.rows}
+        # End/Stage/Step identical within each program of the join chain.
+        for _program, end, stage, step, _ind in report.rows:
+            assert end == stage == step
+        # Ind is never larger than the others and shrinks as joins are added.
+        assert sizes["15"][4] <= sizes["11"][4]
+
+    def test_figure6_panel_c_all_equal(self):
+        report = figure6.run(panel="6c", scale=0.2)
+        for _program, end, stage, step, ind in report.rows:
+            assert end == stage == step == ind
+
+    def test_figure7_reports_all_programs(self):
+        report = figure7.run(scale=0.2, program_ids=("1", "16"))
+        assert len(report.rows) == 2
+        assert all(isinstance(row[1], float) for row in report.rows)
+        assert set(report.data["averages"]) == {"end", "stage", "step", "independent"}
+
+    def test_figure8_fractions_sum_to_about_one(self):
+        report = figure8.run(scale=0.2)
+        for breakdown in report.data["breakdowns"].values():
+            assert 0.95 <= sum(breakdown.values()) <= 1.0 + 1e-6
+
+    def test_figure9_rows_and_invariants(self):
+        report = figure9.run(scale=0.2, program_ids=("T-2", "T-4"))
+        assert len(report.rows) == 2
+        for row in report.rows:
+            _name, end, stage, step, ind = row[:5]
+            assert ind <= min(stage, step) and stage <= end and step <= end
+
+    def test_table4_independent_is_exact(self):
+        report = table4.run(error_counts=(4, 8), n_rows=80)
+        assert [row[1] for row in report.rows] == ["+0", "+0"]
+        for errors, info in report.data["details"].items():
+            assert info["sizes"]["end"] >= errors
+
+    def test_table5_semantics_reach_zero(self):
+        report = table5.run(error_counts=(4,), n_rows=80)
+        row = report.rows[0]
+        assert row[-1].startswith("0/")
+        details = report.data["details"][4]
+        assert sum(details["semantics_after"].values()) == 0
+
+    def test_figure10_both_panels(self):
+        report_a = figure10.run(panel="a", error_counts=(4,), n_rows=80)
+        report_b = figure10.run(panel="b", row_counts=(80,), n_errors=4)
+        assert len(report_a.rows) == 1 and len(report_b.rows) == 1
+        with pytest.raises(ValueError):
+            figure10.run(panel="z")
+
+    def test_triggers_cmp_shape(self):
+        report = triggers_cmp.run(scale=0.2, program_ids=("5", "20"))
+        for row in report.rows:
+            _program, postgres, mysql, end, stage, _step, _ind = row
+            # Pure cascade programs: triggers behave like the cascade semantics.
+            assert postgres == mysql == end == stage

@@ -1,0 +1,69 @@
+"""Tests for repair explanations (repro.core.explain)."""
+
+import pytest
+
+from repro import RepairEngine, Semantics, fact
+from repro.core.explain import explain_deletion, explain_repair
+from repro.datalog.delta import DeltaProgram
+
+from tests.conftest import PAPER_PROGRAM_TEXT, make_paper_database
+
+
+@pytest.fixture
+def setup():
+    db = make_paper_database()
+    program = DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+    return db, program, RepairEngine(db, program)
+
+
+class TestExplainDeletion:
+    def test_cascade_deletion_has_a_derivation_chain(self, setup):
+        db, program, engine = setup
+        result = engine.repair(Semantics.STEP)
+        explanation = explain_deletion(db, program, result, fact("Writes", 4, 6))
+        assert explanation.semantics == "step"
+        assert len(explanation.derivation) >= 3  # grant -> author -> writes
+        assert explanation.derivation[0].derived == "Grant(2, ERC)"
+        assert explanation.derivation[-1].derived == "Writes(4, 6)"
+        assert not explanation.is_seed()
+
+    def test_seed_deletion_has_single_step(self, setup):
+        db, program, engine = setup
+        result = engine.repair(Semantics.STAGE)
+        explanation = explain_deletion(db, program, result, fact("Grant", 2, "ERC"))
+        assert len(explanation.derivation) == 1
+        assert "Grant" in explanation.derivation[0].derived
+
+    def test_independent_deletion_lists_conflicts(self, setup):
+        db, program, engine = setup
+        result = engine.repair(Semantics.INDEPENDENT)
+        explanation = explain_deletion(db, program, result, fact("AuthGrant", 4, 2))
+        assert explanation.conflicts  # deleting ag2 resolves the Marge cascade
+        assert any("AuthGrant(4, 2)" in conflict for conflict in explanation.conflicts)
+
+    def test_non_deleted_tuple_rejected(self, setup):
+        db, program, engine = setup
+        result = engine.repair(Semantics.STEP)
+        with pytest.raises(ValueError):
+            explain_deletion(db, program, result, fact("Grant", 1, "NSF"))
+
+    def test_render_is_readable(self, setup):
+        db, program, engine = setup
+        result = engine.repair(Semantics.STEP)
+        text = explain_deletion(db, program, result, fact("Author", 4, "Marge")).render()
+        assert "derivation chain" in text
+        assert "Grant(2, ERC)" in text
+
+
+class TestExplainRepair:
+    def test_one_explanation_per_deleted_tuple(self, setup):
+        db, program, engine = setup
+        result = engine.repair(Semantics.STEP)
+        explanations = explain_repair(db, program, result)
+        assert len(explanations) == result.size
+        assert {explanation.target for explanation in explanations} == set(result.deleted)
+
+    def test_limit(self, setup):
+        db, program, engine = setup
+        result = engine.repair(Semantics.END)
+        assert len(explain_repair(db, program, result, limit=3)) == 3

@@ -1,0 +1,72 @@
+"""Unit tests for repro.storage.indexes."""
+
+from repro.storage.facts import fact
+from repro.storage.indexes import RelationIndex
+
+
+class TestRelationIndex:
+    def test_add_and_contains(self):
+        index = RelationIndex()
+        assert index.add(fact("R", 1, 2))
+        assert fact("R", 1, 2) in index
+        assert len(index) == 1
+
+    def test_add_duplicate_returns_false(self):
+        index = RelationIndex([fact("R", 1, 2)])
+        assert not index.add(fact("R", 1, 2))
+        assert len(index) == 1
+
+    def test_discard(self):
+        index = RelationIndex([fact("R", 1, 2)])
+        assert index.discard(fact("R", 1, 2))
+        assert not index.discard(fact("R", 1, 2))
+        assert len(index) == 0
+
+    def test_lookup_by_position(self):
+        index = RelationIndex([fact("R", 1, "a"), fact("R", 2, "a"), fact("R", 1, "b")])
+        assert len(index.lookup(0, 1)) == 2
+        assert len(index.lookup(1, "a")) == 2
+        assert index.lookup(0, 99) == frozenset()
+
+    def test_lookup_stays_consistent_after_mutation(self):
+        index = RelationIndex([fact("R", 1, "a")])
+        assert len(index.lookup(0, 1)) == 1  # builds the position-0 index
+        index.add(fact("R", 1, "b"))
+        index.discard(fact("R", 1, "a"))
+        assert index.lookup(0, 1) == frozenset({fact("R", 1, "b")})
+
+    def test_candidates_with_empty_bindings_scans_all(self):
+        facts = {fact("R", i) for i in range(5)}
+        index = RelationIndex(facts)
+        assert set(index.candidates({})) == facts
+
+    def test_candidates_with_multiple_bindings(self):
+        index = RelationIndex(
+            [fact("R", 1, "a", 10), fact("R", 1, "b", 10), fact("R", 2, "a", 10)]
+        )
+        matches = set(index.candidates({0: 1, 1: "a"}))
+        assert matches == {fact("R", 1, "a", 10)}
+
+    def test_candidates_miss_returns_nothing(self):
+        index = RelationIndex([fact("R", 1)])
+        assert list(index.candidates({0: 7})) == []
+
+    def test_copy_is_independent(self):
+        index = RelationIndex([fact("R", 1)])
+        copy = index.copy()
+        copy.add(fact("R", 2))
+        assert len(index) == 1
+        assert len(copy) == 2
+
+    def test_clear(self):
+        index = RelationIndex([fact("R", 1)])
+        index.lookup(0, 1)
+        index.clear()
+        assert len(index) == 0
+        assert index.lookup(0, 1) == frozenset()
+
+    def test_facts_snapshot_is_frozen(self):
+        index = RelationIndex([fact("R", 1)])
+        snapshot = index.facts()
+        index.add(fact("R", 2))
+        assert len(snapshot) == 1

@@ -1,0 +1,106 @@
+"""Unit tests for the Min-Ones SAT solver (repro.solver.minones)."""
+
+import pytest
+
+from repro.exceptions import SolverError, UnsatisfiableError
+from repro.solver.bruteforce import solve_min_ones_bruteforce
+from repro.solver.cnf import CNF
+from repro.solver.minones import solve_min_ones
+
+
+class TestBasicSolving:
+    def test_empty_formula_costs_zero(self):
+        result = solve_min_ones(CNF())
+        assert result.cost == 0
+        assert result.optimal
+
+    def test_single_positive_unit_clause(self):
+        result = solve_min_ones(CNF.from_clauses([[1]]))
+        assert result.true_variables == frozenset({1})
+        assert result.cost == 1
+
+    def test_negative_clauses_cost_nothing(self):
+        result = solve_min_ones(CNF.from_clauses([[-1], [-2, -3]]))
+        assert result.cost == 0
+
+    def test_prefers_shared_variable(self):
+        # x2 hits both clauses; the minimum is 1, not 2.
+        result = solve_min_ones(CNF.from_clauses([[1, 2], [2, 3]]))
+        assert result.true_variables == frozenset({2})
+
+    def test_vertex_cover_of_a_triangle_costs_two(self):
+        cnf = CNF.from_clauses([[1, 2], [2, 3], [1, 3]])
+        assert solve_min_ones(cnf).cost == 2
+
+    def test_mixed_literals(self):
+        # Setting 1 True violates [-1, 2] unless 2 is True; optimal is {3} or {2}? ->
+        # clause [1,3] needs 1 or 3; choosing 3 alone satisfies everything (cost 1).
+        cnf = CNF.from_clauses([[1, 3], [-1, 2]])
+        result = solve_min_ones(cnf)
+        assert result.cost == 1
+        assert cnf.is_satisfied_by(result.assignment)
+
+    def test_forced_chain_through_negatives(self):
+        # [1] forces x1; [-1, 2] then forces x2; [-2, 3] forces x3 -> cost 3.
+        cnf = CNF.from_clauses([[1], [-1, 2], [-2, 3]])
+        result = solve_min_ones(cnf)
+        assert result.cost == 3
+        assert result.true_variables == frozenset({1, 2, 3})
+
+    def test_components_add_up(self):
+        cnf = CNF.from_clauses([[1, 2], [3, 4], [5]])
+        result = solve_min_ones(cnf)
+        assert result.cost == 3
+        assert result.stats.components == 3
+
+    def test_result_is_always_a_model(self):
+        cnf = CNF.from_clauses([[1, 2], [-2, 3], [-1, -3], [2, 4]])
+        result = solve_min_ones(cnf)
+        assert cnf.is_satisfied_by(result.assignment)
+
+    def test_unsatisfiable_detected(self):
+        with pytest.raises(UnsatisfiableError):
+            solve_min_ones(CNF.from_clauses([[1], [-1]]))
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "clauses",
+        [
+            [[1, 2], [2, 3], [3, 1]],
+            [[1, 2, 3], [-1, 4], [-2, 4], [2, 5], [5, -4]],
+            [[1], [-1, 2], [-2, 3], [3, 4], [-4, 5, 6]],
+            [[1, 2], [3, 4], [5, 6], [1, 3, 5]],
+            [[-1, -2], [1, 3], [2, 3], [-3, 4]],
+        ],
+    )
+    def test_matches_bruteforce_cost(self, clauses):
+        cnf = CNF.from_clauses(clauses)
+        exact = solve_min_ones_bruteforce(cnf)
+        ours = solve_min_ones(cnf)
+        assert ours.cost == exact.cost
+        assert cnf.is_satisfied_by(ours.assignment)
+
+
+class TestFallbacks:
+    def test_greedy_fallback_when_component_too_big(self):
+        cnf = CNF.from_clauses([[1, 2], [2, 3], [3, 4]])
+        result = solve_min_ones(cnf, exact_variable_limit=2)
+        assert not result.optimal
+        assert cnf.is_satisfied_by(result.assignment)
+        assert result.stats.greedy_components >= 1
+
+    def test_node_limit_degrades_gracefully(self):
+        clauses = [[i, i + 1] for i in range(1, 20)]
+        cnf = CNF.from_clauses(clauses)
+        result = solve_min_ones(cnf, node_limit=1)
+        assert cnf.is_satisfied_by(result.assignment)
+
+    def test_bruteforce_guard(self):
+        cnf = CNF.from_clauses([[i] for i in range(1, 30)])
+        with pytest.raises(SolverError):
+            solve_min_ones_bruteforce(cnf)
+
+    def test_bruteforce_unsat(self):
+        with pytest.raises(UnsatisfiableError):
+            solve_min_ones_bruteforce(CNF.from_clauses([[1], [-1]]))

@@ -1,0 +1,187 @@
+"""Integration tests reproducing the paper's worked examples and propositions."""
+
+import pytest
+
+from repro import RepairEngine, Semantics, compare_results, fact
+from repro.core.stability import all_minimum_stabilizing_sets, is_stabilizing_set
+from repro.datalog.delta import DeltaProgram
+from repro.storage.database import Database
+from repro.storage.schema import Schema
+
+from tests.conftest import PAPER_PROGRAM_TEXT, make_paper_database
+
+
+@pytest.fixture
+def engine() -> RepairEngine:
+    return RepairEngine(
+        make_paper_database(), DeltaProgram.from_text(PAPER_PROGRAM_TEXT), verify=True
+    )
+
+
+class TestExample13:
+    """Example 1.3: the four results on the running example."""
+
+    def test_end_result(self, engine):
+        assert engine.repair(Semantics.END).size == 8
+
+    def test_stage_result(self, engine):
+        result = engine.repair(Semantics.STAGE)
+        assert result.size == 7
+        assert fact("Cite", 7, 6) not in result.deleted
+
+    def test_step_result(self, engine):
+        assert engine.repair(Semantics.STEP).deleted == frozenset(
+            {
+                fact("Grant", 2, "ERC"),
+                fact("Author", 4, "Marge"),
+                fact("Author", 5, "Homer"),
+                fact("Writes", 4, 6),
+                fact("Writes", 5, 7),
+            }
+        )
+
+    def test_independent_result(self, engine):
+        assert engine.repair(Semantics.INDEPENDENT).deleted == frozenset(
+            {fact("Grant", 2, "ERC"), fact("AuthGrant", 4, 2), fact("AuthGrant", 5, 2)}
+        )
+
+    def test_example_1_2_stabilizing_sets(self, engine):
+        """Every set listed in Example 1.2 (plus g2) stabilizes the database."""
+        db = engine.database
+        program = engine.program
+        g2 = fact("Grant", 2, "ERC")
+        candidates = [
+            {g2, fact("Author", 4, "Marge"), fact("Author", 5, "Homer"),
+             fact("Writes", 4, 6), fact("Writes", 5, 7), fact("Pub", 6, "x"),
+             fact("Pub", 7, "y"), fact("Cite", 7, 6)},
+            {g2, fact("Author", 4, "Marge"), fact("Author", 5, "Homer"),
+             fact("Writes", 4, 6), fact("Writes", 5, 7)},
+            {g2, fact("AuthGrant", 4, 2), fact("AuthGrant", 5, 2)},
+        ]
+        for candidate in candidates:
+            assert is_stabilizing_set(db, program, candidate)
+
+
+class TestProposition318:
+    """A stabilizing set always exists: the whole database and every result."""
+
+    def test_entire_database_is_stabilizing(self, engine):
+        db = engine.database
+        assert is_stabilizing_set(db, engine.program, set(db.all_active()))
+
+    def test_every_semantics_result_is_stabilizing(self, engine):
+        for semantics in Semantics:
+            result = engine.repair(semantics)
+            assert engine.is_stabilizing_set(result.deleted)
+
+
+class TestProposition319:
+    """Independent and step semantics may have several minimum results."""
+
+    def setup_method(self):
+        schema = Schema.from_arities({"R1": 1, "R2": 1})
+        self.db = Database.from_dicts(schema, {"R1": [("a",)], "R2": [("b",)]})
+        self.program = DeltaProgram.from_text(
+            """
+            delta R1(x) :- R1(x), R2(y).
+            delta R2(y) :- R1(x), R2(y).
+            """
+        )
+
+    def test_two_minimum_stabilizing_sets_exist(self):
+        minimums = all_minimum_stabilizing_sets(self.db, self.program)
+        assert frozenset({fact("R1", "a")}) in minimums
+        assert frozenset({fact("R2", "b")}) in minimums
+
+    def test_solvers_return_one_of_them(self):
+        engine = RepairEngine(self.db, self.program)
+        for semantics in (Semantics.INDEPENDENT, Semantics.STEP):
+            result = engine.repair(semantics)
+            assert result.size == 1
+            assert result.deleted in (
+                frozenset({fact("R1", "a")}),
+                frozenset({fact("R2", "b")}),
+            )
+
+
+class TestProposition320:
+    """Size and containment relationships between the four results."""
+
+    def test_relationships_on_paper_example(self, engine):
+        report = engine.compare("paper")
+        assert report.invariants_hold()
+
+    def test_item_1_strict_case(self):
+        """|Ind| can be strictly smaller than |Step| and |Stage|."""
+        schema = Schema.from_arities({"R1": 1, "R2": 1})
+        db = Database.from_dicts(
+            schema, {"R1": [(f"a{i}",) for i in range(4)], "R2": [("b",)]}
+        )
+        program = DeltaProgram.from_text("delta R1(x) :- R1(x), R2(y).")
+        results = RepairEngine(db, program).repair_all()
+        report = compare_results(results, name="prop3.20-1")
+        assert results[Semantics.INDEPENDENT].size == 1
+        assert results[Semantics.STEP].size == 4
+        assert report.invariants_hold()
+        assert not report.ind_subset_of_step  # R2(b) is not derivable
+
+    def test_items_2_and_3_strict_case(self):
+        """Stage and Step can be strict subsets of End (the R1/R2/R3 chain)."""
+        schema = Schema.from_arities({"R1": 1, "R2": 1, "R3": 1})
+        db = Database.from_dicts(
+            schema,
+            {"R1": [("a",)], "R2": [("a",)], "R3": [(f"b{i}",) for i in range(3)]},
+        )
+        program = DeltaProgram.from_text(
+            """
+            delta R1(x) :- R1(x).
+            delta R2(x) :- R2(x), delta R1(x).
+            delta R3(y) :- R3(y), R1(x), delta R2(x).
+            """
+        )
+        results = RepairEngine(db, program).repair_all()
+        assert results[Semantics.STAGE].deleted < results[Semantics.END].deleted
+        assert results[Semantics.STEP].deleted < results[Semantics.END].deleted
+
+    def test_item_4_step_strict_subset_of_stage(self):
+        """Part 1 of Prop 3.20-4: Step ⊊ Stage on the two-same-body-rules gadget."""
+        schema = Schema.from_arities({"R1": 1, "R2": 1})
+        db = Database.from_dicts(
+            schema, {"R1": [("a",)], "R2": [(f"b{i}",) for i in range(3)]}
+        )
+        program = DeltaProgram.from_text(
+            """
+            delta R1(x) :- R1(x), R2(y).
+            delta R2(y) :- R1(x), R2(y).
+            """
+        )
+        results = RepairEngine(db, program).repair_all(
+            semantics=(Semantics.STEP, Semantics.STAGE),
+        )
+        step, stage = results[Semantics.STEP], results[Semantics.STAGE]
+        assert step.deleted < stage.deleted
+        assert stage.size == 4 and step.size == 1
+
+    def test_item_4_stage_strict_subset_of_step(self):
+        """Part 2 of Prop 3.20-4: Stage ⊊ Step on the four-rule gadget (exhaustive step)."""
+        schema = Schema.from_arities({"R1": 1, "R2": 1, "R3": 1})
+        db = Database.from_dicts(
+            schema,
+            {"R1": [("a",)], "R2": [("b",)], "R3": [(f"c{i}",) for i in range(3)]},
+        )
+        program = DeltaProgram.from_text(
+            """
+            delta R1(x) :- R1(x), R2(y).
+            delta R2(x) :- R1(y), R2(x).
+            delta R3(z) :- R3(z), delta R1(x), R2(y).
+            delta R3(z) :- R3(z), R1(x), delta R2(y).
+            """
+        )
+        engine = RepairEngine(db, program)
+        stage = engine.repair(Semantics.STAGE)
+        step = engine.repair(Semantics.STEP, method="exhaustive")
+        # Stage deletes R1(a) and R2(b) in round one, so rules 3/4 can never fire;
+        # step semantics must cascade into R3 whichever rule it fires first.
+        assert stage.deleted == frozenset({fact("R1", "a"), fact("R2", "b")})
+        assert len(step.deleted) > len(stage.deleted)
+        assert fact("R3", "c0") in step.deleted

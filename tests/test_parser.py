@@ -1,0 +1,110 @@
+"""Unit tests for the textual rule syntax (repro.datalog.parser)."""
+
+import pytest
+
+from repro.datalog.ast import Constant, Variable
+from repro.datalog.parser import parse_program, parse_rule
+from repro.exceptions import ParseError
+
+
+class TestParseRule:
+    def test_simple_rule(self):
+        rule = parse_rule("delta R(x) :- R(x), S(x, y).")
+        assert rule.head.is_delta and rule.head.relation == "R"
+        assert [atom.relation for atom in rule.body] == ["R", "S"]
+
+    def test_delta_marker_variants(self):
+        for text in ("delta R(x) :- R(x).", "ΔR(x) :- R(x).", "*R(x) :- R(x)."):
+            rule = parse_rule(text)
+            assert rule.head.is_delta
+
+    def test_delta_body_atom(self):
+        rule = parse_rule("delta R(x) :- R(x), delta S(x).")
+        assert rule.body[1].is_delta
+
+    def test_string_constant(self):
+        rule = parse_rule("delta R(x, n) :- R(x, n), n = 'ERC'.")
+        assert rule.comparisons[0].rhs == Constant("ERC")
+
+    def test_double_quoted_string_constant(self):
+        rule = parse_rule('delta R(x, n) :- R(x, n), n = "ERC".')
+        assert rule.comparisons[0].rhs == Constant("ERC")
+
+    def test_numeric_constants(self):
+        rule = parse_rule("delta R(x) :- R(x), x < 10, x >= 1.5.")
+        assert rule.comparisons[0].rhs == Constant(10)
+        assert rule.comparisons[1].rhs == Constant(1.5)
+
+    def test_negative_number(self):
+        rule = parse_rule("delta R(x) :- R(x), x > -3.")
+        assert rule.comparisons[0].rhs == Constant(-3)
+
+    def test_constant_inside_atom(self):
+        rule = parse_rule("delta R(x, 5) :- R(x, 5).")
+        assert rule.head.terms[1] == Constant(5)
+
+    def test_all_comparison_operators(self):
+        rule = parse_rule(
+            "delta R(a, b) :- R(a, b), a = 1, a != 2, a < 3, a <= 4, a > 0, a >= 1, b <> 9."
+        )
+        operators = [comparison.op for comparison in rule.comparisons]
+        assert operators == ["=", "!=", "<", "<=", ">", ">=", "!="]
+
+    def test_named_rule(self):
+        rule = parse_rule("[cascade] delta R(x) :- R(x).")
+        assert rule.name == "cascade"
+
+    def test_variable_terms(self):
+        rule = parse_rule("delta R(x, y) :- R(x, y).")
+        assert rule.head.terms == (Variable("x"), Variable("y"))
+
+    def test_alternative_implication_arrow(self):
+        rule = parse_rule("delta R(x) <- R(x).")
+        assert rule.head.relation == "R"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("delta R(x) :- R(x). garbage")
+
+    def test_missing_implication_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("delta R(x) R(x).")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("delta R(x) :- R(x) & S(x).")
+
+    def test_unterminated_atom_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("delta R(x :- R(x).")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule("delta R(x) :-\n R(x) ? S(x).")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestParseProgram:
+    def test_multiple_rules_and_comments(self):
+        program = parse_program(
+            """
+            % seed rule
+            delta G(g, n) :- G(g, n), n = 'ERC'.
+            # cascade
+            delta A(a) :- A(a), AG(a, g), delta G(g, n).
+            """
+        )
+        assert len(program) == 2
+        assert program[1].body[2].is_delta
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+        assert len(parse_program("% nothing but comments\n")) == 0
+
+    def test_round_trip_through_str(self):
+        source = "delta R(x) :- R(x), S(x, y), y > 3."
+        rule = parse_rule(source)
+        reparsed = parse_rule(str(rule) + ".")
+        assert reparsed.head == rule.head
+        assert reparsed.body == rule.body
+        assert reparsed.comparisons == rule.comparisons

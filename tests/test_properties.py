@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) for the core invariants of the framework.
+
+Random small databases and delta programs are generated and the paper's
+formal guarantees are checked on every instance:
+
+* every semantics returns a stabilizing set (Proposition 3.18);
+* ``Stage ⊆ End`` and ``Step ⊆ End`` (Proposition 3.20);
+* ``|Ind| ≤ |Stage|, |Step|`` and Ind matches the brute-force minimum;
+* stage semantics is rule-order independent (Proposition 3.9);
+* the Min-Ones solver returns models matching the brute-force optimum;
+* storage-engine round trips preserve facts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, RepairEngine, Schema, Semantics
+from repro.core.stability import is_stabilizing_set, minimum_stabilizing_set_bruteforce
+from repro.datalog.delta import DeltaProgram
+from repro.datalog.parser import parse_program
+from repro.solver.bruteforce import solve_min_ones_bruteforce
+from repro.solver.cnf import CNF
+from repro.solver.minones import solve_min_ones
+from repro.storage.facts import Fact
+
+#: The small universe the random databases draw from.
+_SCHEMA = Schema.from_arities({"R": 1, "S": 1, "T": 1})
+
+#: A pool of well-formed delta rules over that universe; programs are subsets.
+_RULE_POOL = tuple(
+    parse_program(
+        """
+        delta R(x) :- R(x), S(x).
+        delta S(x) :- R(x), S(x).
+        delta T(x) :- T(x), delta R(x).
+        delta T(y) :- T(y), R(x), delta S(x).
+        delta S(y) :- S(y), delta T(y).
+        delta R(x) :- R(x), x = 0.
+        delta T(x) :- T(x), S(x), x > 1.
+        """
+    ).rules
+)
+
+values = st.integers(min_value=0, max_value=3)
+relation_contents = st.fixed_dictionaries(
+    {
+        "R": st.sets(values, max_size=3),
+        "S": st.sets(values, max_size=3),
+        "T": st.sets(values, max_size=3),
+    }
+)
+rule_subsets = st.sets(
+    st.integers(min_value=0, max_value=len(_RULE_POOL) - 1), min_size=1, max_size=4
+)
+
+
+def build_database(contents: dict) -> Database:
+    return Database.from_dicts(
+        _SCHEMA, {name: [(value,) for value in values] for name, values in contents.items()}
+    )
+
+
+def build_program(indexes: set[int]) -> DeltaProgram:
+    return DeltaProgram.from_rules(_RULE_POOL[index] for index in sorted(indexes))
+
+
+core_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestSemanticsInvariants:
+    @core_settings
+    @given(contents=relation_contents, indexes=rule_subsets)
+    def test_every_semantics_returns_a_stabilizing_set(self, contents, indexes):
+        db = build_database(contents)
+        program = build_program(indexes)
+        engine = RepairEngine(db, program)
+        for semantics in Semantics:
+            result = engine.repair(semantics)
+            assert is_stabilizing_set(db, program, result.deleted)
+            assert result.deleted <= set(db.all_active())
+
+    @core_settings
+    @given(contents=relation_contents, indexes=rule_subsets)
+    def test_containment_and_size_relationships(self, contents, indexes):
+        db = build_database(contents)
+        program = build_program(indexes)
+        results = RepairEngine(db, program).repair_all()
+        end = results[Semantics.END].deleted
+        assert results[Semantics.STAGE].deleted <= end
+        assert results[Semantics.STEP].deleted <= end
+        assert results[Semantics.INDEPENDENT].size <= results[Semantics.STAGE].size
+        assert results[Semantics.INDEPENDENT].size <= results[Semantics.STEP].size
+
+    @core_settings
+    @given(contents=relation_contents, indexes=rule_subsets)
+    def test_independent_matches_bruteforce_minimum(self, contents, indexes):
+        db = build_database(contents)
+        program = build_program(indexes)
+        if db.count_active() > 9:
+            pytest.skip("brute force limited to small instances")
+        exact = minimum_stabilizing_set_bruteforce(db, program, max_tuples=9)
+        result = RepairEngine(db, program).repair(Semantics.INDEPENDENT)
+        assert result.size == len(exact)
+
+    @core_settings
+    @given(contents=relation_contents, indexes=rule_subsets)
+    def test_stage_is_rule_order_independent(self, contents, indexes):
+        db = build_database(contents)
+        program = build_program(indexes)
+        reversed_program = DeltaProgram.from_rules(tuple(reversed(program.rules)))
+        first = RepairEngine(db, program).repair(Semantics.STAGE).deleted
+        second = RepairEngine(db, reversed_program).repair(Semantics.STAGE).deleted
+        assert first == second
+
+    @core_settings
+    @given(contents=relation_contents, indexes=rule_subsets)
+    def test_repaired_database_is_original_minus_deleted(self, contents, indexes):
+        db = build_database(contents)
+        program = build_program(indexes)
+        result = RepairEngine(db, program).repair(Semantics.STAGE)
+        active_after = set(result.repaired.all_active())
+        assert active_after == set(db.all_active()) - result.deleted
+
+
+class TestSolverProperties:
+    clause_literals = st.lists(
+        st.integers(min_value=-5, max_value=5).filter(lambda literal: literal != 0),
+        min_size=1,
+        max_size=4,
+    )
+    formulas = st.lists(clause_literals, min_size=0, max_size=8)
+
+    @settings(max_examples=60, deadline=None)
+    @given(clauses=formulas)
+    def test_solver_matches_bruteforce_when_satisfiable(self, clauses):
+        cnf = CNF.from_clauses(clauses) if clauses else CNF()
+        try:
+            exact = solve_min_ones_bruteforce(cnf)
+        except Exception:
+            # Unsatisfiable formulas: the solver must also refuse.
+            with pytest.raises(Exception):
+                solve_min_ones(cnf)
+            return
+        result = solve_min_ones(cnf)
+        assert result.cost == exact.cost
+        assert cnf.is_satisfied_by(result.assignment)
+
+    @settings(max_examples=40, deadline=None)
+    @given(clauses=formulas)
+    def test_simplification_preserves_models(self, clauses):
+        cnf = CNF.from_clauses(clauses) if clauses else CNF()
+        simplified = cnf.simplified()
+        try:
+            result = solve_min_ones(cnf)
+        except Exception:
+            return
+        assert simplified.is_satisfied_by(result.assignment)
+
+
+class TestStorageProperties:
+    rows = st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5), st.text(max_size=3)),
+        max_size=10,
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=rows)
+    def test_insert_then_read_round_trips(self, rows):
+        schema = Schema.from_arities({"R": 2})
+        db = Database(schema)
+        for row in rows:
+            db.insert(Fact("R", row))
+        assert db.active_facts("R") == frozenset(Fact("R", row) for row in rows)
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=rows)
+    def test_delete_moves_every_tuple_to_delta(self, rows):
+        schema = Schema.from_arities({"R": 2})
+        db = Database(schema)
+        facts = [Fact("R", row) for row in rows]
+        db.insert_all(facts)
+        db.delete_all(list(db.active_facts("R")))
+        assert db.count_active("R") == 0
+        assert db.delta_facts("R") == frozenset(facts)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rows=rows)
+    def test_clone_equality(self, rows):
+        schema = Schema.from_arities({"R": 2})
+        db = Database(schema)
+        db.insert_all(Fact("R", row) for row in rows)
+        assert db.clone().same_state_as(db)

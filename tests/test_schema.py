@@ -1,0 +1,103 @@
+"""Unit tests for repro.storage.schema."""
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownRelationError
+from repro.storage.schema import Attribute, RelationSchema, Schema
+
+
+class TestAttribute:
+    def test_default_type_is_str(self):
+        assert Attribute("name").dtype == "str"
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("name", "blob")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("bad name", "str")
+
+    def test_int_validation(self):
+        attribute = Attribute("aid", "int")
+        assert attribute.validate(3)
+        assert not attribute.validate("3")
+        assert not attribute.validate(True)
+
+    def test_float_validation_accepts_int(self):
+        attribute = Attribute("score", "float")
+        assert attribute.validate(1.5)
+        assert attribute.validate(2)
+
+    def test_str_validation(self):
+        attribute = Attribute("name", "str")
+        assert attribute.validate("abc")
+        assert not attribute.validate(5)
+
+
+class TestRelationSchema:
+    def test_of_parses_typed_specs(self):
+        relation = RelationSchema.of("Author", "aid:int", "name")
+        assert relation.arity == 2
+        assert relation.attribute_names == ("aid", "name")
+        assert relation.attributes[0].dtype == "int"
+        assert relation.attributes[1].dtype == "str"
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("R", "x", "x")
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_position_of(self):
+        relation = RelationSchema.of("Author", "aid:int", "name", "oid:int")
+        assert relation.position_of("oid") == 2
+        with pytest.raises(SchemaError):
+            relation.position_of("missing")
+
+    def test_validate_values_arity(self):
+        relation = RelationSchema.of("R", "x:int", "y:str")
+        relation.validate_values((1, "a"))
+        with pytest.raises(SchemaError):
+            relation.validate_values((1,))
+
+    def test_validate_values_typed(self):
+        relation = RelationSchema.of("R", "x:int", "y:str")
+        with pytest.raises(SchemaError):
+            relation.validate_values(("1", "a"), typed=True)
+
+
+class TestSchema:
+    def test_from_arities(self):
+        schema = Schema.from_arities({"R": 2, "S": 3})
+        assert schema.arity("R") == 2
+        assert schema.arity("S") == 3
+        assert set(schema.names()) == {"R", "S"}
+
+    def test_unknown_relation_raises(self):
+        schema = Schema.from_arities({"R": 1})
+        with pytest.raises(UnknownRelationError):
+            schema.relation("T")
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema.from_arities({"R": 1})
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema.of("R", "x"))
+
+    def test_contains_iter_len(self):
+        schema = Schema.from_arities({"R": 1, "S": 2})
+        assert "R" in schema and "T" not in schema
+        assert len(schema) == 2
+        assert {relation.name for relation in schema} == {"R", "S"}
+
+    def test_copy_is_independent(self):
+        schema = Schema.from_arities({"R": 1})
+        copy = schema.copy()
+        copy.add(RelationSchema.of("S", "x"))
+        assert "S" not in schema
+
+    def test_mismatched_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"X": RelationSchema.of("Y", "a")})

@@ -1,0 +1,119 @@
+"""Unit tests for end and stage semantics (the PTIME semantics)."""
+
+import pytest
+
+from repro.core.semantics import Semantics, end_semantics, stage_semantics
+from repro.core.stability import is_stabilizing_set
+from repro.datalog.delta import DeltaProgram
+from repro.storage.database import Database
+from repro.storage.facts import fact
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def chain_setup():
+    """The Proposition 3.20-2 counterexample separating stage from end semantics."""
+    schema = Schema.from_arities({"R1": 1, "R2": 1, "R3": 1})
+    db = Database.from_dicts(
+        schema, {"R1": [("a",)], "R2": [("a",)], "R3": [(f"b{i}",) for i in range(4)]}
+    )
+    program = DeltaProgram.from_text(
+        """
+        delta R1(x) :- R1(x).
+        delta R2(x) :- R2(x), delta R1(x).
+        delta R3(y) :- R3(y), R1(x), delta R2(x).
+        """
+    )
+    return db, program
+
+
+class TestEndSemantics:
+    def test_stable_database_deletes_nothing(self):
+        schema = Schema.from_arities({"R": 1, "S": 1})
+        db = Database.from_dicts(schema, {"R": [(1,)], "S": []})
+        result = end_semantics(db, DeltaProgram.from_text("delta R(x) :- R(x), S(x)."))
+        assert result.size == 0
+        assert result.semantics is Semantics.END
+
+    def test_derives_against_original_relations(self, chain_setup):
+        db, program = chain_setup
+        result = end_semantics(db, program)
+        # End semantics keeps R1(a) visible while deriving, so rule 3 fires and
+        # all R3 tuples are deleted (6 deletions in total).
+        assert result.size == 6
+        assert fact("R3", "b0") in result.deleted
+
+    def test_result_is_stabilizing(self, chain_setup):
+        db, program = chain_setup
+        result = end_semantics(db, program)
+        assert is_stabilizing_set(db, program, result.deleted)
+
+    def test_original_database_untouched(self, chain_setup):
+        db, program = chain_setup
+        end_semantics(db, program)
+        assert db.count_delta() == 0
+        assert db.count_active() == 6
+
+    def test_repaired_database_state(self, chain_setup):
+        db, program = chain_setup
+        result = end_semantics(db, program)
+        assert result.repaired.count_active() == 0
+        assert result.repaired.count_delta() == 6
+
+    def test_rounds_reported(self, chain_setup):
+        db, program = chain_setup
+        result = end_semantics(db, program)
+        assert result.rounds is not None and result.rounds >= 2
+
+    def test_timer_records_eval_phase(self, chain_setup):
+        db, program = chain_setup
+        result = end_semantics(db, program)
+        assert result.timer.get("eval") >= 0.0
+        assert result.runtime >= 0.0
+
+
+class TestStageSemantics:
+    def test_stops_cascade_when_support_is_deleted(self, chain_setup):
+        db, program = chain_setup
+        result = stage_semantics(db, program)
+        # Stage semantics deletes R1(a) in stage 1, so rule 3's positive R1 atom
+        # can no longer be matched: only R1(a) and R2(a) are deleted.
+        assert result.deleted == frozenset({fact("R1", "a"), fact("R2", "a")})
+
+    def test_stage_result_subset_of_end(self, chain_setup):
+        db, program = chain_setup
+        stage = stage_semantics(db, program)
+        end = end_semantics(db, program)
+        assert stage.deleted <= end.deleted
+        assert stage.deleted != end.deleted  # strict on this counterexample
+
+    def test_stage_is_stabilizing(self, chain_setup):
+        db, program = chain_setup
+        result = stage_semantics(db, program)
+        assert is_stabilizing_set(db, program, result.deleted)
+
+    def test_unique_fixpoint_independent_of_rule_order(self, chain_setup):
+        """Proposition 3.9: stage semantics converges to a unique fixpoint."""
+        db, program = chain_setup
+        reversed_program = DeltaProgram.from_rules(tuple(reversed(program.rules)))
+        assert (
+            stage_semantics(db, program).deleted
+            == stage_semantics(db, reversed_program).deleted
+        )
+
+    def test_rounds_counted(self, chain_setup):
+        db, program = chain_setup
+        result = stage_semantics(db, program)
+        assert result.rounds >= 2
+
+    def test_stable_database_single_round(self):
+        schema = Schema.from_arities({"R": 1, "S": 1})
+        db = Database.from_dicts(schema, {"R": [(1,)], "S": []})
+        result = stage_semantics(db, DeltaProgram.from_text("delta R(x) :- R(x), S(x)."))
+        assert result.size == 0
+        assert result.rounds == 1
+
+    def test_original_database_untouched(self, chain_setup):
+        db, program = chain_setup
+        stage_semantics(db, program)
+        assert db.count_delta() == 0

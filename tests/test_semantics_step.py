@@ -1,0 +1,141 @@
+"""Unit tests for step semantics (greedy Algorithm 2 and the exhaustive search)."""
+
+import pytest
+
+from repro.core.semantics import Semantics, stage_semantics, step_semantics
+from repro.core.stability import is_stabilizing_set
+from repro.datalog.delta import DeltaProgram
+from repro.exceptions import SemanticsError
+from repro.storage.database import Database
+from repro.storage.facts import fact
+from repro.storage.schema import Schema
+
+from tests.conftest import PAPER_PROGRAM_TEXT, make_paper_database
+
+
+def small_choice_instance():
+    """Proposition 3.20-4 part 1: step can fire one rule and block the other."""
+    schema = Schema.from_arities({"R1": 1, "R2": 1})
+    db = Database.from_dicts(
+        schema, {"R1": [("a",)], "R2": [(f"b{i}",) for i in range(3)]}
+    )
+    program = DeltaProgram.from_text(
+        """
+        delta R1(x) :- R1(x), R2(y).
+        delta R2(y) :- R1(x), R2(y).
+        """
+    )
+    return db, program
+
+
+class TestGreedyStep:
+    def test_paper_example_matches_example_5_2(self):
+        db = make_paper_database()
+        program = DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+        result = step_semantics(db, program)
+        assert result.deleted == frozenset(
+            {
+                fact("Grant", 2, "ERC"),
+                fact("Author", 4, "Marge"),
+                fact("Author", 5, "Homer"),
+                fact("Writes", 4, 6),
+                fact("Writes", 5, 7),
+            }
+        )
+        assert result.metadata["method"] == "greedy"
+
+    def test_result_is_stabilizing(self):
+        db = make_paper_database()
+        program = DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+        result = step_semantics(db, program)
+        assert is_stabilizing_set(db, program, result.deleted)
+
+    def test_metadata_reports_provenance_size(self):
+        db = make_paper_database()
+        program = DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+        result = step_semantics(db, program)
+        assert result.metadata["provenance_assignments"] == 8
+        assert result.metadata["pruned_delta_tuples"] == 3  # p1, p2 and c
+
+    def test_timer_has_three_phases(self):
+        db = make_paper_database()
+        program = DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+        timer_phases = step_semantics(db, program).timer.phases
+        assert set(timer_phases) == {"eval", "process_prov", "traverse"}
+
+    def test_greedy_beats_stage_on_same_body_rules(self):
+        db, program = small_choice_instance()
+        step = step_semantics(db, program)
+        stage = stage_semantics(db, program)
+        assert step.size < stage.size
+        assert step.size == 1
+
+    def test_stable_database_returns_empty(self):
+        schema = Schema.from_arities({"R": 1, "S": 1})
+        db = Database.from_dicts(schema, {"R": [(1,)], "S": []})
+        program = DeltaProgram.from_text("delta R(x) :- R(x), S(x).")
+        assert step_semantics(db, program).size == 0
+
+    def test_unknown_method_rejected(self):
+        db, program = small_choice_instance()
+        with pytest.raises(SemanticsError):
+            step_semantics(db, program, method="magic")
+
+    def test_original_database_untouched(self):
+        db = make_paper_database()
+        program = DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+        step_semantics(db, program)
+        assert db.count_delta() == 0
+
+
+class TestExhaustiveStep:
+    def test_finds_minimum_firing_sequence(self):
+        db, program = small_choice_instance()
+        result = step_semantics(db, program, method="exhaustive")
+        assert result.size == 1
+        assert result.metadata["method"] == "exhaustive"
+
+    def test_matches_greedy_on_paper_example(self):
+        db = make_paper_database()
+        program = DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+        exact = step_semantics(db, program, method="exhaustive")
+        greedy = step_semantics(db, program, method="greedy")
+        assert exact.size == 5
+        assert greedy.size == exact.size
+
+    def test_greedy_never_beats_exhaustive(self):
+        """The exhaustive search is the ground truth; greedy is an upper bound."""
+        schema = Schema.from_arities({"A": 1, "B": 1, "C": 1})
+        db = Database.from_dicts(
+            schema, {"A": [(1,), (2,)], "B": [(1,), (2,)], "C": [(1,)]}
+        )
+        program = DeltaProgram.from_text(
+            """
+            delta A(x) :- A(x), B(x).
+            delta B(x) :- A(x), B(x).
+            delta C(x) :- C(x), delta A(x).
+            """
+        )
+        exact = step_semantics(db, program, method="exhaustive")
+        greedy = step_semantics(db, program, method="greedy")
+        assert exact.size <= greedy.size
+        assert is_stabilizing_set(db, program, greedy.deleted)
+
+    def test_state_budget_guard(self):
+        db = make_paper_database()
+        program = DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+        with pytest.raises(SemanticsError):
+            step_semantics(db, program, method="exhaustive", max_states=2)
+
+    def test_step_subset_of_end_on_paper_example(self):
+        from repro.core.semantics import end_semantics
+
+        db = make_paper_database()
+        program = DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+        step = step_semantics(db, program)
+        end = end_semantics(db, program)
+        assert step.deleted <= end.deleted
+
+    def test_semantics_tag(self):
+        db, program = small_choice_instance()
+        assert step_semantics(db, program).semantics is Semantics.STEP

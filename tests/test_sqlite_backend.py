@@ -1,0 +1,112 @@
+"""Unit tests for the SQLite storage engine and its equivalence with the in-memory one."""
+
+import pytest
+
+from repro.datalog import DeltaProgram, find_assignments
+from repro.exceptions import ArityMismatchError, StorageError, UnknownRelationError
+from repro.storage.database import Database
+from repro.storage.facts import fact
+from repro.storage.schema import RelationSchema, Schema
+from repro.storage.sqlite_backend import SQLiteDatabase, active_table, delta_table
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.from_relations(
+        [RelationSchema.of("R", "x:int", "y:str"), RelationSchema.of("S", "x:int")]
+    )
+
+
+@pytest.fixture
+def db(schema: Schema) -> SQLiteDatabase:
+    built = SQLiteDatabase(schema)
+    built.insert_all([fact("R", 1, "a"), fact("R", 2, "b"), fact("S", 1)])
+    return built
+
+
+class TestBasics:
+    def test_table_names(self):
+        assert active_table("R") == "r_R"
+        assert delta_table("R") == "d_R"
+
+    def test_insert_and_count(self, db: SQLiteDatabase):
+        assert db.count_active("R") == 2
+        assert db.count_active() == 3
+
+    def test_insert_duplicate_ignored(self, db: SQLiteDatabase):
+        assert not db.insert(fact("R", 1, "a"))
+        assert db.count_active("R") == 2
+
+    def test_unknown_relation_rejected(self, db: SQLiteDatabase):
+        with pytest.raises(UnknownRelationError):
+            db.insert(fact("T", 1))
+        with pytest.raises(UnknownRelationError):
+            db.active_facts("T")
+
+    def test_arity_mismatch_rejected(self, db: SQLiteDatabase):
+        with pytest.raises(ArityMismatchError):
+            db.insert(fact("R", 1))
+
+    def test_delete_and_delta(self, db: SQLiteDatabase):
+        db.delete(fact("R", 1, "a"))
+        assert not db.has_active(fact("R", 1, "a"))
+        assert db.has_delta(fact("R", 1, "a"))
+        assert db.count_delta("R") == 1
+
+    def test_mark_deleted_and_drop_active(self, db: SQLiteDatabase):
+        db.mark_deleted(fact("R", 2, "b"))
+        assert db.has_active(fact("R", 2, "b"))
+        db.drop_active(fact("R", 2, "b"))
+        assert not db.has_active(fact("R", 2, "b"))
+
+    def test_candidates_filters_by_bindings(self, db: SQLiteDatabase):
+        assert set(db.candidates("R", {0: 2})) == {fact("R", 2, "b")}
+        assert set(db.candidates("R", {})) == {fact("R", 1, "a"), fact("R", 2, "b")}
+
+    def test_tid_round_trips(self, schema: Schema):
+        built = SQLiteDatabase(schema)
+        built.insert(fact("R", 5, "z", tid="special"))
+        stored = next(iter(built.active_facts("R")))
+        assert stored.tid == "special"
+
+    def test_execute_rejects_bad_sql(self, db: SQLiteDatabase):
+        with pytest.raises(StorageError):
+            db.execute("SELECT * FROM missing_table")
+
+    def test_clone_and_equality(self, db: SQLiteDatabase):
+        db.delete(fact("S", 1))
+        copy = db.clone()
+        assert copy.same_state_as(db)
+        copy.delete(fact("R", 1, "a"))
+        assert not copy.same_state_as(db)
+
+    def test_not_hashable(self, db: SQLiteDatabase):
+        with pytest.raises(TypeError):
+            hash(db)
+
+
+class TestCrossBackendEquivalence:
+    def test_from_database_copies_state(self, schema: Schema):
+        memory = Database.from_dicts(schema, {"R": [(1, "a")], "S": [(2,)]})
+        memory.delete(fact("S", 2))
+        sqlite = SQLiteDatabase.from_database(memory)
+        assert sqlite.same_state_as(memory)
+
+    def test_rule_evaluation_matches_memory_backend(self, schema: Schema):
+        program = DeltaProgram.from_text("delta R(x, y) :- R(x, y), S(x).")
+        memory = Database.from_dicts(schema, {"R": [(1, "a"), (2, "b")], "S": [(1,)]})
+        sqlite = SQLiteDatabase.from_database(memory)
+        mem_derived = {a.derived for a in find_assignments(memory, program[0])}
+        sql_derived = {a.derived for a in find_assignments(sqlite, program[0])}
+        assert mem_derived == sql_derived == {fact("R", 1, "a")}
+
+    def test_repair_matches_memory_backend(self, schema: Schema):
+        from repro import RepairEngine, Semantics
+
+        program = DeltaProgram.from_text("delta R(x, y) :- R(x, y), S(x).")
+        memory = Database.from_dicts(schema, {"R": [(1, "a"), (2, "b")], "S": [(1,)]})
+        sqlite = SQLiteDatabase.from_database(memory)
+        for semantics in Semantics:
+            mem = RepairEngine(memory, program).repair(semantics).deleted
+            sql = RepairEngine(sqlite, program).repair(semantics).deleted
+            assert mem == sql

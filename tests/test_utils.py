@@ -1,0 +1,95 @@
+"""Unit tests for the shared utilities (timing, rng, text tables)."""
+
+import time
+
+from repro.utils.rng import make_rng, stable_hash
+from repro.utils.text import format_percentages, format_table
+from repro.utils.timing import PhaseTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates_elapsed_time(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        first = watch.stop()
+        assert first > 0.0
+        watch.start()
+        assert watch.stop() >= first
+
+    def test_reset(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_elapsed_while_running(self):
+        watch = Stopwatch()
+        watch.start()
+        assert watch.elapsed >= 0.0
+
+
+class TestPhaseTimer:
+    def test_phase_context_manager(self):
+        timer = PhaseTimer()
+        with timer.phase("eval"):
+            time.sleep(0.005)
+        assert timer.get("eval") > 0.0
+        assert timer.total == timer.get("eval")
+
+    def test_add_and_merge(self):
+        first = PhaseTimer()
+        first.add("solve", 1.0)
+        second = PhaseTimer()
+        second.add("solve", 0.5)
+        second.add("eval", 2.0)
+        first.merge(second)
+        assert first.get("solve") == 1.5
+        assert first.get("eval") == 2.0
+
+    def test_fractions_sum_to_one(self):
+        timer = PhaseTimer()
+        timer.add("a", 1.0)
+        timer.add("b", 3.0)
+        fractions = timer.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        assert fractions["b"] == 0.75
+
+    def test_fractions_of_empty_timer(self):
+        assert PhaseTimer().fractions() == {}
+        assert PhaseTimer().get("missing") == 0.0
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(7, "x").random() == make_rng(7, "x").random()
+
+    def test_namespaces_decorrelate_streams(self):
+        assert make_rng(7, "x").random() != make_rng(7, "y").random()
+
+    def test_none_seed_gives_unseeded_rng(self):
+        assert isinstance(make_rng(None).random(), float)
+
+    def test_stable_hash_is_deterministic_and_nonnegative(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+        assert stable_hash("a", 1) != stable_hash("a", 2)
+        assert stable_hash("anything") >= 0
+
+
+class TestTextTables:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["name", "count"], [["alpha", 1], ["b", 22]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "count" in lines[1]
+        assert lines[2].count("-") > 5
+        assert "alpha" in lines[3]
+
+    def test_format_table_stringifies_floats_and_bools(self):
+        text = format_table(["a", "b"], [[1.23456, True]])
+        assert "1.235" in text and "yes" in text
+
+    def test_format_percentages(self):
+        text = format_percentages({"eval": 0.5, "solve": 0.25})
+        assert "eval=50.0%" in text and "solve=25.0%" in text

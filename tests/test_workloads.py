@@ -1,0 +1,172 @@
+"""Tests for the synthetic workload generators and the paper's programs."""
+
+import pytest
+
+from repro import RepairEngine, Semantics
+from repro.core.stability import is_stabilizing_set
+from repro.exceptions import ExperimentError
+from repro.workloads import (
+    dc_constraints,
+    dc_program,
+    generate_author_table,
+    generate_mas,
+    generate_tpch,
+    inject_errors,
+    mas_program,
+    mas_programs,
+    tpch_program,
+    tpch_programs,
+)
+from repro.workloads.errors import AUTHOR_EXT_RELATION
+from repro.workloads.programs_mas import MAS_PROGRAM_IDS
+from repro.workloads.programs_tpch import TPCH_PROGRAM_IDS
+
+
+class TestMASGenerator:
+    def test_deterministic_for_same_seed(self):
+        first = generate_mas(scale=0.2, seed=3)
+        second = generate_mas(scale=0.2, seed=3)
+        assert first.db.same_state_as(second.db)
+        assert first.constants == second.constants
+
+    def test_different_seeds_differ(self):
+        assert not generate_mas(scale=0.2, seed=3).db.same_state_as(
+            generate_mas(scale=0.2, seed=4).db
+        )
+
+    def test_scale_grows_the_instance(self):
+        small = generate_mas(scale=0.2, seed=1)
+        large = generate_mas(scale=0.6, seed=1)
+        assert large.total_tuples > small.total_tuples
+
+    def test_referential_integrity(self, small_mas):
+        db = small_mas.db
+        author_ids = {item.values[0] for item in db.active_facts("Author")}
+        org_ids = {item.values[0] for item in db.active_facts("Organization")}
+        pub_ids = {item.values[0] for item in db.active_facts("Publication")}
+        for item in db.active_facts("Writes"):
+            assert item.values[0] in author_ids and item.values[1] in pub_ids
+        for item in db.active_facts("Author"):
+            assert item.values[2] in org_ids
+        for item in db.active_facts("Cite"):
+            assert item.values[0] in pub_ids and item.values[1] in pub_ids
+
+    def test_constants_refer_to_existing_tuples(self, small_mas):
+        constants = small_mas.constants
+        author_ids = {item.values[0] for item in small_mas.db.active_facts("Author")}
+        assert constants.target_author_id in author_ids
+        names = {item.values[1] for item in small_mas.db.active_facts("Author")}
+        assert constants.target_author_name in names
+
+    def test_fresh_db_is_a_copy(self, small_mas):
+        copy = small_mas.fresh_db()
+        copy.delete(next(iter(copy.active_facts("Author"))))
+        assert small_mas.db.count_delta() == 0
+
+
+class TestTPCHGenerator:
+    def test_deterministic(self):
+        assert generate_tpch(scale=0.2, seed=5).db.same_state_as(
+            generate_tpch(scale=0.2, seed=5).db
+        )
+
+    def test_counts_cover_all_eight_tables(self, small_tpch):
+        assert set(small_tpch.counts) == {
+            "Region", "Nation", "Supplier", "Customer", "Part",
+            "PartSupp", "Orders", "LineItem",
+        }
+        assert small_tpch.total_tuples == sum(small_tpch.counts.values())
+
+    def test_referential_integrity(self, small_tpch):
+        db = small_tpch.db
+        supplier_keys = {item.values[0] for item in db.active_facts("Supplier")}
+        part_keys = {item.values[0] for item in db.active_facts("Part")}
+        order_keys = {item.values[0] for item in db.active_facts("Orders")}
+        for item in db.active_facts("PartSupp"):
+            assert item.values[0] in supplier_keys and item.values[1] in part_keys
+        for item in db.active_facts("LineItem"):
+            assert item.values[0] in order_keys
+
+
+class TestMASPrograms:
+    def test_all_twenty_programs_validate(self, small_mas):
+        programs = mas_programs(small_mas)
+        assert set(programs) == set(MAS_PROGRAM_IDS)
+
+    def test_unknown_program_rejected(self, small_mas):
+        with pytest.raises(ExperimentError):
+            mas_program(small_mas, "99")
+
+    def test_program_2_independent_result_is_single_author(self, small_mas):
+        program = mas_program(small_mas, "2")
+        engine = RepairEngine(small_mas.fresh_db(), program)
+        result = engine.repair(Semantics.INDEPENDENT)
+        assert result.size == 1
+        assert next(iter(result.deleted)).relation == "Author"
+
+    def test_cascade_program_20_same_for_all_semantics(self, small_mas):
+        program = mas_program(small_mas, "20")
+        results = RepairEngine(small_mas.fresh_db(), program).repair_all()
+        sizes = {result.size for result in results.values()}
+        assert len(sizes) == 1
+
+    def test_results_are_stabilizing_for_a_sample(self, small_mas):
+        for program_id in ("1", "6", "15"):
+            program = mas_program(small_mas, program_id)
+            db = small_mas.fresh_db()
+            for semantics in (Semantics.STAGE, Semantics.STEP, Semantics.INDEPENDENT):
+                result = RepairEngine(db, program).repair(semantics)
+                assert is_stabilizing_set(db, program, result.deleted)
+
+
+class TestTPCHPrograms:
+    def test_all_six_programs_validate(self, small_tpch):
+        assert set(tpch_programs(small_tpch)) == set(TPCH_PROGRAM_IDS)
+
+    def test_unknown_program_rejected(self, small_tpch):
+        with pytest.raises(ExperimentError):
+            tpch_program(small_tpch, "T-9")
+
+    def test_t2_cascade_results_contained_in_end(self, small_tpch):
+        program = tpch_program(small_tpch, "T-2")
+        results = RepairEngine(small_tpch.fresh_db(), program).repair_all()
+        assert results[Semantics.STAGE].deleted <= results[Semantics.END].deleted
+        assert results[Semantics.STEP].deleted <= results[Semantics.END].deleted
+
+
+class TestErrorInjection:
+    def test_clean_table_is_stable_under_dcs(self):
+        clean = generate_author_table(80, seed=1)
+        assert RepairEngine(clean, dc_program()).is_stable()
+
+    def test_injection_creates_violations(self):
+        clean = generate_author_table(80, seed=1)
+        dirty = inject_errors(clean, 8, seed=2)
+        assert dirty.error_count == 8
+        assert dirty.db.count_active(AUTHOR_EXT_RELATION) == 88
+        assert not RepairEngine(dirty.db, dc_program()).is_stable()
+
+    def test_injected_rows_are_a_stabilizing_set(self):
+        clean = generate_author_table(80, seed=1)
+        dirty = inject_errors(clean, 8, seed=2)
+        assert is_stabilizing_set(dirty.db, dc_program(), dirty.injected)
+
+    def test_ground_truth_bookkeeping(self):
+        clean = generate_author_table(50, seed=3)
+        dirty = inject_errors(clean, 6, seed=4)
+        for bad in dirty.injected:
+            clean_row = dirty.clean_counterpart[bad]
+            position = dirty.perturbed_attribute[bad]
+            assert bad.values[0] == clean_row.values[0]  # same aid
+            assert bad.values[position] != clean_row.values[position]
+
+    def test_too_many_errors_rejected(self):
+        clean = generate_author_table(10, seed=1)
+        with pytest.raises(ExperimentError):
+            inject_errors(clean, 11)
+
+    def test_dc_constraints_cover_the_four_papers_constraints(self):
+        constraints = dc_constraints()
+        assert set(constraints) == {"DC1", "DC2", "DC3", "DC4"}
+        assert len(dc_program()) == 4
+        assert len(dc_program(per_atom=True)) == 8

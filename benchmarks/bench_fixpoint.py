@@ -1,0 +1,252 @@
+"""Micro-benchmark: naive vs semi-naive fixpoint evaluation.
+
+Compares the two closure engines (:func:`repro.datalog.evaluation.run_closure`
+with ``engine="naive"`` / ``engine="semi-naive"``) on the scaling MAS and
+TPC-H workload programs, plus an end-to-end comparison of figure-6-style
+end-semantics runs.  Results are written to ``BENCH_fixpoint.json`` at the
+repository root so the perf trajectory is tracked across PRs.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fixpoint.py            # full run
+    PYTHONPATH=src python benchmarks/bench_fixpoint.py --smoke    # 1 repetition, small scales
+
+or through pytest (a correctness-checked smoke configuration)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fixpoint.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.semantics import end_semantics
+from repro.datalog.evaluation import run_closure
+from repro.workloads.mas import generate_mas
+from repro.workloads.programs_mas import mas_programs
+from repro.workloads.programs_tpch import tpch_programs
+from repro.workloads.tpch import generate_tpch
+
+#: (workload, program id) pairs ordered by cascade depth; the last MAS entry
+#: (program 20, the 5-layer cascade) is the "largest multi-round program" the
+#: acceptance criterion tracks.
+CLOSURE_PROGRAMS = (
+    ("mas", "10"),
+    ("mas", "18"),
+    ("mas", "20"),
+    ("tpch", "T-4"),
+    ("tpch", "T-6"),
+)
+
+#: Figure-6c style end-semantics programs (the growing cascade chain).
+END_TO_END_PROGRAMS = ("16", "17", "18", "19", "20")
+
+SEED = 7
+
+
+def _dataset(workload: str, scale: float):
+    if workload == "mas":
+        return generate_mas(scale=scale, seed=SEED)
+    return generate_tpch(scale=scale, seed=SEED)
+
+
+def _program(workload: str, dataset, program_id: str):
+    if workload == "mas":
+        return mas_programs(dataset, (program_id,))[program_id]
+    return tpch_programs(dataset, (program_id,))[program_id]
+
+
+def _time_closure(db, program, engine: str, repetitions: int):
+    """Best-of-N wall clock for one closure run; returns (seconds, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repetitions):
+        working = db.clone()
+        start = time.perf_counter()
+        result = run_closure(working, program, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_closures(scales: Dict[str, List[float]], repetitions: int) -> List[dict]:
+    rows: List[dict] = []
+    for workload, program_id in CLOSURE_PROGRAMS:
+        for scale in scales[workload]:
+            dataset = _dataset(workload, scale)
+            program = _program(workload, dataset, program_id)
+            naive_db, semi_db = dataset.db.clone(), dataset.db.clone()
+            naive_seconds, naive = _time_closure(
+                naive_db, program, "naive", repetitions
+            )
+            semi_seconds, semi = _time_closure(
+                semi_db, program, "semi-naive", repetitions
+            )
+            # The benchmark doubles as a differential check.
+            naive_signatures = {a.signature() for a in naive.assignments}
+            semi_signatures = {a.signature() for a in semi.assignments}
+            if naive_signatures != semi_signatures:
+                raise AssertionError(
+                    f"{workload}/{program_id}@{scale}: engines disagree"
+                )
+            rows.append(
+                {
+                    "workload": workload,
+                    "program": program_id,
+                    "scale": scale,
+                    "tuples": dataset.total_tuples,
+                    "assignments": len(naive.assignments),
+                    "naive_seconds": round(naive_seconds, 6),
+                    "semi_naive_seconds": round(semi_seconds, 6),
+                    "naive_rounds": naive.rounds,
+                    "semi_naive_rounds": semi.rounds,
+                    "speedup": round(naive_seconds / max(semi_seconds, 1e-9), 3),
+                }
+            )
+    return rows
+
+
+def bench_end_to_end(scale: float, repetitions: int) -> List[dict]:
+    """Figure-6-style end-semantics runs (full repair, not just the closure)."""
+    rows: List[dict] = []
+    dataset = generate_mas(scale=scale, seed=SEED)
+    for program_id in END_TO_END_PROGRAMS:
+        program = mas_programs(dataset, (program_id,))[program_id]
+        timings = {}
+        results = {}
+        for engine in ("naive", "semi-naive"):
+            best = float("inf")
+            for _ in range(repetitions):
+                start = time.perf_counter()
+                results[engine] = end_semantics(dataset.db, program, engine=engine)
+                best = min(best, time.perf_counter() - start)
+            timings[engine] = best
+        if results["naive"].deleted != results["semi-naive"].deleted:
+            raise AssertionError(f"end semantics disagree on program {program_id}")
+        rows.append(
+            {
+                "workload": "mas",
+                "program": program_id,
+                "scale": scale,
+                "deleted": results["naive"].size,
+                "naive_seconds": round(timings["naive"], 6),
+                "semi_naive_seconds": round(timings["semi-naive"], 6),
+                "speedup": round(
+                    timings["naive"] / max(timings["semi-naive"], 1e-9), 3
+                ),
+            }
+        )
+    return rows
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    # Warm the lazily imported engine modules so single-repetition (smoke)
+    # timings measure evaluation, not the first import.
+    import repro.datalog.seminaive  # noqa: F401
+
+    repetitions = 1 if smoke else 3
+    if smoke:
+        scales = {"mas": [1.0], "tpch": [1.0]}
+        end_scale = 1.0
+    else:
+        scales = {"mas": [1.0, 2.0, 4.0, 8.0], "tpch": [1.0, 2.0, 4.0]}
+        end_scale = 4.0
+    closure_rows = bench_closures(scales, repetitions)
+    end_rows = bench_end_to_end(end_scale, repetitions)
+
+    largest = [
+        row
+        for row in closure_rows
+        if row["workload"] == "mas" and row["program"] == "20"
+    ][-1]
+    end_speedups = [row["speedup"] for row in end_rows]
+    return {
+        "meta": {
+            "benchmark": "fixpoint-engines",
+            "smoke": smoke,
+            "repetitions": repetitions,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "closure": closure_rows,
+        "end_to_end": end_rows,
+        "summary": {
+            "largest_program": f"mas/20@{largest['scale']}",
+            "largest_program_speedup": largest["speedup"],
+            "max_closure_speedup": max(row["speedup"] for row in closure_rows),
+            "min_closure_speedup": min(row["speedup"] for row in closure_rows),
+            "end_semantics_geomean_speedup": round(
+                _geomean(end_speedups), 3
+            ),
+        },
+    }
+
+
+def _geomean(values: List[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else 0.0
+
+
+def _render(report: dict) -> str:
+    lines = ["closure (naive vs semi-naive):"]
+    for row in report["closure"]:
+        lines.append(
+            f"  {row['workload']:>4}/{row['program']:<4} scale={row['scale']:<4} "
+            f"tuples={row['tuples']:<6} naive={row['naive_seconds']:.4f}s "
+            f"semi={row['semi_naive_seconds']:.4f}s speedup={row['speedup']:.2f}x"
+        )
+    lines.append("end-to-end end semantics (figure-6c style):")
+    for row in report["end_to_end"]:
+        lines.append(
+            f"  mas/{row['program']:<4} scale={row['scale']:<4} "
+            f"naive={row['naive_seconds']:.4f}s semi={row['semi_naive_seconds']:.4f}s "
+            f"speedup={row['speedup']:.2f}x"
+        )
+    summary = report["summary"]
+    lines.append(
+        f"summary: largest={summary['largest_program']} "
+        f"{summary['largest_program_speedup']:.2f}x, end-semantics geomean "
+        f"{summary['end_semantics_geomean_speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+# -- pytest integration ---------------------------------------------------------
+
+
+def test_fixpoint_smoke():
+    """Smoke configuration: engines agree and the semi-naive path keeps up."""
+    report = run_benchmark(smoke=True)
+    print("\n" + _render(report))
+    # Correctness is asserted inside the bench; timing assertions stay loose
+    # (CI machines are noisy) — the checked-in BENCH_fixpoint.json records the
+    # real ratios.
+    assert report["summary"]["max_closure_speedup"] > 1.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="1 repetition, small scales"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_fixpoint.json"),
+        help="output path for the machine-readable report",
+    )
+    args = parser.parse_args()
+    report = run_benchmark(smoke=args.smoke)
+    print(_render(report))
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,26 @@ Quickstart
 >>> program = DeltaProgram.from_text("delta R(x) :- R(x), S(x).")
 >>> RepairEngine(db, program).repair(Semantics.INDEPENDENT).size
 1
+
+Evaluation engines
+------------------
+Every fixpoint computation accepts an ``engine=`` knob (on
+:class:`RepairEngine`, on the four ``*_semantics`` functions, and on
+:func:`repro.datalog.evaluation.derive_closure`):
+
+* ``"auto"`` (default) — the semi-naive, delta-driven engine for in-memory
+  databases (:mod:`repro.datalog.seminaive`): after one full round, rules are
+  only re-matched through the frontier of delta facts derived in the previous
+  round, joined outward along per-rule plans cached by
+  :mod:`repro.datalog.planner`.  SQLite-backed databases compile rule bodies
+  to SQL joins instead.
+* ``"semi-naive"`` — force the semi-naive engine.
+* ``"naive"`` — the re-evaluate-everything oracle, kept for differential
+  testing (``tests/test_seminaive_differential.py``) and benchmarking
+  (``benchmarks/bench_fixpoint.py``).
+
+>>> RepairEngine(db, program, engine="naive").repair(Semantics.END).size
+1
 """
 
 from repro.core import (

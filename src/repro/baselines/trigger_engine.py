@@ -21,6 +21,7 @@ from repro.constraints.triggers import DeleteTrigger, triggers_from_program
 from repro.datalog.ast import Atom, Constant, Rule, Variable
 from repro.datalog.delta import DeltaProgram
 from repro.datalog.evaluation import find_assignments
+from repro.datalog.planner import JoinPlanner
 from repro.exceptions import ExperimentError
 from repro.storage.database import BaseDatabase
 from repro.storage.facts import Fact
@@ -110,6 +111,9 @@ class TriggerEngine:
         watch = Stopwatch()
         watch.start()
         working = db.clone()
+        # Probe rules built per deletion event share their body structure per
+        # trigger, so one planner caches a single join plan per trigger.
+        planner = JoinPlanner(working)
         deleted: List[Fact] = []
         fired: List[tuple[str, Fact]] = []
         queue: deque[Fact] = deque()
@@ -130,7 +134,7 @@ class TriggerEngine:
                 )
             event = queue.popleft()
             for trigger in self._ordered_triggers(event.relation):
-                for target in self._matching_targets(working, trigger, event):
+                for target in self._matching_targets(working, trigger, event, planner):
                     if not working.has_active(target):
                         continue
                     working.delete(target)
@@ -146,7 +150,11 @@ class TriggerEngine:
         )
 
     def _matching_targets(
-        self, db: BaseDatabase, trigger: DeleteTrigger, event: Fact
+        self,
+        db: BaseDatabase,
+        trigger: DeleteTrigger,
+        event: Fact,
+        planner: JoinPlanner | None = None,
     ) -> List[Fact]:
         """Targets the trigger deletes in response to the deletion of ``event``.
 
@@ -180,7 +188,10 @@ class TriggerEngine:
             name=trigger.name,
         )
         del bound_watched  # the OLD record itself is gone from the active extent
-        return [assignment.derived for assignment in find_assignments(db, probe_rule)]
+        return [
+            assignment.derived
+            for assignment in find_assignments(db, probe_rule, planner=planner)
+        ]
 
 
 def _substitute_comparison(comparison, bindings: Dict[str, object]):

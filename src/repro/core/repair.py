@@ -48,6 +48,11 @@ class RepairEngine:
     verify:
         When True, every computed result is checked to be a stabilizing set
         before being returned (slower; useful in tests and demos).
+    engine:
+        Default evaluation engine for every repair computed by this object:
+        ``"auto"`` (semi-naive for in-memory databases, SQL-compiled naive for
+        SQLite), ``"semi-naive"``, or ``"naive"`` (the differential-testing
+        oracle).  A per-call ``engine=`` option to :meth:`repair` overrides it.
     """
 
     def __init__(
@@ -56,6 +61,7 @@ class RepairEngine:
         program: DeltaProgram | Program | Iterable[Rule],
         validate_schema: bool = True,
         verify: bool = False,
+        engine: str = "auto",
     ) -> None:
         self._db = db
         if isinstance(program, DeltaProgram):
@@ -66,6 +72,7 @@ class RepairEngine:
         if validate_schema:
             self._program.validate_against_schema(db.schema)
         self._verify = verify
+        self._engine = engine
 
     # -- accessors --------------------------------------------------------------
 
@@ -97,8 +104,10 @@ class RepairEngine:
         """Compute the repair under the given semantics.
 
         ``options`` are forwarded to the underlying algorithm (e.g.
-        ``method="exhaustive"`` for step semantics).
+        ``method="exhaustive"`` for step semantics, ``engine="naive"`` to force
+        the oracle evaluation engine).
         """
+        options.setdefault("engine", self._engine)
         result = compute_repair(self._db, self._program, semantics, **options)
         if self._verify and not verify_repair(self._db, self._program, result):
             raise SemanticsError(
@@ -132,6 +141,7 @@ class RepairEngine:
             self._program.with_deletion_requests(items),
             validate_schema=False,
             verify=self._verify,
+            engine=self._engine,
         )
 
     # -- comparisons ---------------------------------------------------------------

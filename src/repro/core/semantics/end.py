@@ -6,6 +6,10 @@ only once the fixpoint is reached are the derived tuples removed from the
 database.  It is the most permissive of the four semantics (its result
 contains both the stage and step results) and serves as the paper's baseline.
 Computing it is PTIME (Proposition 4.1).
+
+The derivation fixpoint runs on the shared closure engine: semi-naive and
+delta-driven by default (``engine="auto"``), with the naive re-evaluate-
+everything loop kept as the differential-testing oracle (``engine="naive"``).
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from typing import Iterable
 from repro.core.semantics.base import PHASE_EVAL, RepairResult, Semantics
 from repro.datalog.ast import Program, Rule
 from repro.datalog.delta import DeltaProgram
-from repro.datalog.evaluation import find_assignments
+from repro.datalog.evaluation import ENGINE_AUTO, run_closure
 from repro.storage.database import BaseDatabase
 from repro.utils.timing import PhaseTimer
 
@@ -24,28 +28,21 @@ def end_semantics(
     db: BaseDatabase,
     program: DeltaProgram | Program | Iterable[Rule],
     timer: PhaseTimer | None = None,
+    engine: str = ENGINE_AUTO,
 ) -> RepairResult:
     """Compute ``End(P, D)``.
 
     The input database is never modified; the returned result carries a
-    repaired clone.
+    repaired clone.  ``engine`` selects the closure engine (see
+    :func:`repro.datalog.evaluation.run_closure`).
     """
     timer = timer if timer is not None else PhaseTimer()
     rules = list(program)
     working = db.clone()
-    rounds = 0
     with timer.phase(PHASE_EVAL):
         # Derive all delta tuples to fixpoint; the active relations stay frozen
         # at D^0 (mark_deleted only touches the delta extents).
-        while True:
-            rounds += 1
-            new_fact = False
-            for rule in rules:
-                for assignment in find_assignments(working, rule):
-                    if working.mark_deleted(assignment.derived):
-                        new_fact = True
-            if not new_fact:
-                break
+        closure = run_closure(working, rules, engine=engine)
         # Final state T: remove every derived tuple from the active relations.
         deleted = set()
         for relation in working.relation_names():
@@ -58,6 +55,10 @@ def end_semantics(
         deleted=frozenset(deleted),
         repaired=working,
         timer=timer,
-        rounds=rounds,
-        metadata={"derived_delta_tuples": working.count_delta()},
+        rounds=closure.rounds,
+        metadata={
+            "derived_delta_tuples": working.count_delta(),
+            "engine": closure.engine,
+            "assignments": len(closure.assignments),
+        },
     )

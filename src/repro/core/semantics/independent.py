@@ -37,19 +37,22 @@ def independent_semantics(
     timer: PhaseTimer | None = None,
     exact_variable_limit: int = 2000,
     node_limit: int = 200_000,
+    engine: str = "auto",
 ) -> RepairResult:
     """Compute ``Ind(P, D)`` via Algorithm 1 (Boolean provenance + Min-Ones SAT).
 
     The result is the exact minimum whenever the solver reports optimality
     (``metadata["optimal"]``); otherwise it is still a valid stabilizing set,
     mirroring the paper's remark that any satisfying assignment is sound.
+    ``engine`` selects join planning for the provenance build (see
+    :func:`repro.provenance.boolean.build_boolean_provenance`).
     """
     timer = timer if timer is not None else PhaseTimer()
     rules = list(program)
 
     # Line 1: Boolean provenance of every possible delta tuple.
     with timer.phase(PHASE_EVAL):
-        provenance = build_boolean_provenance(db, rules)
+        provenance = build_boolean_provenance(db, rules, engine=engine)
 
     # Lines 2-4: the negated provenance as a CNF over deletion variables.
     with timer.phase(PHASE_PROCESS_PROV):

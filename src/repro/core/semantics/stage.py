@@ -8,17 +8,32 @@ computing it is PTIME (Proposition 4.1).
 
 Stage semantics models cascade deletions by SQL triggers that fire in rounds
 (statement-level "after delete" triggers), as discussed in Section 3.4.
+
+The default engine maintains the satisfying assignments *incrementally*
+between stages instead of re-enumerating them: deleting a tuple can only
+(a) void assignments that matched it through a base atom — tracked by an
+assignment-per-base-fact index — and (b) enable assignments that match it
+through a delta atom — discovered by seeding the rules from the frontier of
+newly recorded deletions (:func:`repro.datalog.seminaive.seeded_assignments`).
+``engine="naive"`` keeps the re-evaluate-everything loop as the oracle.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable, List, Set
 
 from repro.core.semantics.base import PHASE_EVAL, RepairResult, Semantics
 from repro.datalog.ast import Program, Rule
 from repro.datalog.delta import DeltaProgram
-from repro.datalog.evaluation import find_assignments
+from repro.datalog.evaluation import (
+    ENGINE_AUTO,
+    ENGINE_NAIVE,
+    Assignment,
+    find_assignments,
+    resolve_engine,
+)
 from repro.storage.database import BaseDatabase
+from repro.storage.facts import Fact
 from repro.utils.timing import PhaseTimer
 
 
@@ -26,6 +41,7 @@ def stage_semantics(
     db: BaseDatabase,
     program: DeltaProgram | Program | Iterable[Rule],
     timer: PhaseTimer | None = None,
+    engine: str = ENGINE_AUTO,
 ) -> RepairResult:
     """Compute ``Stage(P, D)``.
 
@@ -35,36 +51,113 @@ def stage_semantics(
     timer = timer if timer is not None else PhaseTimer()
     rules = list(program)
     working = db.clone()
+    resolved = resolve_engine(working, engine)
     deleted: set = set()
-    stages = 0
     with timer.phase(PHASE_EVAL):
-        while True:
-            stages += 1
-            # Evaluate every rule against the state at the start of the stage.
-            derived_now = set()
-            for rule in rules:
-                for assignment in find_assignments(working, rule):
-                    derived_now.add(assignment.derived)
-            # Only tuples still active lead to a state change.
-            newly_deleted = {
-                item
-                for item in derived_now
-                if working.has_active(item) or not working.has_delta(item)
-            }
-            changed = False
-            for item in newly_deleted:
-                was_active = working.has_active(item)
-                if working.delete(item) or was_active:
-                    changed = True
-                if was_active:
-                    deleted.add(item)
-            if not changed:
-                break
+        if resolved == ENGINE_NAIVE:
+            stages = _stage_fixpoint_naive(working, rules, deleted)
+        else:
+            stages = _stage_fixpoint_incremental(working, rules, deleted)
     return RepairResult(
         semantics=Semantics.STAGE,
         deleted=frozenset(deleted),
         repaired=working,
         timer=timer,
         rounds=stages,
-        metadata={},
+        metadata={"engine": resolved},
     )
+
+
+def _apply_stage(
+    working: BaseDatabase, derived_now: Set[Fact], deleted: set
+) -> tuple[bool, List[Fact]]:
+    """Delete this stage's derived tuples; returns (changed, facts deleted from
+    the active extent)."""
+    # Only tuples still active lead to a state change.
+    newly_deleted = {
+        item
+        for item in derived_now
+        if working.has_active(item) or not working.has_delta(item)
+    }
+    changed = False
+    dropped: List[Fact] = []
+    for item in newly_deleted:
+        was_active = working.has_active(item)
+        if working.delete(item) or was_active:
+            changed = True
+        if was_active:
+            deleted.add(item)
+            dropped.append(item)
+    return changed, dropped
+
+
+def _stage_fixpoint_naive(
+    working: BaseDatabase, rules: List[Rule], deleted: set
+) -> int:
+    """The oracle loop: re-enumerate every rule at every stage."""
+    stages = 0
+    while True:
+        stages += 1
+        # Evaluate every rule against the state at the start of the stage.
+        derived_now: Set[Fact] = set()
+        for rule in rules:
+            for assignment in find_assignments(working, rule):
+                derived_now.add(assignment.derived)
+        changed, _dropped = _apply_stage(working, derived_now, deleted)
+        if not changed:
+            break
+    return stages
+
+
+def _stage_fixpoint_incremental(
+    working: BaseDatabase, rules: List[Rule], deleted: set
+) -> int:
+    """Delta-driven stages: maintain the live assignments across deletions."""
+    from repro.datalog.planner import JoinPlanner
+    from repro.datalog.seminaive import seeded_assignments
+
+    planner = JoinPlanner(working)
+    delta_rules = [rule for rule in rules if any(atom.is_delta for atom in rule.body)]
+    relations = sorted(
+        {atom.relation for rule in delta_rules for atom in rule.body if atom.is_delta}
+    )
+    tokens = {relation: working.delta_token(relation) for relation in relations}
+
+    live: Dict[tuple, Assignment] = {}
+    by_base: Dict[Fact, Set[tuple]] = {}
+
+    def admit(assignment: Assignment) -> None:
+        signature = assignment.signature()
+        if signature in live:
+            return
+        live[signature] = assignment
+        for item in assignment.base_facts():
+            by_base.setdefault(item, set()).add(signature)
+
+    for rule in rules:
+        for assignment in find_assignments(working, rule, planner=planner):
+            admit(assignment)
+
+    stages = 0
+    while True:
+        stages += 1
+        derived_now = {assignment.derived for assignment in live.values()}
+        changed, dropped = _apply_stage(working, derived_now, deleted)
+        if not changed:
+            break
+        # Deleting a base fact voids every assignment matching it positively.
+        for item in dropped:
+            for signature in by_base.pop(item, ()):
+                live.pop(signature, None)
+        # Newly recorded deltas may enable assignments through delta atoms.
+        frontier: Dict[str, Set[Fact]] = {}
+        for relation in relations:
+            added = working.delta_added_since(relation, tokens[relation])
+            tokens[relation] = working.delta_token(relation)
+            if added:
+                frontier[relation] = set(added)
+        if frontier:
+            for rule in delta_rules:
+                for assignment in seeded_assignments(working, rule, frontier, planner):
+                    admit(assignment)
+    return stages

@@ -23,7 +23,12 @@ from repro.core.semantics.base import (
 )
 from repro.datalog.ast import Program, Rule
 from repro.datalog.delta import DeltaProgram
-from repro.datalog.evaluation import Assignment, derive_closure, find_assignments
+from repro.datalog.evaluation import (
+    ENGINE_AUTO,
+    Assignment,
+    find_assignments,
+    run_closure,
+)
 from repro.exceptions import SemanticsError
 from repro.provenance.graph import ProvenanceGraph
 from repro.storage.database import BaseDatabase
@@ -39,6 +44,7 @@ def step_semantics(
     timer: PhaseTimer | None = None,
     method: str = "greedy",
     max_states: int = 100_000,
+    engine: str = ENGINE_AUTO,
 ) -> RepairResult:
     """Compute a step-semantics stabilizing set.
 
@@ -48,9 +54,13 @@ def step_semantics(
         ``"greedy"`` (Algorithm 2, default) or ``"exhaustive"`` — an exact
         search over firing sequences, exponential in the worst case and guarded
         by ``max_states``.
+    engine:
+        The closure engine building the provenance for the greedy method (see
+        :func:`repro.datalog.evaluation.run_closure`); the exhaustive search
+        evaluates single hypothetical states and ignores it.
     """
     if method == "greedy":
-        return _step_greedy(db, program, timer)
+        return _step_greedy(db, program, timer, engine=engine)
     if method == "exhaustive":
         return _step_exhaustive(db, program, timer, max_states=max_states)
     raise SemanticsError(f"unknown step-semantics method: {method!r}")
@@ -65,6 +75,7 @@ def _step_greedy(
     db: BaseDatabase,
     program: DeltaProgram | Program | Iterable[Rule],
     timer: PhaseTimer | None,
+    engine: str = ENGINE_AUTO,
 ) -> RepairResult:
     timer = timer if timer is not None else PhaseTimer()
     rules = list(program)
@@ -73,7 +84,9 @@ def _step_greedy(
     provenance = ProvenanceGraph()
     working = db.clone()
     with timer.phase(PHASE_EVAL):
-        derive_closure(working, rules, on_assignment=provenance._register_assignment)
+        closure = run_closure(
+            working, rules, on_assignment=provenance._register_assignment, engine=engine
+        )
     with timer.phase(PHASE_PROCESS_PROV):
         provenance._compute_layers()
         provenance._compute_benefits()
@@ -129,6 +142,8 @@ def _step_greedy(
         rounds=provenance.layer_count,
         metadata={
             "method": "greedy",
+            "engine": closure.engine,
+            "closure_rounds": closure.rounds,
             "provenance_nodes": provenance.node_count(),
             "provenance_edges": provenance.edge_count(),
             "provenance_assignments": len(provenance.assignments),

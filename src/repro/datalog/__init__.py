@@ -8,8 +8,11 @@ provides:
 * :mod:`repro.datalog.parser` — a textual syntax for rules and programs;
 * :mod:`repro.datalog.delta` — delta programs: validation per Definition 3.1,
   deletion-request rules (the paper's rule (0)), DC translation hooks;
-* :mod:`repro.datalog.evaluation` — assignment enumeration and naive /
-  semi-naive evaluation over any storage backend;
+* :mod:`repro.datalog.evaluation` — assignment enumeration, the naive oracle
+  closure, and the ``engine=`` dispatch;
+* :mod:`repro.datalog.seminaive` — the semi-naive, delta-driven fixpoint
+  engine (the default for in-memory databases);
+* :mod:`repro.datalog.planner` — per-rule join planning with cached plans;
 * :mod:`repro.datalog.analysis` — dependency graphs, recursion detection,
   relation stratification;
 * :mod:`repro.datalog.sql_compiler` — compilation of rule bodies to SQL joins
@@ -27,7 +30,18 @@ from repro.datalog.ast import (
 )
 from repro.datalog.delta import DeltaProgram, deletion_request_rule
 from repro.datalog.parser import parse_program, parse_rule
-from repro.datalog.evaluation import Assignment, find_assignments, derive_closure
+from repro.datalog.evaluation import (
+    Assignment,
+    ClosureResult,
+    ENGINE_AUTO,
+    ENGINE_NAIVE,
+    ENGINE_SEMI_NAIVE,
+    derive_closure,
+    find_assignments,
+    resolve_engine,
+    run_closure,
+)
+from repro.datalog.planner import JoinPlan, JoinPlanner
 
 __all__ = [
     "Term",
@@ -42,6 +56,14 @@ __all__ = [
     "parse_program",
     "parse_rule",
     "Assignment",
+    "ClosureResult",
     "find_assignments",
     "derive_closure",
+    "run_closure",
+    "resolve_engine",
+    "JoinPlan",
+    "JoinPlanner",
+    "ENGINE_AUTO",
+    "ENGINE_NAIVE",
+    "ENGINE_SEMI_NAIVE",
 ]

@@ -18,15 +18,37 @@ The evaluator works over any :class:`~repro.storage.database.BaseDatabase`:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Sequence
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence
 
 from repro.datalog.ast import Atom, Comparison, Constant, Program, Rule, Variable
 from repro.exceptions import EvaluationError
 from repro.storage.database import BaseDatabase
 from repro.storage.facts import Fact
 from repro.storage.sqlite_backend import SQLiteDatabase
+
+#: Engine names accepted by :func:`derive_closure` and the four semantics.
+ENGINE_AUTO = "auto"
+ENGINE_NAIVE = "naive"
+ENGINE_SEMI_NAIVE = "semi-naive"
+ENGINES = (ENGINE_NAIVE, ENGINE_SEMI_NAIVE)
+
+
+def resolve_engine(db: BaseDatabase, engine: str | None) -> str:
+    """Resolve the ``engine=`` knob to a concrete engine name.
+
+    ``"auto"`` (the default everywhere) selects the semi-naive engine for
+    in-memory databases and the naive engine for SQLite-backed ones, whose
+    rule bodies are compiled to SQL joins instead of tuple-at-a-time plans.
+    """
+    if engine is None or engine == ENGINE_AUTO:
+        return ENGINE_NAIVE if isinstance(db, SQLiteDatabase) else ENGINE_SEMI_NAIVE
+    if engine not in ENGINES:
+        raise EvaluationError(
+            f"unknown evaluation engine {engine!r}; expected one of "
+            f"{(ENGINE_AUTO, *ENGINES)}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -71,9 +93,15 @@ class Assignment:
         return tuple(item for _, item in self.used)
 
     def signature(self) -> tuple:
-        """A hashable signature identifying this assignment up to rule + facts."""
+        """A hashable signature identifying this assignment up to rule + facts.
+
+        The rule participates by full identity (head, body, comparisons and
+        name), not by display name: distinct unnamed rules with the same head
+        relation would otherwise collide, and the engines deduplicate
+        assignments by this signature.
+        """
         return (
-            self.rule.display_name(),
+            self.rule,
             tuple((atom.relation, atom.is_delta, item) for atom, item in self.used),
         )
 
@@ -143,17 +171,99 @@ def _candidate_facts(
     if atom.is_delta and hypothetical_deltas:
         # Independent semantics: a delta atom may match the delta counterpart of
         # any tuple of the database — both still-active tuples (hypothetically
-        # deleted) and tuples already recorded as deleted.
-        seen: set[Fact] = set()
-        for item in itertools.chain(
-            db.candidates(atom.relation, fixed, delta=False),
-            db.candidates(atom.relation, fixed, delta=True),
-        ):
-            if item not in seen:
-                seen.add(item)
-                yield item
+        # deleted) and tuples already recorded as deleted.  The storage layer
+        # deduplicates the two extents (via index membership tests when the
+        # engine supports it) so no per-expansion ``seen`` set is built here.
+        return db.hypothetical_candidates(atom.relation, fixed)
+    return db.candidates(atom.relation, fixed, delta=atom.is_delta)
+
+
+#: Signature of per-atom candidate providers used by the planned search:
+#: ``(body_index, atom, fixed_positions) -> facts``.
+CandidateFn = Callable[[int, Atom, Dict[int, Any]], Iterable[Fact]]
+
+
+def default_candidates(db: BaseDatabase, hypothetical_deltas: bool) -> CandidateFn:
+    """The plain candidate provider: active extent for base atoms, delta (or
+    hypothetical) extent for delta atoms."""
+
+    def candidates_for(index: int, atom: Atom, fixed: Dict[int, Any]) -> Iterable[Fact]:
+        if atom.is_delta and hypothetical_deltas:
+            return db.hypothetical_candidates(atom.relation, fixed)
+        return db.candidates(atom.relation, fixed, delta=atom.is_delta)
+
+    return candidates_for
+
+
+def _finalize(
+    rule: Rule,
+    body: Sequence[Atom],
+    comparisons: Sequence[Comparison],
+    bindings: Dict[str, Any],
+    used: List[tuple[int, Fact]],
+    checked: set[int],
+    results: List[Assignment],
+) -> None:
+    """Build an :class:`Assignment` from a complete match, in body order."""
+    if len(checked) != len(comparisons):
+        unchecked = [
+            str(comparisons[i]) for i in range(len(comparisons)) if i not in checked
+        ]
+        raise EvaluationError(
+            f"rule {rule.display_name()}: comparisons with unbound variables: "
+            + ", ".join(unchecked)
+        )
+    derived = ground_head(rule, bindings)
+    # ``used`` carries body indices, so restoring body order is a single
+    # placement pass (no quadratic first-unconsumed-pair scan).
+    pairs: List[tuple[Atom, Fact] | None] = [None] * len(body)
+    for index, item in used:
+        pairs[index] = (body[index], item)
+    results.append(
+        Assignment(
+            rule=rule,
+            bindings=tuple(sorted(bindings.items(), key=lambda kv: kv[0])),
+            used=tuple(pairs),  # type: ignore[arg-type]
+            derived=derived,
+        )
+    )
+
+
+def planned_search(
+    rule: Rule,
+    order: Sequence[int],
+    position: int,
+    bindings: Dict[str, Any],
+    used: List[tuple[int, Fact]],
+    checked: set[int],
+    results: List[Assignment],
+    candidates_for: CandidateFn,
+) -> None:
+    """Depth-first join along a static atom ``order`` (a planner product).
+
+    ``used`` holds ``(body_index, fact)`` pairs for the prefix already matched
+    (e.g. the semi-naive frontier seed); ``position`` indexes into ``order``.
+    """
+    body = rule.body
+    comparisons = rule.comparisons
+    if not _check_ready_comparisons(comparisons, bindings, checked):
         return
-    yield from db.candidates(atom.relation, fixed, delta=atom.is_delta)
+    if position == len(order):
+        _finalize(rule, body, comparisons, bindings, used, checked, results)
+        return
+    index = order[position]
+    atom = body[index]
+    fixed = _bound_positions(atom, bindings)
+    for item in candidates_for(index, atom, fixed):
+        extended = _match_atom(atom, item, bindings)
+        if extended is None:
+            continue
+        used.append((index, item))
+        planned_search(
+            rule, order, position + 1, extended, used, set(checked), results,
+            candidates_for,
+        )
+        used.pop()
 
 
 def _check_ready_comparisons(
@@ -179,6 +289,7 @@ def find_assignments(
     rule: Rule,
     hypothetical_deltas: bool = False,
     use_sql: bool | None = None,
+    planner=None,
 ) -> List[Assignment]:
     """Enumerate every satisfying assignment of ``rule`` over ``db``.
 
@@ -195,6 +306,11 @@ def find_assignments(
     use_sql:
         Force (True) or forbid (False) the SQL evaluation path.  By default the
         SQL path is used exactly when ``db`` is a SQLite-backed engine.
+    planner:
+        A :class:`~repro.datalog.planner.JoinPlanner` providing a static,
+        cached join order for the rule.  Without one, the join order is
+        re-derived at every recursion step from the currently bound positions
+        (the naive oracle behaviour).
     """
     if use_sql is None:
         use_sql = isinstance(db, SQLiteDatabase)
@@ -204,73 +320,48 @@ def find_assignments(
         return find_assignments_sql(db, rule, hypothetical_deltas=hypothetical_deltas)
 
     results: List[Assignment] = []
+
+    if planner is not None:
+        plan = planner.plan(rule, seed=None, hypothetical=hypothetical_deltas)
+        planned_search(
+            rule, plan.order, 0, {}, [], set(), results,
+            default_candidates(db, hypothetical_deltas),
+        )
+        return results
+
     body = list(rule.body)
     comparisons = list(rule.comparisons)
 
     def extend(
         bindings: Dict[str, Any],
-        used: List[tuple[Atom, Fact]],
-        remaining: List[Atom],
+        used: List[tuple[int, Fact]],
+        remaining: List[int],
         checked: set[int],
     ) -> None:
         if not _check_ready_comparisons(comparisons, bindings, checked):
             return
         if not remaining:
-            if len(checked) != len(comparisons):
-                unchecked = [
-                    str(comparisons[i]) for i in range(len(comparisons)) if i not in checked
-                ]
-                raise EvaluationError(
-                    f"rule {rule.display_name()}: comparisons with unbound variables: "
-                    + ", ".join(unchecked)
-                )
-            derived = ground_head(rule, bindings)
-            results.append(
-                Assignment(
-                    rule=rule,
-                    bindings=tuple(sorted(bindings.items(), key=lambda kv: kv[0])),
-                    used=tuple(used),
-                    derived=derived,
-                )
-            )
+            _finalize(rule, body, comparisons, bindings, used, checked, results)
             return
         # Choose the most constrained remaining atom (most bound positions) to
         # keep intermediate results small; ties keep body order for determinism.
-        best_index = 0
+        best_position = 0
         best_bound = -1
-        for index, atom in enumerate(remaining):
-            bound = len(_bound_positions(atom, bindings))
+        for position, index in enumerate(remaining):
+            bound = len(_bound_positions(body[index], bindings))
             if bound > best_bound:
-                best_index, best_bound = index, bound
-        atom = remaining[best_index]
-        rest = remaining[:best_index] + remaining[best_index + 1 :]
+                best_position, best_bound = position, bound
+        index = remaining[best_position]
+        atom = body[index]
+        rest = remaining[:best_position] + remaining[best_position + 1 :]
         for item in _candidate_facts(db, atom, bindings, hypothetical_deltas):
             extended = _match_atom(atom, item, bindings)
             if extended is None:
                 continue
-            extend(extended, used + [(atom, item)], rest, set(checked))
+            extend(extended, used + [(index, item)], rest, set(checked))
 
-    extend({}, [], body, set())
-    # Restore body order inside each assignment for readability/determinism:
-    # for every body-atom occurrence, pick the first not-yet-consumed used pair
-    # matching that atom (handles duplicate atoms in the body).
-    ordered_results = []
-    for assignment in results:
-        remaining_pairs = list(assignment.used)
-        ordered: List[tuple[Atom, Fact]] = []
-        for atom in rule.body:
-            for pair_index, (used_atom, used_fact) in enumerate(remaining_pairs):
-                if used_atom == atom:
-                    ordered.append((used_atom, used_fact))
-                    remaining_pairs.pop(pair_index)
-                    break
-        ordered.extend(remaining_pairs)
-        ordered_results.append(
-            Assignment(
-                assignment.rule, assignment.bindings, tuple(ordered), assignment.derived
-            )
-        )
-    return ordered_results
+    extend({}, [], list(range(len(body))), set())
+    return results
 
 
 def find_all_assignments(
@@ -292,23 +383,58 @@ def is_rule_satisfied(db: BaseDatabase, rule: Rule) -> bool:
     return bool(find_assignments(db, rule))
 
 
-def derive_closure(
+@dataclass
+class ClosureResult:
+    """The outcome of a fixpoint closure run.
+
+    Attributes
+    ----------
+    assignments:
+        Every distinct assignment observed (by used-fact signature).
+    rounds:
+        Number of evaluation rounds until the fixpoint.
+    engine:
+        The concrete engine that ran (``"naive"`` or ``"semi-naive"``).
+    """
+
+    assignments: List[Assignment]
+    rounds: int
+    engine: str
+
+
+def run_closure(
     db: BaseDatabase,
     program: Program | Iterable[Rule],
     on_assignment=None,
     max_rounds: int | None = None,
-) -> list[Assignment]:
+    engine: str = ENGINE_AUTO,
+) -> ClosureResult:
     """End-semantics style closure: derive all delta facts without deleting.
 
-    Repeatedly evaluates every rule against ``db`` and records each newly
-    derived delta fact with :meth:`BaseDatabase.mark_deleted` (the active
-    extents are untouched), until a fixpoint is reached.  Returns every
-    assignment observed, including ones that re-derive already-known facts in
-    later rounds only if their used-fact signature is new.
+    Records each newly derived delta fact with
+    :meth:`BaseDatabase.mark_deleted` (the active extents are untouched) until
+    a fixpoint is reached.  ``on_assignment`` (if given) is called exactly once
+    with every *new* assignment — the provenance tracker uses this hook.
 
-    ``on_assignment`` (if given) is called with every *new* assignment — the
-    provenance tracker uses this hook.
+    ``engine`` selects the evaluation strategy:
+
+    * ``"semi-naive"`` (the ``"auto"`` default for in-memory databases) —
+      after a first full round, rules are only re-matched through assignments
+      that use at least one delta fact derived in the previous round, seeded
+      from the storage layer's frontier and joined outward along cached
+      per-rule plans (:mod:`repro.datalog.seminaive`);
+    * ``"naive"`` — every round re-evaluates every rule against the whole
+      database and discards already-seen assignments by signature.  Kept as
+      the differential-testing oracle.
     """
+    resolved = resolve_engine(db, engine)
+    if resolved == ENGINE_SEMI_NAIVE:
+        from repro.datalog.seminaive import semi_naive_closure
+
+        return semi_naive_closure(
+            db, program, on_assignment=on_assignment, max_rounds=max_rounds
+        )
+
     rules = list(program)
     all_assignments: list[Assignment] = []
     seen_signatures: set[tuple] = set()
@@ -333,4 +459,21 @@ def derive_closure(
                     new_delta = True
         if not new_delta:
             break
-    return all_assignments
+    return ClosureResult(all_assignments, rounds, ENGINE_NAIVE)
+
+
+def derive_closure(
+    db: BaseDatabase,
+    program: Program | Iterable[Rule],
+    on_assignment=None,
+    max_rounds: int | None = None,
+    engine: str = ENGINE_AUTO,
+) -> list[Assignment]:
+    """Backwards-compatible wrapper around :func:`run_closure`.
+
+    Returns only the assignment list; use :func:`run_closure` when the round
+    count or the resolved engine name is needed.
+    """
+    return run_closure(
+        db, program, on_assignment=on_assignment, max_rounds=max_rounds, engine=engine
+    ).assignments

@@ -147,6 +147,7 @@ class BooleanProvenance:
 def build_boolean_provenance(
     db: BaseDatabase,
     program: DeltaProgram | Program | Sequence[Rule],
+    engine: str = "auto",
 ) -> BooleanProvenance:
     """Build the Boolean provenance of every possible delta tuple (Algorithm 1, line 1).
 
@@ -154,10 +155,24 @@ def build_boolean_provenance(
     the delta counterpart of any tuple of ``db``, not only tuples already
     recorded as deleted.  This captures every potential cascade without
     committing to an operational semantics.
+
+    The hypothetical evaluation is a single pass (no fixpoint), so ``engine``
+    only controls join planning: the default plans each rule's joins once and
+    caches them, while ``engine="naive"`` re-derives the atom order at every
+    recursion step (the oracle behaviour).
     """
+    from repro.datalog.evaluation import ENGINE_NAIVE, resolve_engine
+
+    planner = None
+    if resolve_engine(db, engine) != ENGINE_NAIVE:
+        from repro.datalog.planner import JoinPlanner
+
+        planner = JoinPlanner(db)
     provenance = BooleanProvenance()
     already_deleted = set(db.all_deltas())
     for rule in program:
-        for assignment in find_assignments(db, rule, hypothetical_deltas=True):
+        for assignment in find_assignments(
+            db, rule, hypothetical_deltas=True, planner=planner
+        ):
             provenance.add_assignment(assignment, already_deleted)
     return provenance

@@ -164,14 +164,18 @@ class ProvenanceGraph:
 def build_provenance_graph(
     db: BaseDatabase,
     program: DeltaProgram | Program | Sequence[Rule],
+    engine: str = "auto",
 ) -> ProvenanceGraph:
     """Build the provenance graph of ``End(P, D)`` (Algorithm 2, line 1).
 
-    The database is cloned; ``db`` itself is not modified.
+    The database is cloned; ``db`` itself is not modified.  ``engine`` selects
+    the closure engine (see :func:`repro.datalog.evaluation.run_closure`).
     """
     working = db.clone()
     provenance = ProvenanceGraph()
-    derive_closure(working, program, on_assignment=provenance._register_assignment)
+    derive_closure(
+        working, program, on_assignment=provenance._register_assignment, engine=engine
+    )
     provenance._compute_layers()
     provenance._compute_benefits()
     return provenance

@@ -62,6 +62,46 @@ class BaseDatabase(ABC):
         ``delta=True`` scans the delta extent instead of the active extent.
         """
 
+    def hypothetical_candidates(
+        self, relation: str, bindings: Mapping[int, Any]
+    ) -> Iterator[Fact]:
+        """Candidates for a *hypothetical* delta atom: active ∪ delta extent.
+
+        Used by Algorithm 1 / independent semantics, where a delta atom may
+        match any tuple of the database.  The default implementation chains the
+        two extents and deduplicates; engines with cheap membership tests
+        should override it to avoid building a per-call ``seen`` set.
+        """
+        seen: set[Fact] = set()
+        for item in itertools.chain(
+            self.candidates(relation, bindings, delta=False),
+            self.candidates(relation, bindings, delta=True),
+        ):
+            if item not in seen:
+                seen.add(item)
+                yield item
+
+    # -- frontier tracking ------------------------------------------------------
+
+    def delta_token(self, relation: str) -> int:
+        """An opaque marker of the delta extent's current "time".
+
+        Pass it back to :meth:`delta_added_since` to obtain the frontier — the
+        delta facts recorded after the token was taken.  The default
+        implementation falls back to snapshot diffing; indexed engines override
+        both methods with O(frontier) implementations.
+        """
+        return len(self.delta_facts(relation))
+
+    def delta_added_since(self, relation: str, token: int) -> list[Fact]:
+        """The delta facts of ``relation`` recorded after ``token`` was taken."""
+        extent = self.delta_facts(relation)
+        if len(extent) <= token:
+            return []
+        # Fallback: no insertion order available; return the whole extent so
+        # callers overshoot (correct, merely less incremental).
+        return list(extent)
+
     def all_active(self) -> Iterator[Fact]:
         """Iterate over every active fact of every relation."""
         for relation in self.relation_names():
@@ -239,7 +279,34 @@ class Database(BaseDatabase):
             index = store[relation]
         except KeyError:
             raise UnknownRelationError(relation) from None
-        return index.candidates(dict(bindings))
+        return index.candidates(bindings)
+
+    def hypothetical_candidates(
+        self, relation: str, bindings: Mapping[int, Any]
+    ) -> Iterator[Fact]:
+        try:
+            active = self._active[relation]
+            delta = self._delta[relation]
+        except KeyError:
+            raise UnknownRelationError(relation) from None
+        yield from active.candidates(bindings)
+        # Deduplicate against the active extent via its O(1) membership test
+        # instead of materialising a per-call ``seen`` set.
+        for item in delta.candidates(bindings):
+            if item not in active:
+                yield item
+
+    def delta_token(self, relation: str) -> int:
+        try:
+            return self._delta[relation].token()
+        except KeyError:
+            raise UnknownRelationError(relation) from None
+
+    def delta_added_since(self, relation: str, token: int) -> list[Fact]:
+        try:
+            return self._delta[relation].added_since(token)
+        except KeyError:
+            raise UnknownRelationError(relation) from None
 
     def has_active(self, item: Fact) -> bool:
         index = self._active.get(item.relation)

@@ -5,11 +5,16 @@ whose attribute at position ``i`` equals ``v``" while extending a partial
 assignment.  :class:`RelationIndex` answers those lookups in expected O(1) by
 maintaining one hash index per attribute position, built lazily on first use
 and maintained incrementally afterwards.
+
+The index also keeps an append-only log of insertions so the semi-naive
+evaluator can ask for the *frontier* — "every fact added since token ``T``" —
+without diffing whole extents (see :meth:`RelationIndex.token` and
+:meth:`RelationIndex.added_since`).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, Set
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Set
 
 from repro.storage.facts import Fact
 
@@ -23,11 +28,15 @@ class RelationIndex:
     removals keep that position's index up to date.
     """
 
-    __slots__ = ("_facts", "_by_position")
+    __slots__ = ("_facts", "_by_position", "_snapshot", "_log")
 
     def __init__(self, facts: Iterable[Fact] | None = None) -> None:
         self._facts: Set[Fact] = set(facts) if facts is not None else set()
         self._by_position: Dict[int, Dict[Any, Set[Fact]]] = {}
+        #: Cached frozen snapshot of the extent, dropped on every write.
+        self._snapshot: frozenset[Fact] | None = None
+        #: Append-only insertion log backing the frontier tokens.
+        self._log: List[Fact] = list(self._facts)
 
     # -- extent maintenance --------------------------------------------------
 
@@ -36,6 +45,8 @@ class RelationIndex:
         if item in self._facts:
             return False
         self._facts.add(item)
+        self._log.append(item)
+        self._snapshot = None
         for position, buckets in self._by_position.items():
             buckets.setdefault(item.values[position], set()).add(item)
         return True
@@ -45,6 +56,7 @@ class RelationIndex:
         if item not in self._facts:
             return False
         self._facts.discard(item)
+        self._snapshot = None
         for position, buckets in self._by_position.items():
             bucket = buckets.get(item.values[position])
             if bucket is not None:
@@ -54,9 +66,28 @@ class RelationIndex:
         return True
 
     def clear(self) -> None:
-        """Remove every fact and drop all indexes."""
+        """Remove every fact and drop all indexes (the frontier log survives
+        so outstanding tokens stay valid)."""
         self._facts.clear()
         self._by_position.clear()
+        self._snapshot = None
+
+    # -- frontier tokens -------------------------------------------------------
+
+    def token(self) -> int:
+        """An opaque marker for "now": pass it back to :meth:`added_since`."""
+        return len(self._log)
+
+    def added_since(self, token: int) -> List[Fact]:
+        """Facts added after ``token`` was taken and still present.
+
+        Tokens are monotone: the same token can be replayed as the extent keeps
+        growing.  Facts discarded since their insertion are filtered out.
+        """
+        if token >= len(self._log):
+            return []
+        present = self._facts
+        return [item for item in self._log[token:] if item in present]
 
     # -- lookups --------------------------------------------------------------
 
@@ -70,8 +101,10 @@ class RelationIndex:
         return iter(self._facts)
 
     def facts(self) -> frozenset[Fact]:
-        """A frozen snapshot of the extent."""
-        return frozenset(self._facts)
+        """A frozen snapshot of the extent (cached until the next write)."""
+        if self._snapshot is None:
+            self._snapshot = frozenset(self._facts)
+        return self._snapshot
 
     def _ensure_position(self, position: int) -> Dict[Any, Set[Fact]]:
         buckets = self._by_position.get(position)
@@ -82,12 +115,17 @@ class RelationIndex:
             self._by_position[position] = buckets
         return buckets
 
-    def lookup(self, position: int, value: Any) -> frozenset[Fact]:
-        """All facts whose attribute at ``position`` equals ``value``."""
-        buckets = self._ensure_position(position)
-        return frozenset(buckets.get(value, ()))
+    def lookup(self, position: int, value: Any) -> Set[Fact]:
+        """All facts whose attribute at ``position`` equals ``value``.
 
-    def candidates(self, bindings: Dict[int, Any]) -> Iterator[Fact]:
+        Returns a *live view* of the underlying bucket — do not mutate it, and
+        do not hold it across writes to the index.
+        """
+        buckets = self._ensure_position(position)
+        bucket = buckets.get(value)
+        return bucket if bucket is not None else _EMPTY_BUCKET
+
+    def candidates(self, bindings: Mapping[int, Any]) -> Iterator[Fact]:
         """Facts matching every ``position -> value`` constraint in ``bindings``.
 
         With an empty ``bindings`` this iterates the whole extent.  Otherwise a
@@ -101,21 +139,29 @@ class RelationIndex:
         best_position = None
         best_bucket: Set[Fact] | None = None
         for position, value in bindings.items():
-            bucket = self._ensure_position(position).get(value, set())
+            bucket = self._ensure_position(position).get(value, _EMPTY_BUCKET)
             if best_bucket is None or len(bucket) < len(best_bucket):
                 best_position, best_bucket = position, bucket
                 if not bucket:
                     return
         assert best_bucket is not None
-        remaining = {
-            position: value
+        if len(bindings) == 1:
+            yield from best_bucket
+            return
+        remaining = [
+            (position, value)
             for position, value in bindings.items()
             if position != best_position
-        }
+        ]
         for item in best_bucket:
-            if all(item.values[position] == value for position, value in remaining.items()):
+            values = item.values
+            if all(values[position] == value for position, value in remaining):
                 yield item
 
     def copy(self) -> "RelationIndex":
         """Return a copy sharing no mutable state (indexes are rebuilt lazily)."""
         return RelationIndex(self._facts)
+
+
+#: Shared immutable-by-convention empty bucket returned by missing lookups.
+_EMPTY_BUCKET: Set[Fact] = set()

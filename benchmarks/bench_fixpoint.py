@@ -1,10 +1,13 @@
-"""Micro-benchmark: naive vs semi-naive fixpoint evaluation.
+"""Micro-benchmark: naive vs semi-naive fixpoint evaluation, on both backends.
 
 Compares the two closure engines (:func:`repro.datalog.evaluation.run_closure`
 with ``engine="naive"`` / ``engine="semi-naive"``) on the scaling MAS and
-TPC-H workload programs, plus an end-to-end comparison of figure-6-style
-end-semantics runs.  Results are written to ``BENCH_fixpoint.json`` at the
-repository root so the perf trajectory is tracked across PRs.
+TPC-H workload programs — once over the in-memory backend and once over the
+SQLite backend (full-extent SQL joins vs the frontier-table semi-naive driver
+of :mod:`repro.datalog.sql_seminaive`) — plus an end-to-end comparison of
+figure-6-style end-semantics runs.  Results are written to
+``BENCH_fixpoint.json`` at the repository root so the perf trajectory is
+tracked across PRs.
 
 Run standalone::
 
@@ -27,6 +30,7 @@ from typing import Dict, List
 
 from repro.core.semantics import end_semantics
 from repro.datalog.evaluation import run_closure
+from repro.storage.sqlite_backend import SQLiteDatabase
 from repro.workloads.mas import generate_mas
 from repro.workloads.programs_mas import mas_programs
 from repro.workloads.programs_tpch import tpch_programs
@@ -73,28 +77,40 @@ def _time_closure(db, program, engine: str, repetitions: int):
     return best, result
 
 
-def bench_closures(scales: Dict[str, List[float]], repetitions: int) -> List[dict]:
+def bench_closures(
+    scales: Dict[str, List[float]], repetitions: int, backend: str = "memory"
+) -> List[dict]:
+    """Naive vs semi-naive closure timings on one backend.
+
+    ``backend="sqlite"`` copies each dataset into a :class:`SQLiteDatabase`
+    first, pitting the full-recompute SQL loop against the frontier-table
+    driver; each repetition then runs on a fresh backup-API clone, so the
+    semi-naive driver always starts from untouched frontier generations.
+    """
     rows: List[dict] = []
     for workload, program_id in CLOSURE_PROGRAMS:
         for scale in scales[workload]:
             dataset = _dataset(workload, scale)
             program = _program(workload, dataset, program_id)
-            naive_db, semi_db = dataset.db.clone(), dataset.db.clone()
-            naive_seconds, naive = _time_closure(
-                naive_db, program, "naive", repetitions
+            db = (
+                SQLiteDatabase.from_database(dataset.db)
+                if backend == "sqlite"
+                else dataset.db
             )
+            naive_seconds, naive = _time_closure(db, program, "naive", repetitions)
             semi_seconds, semi = _time_closure(
-                semi_db, program, "semi-naive", repetitions
+                db, program, "semi-naive", repetitions
             )
             # The benchmark doubles as a differential check.
             naive_signatures = {a.signature() for a in naive.assignments}
             semi_signatures = {a.signature() for a in semi.assignments}
             if naive_signatures != semi_signatures:
                 raise AssertionError(
-                    f"{workload}/{program_id}@{scale}: engines disagree"
+                    f"{backend} {workload}/{program_id}@{scale}: engines disagree"
                 )
             rows.append(
                 {
+                    "backend": backend,
                     "workload": workload,
                     "program": program_id,
                     "scale": scale,
@@ -156,13 +172,18 @@ def run_benchmark(smoke: bool = False) -> dict:
         scales = {"mas": [1.0, 2.0, 4.0, 8.0], "tpch": [1.0, 2.0, 4.0]}
         end_scale = 4.0
     closure_rows = bench_closures(scales, repetitions)
+    sqlite_rows = bench_closures(scales, repetitions, backend="sqlite")
     end_rows = bench_end_to_end(end_scale, repetitions)
 
-    largest = [
-        row
-        for row in closure_rows
-        if row["workload"] == "mas" and row["program"] == "20"
-    ][-1]
+    def deepest(rows):
+        return [
+            row
+            for row in rows
+            if row["workload"] == "mas" and row["program"] == "20"
+        ][-1]
+
+    largest = deepest(closure_rows)
+    sqlite_largest = deepest(sqlite_rows)
     end_speedups = [row["speedup"] for row in end_rows]
     return {
         "meta": {
@@ -174,12 +195,21 @@ def run_benchmark(smoke: bool = False) -> dict:
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         },
         "closure": closure_rows,
+        "sqlite_closure": sqlite_rows,
         "end_to_end": end_rows,
         "summary": {
             "largest_program": f"mas/20@{largest['scale']}",
             "largest_program_speedup": largest["speedup"],
             "max_closure_speedup": max(row["speedup"] for row in closure_rows),
             "min_closure_speedup": min(row["speedup"] for row in closure_rows),
+            "sqlite_largest_program": f"mas/20@{sqlite_largest['scale']}",
+            "sqlite_largest_program_speedup": sqlite_largest["speedup"],
+            "sqlite_max_closure_speedup": max(
+                row["speedup"] for row in sqlite_rows
+            ),
+            "sqlite_min_closure_speedup": min(
+                row["speedup"] for row in sqlite_rows
+            ),
             "end_semantics_geomean_speedup": round(
                 _geomean(end_speedups), 3
             ),
@@ -195,13 +225,17 @@ def _geomean(values: List[float]) -> float:
 
 
 def _render(report: dict) -> str:
-    lines = ["closure (naive vs semi-naive):"]
-    for row in report["closure"]:
-        lines.append(
-            f"  {row['workload']:>4}/{row['program']:<4} scale={row['scale']:<4} "
-            f"tuples={row['tuples']:<6} naive={row['naive_seconds']:.4f}s "
-            f"semi={row['semi_naive_seconds']:.4f}s speedup={row['speedup']:.2f}x"
-        )
+    lines = []
+    for key, label in (("closure", "in-memory"), ("sqlite_closure", "SQLite")):
+        lines.append(f"closure (naive vs semi-naive, {label} backend):")
+        for row in report[key]:
+            lines.append(
+                f"  {row['workload']:>4}/{row['program']:<4} "
+                f"scale={row['scale']:<4} tuples={row['tuples']:<6} "
+                f"naive={row['naive_seconds']:.4f}s "
+                f"semi={row['semi_naive_seconds']:.4f}s "
+                f"speedup={row['speedup']:.2f}x"
+            )
     lines.append("end-to-end end semantics (figure-6c style):")
     for row in report["end_to_end"]:
         lines.append(
@@ -212,8 +246,10 @@ def _render(report: dict) -> str:
     summary = report["summary"]
     lines.append(
         f"summary: largest={summary['largest_program']} "
-        f"{summary['largest_program_speedup']:.2f}x, end-semantics geomean "
-        f"{summary['end_semantics_geomean_speedup']:.2f}x"
+        f"{summary['largest_program_speedup']:.2f}x, sqlite largest="
+        f"{summary['sqlite_largest_program']} "
+        f"{summary['sqlite_largest_program_speedup']:.2f}x, end-semantics "
+        f"geomean {summary['end_semantics_geomean_speedup']:.2f}x"
     )
     return "\n".join(lines)
 
@@ -222,13 +258,14 @@ def _render(report: dict) -> str:
 
 
 def test_fixpoint_smoke():
-    """Smoke configuration: engines agree and the semi-naive path keeps up."""
+    """Smoke configuration: engines agree and the semi-naive paths keep up."""
     report = run_benchmark(smoke=True)
     print("\n" + _render(report))
     # Correctness is asserted inside the bench; timing assertions stay loose
     # (CI machines are noisy) — the checked-in BENCH_fixpoint.json records the
     # real ratios.
     assert report["summary"]["max_closure_speedup"] > 1.0
+    assert report["summary"]["sqlite_max_closure_speedup"] > 1.0
 
 
 def main() -> None:

@@ -50,9 +50,11 @@ class RepairEngine:
         before being returned (slower; useful in tests and demos).
     engine:
         Default evaluation engine for every repair computed by this object:
-        ``"auto"`` (semi-naive for in-memory databases, SQL-compiled naive for
-        SQLite), ``"semi-naive"``, or ``"naive"`` (the differential-testing
-        oracle).  A per-call ``engine=`` option to :meth:`repair` overrides it.
+        ``"auto"`` (semi-naive on every backend — delta-driven planned joins
+        in memory, frontier-table SQL variants on SQLite), ``"semi-naive"``,
+        or ``"naive"`` (the differential-testing oracle).  Unknown names raise
+        :class:`~repro.exceptions.UnknownEngineError` (a :class:`ValueError`).
+        A per-call ``engine=`` option to :meth:`repair` overrides it.
     """
 
     def __init__(
@@ -63,6 +65,9 @@ class RepairEngine:
         verify: bool = False,
         engine: str = "auto",
     ) -> None:
+        from repro.datalog.evaluation import validate_engine
+
+        validate_engine(engine)
         self._db = db
         if isinstance(program, DeltaProgram):
             self._program = program

@@ -8,8 +8,10 @@ contains both the stage and step results) and serves as the paper's baseline.
 Computing it is PTIME (Proposition 4.1).
 
 The derivation fixpoint runs on the shared closure engine: semi-naive and
-delta-driven by default (``engine="auto"``), with the naive re-evaluate-
-everything loop kept as the differential-testing oracle (``engine="naive"``).
+delta-driven by default (``engine="auto"``) on both the in-memory and the
+SQLite backend (the latter through the frontier-table SQL driver of
+:mod:`repro.datalog.sql_seminaive`), with the naive re-evaluate-everything
+loop kept as the differential-testing oracle (``engine="naive"``).
 """
 
 from __future__ import annotations

@@ -47,6 +47,9 @@ def independent_semantics(
     ``engine`` selects join planning for the provenance build (see
     :func:`repro.provenance.boolean.build_boolean_provenance`).
     """
+    from repro.datalog.evaluation import validate_engine
+
+    validate_engine(engine)
     timer = timer if timer is not None else PhaseTimer()
     rules = list(program)
 

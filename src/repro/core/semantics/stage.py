@@ -14,13 +14,15 @@ between stages instead of re-enumerating them: deleting a tuple can only
 (a) void assignments that matched it through a base atom — tracked by an
 assignment-per-base-fact index — and (b) enable assignments that match it
 through a delta atom — discovered by seeding the rules from the frontier of
-newly recorded deletions (:func:`repro.datalog.seminaive.seeded_assignments`).
-``engine="naive"`` keeps the re-evaluate-everything loop as the oracle.
+newly recorded deletions (:func:`repro.datalog.seminaive.seeded_assignments`
+on in-memory databases, the generation-window SQL variants of
+:func:`repro.datalog.sql_seminaive.seeded_assignments_sql` on SQLite-backed
+ones).  ``engine="naive"`` keeps the re-evaluate-everything loop as the oracle.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, Iterator, List, Set
 
 from repro.core.semantics.base import PHASE_EVAL, RepairResult, Semantics
 from repro.datalog.ast import Program, Rule
@@ -34,6 +36,7 @@ from repro.datalog.evaluation import (
 )
 from repro.storage.database import BaseDatabase
 from repro.storage.facts import Fact
+from repro.storage.sqlite_backend import SQLiteDatabase
 from repro.utils.timing import PhaseTimer
 
 
@@ -109,19 +112,90 @@ def _stage_fixpoint_naive(
     return stages
 
 
+class _MemoryStageDiscovery:
+    """Assignment discovery over the in-memory engine's planned joins."""
+
+    def __init__(self, working: BaseDatabase, rules: List[Rule]) -> None:
+        from repro.datalog.planner import JoinPlanner
+
+        self._working = working
+        self._rules = rules
+        self._planner = JoinPlanner(working)
+        self._delta_rules = [
+            rule for rule in rules if any(atom.is_delta for atom in rule.body)
+        ]
+        self._relations = sorted(
+            {
+                atom.relation
+                for rule in self._delta_rules
+                for atom in rule.body
+                if atom.is_delta
+            }
+        )
+        self._tokens = {
+            relation: working.delta_token(relation) for relation in self._relations
+        }
+
+    def initial(self) -> Iterator[Assignment]:
+        for rule in self._rules:
+            yield from find_assignments(self._working, rule, planner=self._planner)
+
+    def newly_enabled(self) -> Iterator[Assignment]:
+        from repro.datalog.seminaive import seeded_assignments
+
+        frontier: Dict[str, Set[Fact]] = {}
+        for relation in self._relations:
+            added = self._working.delta_added_since(relation, self._tokens[relation])
+            self._tokens[relation] = self._working.delta_token(relation)
+            if added:
+                frontier[relation] = set(added)
+        if frontier:
+            for rule in self._delta_rules:
+                yield from seeded_assignments(
+                    self._working, rule, frontier, self._planner
+                )
+
+
+class _SQLStageDiscovery:
+    """Assignment discovery over the SQLite frontier tables.
+
+    The frontier of one stage is the generation window recorded since the
+    previous discovery call; the delta-rewritten variants enumerate exactly
+    the assignments enabled by it, entirely via SQL joins.
+    """
+
+    def __init__(self, working: SQLiteDatabase, rules: List[Rule]) -> None:
+        self._working = working
+        self._rules = rules
+        self._delta_rules = [
+            rule for rule in rules if any(atom.is_delta for atom in rule.body)
+        ]
+        self._token = working.generation()
+
+    def initial(self) -> Iterator[Assignment]:
+        from repro.datalog.sql_seminaive import full_assignments_sql
+
+        for rule in self._rules:
+            yield from full_assignments_sql(self._working, rule, self._token)
+
+    def newly_enabled(self) -> Iterator[Assignment]:
+        from repro.datalog.sql_seminaive import seeded_assignments_sql
+
+        lo, self._token = self._token, self._working.generation()
+        if lo == self._token:
+            return
+        for rule in self._delta_rules:
+            yield from seeded_assignments_sql(self._working, rule, lo, self._token)
+
+
 def _stage_fixpoint_incremental(
     working: BaseDatabase, rules: List[Rule], deleted: set
 ) -> int:
     """Delta-driven stages: maintain the live assignments across deletions."""
-    from repro.datalog.planner import JoinPlanner
-    from repro.datalog.seminaive import seeded_assignments
-
-    planner = JoinPlanner(working)
-    delta_rules = [rule for rule in rules if any(atom.is_delta for atom in rule.body)]
-    relations = sorted(
-        {atom.relation for rule in delta_rules for atom in rule.body if atom.is_delta}
-    )
-    tokens = {relation: working.delta_token(relation) for relation in relations}
+    if isinstance(working, SQLiteDatabase):
+        discovery = _SQLStageDiscovery(working, rules)
+    else:
+        discovery = _MemoryStageDiscovery(working, rules)
 
     live: Dict[tuple, Assignment] = {}
     by_base: Dict[Fact, Set[tuple]] = {}
@@ -134,9 +208,8 @@ def _stage_fixpoint_incremental(
         for item in assignment.base_facts():
             by_base.setdefault(item, set()).add(signature)
 
-    for rule in rules:
-        for assignment in find_assignments(working, rule, planner=planner):
-            admit(assignment)
+    for assignment in discovery.initial():
+        admit(assignment)
 
     stages = 0
     while True:
@@ -150,14 +223,6 @@ def _stage_fixpoint_incremental(
             for signature in by_base.pop(item, ()):
                 live.pop(signature, None)
         # Newly recorded deltas may enable assignments through delta atoms.
-        frontier: Dict[str, Set[Fact]] = {}
-        for relation in relations:
-            added = working.delta_added_since(relation, tokens[relation])
-            tokens[relation] = working.delta_token(relation)
-            if added:
-                frontier[relation] = set(added)
-        if frontier:
-            for rule in delta_rules:
-                for assignment in seeded_assignments(working, rule, frontier, planner):
-                    admit(assignment)
+        for assignment in discovery.newly_enabled():
+            admit(assignment)
     return stages

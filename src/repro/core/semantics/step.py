@@ -28,6 +28,7 @@ from repro.datalog.evaluation import (
     Assignment,
     find_assignments,
     run_closure,
+    validate_engine,
 )
 from repro.exceptions import SemanticsError
 from repro.provenance.graph import ProvenanceGraph
@@ -59,6 +60,7 @@ def step_semantics(
         :func:`repro.datalog.evaluation.run_closure`); the exhaustive search
         evaluates single hypothetical states and ignores it.
     """
+    validate_engine(engine)
     if method == "greedy":
         return _step_greedy(db, program, timer, engine=engine)
     if method == "exhaustive":

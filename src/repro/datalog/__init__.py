@@ -12,11 +12,13 @@ provides:
   closure, and the ``engine=`` dispatch;
 * :mod:`repro.datalog.seminaive` — the semi-naive, delta-driven fixpoint
   engine (the default for in-memory databases);
+* :mod:`repro.datalog.sql_seminaive` — the SQL-level semi-naive engine for
+  SQLite-backed databases (frontier tables + generation windows);
 * :mod:`repro.datalog.planner` — per-rule join planning with cached plans;
 * :mod:`repro.datalog.analysis` — dependency graphs, recursion detection,
   relation stratification;
 * :mod:`repro.datalog.sql_compiler` — compilation of rule bodies to SQL joins
-  for the SQLite backend.
+  for the SQLite backend, naive and delta-rewritten.
 """
 
 from repro.datalog.ast import (
@@ -40,6 +42,7 @@ from repro.datalog.evaluation import (
     find_assignments,
     resolve_engine,
     run_closure,
+    validate_engine,
 )
 from repro.datalog.planner import JoinPlan, JoinPlanner
 
@@ -61,6 +64,7 @@ __all__ = [
     "derive_closure",
     "run_closure",
     "resolve_engine",
+    "validate_engine",
     "JoinPlan",
     "JoinPlanner",
     "ENGINE_AUTO",

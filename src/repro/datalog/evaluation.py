@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence
 
 from repro.datalog.ast import Atom, Comparison, Constant, Program, Rule, Variable
-from repro.exceptions import EvaluationError
+from repro.exceptions import EvaluationError, UnknownEngineError
 from repro.storage.database import BaseDatabase
 from repro.storage.facts import Fact
 from repro.storage.sqlite_backend import SQLiteDatabase
@@ -32,22 +32,34 @@ ENGINE_AUTO = "auto"
 ENGINE_NAIVE = "naive"
 ENGINE_SEMI_NAIVE = "semi-naive"
 ENGINES = (ENGINE_NAIVE, ENGINE_SEMI_NAIVE)
+ENGINE_CHOICES = (ENGINE_AUTO, *ENGINES)
+
+
+def validate_engine(engine: str | None) -> None:
+    """Reject unknown ``engine=`` knob values with a uniform :class:`ValueError`.
+
+    Accepts None (treated as ``"auto"``) and the names in :data:`ENGINE_CHOICES`;
+    anything else raises :class:`~repro.exceptions.UnknownEngineError`, which
+    every fixpoint consumer (``derive_closure``, the four semantics, the
+    provenance builders and :class:`~repro.core.repair.RepairEngine`) surfaces
+    unchanged.
+    """
+    if engine is not None and engine not in ENGINE_CHOICES:
+        raise UnknownEngineError(engine, ENGINE_CHOICES)
 
 
 def resolve_engine(db: BaseDatabase, engine: str | None) -> str:
     """Resolve the ``engine=`` knob to a concrete engine name.
 
-    ``"auto"`` (the default everywhere) selects the semi-naive engine for
-    in-memory databases and the naive engine for SQLite-backed ones, whose
-    rule bodies are compiled to SQL joins instead of tuple-at-a-time plans.
+    ``"auto"`` (the default everywhere) selects the semi-naive engine on every
+    backend: the delta-driven in-memory engine for :class:`Database` instances
+    and the SQL-level frontier-table engine
+    (:mod:`repro.datalog.sql_seminaive`) for SQLite-backed ones.  ``"naive"``
+    forces the re-evaluate-everything loop, the differential-testing oracle.
     """
+    validate_engine(engine)
     if engine is None or engine == ENGINE_AUTO:
-        return ENGINE_NAIVE if isinstance(db, SQLiteDatabase) else ENGINE_SEMI_NAIVE
-    if engine not in ENGINES:
-        raise EvaluationError(
-            f"unknown evaluation engine {engine!r}; expected one of "
-            f"{(ENGINE_AUTO, *ENGINES)}"
-        )
+        return ENGINE_SEMI_NAIVE
     return engine
 
 
@@ -418,17 +430,26 @@ def run_closure(
 
     ``engine`` selects the evaluation strategy:
 
-    * ``"semi-naive"`` (the ``"auto"`` default for in-memory databases) —
-      after a first full round, rules are only re-matched through assignments
-      that use at least one delta fact derived in the previous round, seeded
-      from the storage layer's frontier and joined outward along cached
-      per-rule plans (:mod:`repro.datalog.seminaive`);
+    * ``"semi-naive"`` (the ``"auto"`` default on every backend) — after a
+      first full round, rules are only re-matched through assignments that use
+      at least one delta fact derived in the previous round.  In-memory
+      databases seed from the storage layer's frontier and join outward along
+      cached per-rule plans (:mod:`repro.datalog.seminaive`); SQLite-backed
+      databases run delta-rewritten SQL variants against generation-stamped
+      frontier tables, with fact installation kept inside SQLite
+      (:mod:`repro.datalog.sql_seminaive`);
     * ``"naive"`` — every round re-evaluates every rule against the whole
       database and discards already-seen assignments by signature.  Kept as
       the differential-testing oracle.
     """
     resolved = resolve_engine(db, engine)
     if resolved == ENGINE_SEMI_NAIVE:
+        if isinstance(db, SQLiteDatabase):
+            from repro.datalog.sql_seminaive import sql_semi_naive_closure
+
+            return sql_semi_naive_closure(
+                db, program, on_assignment=on_assignment, max_rounds=max_rounds
+            )
         from repro.datalog.seminaive import semi_naive_closure
 
         return semi_naive_closure(

@@ -7,17 +7,39 @@ table for delta atoms), repeated variables become equality join conditions,
 constants and comparison atoms become ``WHERE`` predicates, and the ``SELECT``
 list pulls every aliased column plus the ``tid`` labels so that full
 :class:`~repro.datalog.evaluation.Assignment` objects can be reconstructed.
+
+Two compilation schemes are provided:
+
+* :func:`compile_rule` — the naive scheme: one query per rule (one per
+  source-table combination in hypothetical mode), used by the full
+  re-evaluation oracle and by Algorithm 1's provenance build;
+* :func:`compile_frontier_rule` — the semi-naive scheme: delta atoms read the
+  generation-stamped frontier tables (``f_R``) and the rule is rewritten into
+  one variant per delta atom.  The variant seeded at rank ``i`` joins that
+  atom against the current frontier window (``gen > :lo AND gen <= :hi``),
+  delta atoms of rank ``< i`` against the pre-frontier (``gen <= :lo``) and
+  ranks ``> i`` against everything recorded (``gen <= :hi``), so each new
+  assignment is enumerated exactly once per closure.  Each variant also
+  carries an ``INSERT OR IGNORE ... SELECT`` statement installing the derived
+  head facts directly inside SQLite — derived tuples never round-trip through
+  Python.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from functools import lru_cache
+from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.datalog.ast import Atom, Comparison, Constant, Rule, Variable
 from repro.exceptions import EvaluationError
 from repro.storage.facts import Fact
-from repro.storage.sqlite_backend import SQLiteDatabase, active_table, delta_table
+from repro.storage.sqlite_backend import (
+    SQLiteDatabase,
+    active_table,
+    delta_table,
+    frontier_table,
+)
 
 _SQL_OPS = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
@@ -143,6 +165,228 @@ def _compile_comparison(
     return f"{left} {_SQL_OPS[comparison.op]} {right}"
 
 
+# ---------------------------------------------------------------------------
+# Semi-naive (frontier-window) compilation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrontierQuery:
+    """One delta-rewritten variant of a rule for the semi-naive SQL engine.
+
+    The query and install statement use named placeholders: ``:lo`` / ``:hi``
+    bound to the frontier generation window at execution time, ``:gen`` (in
+    ``install_sql`` only) to the generation stamping this round's new facts,
+    and ``:kN`` to the rule's constants (pre-bound in :attr:`params`).
+
+    Attributes
+    ----------
+    sql:
+        ``SELECT`` enumerating the variant's assignments (per-atom value
+        columns + ``tid``, in body order — same row shape as
+        :class:`CompiledRule`).
+    install_sql:
+        ``INSERT OR IGNORE INTO f_H ... SELECT DISTINCT <head>, NULL, :gen``
+        over the same body, installing the derived head facts into the head
+        relation's frontier table without leaving SQLite.
+    params:
+        The constant bind parameters, as ``(name, value)`` pairs.
+    atom_arities:
+        Arity of each body atom, for row-to-assignment reconstruction.
+    seed:
+        Body index of the frontier-seeded delta atom, or None for the
+        round-1 full variant.
+    seed_relation:
+        Relation of the seed atom (None for the full variant); the driver
+        skips a variant when that relation's frontier is empty.
+    """
+
+    sql: str
+    install_sql: str
+    params: tuple[tuple[str, Any], ...]
+    atom_arities: tuple[int, ...]
+    seed: int | None
+    seed_relation: str | None
+
+    def bind(self, **window: int) -> Dict[str, Any]:
+        """The full parameter mapping for one execution of the variant."""
+        return {**dict(self.params), **window}
+
+
+@lru_cache(maxsize=1024)
+def compile_frontier_rule(rule: Rule) -> tuple[FrontierQuery, tuple[FrontierQuery, ...]]:
+    """Compile ``rule`` for the semi-naive engine.
+
+    Returns ``(full, seeded)``: the round-1 variant whose delta atoms all read
+    ``gen <= :hi``, plus one frontier-seeded variant per delta atom (empty for
+    rules without delta atoms, which can only fire in round 1).
+    """
+    full = _compile_frontier_variant(rule, seed=None)
+    seeded = tuple(
+        _compile_frontier_variant(rule, seed=index)
+        for index, atom in enumerate(rule.body)
+        if atom.is_delta
+    )
+    return full, seeded
+
+
+def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
+    delta_positions = [index for index, atom in enumerate(rule.body) if atom.is_delta]
+    seed_rank = delta_positions.index(seed) if seed is not None else None
+
+    select_parts: List[str] = []
+    from_parts: List[str] = []
+    where: List[str] = []
+    params: List[tuple[str, Any]] = []
+    arities: List[int] = []
+    variable_column: Dict[str, str] = {}
+
+    def constant_param(value: Any) -> str:
+        name = f"k{len(params)}"
+        params.append((name, value))
+        return f":{name}"
+
+    for index, atom in enumerate(rule.body):
+        alias = f"a{index}"
+        arities.append(atom.arity)
+        if atom.is_delta:
+            from_parts.append(f"{frontier_table(atom.relation)} AS {alias}")
+            rank = delta_positions.index(index)
+            if seed_rank is None:
+                where.append(f"{alias}.gen <= :hi")
+            elif rank == seed_rank:
+                where.append(f"{alias}.gen > :lo AND {alias}.gen <= :hi")
+            elif rank < seed_rank:
+                where.append(f"{alias}.gen <= :lo")
+            else:
+                where.append(f"{alias}.gen <= :hi")
+        else:
+            from_parts.append(f"{active_table(atom.relation)} AS {alias}")
+        for position in range(atom.arity):
+            select_parts.append(f"{alias}.c{position}")
+        select_parts.append(f"{alias}.tid")
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.c{position}"
+            if isinstance(term, Constant):
+                where.append(f"{column} = {constant_param(term.value)}")
+            else:
+                assert isinstance(term, Variable)
+                if term.name in variable_column:
+                    where.append(f"{column} = {variable_column[term.name]}")
+                else:
+                    variable_column[term.name] = column
+
+    for comparison in rule.comparisons:
+        def operand(term: Any) -> str:
+            if isinstance(term, Variable):
+                if term.name not in variable_column:
+                    raise EvaluationError(
+                        f"rule {rule.display_name()}: comparison variable "
+                        f"{term.name!r} does not occur in any body atom"
+                    )
+                return variable_column[term.name]
+            assert isinstance(term, Constant)
+            return constant_param(term.value)
+
+        where.append(
+            f"{operand(comparison.lhs)} {_SQL_OPS[comparison.op]} "
+            f"{operand(comparison.rhs)}"
+        )
+
+    where_sql = (" WHERE " + " AND ".join(where)) if where else ""
+    body_sql = f"FROM {', '.join(from_parts)}{where_sql}"
+    sql = f"SELECT {', '.join(select_parts)} {body_sql}"
+
+    head_exprs: List[str] = []
+    for term in rule.head.terms:
+        if isinstance(term, Variable):
+            if term.name not in variable_column:
+                raise EvaluationError(
+                    f"rule {rule.display_name()}: head variable {term.name!r} "
+                    "is unbound"
+                )
+            head_exprs.append(variable_column[term.name])
+        else:
+            assert isinstance(term, Constant)
+            head_exprs.append(constant_param(term.value))
+    head_columns = ", ".join(
+        [*(f"c{i}" for i in range(rule.head.arity)), "tid", "gen"]
+    )
+    install_sql = (
+        f"INSERT OR IGNORE INTO {frontier_table(rule.head.relation)} "
+        f"({head_columns}) "
+        f"SELECT DISTINCT {', '.join(head_exprs)}, NULL, :gen {body_sql}"
+    )
+
+    seed_atom = rule.body[seed] if seed is not None else None
+    return FrontierQuery(
+        sql=sql,
+        install_sql=install_sql,
+        params=tuple(params),
+        atom_arities=tuple(arities),
+        seed=seed,
+        seed_relation=seed_atom.relation if seed_atom is not None else None,
+    )
+
+
+def delta_copy_sql(relation: str, arity: int) -> str:
+    """Statement promoting one generation of frontier rows into the delta table.
+
+    Run after a round's installs with the same ``:gen`` so that ``d_R`` keeps
+    mirroring ``f_R`` (the generic delta extent never lags the frontier).
+    """
+    columns = ", ".join([*(f"c{i}" for i in range(arity)), "tid"])
+    return (
+        f"INSERT OR IGNORE INTO {delta_table(relation)} ({columns}) "
+        f"SELECT {columns} FROM {frontier_table(relation)} WHERE gen = :gen"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Row → Assignment reconstruction (shared by the naive and semi-naive paths)
+# ---------------------------------------------------------------------------
+
+
+def assignments_from_rows(
+    rule: Rule, atom_arities: Tuple[int, ...], rows: Iterator[tuple]
+) -> Iterator["Assignment"]:
+    """Rebuild :class:`~repro.datalog.evaluation.Assignment` objects from rows.
+
+    Each row holds, per body atom in body order, the atom's value columns
+    followed by its ``tid``.  Repeated-variable consistency is re-checked in
+    Python as a guard against SQLite's type-affinity coercions.
+    """
+    from repro.datalog.evaluation import Assignment, ground_head
+
+    for row in rows:
+        used = []
+        bindings: Dict[str, Any] = {}
+        offset = 0
+        valid = True
+        for atom, arity in zip(rule.body, atom_arities):
+            values = tuple(row[offset : offset + arity])
+            tid = row[offset + arity]
+            offset += arity + 1
+            item = Fact(atom.relation, values, tid=tid)
+            used.append((atom, item))
+            for term, value in zip(atom.terms, values):
+                if isinstance(term, Variable):
+                    if term.name in bindings and bindings[term.name] != value:
+                        valid = False
+                        break
+                    bindings[term.name] = value
+            if not valid:
+                break
+        if not valid:
+            continue
+        yield Assignment(
+            rule=rule,
+            bindings=tuple(sorted(bindings.items(), key=lambda kv: kv[0])),
+            used=tuple(used),
+            derived=ground_head(rule, bindings),
+        )
+
+
 def find_assignments_sql(
     db: SQLiteDatabase,
     rule: Rule,
@@ -154,39 +398,13 @@ def find_assignments_sql(
     in-memory evaluator produces (up to ordering), so the two backends are
     interchangeable for the semantics implementations.
     """
-    from repro.datalog.evaluation import Assignment, ground_head
-
     assignments = []
     seen: set[tuple] = set()
     for compiled in compile_rule(rule, hypothetical_deltas=hypothetical_deltas):
         cursor = db.execute(compiled.sql, compiled.params)
-        for row in cursor.fetchall():
-            used = []
-            bindings: Dict[str, Any] = {}
-            offset = 0
-            valid = True
-            for atom, arity in zip(rule.body, compiled.atom_arities):
-                values = tuple(row[offset : offset + arity])
-                tid = row[offset + arity]
-                offset += arity + 1
-                item = Fact(atom.relation, values, tid=tid)
-                used.append((atom, item))
-                for term, value in zip(atom.terms, values):
-                    if isinstance(term, Variable):
-                        if term.name in bindings and bindings[term.name] != value:
-                            valid = False
-                            break
-                        bindings[term.name] = value
-                if not valid:
-                    break
-            if not valid:
-                continue
-            assignment = Assignment(
-                rule=rule,
-                bindings=tuple(sorted(bindings.items(), key=lambda kv: kv[0])),
-                used=tuple(used),
-                derived=ground_head(rule, bindings),
-            )
+        for assignment in assignments_from_rows(
+            rule, compiled.atom_arities, cursor
+        ):
             signature = assignment.signature()
             if signature not in seen:
                 seen.add(signature)

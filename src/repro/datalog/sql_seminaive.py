@@ -1,0 +1,168 @@
+"""Semi-naive, frontier-window fixpoint evaluation inside SQLite.
+
+SQL-level counterpart of :mod:`repro.datalog.seminaive`: the same stage-style,
+delta-driven closure, but with the frontier kept *inside* the database.  Every
+relation's delta extent is mirrored by a generation-stamped frontier table
+(``f_R``, see :mod:`repro.storage.sqlite_backend`), and one round's frontier is
+simply the half-open generation window ``(lo, hi]``:
+
+* round 1 evaluates every rule once, all delta atoms bounded by the
+  generations already recorded (``gen <= :hi``);
+* every later round re-enters only the delta rules, through the
+  delta-rewritten variants of :func:`~repro.datalog.sql_compiler.compile_frontier_rule`
+  — one per delta atom, seeding that atom from the window and stratifying the
+  other delta atoms by rank (pre-seed ranks read ``gen <= :lo``, later ranks
+  ``gen <= :hi``), so each new assignment is enumerated exactly once;
+* derived head facts are installed by ``INSERT OR IGNORE ... SELECT`` with the
+  round's fresh generation stamp — deduplication and installation never leave
+  SQLite, and the install statements' change counts double as the emptiness
+  test for the next round's frontier.
+
+Assignments are still materialised in Python (the provenance builders and the
+differential tests consume them through ``on_assignment`` /
+:class:`~repro.datalog.evaluation.ClosureResult`), but only the *new*
+assignments of each round cross the boundary — the naive SQL loop re-fetches
+every assignment ever derivable at every round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from repro.datalog.ast import Program, Rule
+from repro.datalog.evaluation import Assignment, ClosureResult, ENGINE_SEMI_NAIVE
+from repro.datalog.sql_compiler import (
+    assignments_from_rows,
+    compile_frontier_rule,
+    delta_copy_sql,
+)
+from repro.exceptions import EvaluationError
+from repro.storage.sqlite_backend import SQLiteDatabase
+
+
+def seeded_assignments_sql(
+    db: SQLiteDatabase, rule: Rule, lo: int, hi: int
+) -> Iterator[Assignment]:
+    """Assignments of ``rule`` using at least one frontier fact of ``(lo, hi]``.
+
+    Mirror of :func:`repro.datalog.seminaive.seeded_assignments` with the
+    frontier expressed as a generation window; each qualifying assignment is
+    produced exactly once (rank-stratified variants partition the space by the
+    first delta atom falling inside the window).
+    """
+    _, seeded = compile_frontier_rule(rule)
+    for variant in seeded:
+        cursor = db.execute(variant.sql, variant.bind(lo=lo, hi=hi))
+        yield from assignments_from_rows(rule, variant.atom_arities, cursor)
+
+
+def full_assignments_sql(
+    db: SQLiteDatabase, rule: Rule, hi: int
+) -> Iterator[Assignment]:
+    """All assignments of ``rule`` with delta atoms bounded by ``gen <= hi``."""
+    full, _ = compile_frontier_rule(rule)
+    cursor = db.execute(full.sql, full.bind(hi=hi))
+    yield from assignments_from_rows(rule, full.atom_arities, cursor)
+
+
+def _install(
+    db: SQLiteDatabase,
+    rule: Rule,
+    variant,
+    window: Dict[str, int],
+    gen: int,
+    new_by_relation: Dict[str, int],
+) -> None:
+    """Run one variant's install statement, tallying genuinely new facts."""
+    cursor = db.execute(variant.install_sql, variant.bind(gen=gen, **window))
+    if cursor.rowcount > 0:
+        relation = rule.head.relation
+        new_by_relation[relation] = new_by_relation.get(relation, 0) + cursor.rowcount
+
+
+def sql_semi_naive_closure(
+    db: SQLiteDatabase,
+    program: Program | Iterable[Rule],
+    on_assignment=None,
+    max_rounds: int | None = None,
+) -> ClosureResult:
+    """Derive all delta facts of ``db`` under ``program`` to fixpoint.
+
+    Equivalent to the naive SQL closure (same assignments, same delta facts,
+    same exactly-once ``on_assignment`` calls) and to the in-memory semi-naive
+    engine (same stage-style round count), but incremental after round 1 and
+    with fact installation kept inside SQLite.
+    """
+    rules = list(program)
+    delta_rules = [rule for rule in rules if any(atom.is_delta for atom in rule.body)]
+    #: Relations whose frontier can re-enter some rule.
+    watched = {
+        atom.relation for rule in delta_rules for atom in rule.body if atom.is_delta
+    }
+    copy_statements = {
+        rule.head.relation: delta_copy_sql(rule.head.relation, rule.head.arity)
+        for rule in rules
+    }
+
+    all_assignments: List[Assignment] = []
+    seen_signatures: set[tuple] = set()
+
+    def record(assignment: Assignment) -> None:
+        signature = assignment.signature()
+        if signature in seen_signatures:
+            return
+        seen_signatures.add(signature)
+        all_assignments.append(assignment)
+        if on_assignment is not None:
+            on_assignment(assignment)
+
+    rounds = 0
+
+    def enter_round() -> None:
+        nonlocal rounds
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise EvaluationError(
+                f"closure did not converge within {max_rounds} rounds"
+            )
+
+    # Round 1: one full evaluation of every rule, bounded by the generations
+    # present when the closure starts (installs during the round are stamped
+    # later and stay invisible, preserving stage-style rounds).
+    enter_round()
+    hi = db.generation()
+    gen = db.next_generation()
+    new_by_relation: Dict[str, int] = {}
+    for rule in rules:
+        full, _ = compile_frontier_rule(rule)
+        for assignment in full_assignments_sql(db, rule, hi):
+            record(assignment)
+        _install(db, rule, full, {"hi": hi}, gen, new_by_relation)
+    for relation in new_by_relation:
+        db.execute(copy_statements[relation], {"gen": gen})
+
+    # Rounds 2..: re-enter delta rules only through the previous round's
+    # frontier window (lo, hi].
+    while any(new_by_relation.get(relation) for relation in watched):
+        enter_round()
+        lo, hi = hi, gen
+        gen = db.next_generation()
+        frontier = new_by_relation
+        new_by_relation = {}
+        for rule in delta_rules:
+            _, seeded = compile_frontier_rule(rule)
+            for variant in seeded:
+                if not frontier.get(variant.seed_relation):
+                    continue
+                cursor = db.execute(variant.sql, variant.bind(lo=lo, hi=hi))
+                for assignment in assignments_from_rows(
+                    rule, variant.atom_arities, cursor
+                ):
+                    record(assignment)
+                _install(
+                    db, rule, variant, {"lo": lo, "hi": hi}, gen, new_by_relation
+                )
+        for relation in new_by_relation:
+            db.execute(copy_statements[relation], {"gen": gen})
+
+    return ClosureResult(all_assignments, rounds, ENGINE_SEMI_NAIVE)

@@ -68,6 +68,22 @@ class EvaluationError(ReproError):
     """Raised when rule evaluation fails (unbound variables, bad comparisons...)."""
 
 
+class UnknownEngineError(EvaluationError, ValueError):
+    """Raised when an ``engine=`` knob receives an unknown engine name.
+
+    Subclasses :class:`ValueError` so callers outside the library can catch it
+    without importing the repro exception hierarchy.
+    """
+
+    def __init__(self, engine: object, choices: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown evaluation engine {engine!r}; expected one of "
+            + ", ".join(repr(choice) for choice in choices)
+        )
+        self.engine = engine
+        self.choices = choices
+
+
 class SolverError(ReproError):
     """Raised when the SAT / Min-Ones solver is given an invalid formula."""
 

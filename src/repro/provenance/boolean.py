@@ -159,12 +159,18 @@ def build_boolean_provenance(
     The hypothetical evaluation is a single pass (no fixpoint), so ``engine``
     only controls join planning: the default plans each rule's joins once and
     caches them, while ``engine="naive"`` re-derives the atom order at every
-    recursion step (the oracle behaviour).
+    recursion step (the oracle behaviour).  On SQLite-backed databases both
+    engines evaluate through compiled SQL joins (the planner is bypassed), so
+    the knob only validates; unknown names raise
+    :class:`~repro.exceptions.UnknownEngineError` either way.
     """
     from repro.datalog.evaluation import ENGINE_NAIVE, resolve_engine
+    from repro.storage.sqlite_backend import SQLiteDatabase
 
     planner = None
-    if resolve_engine(db, engine) != ENGINE_NAIVE:
+    if resolve_engine(db, engine) != ENGINE_NAIVE and not isinstance(
+        db, SQLiteDatabase
+    ):
         from repro.datalog.planner import JoinPlanner
 
         planner = JoinPlanner(db)

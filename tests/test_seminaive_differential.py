@@ -12,13 +12,12 @@ equivalent to the naive re-evaluate-everything engine it replaces:
 * reported round counts are internally consistent.
 
 The instances are randomized: schemas, contents and delta programs are drawn
-from a seeded generator, so every run exercises a fresh family of join shapes,
-cascade depths and comparison mixes.
+from the seeded generators shared with the cross-backend suite
+(:mod:`tests.generators`), so every run exercises a fresh family of join
+shapes, cascade depths and comparison mixes.
 """
 
 from __future__ import annotations
-
-import random
 
 import pytest
 
@@ -29,97 +28,17 @@ from repro.core.semantics import (
     step_semantics,
 )
 from repro.core.stability import is_stabilizing_set
-from repro.datalog.ast import Atom, Comparison, Constant, Rule, Variable
-from repro.datalog.delta import DeltaProgram
+from repro.datalog.ast import Atom, Constant, Rule, Variable
 from repro.datalog.evaluation import run_closure
 from repro.provenance.boolean import build_boolean_provenance
 from repro.storage.database import Database
 from repro.storage.facts import Fact
 from repro.storage.schema import Schema
 
-from tests.conftest import PAPER_PROGRAM_TEXT, make_paper_database
+from tests.generators import paper_instance, random_instance
 
 #: Seeds for the randomized instances; each seed builds one (db, program) pair.
 SEEDS = tuple(range(12))
-
-
-def random_instance(seed: int) -> tuple[Database, DeltaProgram]:
-    """A small random database plus a random (terminating) delta program."""
-    rng = random.Random(seed)
-    relation_count = rng.randint(2, 4)
-    arities = {
-        f"R{index}": rng.randint(1, 3) for index in range(relation_count)
-    }
-    schema = Schema.from_arities(arities)
-    domain = rng.randint(3, 8)
-    contents = {
-        name: {
-            tuple(rng.randrange(domain) for _ in range(arity))
-            for _ in range(rng.randint(5, 40))
-        }
-        for name, arity in arities.items()
-    }
-    db = Database.from_dicts(schema, contents)
-
-    names = sorted(arities)
-    rules = []
-    seen_rules = set()
-    for rule_index in range(rng.randint(2, 5)):
-        head_relation = rng.choice(names)
-        head_arity = arities[head_relation]
-        head_vars = tuple(Variable(f"x{i}") for i in range(head_arity))
-        guard = Atom(head_relation, head_vars, is_delta=False)
-        body = [guard]
-        # Extra atoms share a variable with the guard when possible so the
-        # joins are not all cross products.
-        for _ in range(rng.randint(0, 2)):
-            other = rng.choice(names)
-            other_arity = arities[other]
-            terms = []
-            for position in range(other_arity):
-                if rng.random() < 0.5:
-                    terms.append(rng.choice(head_vars))
-                elif rng.random() < 0.3:
-                    terms.append(Constant(rng.randrange(domain)))
-                else:
-                    terms.append(Variable(f"y{rule_index}_{position}"))
-            body.append(
-                Atom(other, tuple(terms), is_delta=rng.random() < 0.5)
-            )
-        comparisons = ()
-        if rng.random() < 0.5:
-            comparisons = (
-                Comparison(
-                    rng.choice(head_vars),
-                    rng.choice(("<", "<=", ">", ">=", "!=")),
-                    Constant(rng.randrange(domain)),
-                ),
-            )
-        rule = Rule(
-            head=Atom(head_relation, head_vars, is_delta=True),
-            body=tuple(body),
-            comparisons=comparisons,
-            # Leave some rules unnamed: real programs parsed from text have
-            # several unnamed rules per head relation, and assignment
-            # signatures must keep them apart (they once collided through
-            # the shared auto display name).
-            name=f"r{rule_index}" if rng.random() < 0.5 else None,
-        )
-        key = (rule.head, rule.body, rule.comparisons)
-        if key not in seen_rules:
-            seen_rules.add(key)
-            rules.append(rule)
-    return db, DeltaProgram.from_rules(rules)
-
-
-def paper_instance() -> tuple[Database, DeltaProgram]:
-    return make_paper_database(), DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
-
-
-def all_instances():
-    yield paper_instance()
-    for seed in SEEDS:
-        yield random_instance(seed)
 
 
 @pytest.mark.parametrize("seed", SEEDS)

@@ -2,12 +2,17 @@
 
 import pytest
 
-from repro.datalog import DeltaProgram, find_assignments
+from repro.datalog import DeltaProgram, find_assignments, run_closure
 from repro.exceptions import ArityMismatchError, StorageError, UnknownRelationError
 from repro.storage.database import Database
-from repro.storage.facts import fact
+from repro.storage.facts import Fact, fact
 from repro.storage.schema import RelationSchema, Schema
-from repro.storage.sqlite_backend import SQLiteDatabase, active_table, delta_table
+from repro.storage.sqlite_backend import (
+    SQLiteDatabase,
+    active_table,
+    delta_table,
+    frontier_table,
+)
 
 
 @pytest.fixture
@@ -110,3 +115,157 @@ class TestCrossBackendEquivalence:
             mem = RepairEngine(memory, program).repair(semantics).deleted
             sql = RepairEngine(sqlite, program).repair(semantics).deleted
             assert mem == sql
+
+
+class TestFrontierTables:
+    def test_table_name(self):
+        assert frontier_table("R") == "f_R"
+
+    def test_tokens_and_added_since(self, db: SQLiteDatabase):
+        token = db.delta_token("R")
+        assert db.delta_added_since("R", token) == []
+        db.mark_deleted(fact("R", 1, "a"))
+        db.mark_deleted(fact("R", 1, "a"))  # duplicate: must not re-log
+        assert db.delta_added_since("R", token) == [fact("R", 1, "a")]
+        assert db.delta_added_since("R", db.delta_token("R")) == []
+
+    def test_generations_are_monotone_and_clone_preserves_them(
+        self, db: SQLiteDatabase
+    ):
+        db.delete(fact("R", 1, "a"))
+        before = db.generation()
+        copy = db.clone()
+        assert copy.generation() == before
+        assert copy.same_state_as(db)
+        # New deletions on the clone land after the copied generations.
+        copy.delete(fact("R", 2, "b"))
+        assert copy.delta_added_since("R", before) == [fact("R", 2, "b")]
+        # The original is untouched.
+        assert db.delta_added_since("R", before) == []
+
+    def test_reopened_file_database_resumes_generations(self, schema, tmp_path):
+        # Regression: a reopened file-backed database must resume the counter
+        # after the persisted stamps, so pre-recorded deltas stay inside the
+        # semi-naive round-1 window and new deltas don't collide with them.
+        path = str(tmp_path / "frontier.db")
+        first = SQLiteDatabase(schema, path=path)
+        first.insert(fact("S", 1))
+        first.insert(fact("R", 1, "a"))
+        first.mark_deleted(fact("R", 1, "a"))
+        persisted = first.generation()
+        first.close()
+
+        reopened = SQLiteDatabase(schema, path=path)
+        assert reopened.generation() == persisted
+        token = reopened.delta_token("S")
+        reopened.mark_deleted(fact("S", 1))
+        assert reopened.delta_added_since("S", token) == [fact("S", 1)]
+        program = DeltaProgram.from_text("delta S(x) :- S(x), delta R(x, y).")
+        semi = run_closure(reopened.clone(), program, engine="semi-naive")
+        naive = run_closure(reopened.clone(), program, engine="naive")
+        assert {a.signature() for a in semi.assignments} == {
+            a.signature() for a in naive.assignments
+        }
+        assert len(semi.assignments) == 1
+        reopened.close()
+
+    def test_frontier_mirrors_delta_extent(self, db: SQLiteDatabase):
+        db.delete(fact("R", 1, "a"))
+        db.mark_deleted(fact("S", 1))
+        for relation in ("R", "S"):
+            rows = db.execute(
+                f"SELECT COUNT(*) FROM {frontier_table(relation)}"
+            ).fetchone()
+            assert rows[0] == db.count_delta(relation)
+
+
+class SQLiteSemiNaiveCase:
+    """Shared scaffolding: one schema, closures run on both engines."""
+
+    def closure_pair(self, db: SQLiteDatabase, program: DeltaProgram):
+        naive_db, semi_db = db.clone(), db.clone()
+        naive = run_closure(naive_db, program, engine="naive")
+        semi = run_closure(semi_db, program, engine="semi-naive")
+        assert set(naive_db.all_deltas()) == set(semi_db.all_deltas())
+        assert {a.signature() for a in naive.assignments} == {
+            a.signature() for a in semi.assignments
+        }
+        return semi, semi_db
+
+
+class TestSQLiteSemiNaiveEdgeCases(SQLiteSemiNaiveCase):
+    def test_empty_frontier_round_terminates(self, schema: Schema):
+        # The cascade re-derives only already-recorded facts after round 2:
+        # the install statements insert nothing new, the frontier window is
+        # empty and the closure must stop without an extra round.
+        db = SQLiteDatabase(schema)
+        db.insert_all([fact("R", 1, "a"), fact("S", 1)])
+        program = DeltaProgram.from_text(
+            """
+            delta R(x, y) :- R(x, y), S(x).
+            delta S(x) :- S(x), delta R(x, y).
+            delta R(x, y) :- R(x, y), delta S(x).
+            """
+        )
+        semi, semi_db = self.closure_pair(db, program)
+        assert set(semi_db.all_deltas()) == {fact("R", 1, "a"), fact("S", 1)}
+        # Round 1 derives ΔR, round 2 ΔS, round 3 re-derives only ΔR(1, a)
+        # (already recorded — an assignment, but no frontier), then stop.
+        assert semi.rounds == 3
+
+    def test_self_join_hits_frontier_table_twice(self):
+        # Two delta atoms over the same relation: the seeded variants must
+        # join f_E twice with different generation windows, and the rank
+        # stratification must not double-count the symmetric assignments.
+        schema = Schema.from_relations([RelationSchema.of("E", "x:int", "y:int")])
+        memory = Database.from_dicts(
+            schema, {"E": [(1, 2), (2, 1), (2, 2), (3, 4)]}
+        )
+        program = DeltaProgram.from_text(
+            """
+            delta E(x, y) :- E(x, y), x = 1.
+            delta E(y, z) :- E(y, z), delta E(x, y), delta E(z, w).
+            """
+        )
+        db = SQLiteDatabase.from_database(memory)
+        semi, semi_db = self.closure_pair(db, program)
+        mem_db = memory.clone()
+        mem = run_closure(mem_db, program, engine="semi-naive")
+        assert set(semi_db.all_deltas()) == set(mem_db.all_deltas())
+        assert {a.signature() for a in semi.assignments} == {
+            a.signature() for a in mem.assignments
+        }
+        assert semi.rounds == mem.rounds
+
+    def test_tid_labels_preserved_through_sql_insert_path(self, schema: Schema):
+        db = SQLiteDatabase(schema)
+        db.insert(fact("R", 1, "a", tid="r1"))
+        db.insert(fact("S", 1, tid="s1"))
+        program = DeltaProgram.from_text(
+            "delta R(x, y) :- R(x, y), S(x). delta S(x) :- S(x), delta R(x, y)."
+        )
+        semi, semi_db = self.closure_pair(db, program)
+        # Body facts keep their labels through SELECT reconstruction.
+        used = {
+            (item.relation, item.values, item.tid)
+            for assignment in semi.assignments
+            for item in assignment.all_facts()
+        }
+        assert ("R", (1, "a"), "r1") in used
+        assert ("S", (1,), "s1") in used
+        # Facts installed by INSERT ... SELECT carry no label, and the
+        # installed delta row for R(1, a) did not clobber anything.
+        delta_r = {(item.values, item.tid) for item in semi_db.delta_facts("R")}
+        assert delta_r == {((1, "a"), None)}
+
+    def test_pre_recorded_delta_tid_not_clobbered_by_install(self, schema: Schema):
+        # A fact already in the delta extent with a label must keep it even
+        # when the closure re-derives (and re-installs) the same fact.
+        db = SQLiteDatabase(schema)
+        db.insert(fact("S", 1))
+        db.insert(fact("R", 1, "a"))
+        db.mark_deleted(fact("R", 1, "a", tid="kept"))
+        program = DeltaProgram.from_text("delta R(x, y) :- R(x, y), S(x).")
+        _, semi_db = self.closure_pair(db, program)
+        delta_r = {(item.values, item.tid) for item in semi_db.delta_facts("R")}
+        assert delta_r == {((1, "a"), "kept")}

@@ -1,20 +1,33 @@
-"""Micro-benchmark: naive vs semi-naive fixpoint evaluation, on both backends.
+"""Micro-benchmark: naive vs semi-naive fixpoint evaluation, on every backend.
 
-Compares the two closure engines (:func:`repro.datalog.evaluation.run_closure`
+Compares the closure engines (:func:`repro.datalog.evaluation.run_closure`
 with ``engine="naive"`` / ``engine="semi-naive"``) on the scaling MAS and
-TPC-H workload programs — once over the in-memory backend and once over the
-SQLite backend (full-extent SQL joins vs the frontier-table semi-naive driver
-of :mod:`repro.datalog.sql_seminaive`) — plus an end-to-end comparison of
-figure-6-style end-semantics runs.  Results are written to
-``BENCH_fixpoint.json`` at the repository root so the perf trajectory is
-tracked across PRs.
+TPC-H workload programs over three backends:
+
+* ``memory`` — the in-memory engine with planned joins;
+* ``sqlite`` — in-memory SQLite, full-extent SQL joins vs the single-pass
+  frontier-table driver of :mod:`repro.datalog.sql_seminaive`;
+* ``sqlite-file`` — the same driver against a file-backed database
+  (``path != ":memory:"``), exercising the persisted generation counter.
+
+For the semi-naive SQL driver two timings are recorded per row: the *staged*
+path (assignments collected — comparable to the naive engine, which always
+materialises assignments) and the *fast* path (``collect_assignments=False``,
+install-only — what closure-level consumers such as end semantics now run by
+default).  An end-to-end axis times figure-6-style end-semantics runs, and a
+``compare()`` axis times all four semantics through one
+:class:`~repro.core.repair.RepairEngine` sharing a single
+:class:`~repro.datalog.context.EvalContext` against four cold engines.
+Results are written to ``BENCH_fixpoint.json`` at the repository root so the
+perf trajectory is tracked across PRs.
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_fixpoint.py            # full run
     PYTHONPATH=src python benchmarks/bench_fixpoint.py --smoke    # 1 repetition, small scales
 
-or through pytest (a correctness-checked smoke configuration)::
+or through pytest (a correctness-checked smoke configuration that also
+asserts the staged single-pass discipline via a query-counter hook)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_fixpoint.py -q
 """
@@ -24,12 +37,16 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List
 
-from repro.core.semantics import end_semantics
+from repro.core.repair import RepairEngine
+from repro.core.semantics import Semantics, end_semantics
+from repro.datalog.context import EvalContext
 from repro.datalog.evaluation import run_closure
+from repro.datalog.sql_compiler import TAG_ASSIGN_SELECT, TAG_STAGE
 from repro.storage.sqlite_backend import SQLiteDatabase
 from repro.workloads.mas import generate_mas
 from repro.workloads.programs_mas import mas_programs
@@ -50,7 +67,15 @@ CLOSURE_PROGRAMS = (
 #: Figure-6c style end-semantics programs (the growing cascade chain).
 END_TO_END_PROGRAMS = ("16", "17", "18", "19", "20")
 
+#: Program used by the compare() axis (deep cascade, all four semantics).
+COMPARE_PROGRAM = "18"
+
 SEED = 7
+
+#: PR 2's recorded semi-naive seconds on the SQLite mas/20@8.0 closure
+#: (BENCH_fixpoint.json at commit 0d28ef4) — the double-pass baseline the
+#: single-pass acceptance criterion is measured against.
+PR2_SQLITE_SEMI_SECONDS = 0.054607
 
 
 def _dataset(workload: str, scale: float):
@@ -65,64 +90,109 @@ def _program(workload: str, dataset, program_id: str):
     return tpch_programs(dataset, (program_id,))[program_id]
 
 
-def _time_closure(db, program, engine: str, repetitions: int):
-    """Best-of-N wall clock for one closure run; returns (seconds, result)."""
+def _backend_factory(dataset, backend: str, workdir: Path):
+    """A zero-argument factory producing one fresh database per repetition."""
+    if backend == "memory":
+        return dataset.db.clone
+    if backend == "sqlite":
+        base = SQLiteDatabase.from_database(dataset.db)
+        return base.clone
+    assert backend == "sqlite-file"
+    counter = [0]
+
+    def fresh() -> SQLiteDatabase:
+        counter[0] += 1
+        path = workdir / f"bench_{id(dataset)}_{counter[0]}.db"
+        if path.exists():
+            path.unlink()
+        return SQLiteDatabase.from_database(dataset.db, path=str(path))
+
+    return fresh
+
+
+def _time_closure(factory, program, engine: str, repetitions: int, **options):
+    """Best-of-N wall clock for one closure run.
+
+    Returns ``(seconds, result, deltas)`` with ``deltas`` the final delta
+    extent of the last repetition — the differential evidence for paths that
+    do not materialise assignments.  Databases are closed after use so the
+    file-backed axis never leaks handles into the temp directory cleanup.
+    """
     best = float("inf")
     result = None
+    deltas = None
     for _ in range(repetitions):
-        working = db.clone()
+        working = factory()
         start = time.perf_counter()
-        result = run_closure(working, program, engine=engine)
+        result = run_closure(working, program, engine=engine, **options)
         best = min(best, time.perf_counter() - start)
-    return best, result
+        deltas = set(working.all_deltas())
+        if isinstance(working, SQLiteDatabase):
+            working.close()
+    return best, result, deltas
 
 
 def bench_closures(
-    scales: Dict[str, List[float]], repetitions: int, backend: str = "memory"
+    scales: Dict[str, List[float]],
+    repetitions: int,
+    backend: str = "memory",
+    workdir: Path | None = None,
 ) -> List[dict]:
     """Naive vs semi-naive closure timings on one backend.
 
-    ``backend="sqlite"`` copies each dataset into a :class:`SQLiteDatabase`
-    first, pitting the full-recompute SQL loop against the frontier-table
-    driver; each repetition then runs on a fresh backup-API clone, so the
-    semi-naive driver always starts from untouched frontier generations.
+    SQLite backends additionally record the install-only fast path
+    (``semi_naive_fast_seconds``); every repetition runs on a fresh copy, so
+    the semi-naive driver always starts from untouched frontier generations.
     """
     rows: List[dict] = []
     for workload, program_id in CLOSURE_PROGRAMS:
         for scale in scales[workload]:
             dataset = _dataset(workload, scale)
             program = _program(workload, dataset, program_id)
-            db = (
-                SQLiteDatabase.from_database(dataset.db)
-                if backend == "sqlite"
-                else dataset.db
+            factory = _backend_factory(dataset, backend, workdir or Path("."))
+            naive_seconds, naive, naive_deltas = _time_closure(
+                factory, program, "naive", repetitions
             )
-            naive_seconds, naive = _time_closure(db, program, "naive", repetitions)
-            semi_seconds, semi = _time_closure(
-                db, program, "semi-naive", repetitions
+            semi_seconds, semi, semi_deltas = _time_closure(
+                factory, program, "semi-naive", repetitions
             )
             # The benchmark doubles as a differential check.
             naive_signatures = {a.signature() for a in naive.assignments}
             semi_signatures = {a.signature() for a in semi.assignments}
-            if naive_signatures != semi_signatures:
+            if naive_signatures != semi_signatures or naive_deltas != semi_deltas:
                 raise AssertionError(
                     f"{backend} {workload}/{program_id}@{scale}: engines disagree"
                 )
-            rows.append(
-                {
-                    "backend": backend,
-                    "workload": workload,
-                    "program": program_id,
-                    "scale": scale,
-                    "tuples": dataset.total_tuples,
-                    "assignments": len(naive.assignments),
-                    "naive_seconds": round(naive_seconds, 6),
-                    "semi_naive_seconds": round(semi_seconds, 6),
-                    "naive_rounds": naive.rounds,
-                    "semi_naive_rounds": semi.rounds,
-                    "speedup": round(naive_seconds / max(semi_seconds, 1e-9), 3),
-                }
-            )
+            row = {
+                "backend": backend,
+                "workload": workload,
+                "program": program_id,
+                "scale": scale,
+                "tuples": dataset.total_tuples,
+                "assignments": len(naive.assignments),
+                "naive_seconds": round(naive_seconds, 6),
+                "semi_naive_seconds": round(semi_seconds, 6),
+                "naive_rounds": naive.rounds,
+                "semi_naive_rounds": semi.rounds,
+                "speedup": round(naive_seconds / max(semi_seconds, 1e-9), 3),
+            }
+            if backend != "memory":
+                fast_seconds, fast, fast_deltas = _time_closure(
+                    factory, program, "semi-naive", repetitions,
+                    collect_assignments=False,
+                )
+                # The fast path materialises no assignments, so its delta
+                # fixpoint is compared against the naive oracle directly.
+                if fast.rounds != semi.rounds or fast_deltas != naive_deltas:
+                    raise AssertionError(
+                        f"{backend} {workload}/{program_id}@{scale}: fast path "
+                        "diverged from the oracle"
+                    )
+                row["semi_naive_fast_seconds"] = round(fast_seconds, 6)
+                row["fast_speedup"] = round(
+                    naive_seconds / max(fast_seconds, 1e-9), 3
+                )
+            rows.append(row)
     return rows
 
 
@@ -159,6 +229,112 @@ def bench_end_to_end(scale: float, repetitions: int) -> List[dict]:
     return rows
 
 
+def bench_compare(scale: float, repetitions: int) -> List[dict]:
+    """RepairEngine.compare(): one shared EvalContext vs four cold engines.
+
+    ``shared`` runs all four semantics through a single engine (plans and
+    compiled variants built once); ``cold`` creates a fresh engine — hence a
+    fresh context — per semantics, the pre-sharing behaviour.
+    """
+    rows: List[dict] = []
+    dataset = generate_mas(scale=scale, seed=SEED)
+    program = mas_programs(dataset, (COMPARE_PROGRAM,))[COMPARE_PROGRAM]
+    for backend in ("memory", "sqlite"):
+        db = (
+            SQLiteDatabase.from_database(dataset.db)
+            if backend == "sqlite"
+            else dataset.db
+        )
+        shared_best = float("inf")
+        for _ in range(repetitions):
+            engine = RepairEngine(db, program)
+            start = time.perf_counter()
+            shared_results = engine.repair_all()
+            shared_best = min(shared_best, time.perf_counter() - start)
+        cold_best = float("inf")
+        for _ in range(repetitions):
+            # Engines (and their fresh contexts) are constructed outside the
+            # timed region, so the cold/shared delta measures only the plan
+            # and compiled-variant reuse, not validation overhead.
+            cold_engines = {member: RepairEngine(db, program) for member in Semantics}
+            start = time.perf_counter()
+            cold_results = {
+                member: cold_engines[member].repair(member) for member in Semantics
+            }
+            cold_best = min(cold_best, time.perf_counter() - start)
+        for member in Semantics:
+            if shared_results[member].deleted != cold_results[member].deleted:
+                raise AssertionError(
+                    f"compare axis: {member.value} disagrees between shared "
+                    f"and cold contexts on {backend}"
+                )
+        rows.append(
+            {
+                "backend": backend,
+                "workload": "mas",
+                "program": COMPARE_PROGRAM,
+                "scale": scale,
+                "shared_seconds": round(shared_best, 6),
+                "cold_seconds": round(cold_best, 6),
+                "speedup": round(cold_best / max(shared_best, 1e-9), 3),
+            }
+        )
+    return rows
+
+
+def assert_single_pass(scale: float = 1.0) -> dict:
+    """Verify the staged discipline with a query-counter hook (smoke check).
+
+    Runs the mas/20 closure once per path on a SQLite copy with a statement
+    hook counting the compiler's tag comments, and asserts:
+
+    * fast path — zero assignment SELECTs *and* zero staged creates: the only
+      join per variant is the install itself;
+    * staged path — zero assignment SELECTs and exactly one staged create per
+      staged install: the join never runs twice for the same variant.
+    """
+    from collections import Counter
+
+    dataset = generate_mas(scale=scale, seed=SEED)
+    program = mas_programs(dataset, ("20",))["20"]
+    base = SQLiteDatabase.from_database(dataset.db)
+    observed = {}
+    for path_name, options in (
+        ("fast", {"collect_assignments": False}),
+        ("staged", {}),
+    ):
+        working = base.clone()
+        counts: Counter = Counter()
+
+        def hook(sql: str, counts=counts) -> None:
+            if TAG_ASSIGN_SELECT in sql:
+                counts["assign_select"] += 1
+            if TAG_STAGE in sql:
+                counts["stage"] += 1
+
+        working.add_statement_hook(hook)
+        context = EvalContext()
+        run_closure(
+            working, program, engine="semi-naive", context=context, **options
+        )
+        if counts["assign_select"] != 0:
+            raise AssertionError(
+                f"{path_name} path re-ran {counts['assign_select']} assignment "
+                "SELECT joins — the single-pass discipline is broken"
+            )
+        if path_name == "fast" and counts["stage"] != 0:
+            raise AssertionError("fast path staged rows despite no observer")
+        if path_name == "staged" and not (
+            counts["stage"] == context.stats.staged_installs > 0
+        ):
+            raise AssertionError("staged path did not stage exactly once per install")
+        observed[path_name] = {
+            **dict(counts),
+            "joins": context.stats.joins(),
+        }
+    return observed
+
+
 def run_benchmark(smoke: bool = False) -> dict:
     # Warm the lazily imported engine modules so single-repetition (smoke)
     # timings measure evaluation, not the first import.
@@ -167,13 +343,24 @@ def run_benchmark(smoke: bool = False) -> dict:
     repetitions = 1 if smoke else 3
     if smoke:
         scales = {"mas": [1.0], "tpch": [1.0]}
+        file_scales = {"mas": [1.0], "tpch": [1.0]}
         end_scale = 1.0
+        compare_scale = 1.0
     else:
         scales = {"mas": [1.0, 2.0, 4.0, 8.0], "tpch": [1.0, 2.0, 4.0]}
+        file_scales = {"mas": [1.0, 4.0, 8.0], "tpch": [1.0, 4.0]}
         end_scale = 4.0
-    closure_rows = bench_closures(scales, repetitions)
-    sqlite_rows = bench_closures(scales, repetitions, backend="sqlite")
+        compare_scale = 2.0
+    with tempfile.TemporaryDirectory(prefix="bench_fixpoint_") as tmp:
+        workdir = Path(tmp)
+        closure_rows = bench_closures(scales, repetitions)
+        sqlite_rows = bench_closures(scales, repetitions, backend="sqlite")
+        file_rows = bench_closures(
+            file_scales, repetitions, backend="sqlite-file", workdir=workdir
+        )
     end_rows = bench_end_to_end(end_scale, repetitions)
+    compare_rows = bench_compare(compare_scale, repetitions)
+    single_pass = assert_single_pass()
 
     def deepest(rows):
         return [
@@ -184,6 +371,7 @@ def run_benchmark(smoke: bool = False) -> dict:
 
     largest = deepest(closure_rows)
     sqlite_largest = deepest(sqlite_rows)
+    file_largest = deepest(file_rows)
     end_speedups = [row["speedup"] for row in end_rows]
     return {
         "meta": {
@@ -196,7 +384,10 @@ def run_benchmark(smoke: bool = False) -> dict:
         },
         "closure": closure_rows,
         "sqlite_closure": sqlite_rows,
+        "sqlite_file_closure": file_rows,
         "end_to_end": end_rows,
+        "compare": compare_rows,
+        "single_pass": single_pass,
         "summary": {
             "largest_program": f"mas/20@{largest['scale']}",
             "largest_program_speedup": largest["speedup"],
@@ -204,15 +395,37 @@ def run_benchmark(smoke: bool = False) -> dict:
             "min_closure_speedup": min(row["speedup"] for row in closure_rows),
             "sqlite_largest_program": f"mas/20@{sqlite_largest['scale']}",
             "sqlite_largest_program_speedup": sqlite_largest["speedup"],
+            "sqlite_largest_program_fast_speedup": sqlite_largest["fast_speedup"],
             "sqlite_max_closure_speedup": max(
                 row["speedup"] for row in sqlite_rows
             ),
             "sqlite_min_closure_speedup": min(
                 row["speedup"] for row in sqlite_rows
             ),
-            "end_semantics_geomean_speedup": round(
-                _geomean(end_speedups), 3
+            # The acceptance ratio: single-pass semi-naive (both paths)
+            # against PR 2's recorded double-pass semi-naive seconds on the
+            # same workload.  Only meaningful for the full (non-smoke) run,
+            # which measures the same mas/20@8.0 configuration.
+            "pr2_sqlite_semi_naive_seconds": PR2_SQLITE_SEMI_SECONDS,
+            "sqlite_staged_vs_pr2_semi": round(
+                PR2_SQLITE_SEMI_SECONDS
+                / max(sqlite_largest["semi_naive_seconds"], 1e-9),
+                3,
             ),
+            "sqlite_fast_vs_pr2_semi": round(
+                PR2_SQLITE_SEMI_SECONDS
+                / max(sqlite_largest["semi_naive_fast_seconds"], 1e-9),
+                3,
+            ),
+            "sqlite_file_largest_program": f"mas/20@{file_largest['scale']}",
+            "sqlite_file_largest_program_speedup": file_largest["speedup"],
+            "sqlite_file_largest_program_fast_speedup": file_largest[
+                "fast_speedup"
+            ],
+            "end_semantics_geomean_speedup": round(_geomean(end_speedups), 3),
+            "compare_shared_vs_cold": {
+                row["backend"]: row["speedup"] for row in compare_rows
+            },
         },
     }
 
@@ -226,15 +439,25 @@ def _geomean(values: List[float]) -> float:
 
 def _render(report: dict) -> str:
     lines = []
-    for key, label in (("closure", "in-memory"), ("sqlite_closure", "SQLite")):
+    for key, label in (
+        ("closure", "in-memory"),
+        ("sqlite_closure", "SQLite"),
+        ("sqlite_file_closure", "SQLite file-backed"),
+    ):
         lines.append(f"closure (naive vs semi-naive, {label} backend):")
         for row in report[key]:
+            fast = (
+                f" fast={row['semi_naive_fast_seconds']:.4f}s"
+                f" ({row['fast_speedup']:.2f}x)"
+                if "semi_naive_fast_seconds" in row
+                else ""
+            )
             lines.append(
                 f"  {row['workload']:>4}/{row['program']:<4} "
                 f"scale={row['scale']:<4} tuples={row['tuples']:<6} "
                 f"naive={row['naive_seconds']:.4f}s "
                 f"semi={row['semi_naive_seconds']:.4f}s "
-                f"speedup={row['speedup']:.2f}x"
+                f"speedup={row['speedup']:.2f}x{fast}"
             )
     lines.append("end-to-end end semantics (figure-6c style):")
     for row in report["end_to_end"]:
@@ -243,12 +466,23 @@ def _render(report: dict) -> str:
             f"naive={row['naive_seconds']:.4f}s semi={row['semi_naive_seconds']:.4f}s "
             f"speedup={row['speedup']:.2f}x"
         )
+    lines.append("compare() — four semantics, shared context vs cold engines:")
+    for row in report["compare"]:
+        lines.append(
+            f"  {row['backend']:>6} mas/{row['program']} scale={row['scale']:<4} "
+            f"shared={row['shared_seconds']:.4f}s cold={row['cold_seconds']:.4f}s "
+            f"speedup={row['speedup']:.2f}x"
+        )
     summary = report["summary"]
     lines.append(
         f"summary: largest={summary['largest_program']} "
         f"{summary['largest_program_speedup']:.2f}x, sqlite largest="
         f"{summary['sqlite_largest_program']} "
-        f"{summary['sqlite_largest_program_speedup']:.2f}x, end-semantics "
+        f"{summary['sqlite_largest_program_speedup']:.2f}x "
+        f"(fast {summary['sqlite_largest_program_fast_speedup']:.2f}x, "
+        f"vs PR2 semi: staged {summary['sqlite_staged_vs_pr2_semi']:.2f}x / "
+        f"fast {summary['sqlite_fast_vs_pr2_semi']:.2f}x), file-backed "
+        f"{summary['sqlite_file_largest_program_speedup']:.2f}x, end-semantics "
         f"geomean {summary['end_semantics_geomean_speedup']:.2f}x"
     )
     return "\n".join(lines)
@@ -258,14 +492,16 @@ def _render(report: dict) -> str:
 
 
 def test_fixpoint_smoke():
-    """Smoke configuration: engines agree and the semi-naive paths keep up."""
+    """Smoke configuration: engines agree, single-pass discipline holds."""
     report = run_benchmark(smoke=True)
     print("\n" + _render(report))
-    # Correctness is asserted inside the bench; timing assertions stay loose
-    # (CI machines are noisy) — the checked-in BENCH_fixpoint.json records the
-    # real ratios.
+    # Correctness is asserted inside the bench (including the query-counter
+    # single-pass check); timing assertions stay loose (CI machines are
+    # noisy) — the checked-in BENCH_fixpoint.json records the real ratios.
     assert report["summary"]["max_closure_speedup"] > 1.0
     assert report["summary"]["sqlite_max_closure_speedup"] > 1.0
+    assert report["single_pass"]["fast"].get("assign_select", 0) == 0
+    assert report["single_pass"]["staged"].get("assign_select", 0) == 0
 
 
 def main() -> None:

@@ -102,18 +102,28 @@ class TriggerEngine:
             return sorted(watching, key=lambda trigger: trigger.name)
         return watching  # creation order
 
-    def run(self, db: BaseDatabase, initial_deletions: Iterable[Fact]) -> TriggerRun:
+    def run(
+        self,
+        db: BaseDatabase,
+        initial_deletions: Iterable[Fact],
+        context=None,
+    ) -> TriggerRun:
         """Delete ``initial_deletions`` and cascade through the triggers.
 
         The input database is cloned; the clone after the cascade is discarded
         (only the deletion set and order are reported, as in the paper).
+        ``context`` (an :class:`~repro.datalog.context.EvalContext`) lets the
+        per-event probe plans be shared with other runs — e.g. repeated
+        cascades of a trigger-comparison experiment.
         """
         watch = Stopwatch()
         watch.start()
         working = db.clone()
         # Probe rules built per deletion event share their body structure per
         # trigger, so one planner caches a single join plan per trigger.
-        planner = JoinPlanner(working)
+        planner = (
+            context.planner(working) if context is not None else JoinPlanner(working)
+        )
         deleted: List[Fact] = []
         fired: List[tuple[str, Fact]] = []
         queue: deque[Fact] = deque()

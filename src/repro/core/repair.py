@@ -18,9 +18,12 @@ Example
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Sequence
 
 from repro.core.containment import ContainmentReport, compare_results
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datalog.context import EvalContext
 from repro.core.semantics import RepairResult, Semantics, compute_repair
 from repro.core.stability import is_stable, is_stabilizing_set, verify_repair
 from repro.datalog.ast import Program, Rule
@@ -55,6 +58,14 @@ class RepairEngine:
         or ``"naive"`` (the differential-testing oracle).  Unknown names raise
         :class:`~repro.exceptions.UnknownEngineError` (a :class:`ValueError`).
         A per-call ``engine=`` option to :meth:`repair` overrides it.
+    context:
+        Optional :class:`~repro.datalog.context.EvalContext`.  Every repair
+        this engine computes shares it, so a :meth:`compare` / :meth:`repair_all`
+        run builds join plans and compiled SQL rule variants **once** and
+        reuses them across all four semantics (and across repeated calls on
+        the same engine object).  By default each engine creates its own
+        private context; pass one explicitly to share planning state between
+        several engines evaluating structurally similar programs.
     """
 
     def __init__(
@@ -64,7 +75,9 @@ class RepairEngine:
         validate_schema: bool = True,
         verify: bool = False,
         engine: str = "auto",
+        context: "EvalContext | None" = None,
     ) -> None:
+        from repro.datalog.context import EvalContext
         from repro.datalog.evaluation import validate_engine
 
         validate_engine(engine)
@@ -78,6 +91,7 @@ class RepairEngine:
             self._program.validate_against_schema(db.schema)
         self._verify = verify
         self._engine = engine
+        self._context = context if context is not None else EvalContext()
 
     # -- accessors --------------------------------------------------------------
 
@@ -90,6 +104,11 @@ class RepairEngine:
     def program(self) -> DeltaProgram:
         """The validated delta program."""
         return self._program
+
+    @property
+    def context(self) -> "EvalContext":
+        """The shared evaluation context (plan caches, observers, stats)."""
+        return self._context
 
     # -- queries -----------------------------------------------------------------
 
@@ -110,9 +129,12 @@ class RepairEngine:
 
         ``options`` are forwarded to the underlying algorithm (e.g.
         ``method="exhaustive"`` for step semantics, ``engine="naive"`` to force
-        the oracle evaluation engine).
+        the oracle evaluation engine).  Unless overridden, every call shares
+        this engine's :attr:`context`, so plans and compiled rule variants
+        carry across semantics and repeated repairs.
         """
         options.setdefault("engine", self._engine)
+        options.setdefault("context", self._context)
         result = compute_repair(self._db, self._program, semantics, **options)
         if self._verify and not verify_repair(self._db, self._program, result):
             raise SemanticsError(
@@ -147,6 +169,9 @@ class RepairEngine:
             validate_schema=False,
             verify=self._verify,
             engine=self._engine,
+            # Request rules only rename constants, so the structural plan
+            # cache (and the base rules' compiled variants) stay valid.
+            context=self._context,
         )
 
     # -- comparisons ---------------------------------------------------------------

@@ -31,12 +31,20 @@ def end_semantics(
     program: DeltaProgram | Program | Iterable[Rule],
     timer: PhaseTimer | None = None,
     engine: str = ENGINE_AUTO,
+    context=None,
+    collect_assignments: bool = False,
 ) -> RepairResult:
     """Compute ``End(P, D)``.
 
     The input database is never modified; the returned result carries a
     repaired clone.  ``engine`` selects the closure engine (see
-    :func:`repro.datalog.evaluation.run_closure`).
+    :func:`repro.datalog.evaluation.run_closure`) and ``context`` shares
+    planning state (and delivers assignments to its observers) across runs.
+    End semantics only needs the derived delta *facts*, so by default it does
+    not collect assignments — on SQLite this enables the install-only
+    fast path (one join per rule variant per round).  Pass
+    ``collect_assignments=True`` to retain the old behaviour and populate
+    ``metadata["assignments"]``.
     """
     timer = timer if timer is not None else PhaseTimer()
     rules = list(program)
@@ -44,7 +52,13 @@ def end_semantics(
     with timer.phase(PHASE_EVAL):
         # Derive all delta tuples to fixpoint; the active relations stay frozen
         # at D^0 (mark_deleted only touches the delta extents).
-        closure = run_closure(working, rules, engine=engine)
+        closure = run_closure(
+            working,
+            rules,
+            engine=engine,
+            context=context,
+            collect_assignments=collect_assignments,
+        )
         # Final state T: remove every derived tuple from the active relations.
         deleted = set()
         for relation in working.relation_names():
@@ -61,6 +75,9 @@ def end_semantics(
         metadata={
             "derived_delta_tuples": working.count_delta(),
             "engine": closure.engine,
-            "assignments": len(closure.assignments),
+            # None when the fast path skipped assignment enumeration.
+            "assignments": (
+                len(closure.assignments) if collect_assignments else None
+            ),
         },
     )

@@ -38,6 +38,7 @@ def independent_semantics(
     exact_variable_limit: int = 2000,
     node_limit: int = 200_000,
     engine: str = "auto",
+    context=None,
 ) -> RepairResult:
     """Compute ``Ind(P, D)`` via Algorithm 1 (Boolean provenance + Min-Ones SAT).
 
@@ -55,7 +56,9 @@ def independent_semantics(
 
     # Line 1: Boolean provenance of every possible delta tuple.
     with timer.phase(PHASE_EVAL):
-        provenance = build_boolean_provenance(db, rules, engine=engine)
+        provenance = build_boolean_provenance(
+            db, rules, engine=engine, context=context
+        )
 
     # Lines 2-4: the negated provenance as a CNF over deletion variables.
     with timer.phase(PHASE_PROCESS_PROV):

@@ -45,11 +45,15 @@ def stage_semantics(
     program: DeltaProgram | Program | Iterable[Rule],
     timer: PhaseTimer | None = None,
     engine: str = ENGINE_AUTO,
+    context=None,
 ) -> RepairResult:
     """Compute ``Stage(P, D)``.
 
     The input database is never modified; the returned result carries a
-    repaired clone and the number of stages until the fixpoint.
+    repaired clone and the number of stages until the fixpoint.  ``context``
+    (an :class:`~repro.datalog.context.EvalContext`) shares join plans /
+    compiled SQL variants with other runs, e.g. the sibling semantics of one
+    ``RepairEngine.compare()`` call.
     """
     timer = timer if timer is not None else PhaseTimer()
     rules = list(program)
@@ -60,7 +64,7 @@ def stage_semantics(
         if resolved == ENGINE_NAIVE:
             stages = _stage_fixpoint_naive(working, rules, deleted)
         else:
-            stages = _stage_fixpoint_incremental(working, rules, deleted)
+            stages = _stage_fixpoint_incremental(working, rules, deleted, context)
     return RepairResult(
         semantics=Semantics.STAGE,
         deleted=frozenset(deleted),
@@ -115,12 +119,16 @@ def _stage_fixpoint_naive(
 class _MemoryStageDiscovery:
     """Assignment discovery over the in-memory engine's planned joins."""
 
-    def __init__(self, working: BaseDatabase, rules: List[Rule]) -> None:
+    def __init__(
+        self, working: BaseDatabase, rules: List[Rule], context=None
+    ) -> None:
         from repro.datalog.planner import JoinPlanner
 
         self._working = working
         self._rules = rules
-        self._planner = JoinPlanner(working)
+        self._planner = (
+            context.planner(working) if context is not None else JoinPlanner(working)
+        )
         self._delta_rules = [
             rule for rule in rules if any(atom.is_delta for atom in rule.body)
         ]
@@ -164,9 +172,12 @@ class _SQLStageDiscovery:
     the assignments enabled by it, entirely via SQL joins.
     """
 
-    def __init__(self, working: SQLiteDatabase, rules: List[Rule]) -> None:
+    def __init__(
+        self, working: SQLiteDatabase, rules: List[Rule], context=None
+    ) -> None:
         self._working = working
         self._rules = rules
+        self._context = context
         self._delta_rules = [
             rule for rule in rules if any(atom.is_delta for atom in rule.body)
         ]
@@ -176,7 +187,9 @@ class _SQLStageDiscovery:
         from repro.datalog.sql_seminaive import full_assignments_sql
 
         for rule in self._rules:
-            yield from full_assignments_sql(self._working, rule, self._token)
+            yield from full_assignments_sql(
+                self._working, rule, self._token, context=self._context
+            )
 
     def newly_enabled(self) -> Iterator[Assignment]:
         from repro.datalog.sql_seminaive import seeded_assignments_sql
@@ -185,17 +198,19 @@ class _SQLStageDiscovery:
         if lo == self._token:
             return
         for rule in self._delta_rules:
-            yield from seeded_assignments_sql(self._working, rule, lo, self._token)
+            yield from seeded_assignments_sql(
+                self._working, rule, lo, self._token, context=self._context
+            )
 
 
 def _stage_fixpoint_incremental(
-    working: BaseDatabase, rules: List[Rule], deleted: set
+    working: BaseDatabase, rules: List[Rule], deleted: set, context=None
 ) -> int:
     """Delta-driven stages: maintain the live assignments across deletions."""
     if isinstance(working, SQLiteDatabase):
-        discovery = _SQLStageDiscovery(working, rules)
+        discovery = _SQLStageDiscovery(working, rules, context)
     else:
-        discovery = _MemoryStageDiscovery(working, rules)
+        discovery = _MemoryStageDiscovery(working, rules, context)
 
     live: Dict[tuple, Assignment] = {}
     by_base: Dict[Fact, Set[tuple]] = {}

@@ -46,6 +46,7 @@ def step_semantics(
     method: str = "greedy",
     max_states: int = 100_000,
     engine: str = ENGINE_AUTO,
+    context=None,
 ) -> RepairResult:
     """Compute a step-semantics stabilizing set.
 
@@ -59,10 +60,15 @@ def step_semantics(
         The closure engine building the provenance for the greedy method (see
         :func:`repro.datalog.evaluation.run_closure`); the exhaustive search
         evaluates single hypothetical states and ignores it.
+    context:
+        Optional shared :class:`~repro.datalog.context.EvalContext`.  The
+        provenance build registers as an assignment observer of the closure
+        (so on SQLite it reads the staged rows of the single per-round join),
+        and the context's plan/variant caches carry over to sibling runs.
     """
     validate_engine(engine)
     if method == "greedy":
-        return _step_greedy(db, program, timer, engine=engine)
+        return _step_greedy(db, program, timer, engine=engine, context=context)
     if method == "exhaustive":
         return _step_exhaustive(db, program, timer, max_states=max_states)
     raise SemanticsError(f"unknown step-semantics method: {method!r}")
@@ -78,16 +84,24 @@ def _step_greedy(
     program: DeltaProgram | Program | Iterable[Rule],
     timer: PhaseTimer | None,
     engine: str = ENGINE_AUTO,
+    context=None,
 ) -> RepairResult:
     timer = timer if timer is not None else PhaseTimer()
     rules = list(program)
 
-    # Line 1 of Algorithm 2: the provenance graph of End(P, D).
+    # Line 1 of Algorithm 2: the provenance graph of End(P, D).  The graph
+    # only needs the assignment *stream* (it indexes facts itself), so the
+    # closure is told not to retain its own copy of the assignment list.
     provenance = ProvenanceGraph()
     working = db.clone()
     with timer.phase(PHASE_EVAL):
         closure = run_closure(
-            working, rules, on_assignment=provenance._register_assignment, engine=engine
+            working,
+            rules,
+            on_assignment=provenance._register_assignment,
+            engine=engine,
+            collect_assignments=False,
+            context=context,
         )
     with timer.phase(PHASE_PROCESS_PROV):
         provenance._compute_layers()

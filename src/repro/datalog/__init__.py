@@ -13,7 +13,10 @@ provides:
 * :mod:`repro.datalog.seminaive` — the semi-naive, delta-driven fixpoint
   engine (the default for in-memory databases);
 * :mod:`repro.datalog.sql_seminaive` — the SQL-level semi-naive engine for
-  SQLite-backed databases (frontier tables + generation windows);
+  SQLite-backed databases (frontier tables + generation windows, single-pass
+  staged rounds);
+* :mod:`repro.datalog.context` — the shared evaluation context: cross-run
+  plan/variant caches, assignment observers, query statistics;
 * :mod:`repro.datalog.planner` — per-rule join planning with cached plans;
 * :mod:`repro.datalog.analysis` — dependency graphs, recursion detection,
   relation stratification;
@@ -44,6 +47,7 @@ from repro.datalog.evaluation import (
     run_closure,
     validate_engine,
 )
+from repro.datalog.context import EvalContext, QueryStats
 from repro.datalog.planner import JoinPlan, JoinPlanner
 
 __all__ = [
@@ -65,6 +69,8 @@ __all__ = [
     "run_closure",
     "resolve_engine",
     "validate_engine",
+    "EvalContext",
+    "QueryStats",
     "JoinPlan",
     "JoinPlanner",
     "ENGINE_AUTO",

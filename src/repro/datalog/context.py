@@ -1,0 +1,166 @@
+"""Shared evaluation context: plan caches, assignment observers, query stats.
+
+One :class:`EvalContext` groups a family of fixpoint runs that should share
+their planning work — typically the four semantics of one
+:class:`~repro.core.repair.RepairEngine.compare` call, which evaluate the same
+program against clones of the same database.  The context carries three kinds
+of shared state:
+
+* **plan caches** — a structural :class:`~repro.datalog.planner.JoinPlan`
+  cache handed to every in-memory :class:`~repro.datalog.planner.JoinPlanner`
+  the context creates (:meth:`planner`), and a per-rule cache of compiled
+  frontier variants for the SQLite engine (:meth:`frontier_variants`), so one
+  ``compare()`` run plans each rule structure and compiles each rule exactly
+  once across all four semantics;
+* **assignment observers** — callables invoked once per *new* assignment a
+  closure enumerates (:meth:`add_observer` / :meth:`notify`).  Observers are
+  the reason a SQLite round materialises its staged rows at all: when a run
+  has no observer, no ``on_assignment`` hook and ``collect_assignments=False``,
+  the SQL driver skips assignment enumeration entirely and installs head facts
+  straight from the single join (the *fast path*);
+* **query statistics** (:class:`QueryStats`) — counters the SQL driver bumps
+  per executed statement class, used by the regression tests and the benchmark
+  smoke run to assert that every rule variant's join runs exactly once per
+  round (no double-join).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.datalog.ast import Rule
+    from repro.datalog.evaluation import Assignment
+    from repro.datalog.planner import JoinPlanner
+    from repro.datalog.sql_compiler import FrontierQuery
+    from repro.storage.database import BaseDatabase
+
+#: Signature of an assignment observer.
+AssignmentObserver = Callable[["Assignment"], None]
+
+
+@dataclass
+class QueryStats:
+    """Per-statement-class counters for the SQLite semi-naive driver.
+
+    Attributes
+    ----------
+    staged_selects:
+        ``CREATE TEMP TABLE ... AS SELECT`` statements — one *join* each; the
+        staged rows then feed both the observers and the install.
+    staged_installs:
+        ``INSERT OR IGNORE ... SELECT ... FROM`` the stage table — a scan of
+        the staged rows, **not** a join over the base tables.
+    direct_installs:
+        Fast-path ``INSERT OR IGNORE ... SELECT`` over the base tables — one
+        join each, used when no observer needs the assignments.
+    assignment_selects:
+        Plain assignment ``SELECT`` joins (the stage-semantics discovery path
+        and the naive oracle compiler; never the semi-naive closure driver).
+    variant_compiles:
+        Distinct rules whose frontier variants this context resolved (cache
+        misses of :meth:`EvalContext.frontier_variants`).  This counts
+        *per-context* first sightings — the compilation itself is also
+        memoised process-wide by the ``lru_cache`` on
+        :func:`~repro.datalog.sql_compiler.compile_frontier_rule`, so a miss
+        here is cheap; the counter exists to make sharing observable in
+        tests, not to measure compile cost.
+    """
+
+    staged_selects: int = 0
+    staged_installs: int = 0
+    direct_installs: int = 0
+    assignment_selects: int = 0
+    variant_compiles: int = 0
+
+    def joins(self) -> int:
+        """Total statements that join the base/frontier tables."""
+        return self.staged_selects + self.direct_installs + self.assignment_selects
+
+    def reset(self) -> None:
+        """Zero every counter (the benchmark reuses one context per run)."""
+        self.staged_selects = 0
+        self.staged_installs = 0
+        self.direct_installs = 0
+        self.assignment_selects = 0
+        self.variant_compiles = 0
+
+
+@dataclass
+class EvalContext:
+    """Shared cross-run evaluation state (see module docstring).
+
+    A context is cheap to create and safe to drop; every fixpoint entry point
+    creates a private one when the caller does not pass ``context=``.  Sharing
+    only ever reuses *structural* artefacts (join orders keyed on rule shape,
+    compiled SQL keyed on the rule), so one context may span databases with
+    different contents — e.g. the per-semantics clones of a ``compare()`` run.
+    """
+
+    stats: QueryStats = field(default_factory=QueryStats)
+    _plans: Dict = field(default_factory=dict, repr=False)
+    _variants: Dict = field(default_factory=dict, repr=False)
+    _observers: List[AssignmentObserver] = field(default_factory=list, repr=False)
+
+    # -- planning ---------------------------------------------------------------
+
+    def planner(self, db: "BaseDatabase") -> "JoinPlanner":
+        """A planner for ``db`` backed by this context's shared plan cache.
+
+        Cardinality estimates stay per-planner (they describe one database
+        instance); the structural plan dictionary is shared, so every planner
+        the context hands out benefits from plans built by the others.
+        """
+        from repro.datalog.planner import JoinPlanner
+
+        return JoinPlanner(db, plans=self._plans)
+
+    def plan_cache_size(self) -> int:
+        """Number of distinct rule structures planned so far."""
+        return len(self._plans)
+
+    def frontier_variants(
+        self, rule: "Rule"
+    ) -> Tuple["FrontierQuery", Tuple["FrontierQuery", ...]]:
+        """The compiled ``(full, seeded)`` SQL variants of ``rule``, cached.
+
+        The first request per rule resolves the variants (and counts a
+        :attr:`QueryStats.variant_compiles`); later requests — including from
+        other semantics sharing the context — return the cached tuple.  The
+        per-context dict sits on top of the process-wide ``lru_cache`` of
+        :func:`~repro.datalog.sql_compiler.compile_frontier_rule`: it pins
+        the variants against lru eviction for the context's lifetime and
+        gives the tests a deterministic sharing signal.
+        """
+        cached = self._variants.get(rule)
+        if cached is None:
+            from repro.datalog.sql_compiler import compile_frontier_rule
+
+            self.stats.variant_compiles += 1
+            cached = compile_frontier_rule(rule)
+            self._variants[rule] = cached
+        return cached
+
+    # -- observers --------------------------------------------------------------
+
+    def add_observer(self, observer: AssignmentObserver) -> None:
+        """Register ``observer`` to receive every new assignment enumerated."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: AssignmentObserver) -> None:
+        """Unregister a previously added observer (no-op when absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    @property
+    def has_observers(self) -> bool:
+        """True when at least one observer is registered."""
+        return bool(self._observers)
+
+    def notify(self, assignment: "Assignment") -> None:
+        """Deliver one new assignment to every registered observer."""
+        for observer in self._observers:
+            observer(assignment)

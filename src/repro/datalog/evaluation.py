@@ -420,6 +420,8 @@ def run_closure(
     on_assignment=None,
     max_rounds: int | None = None,
     engine: str = ENGINE_AUTO,
+    collect_assignments: bool = True,
+    context=None,
 ) -> ClosureResult:
     """End-semantics style closure: derive all delta facts without deleting.
 
@@ -427,6 +429,14 @@ def run_closure(
     :meth:`BaseDatabase.mark_deleted` (the active extents are untouched) until
     a fixpoint is reached.  ``on_assignment`` (if given) is called exactly once
     with every *new* assignment — the provenance tracker uses this hook.
+    Observers registered on a shared
+    :class:`~repro.datalog.context.EvalContext` (``context=``) receive the
+    same exactly-once stream; the context also carries the cross-run plan and
+    compiled-variant caches.  ``collect_assignments=False`` suppresses the
+    returned assignment list, and when *nothing* observes (no hook, no
+    context observer, no collection) the SQLite semi-naive driver takes its
+    install-only fast path: one join per rule variant per round, zero
+    assignment rows materialised in Python.
 
     ``engine`` selects the evaluation strategy:
 
@@ -448,12 +458,22 @@ def run_closure(
             from repro.datalog.sql_seminaive import sql_semi_naive_closure
 
             return sql_semi_naive_closure(
-                db, program, on_assignment=on_assignment, max_rounds=max_rounds
+                db,
+                program,
+                on_assignment=on_assignment,
+                max_rounds=max_rounds,
+                collect_assignments=collect_assignments,
+                context=context,
             )
         from repro.datalog.seminaive import semi_naive_closure
 
         return semi_naive_closure(
-            db, program, on_assignment=on_assignment, max_rounds=max_rounds
+            db,
+            program,
+            on_assignment=on_assignment,
+            max_rounds=max_rounds,
+            collect_assignments=collect_assignments,
+            context=context,
         )
 
     rules = list(program)
@@ -473,9 +493,12 @@ def run_closure(
                 if signature in seen_signatures:
                     continue
                 seen_signatures.add(signature)
-                all_assignments.append(assignment)
+                if collect_assignments:
+                    all_assignments.append(assignment)
                 if on_assignment is not None:
                     on_assignment(assignment)
+                if context is not None:
+                    context.notify(assignment)
                 if db.mark_deleted(assignment.derived):
                     new_delta = True
         if not new_delta:

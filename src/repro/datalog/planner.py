@@ -80,13 +80,22 @@ class JoinPlanner:
     cascade, a provenance build...) so the cardinalities it reads reflect the
     instance being evaluated; plans are cached on first use and reused for
     every later round.
+
+    ``plans`` optionally injects a shared plan dictionary — the handle an
+    :class:`~repro.datalog.context.EvalContext` passes so that the planners of
+    one ``RepairEngine.compare()`` run (one per semantics, each over its own
+    clone) reuse each other's join orders.  Plans are keyed purely on rule
+    *structure*, so sharing them across clones of the same database is sound;
+    only the cardinality snapshots stay per-planner.
     """
 
     __slots__ = ("_db", "_plans", "_cardinalities")
 
-    def __init__(self, db: BaseDatabase) -> None:
+    def __init__(
+        self, db: BaseDatabase, plans: Dict[Hashable, JoinPlan] | None = None
+    ) -> None:
         self._db = db
-        self._plans: Dict[Hashable, JoinPlan] = {}
+        self._plans: Dict[Hashable, JoinPlan] = plans if plans is not None else {}
         self._cardinalities: Dict[tuple[str, bool], int] = {}
 
     # -- cardinality estimates -------------------------------------------------

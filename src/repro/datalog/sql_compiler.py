@@ -19,10 +19,27 @@ Two compilation schemes are provided:
   atom against the current frontier window (``gen > :lo AND gen <= :hi``),
   delta atoms of rank ``< i`` against the pre-frontier (``gen <= :lo``) and
   ranks ``> i`` against everything recorded (``gen <= :hi``), so each new
-  assignment is enumerated exactly once per closure.  Each variant also
-  carries an ``INSERT OR IGNORE ... SELECT`` statement installing the derived
-  head facts directly inside SQLite — derived tuples never round-trip through
-  Python.
+  assignment is enumerated exactly once per closure.
+
+Every frontier variant carries three execution forms so the semi-naive driver
+can evaluate its join **exactly once per round**:
+
+* :attr:`FrontierQuery.install_sql` — fast path: ``INSERT OR IGNORE ...
+  SELECT`` over the body join, installing the derived head facts directly
+  inside SQLite.  Used when nothing observes the assignments: the body join
+  runs once and no row crosses into Python;
+* :attr:`FrontierQuery.staged_select_sql` — staged path, step 1: the same
+  body join with every projected column aliased ``s0..sN``, materialised into
+  the per-round temp table :data:`STAGE_TABLE` (``CREATE TEMP TABLE ... AS``);
+* :attr:`FrontierQuery.staged_install_sql` — staged path, step 2: the install
+  re-expressed over the staged rows, so observers (assignment collection,
+  provenance builders, stage discovery) and the install both read the single
+  join's output instead of re-running it.
+
+Each statement embeds a ``/* repro:<class> */`` tag comment
+(:data:`TAG_ASSIGN_SELECT` ...), which the query-counter hooks of
+:meth:`~repro.storage.sqlite_backend.SQLiteDatabase.add_statement_hook` use to
+assert the single-pass discipline from tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -42,6 +59,18 @@ from repro.storage.sqlite_backend import (
 )
 
 _SQL_OPS = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+#: Name of the per-round temp table holding one variant's staged rows.  The
+#: driver drops and recreates it per variant execution; temp tables are
+#: connection-local, so concurrent databases never collide.
+STAGE_TABLE = "_repro_stage"
+
+#: Statement-tag comments embedded in compiled SQL, one per statement class.
+#: Query-counter hooks grep for these to verify the single-pass discipline.
+TAG_ASSIGN_SELECT = "/* repro:assign-select */"
+TAG_STAGE = "/* repro:stage */"
+TAG_INSTALL_DIRECT = "/* repro:install-direct */"
+TAG_INSTALL_STAGED = "/* repro:install-staged */"
 
 
 @dataclass(frozen=True)
@@ -136,7 +165,10 @@ def _compile_single(rule: Rule, choice: Dict[int, str]) -> CompiledRule:
     for comparison in rule.comparisons:
         where.append(_compile_comparison(comparison, variable_column, params, rule))
 
-    sql = f"SELECT {', '.join(select_parts)} FROM {', '.join(from_parts)}"
+    sql = (
+        f"{TAG_ASSIGN_SELECT} SELECT {', '.join(select_parts)} "
+        f"FROM {', '.join(from_parts)}"
+    )
     if where:
         sql += " WHERE " + " AND ".join(where)
     return CompiledRule(sql, tuple(params), tuple(arities))
@@ -184,11 +216,20 @@ class FrontierQuery:
     sql:
         ``SELECT`` enumerating the variant's assignments (per-atom value
         columns + ``tid``, in body order — same row shape as
-        :class:`CompiledRule`).
+        :class:`CompiledRule`).  The semi-naive driver itself never runs this
+        (it reads the staged rows instead); it remains the re-SELECT oracle
+        for the staging regression tests and external callers.
     install_sql:
-        ``INSERT OR IGNORE INTO f_H ... SELECT DISTINCT <head>, NULL, :gen``
-        over the same body, installing the derived head facts into the head
-        relation's frontier table without leaving SQLite.
+        Fast path: ``INSERT OR IGNORE INTO f_H ... SELECT DISTINCT <head>,
+        NULL, :gen`` over the body join, installing the derived head facts
+        into the head relation's frontier table without leaving SQLite.
+    staged_select_sql:
+        The body join with every projected column aliased ``s0..sN``; the
+        driver materialises it with ``CREATE TEMP TABLE {STAGE_TABLE} AS ...``
+        so the join runs exactly once per round even with observers attached.
+    staged_install_sql:
+        The install re-expressed over :data:`STAGE_TABLE` (a scan of the
+        staged rows, no base-table join).
     params:
         The constant bind parameters, as ``(name, value)`` pairs.
     atom_arities:
@@ -203,6 +244,8 @@ class FrontierQuery:
 
     sql: str
     install_sql: str
+    staged_select_sql: str
+    staged_install_sql: str
     params: tuple[tuple[str, Any], ...]
     atom_arities: tuple[int, ...]
     seed: int | None
@@ -240,6 +283,12 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
     params: List[tuple[str, Any]] = []
     arities: List[int] = []
     variable_column: Dict[str, str] = {}
+    #: Staged alias (``sN``) of every projected ``aI.cJ`` / ``aI.tid`` column.
+    staged_column: Dict[str, str] = {}
+
+    def project(expression: str) -> None:
+        staged_column[expression] = f"s{len(select_parts)}"
+        select_parts.append(expression)
 
     def constant_param(value: Any) -> str:
         name = f"k{len(params)}"
@@ -263,8 +312,8 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
         else:
             from_parts.append(f"{active_table(atom.relation)} AS {alias}")
         for position in range(atom.arity):
-            select_parts.append(f"{alias}.c{position}")
-        select_parts.append(f"{alias}.tid")
+            project(f"{alias}.c{position}")
+        project(f"{alias}.tid")
         for position, term in enumerate(atom.terms):
             column = f"{alias}.c{position}"
             if isinstance(term, Constant):
@@ -295,9 +344,18 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
 
     where_sql = (" WHERE " + " AND ".join(where)) if where else ""
     body_sql = f"FROM {', '.join(from_parts)}{where_sql}"
-    sql = f"SELECT {', '.join(select_parts)} {body_sql}"
+    sql = f"{TAG_ASSIGN_SELECT} SELECT {', '.join(select_parts)} {body_sql}"
+    staged_select_sql = (
+        f"{TAG_STAGE} SELECT "
+        + ", ".join(
+            f"{expression} AS {staged_column[expression]}"
+            for expression in select_parts
+        )
+        + f" {body_sql}"
+    )
 
     head_exprs: List[str] = []
+    staged_head_exprs: List[str] = []
     for term in rule.head.terms:
         if isinstance(term, Variable):
             if term.name not in variable_column:
@@ -305,23 +363,37 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
                     f"rule {rule.display_name()}: head variable {term.name!r} "
                     "is unbound"
                 )
-            head_exprs.append(variable_column[term.name])
+            column = variable_column[term.name]
+            head_exprs.append(column)
+            staged_head_exprs.append(staged_column[column])
         else:
             assert isinstance(term, Constant)
-            head_exprs.append(constant_param(term.value))
+            placeholder = constant_param(term.value)
+            head_exprs.append(placeholder)
+            staged_head_exprs.append(placeholder)
     head_columns = ", ".join(
         [*(f"c{i}" for i in range(rule.head.arity)), "tid", "gen"]
     )
-    install_sql = (
+    install_into = (
         f"INSERT OR IGNORE INTO {frontier_table(rule.head.relation)} "
         f"({head_columns}) "
+    )
+    install_sql = (
+        f"{TAG_INSTALL_DIRECT} {install_into}"
         f"SELECT DISTINCT {', '.join(head_exprs)}, NULL, :gen {body_sql}"
+    )
+    staged_install_sql = (
+        f"{TAG_INSTALL_STAGED} {install_into}"
+        f"SELECT DISTINCT {', '.join(staged_head_exprs)}, NULL, :gen "
+        f"FROM {STAGE_TABLE}"
     )
 
     seed_atom = rule.body[seed] if seed is not None else None
     return FrontierQuery(
         sql=sql,
         install_sql=install_sql,
+        staged_select_sql=staged_select_sql,
+        staged_install_sql=staged_install_sql,
         params=tuple(params),
         atom_arities=tuple(arities),
         seed=seed,

@@ -18,11 +18,32 @@ simply the half-open generation window ``(lo, hi]``:
   SQLite, and the install statements' change counts double as the emptiness
   test for the next round's frontier.
 
-Assignments are still materialised in Python (the provenance builders and the
-differential tests consume them through ``on_assignment`` /
-:class:`~repro.datalog.evaluation.ClosureResult`), but only the *new*
-assignments of each round cross the boundary — the naive SQL loop re-fetches
-every assignment ever derivable at every round.
+Single-pass rounds and the observer API
+---------------------------------------
+
+Each variant's body join runs **exactly once per round**.  Which of the two
+execution forms runs depends on whether anything observes the assignments:
+
+* **fast path** — no ``on_assignment`` hook, ``collect_assignments=False``
+  and no :class:`~repro.datalog.context.EvalContext` observer: the driver
+  runs only the variant's :attr:`~repro.datalog.sql_compiler.FrontierQuery.install_sql`.
+  One join, zero rows crossing into Python;
+* **staged path** — somebody observes: the driver materialises the join's
+  rows into the per-round temp table
+  :data:`~repro.datalog.sql_compiler.STAGE_TABLE`
+  (``CREATE TEMP TABLE ... AS <staged_select_sql>``), replays the staged rows
+  to every observer (assignment collection, the ``on_assignment`` hook,
+  context observers such as provenance builders), and installs the head facts
+  from the *same* staged rows via ``staged_install_sql`` — the join is never
+  re-run for the install.
+
+Observers are registered either per call (``on_assignment=``) or on a shared
+:class:`~repro.datalog.context.EvalContext` (``context.add_observer``); the
+context also supplies compiled variants cached across runs (one
+``RepairEngine.compare()`` compiles each rule once for all four semantics) and
+the :class:`~repro.datalog.context.QueryStats` counters the staging tests
+assert on.  Only the *new* assignments of each round cross the boundary — the
+naive SQL loop re-fetches every assignment ever derivable at every round.
 """
 
 from __future__ import annotations
@@ -30,8 +51,10 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List
 
 from repro.datalog.ast import Program, Rule
+from repro.datalog.context import EvalContext
 from repro.datalog.evaluation import Assignment, ClosureResult, ENGINE_SEMI_NAIVE
 from repro.datalog.sql_compiler import (
+    STAGE_TABLE,
     assignments_from_rows,
     compile_frontier_rule,
     delta_copy_sql,
@@ -40,44 +63,49 @@ from repro.exceptions import EvaluationError
 from repro.storage.sqlite_backend import SQLiteDatabase
 
 
+def _variants(rule: Rule, context: EvalContext | None):
+    """Compiled ``(full, seeded)`` variants, via the context cache when given."""
+    if context is not None:
+        return context.frontier_variants(rule)
+    return compile_frontier_rule(rule)
+
+
 def seeded_assignments_sql(
-    db: SQLiteDatabase, rule: Rule, lo: int, hi: int
+    db: SQLiteDatabase,
+    rule: Rule,
+    lo: int,
+    hi: int,
+    context: EvalContext | None = None,
 ) -> Iterator[Assignment]:
     """Assignments of ``rule`` using at least one frontier fact of ``(lo, hi]``.
 
     Mirror of :func:`repro.datalog.seminaive.seeded_assignments` with the
     frontier expressed as a generation window; each qualifying assignment is
     produced exactly once (rank-stratified variants partition the space by the
-    first delta atom falling inside the window).
+    first delta atom falling inside the window).  This is the stage-semantics
+    discovery path: it only enumerates (no install), so a single plain SELECT
+    per variant is already single-pass.
     """
-    _, seeded = compile_frontier_rule(rule)
+    _, seeded = _variants(rule, context)
     for variant in seeded:
         cursor = db.execute(variant.sql, variant.bind(lo=lo, hi=hi))
+        if context is not None:
+            context.stats.assignment_selects += 1
         yield from assignments_from_rows(rule, variant.atom_arities, cursor)
 
 
 def full_assignments_sql(
-    db: SQLiteDatabase, rule: Rule, hi: int
-) -> Iterator[Assignment]:
-    """All assignments of ``rule`` with delta atoms bounded by ``gen <= hi``."""
-    full, _ = compile_frontier_rule(rule)
-    cursor = db.execute(full.sql, full.bind(hi=hi))
-    yield from assignments_from_rows(rule, full.atom_arities, cursor)
-
-
-def _install(
     db: SQLiteDatabase,
     rule: Rule,
-    variant,
-    window: Dict[str, int],
-    gen: int,
-    new_by_relation: Dict[str, int],
-) -> None:
-    """Run one variant's install statement, tallying genuinely new facts."""
-    cursor = db.execute(variant.install_sql, variant.bind(gen=gen, **window))
-    if cursor.rowcount > 0:
-        relation = rule.head.relation
-        new_by_relation[relation] = new_by_relation.get(relation, 0) + cursor.rowcount
+    hi: int,
+    context: EvalContext | None = None,
+) -> Iterator[Assignment]:
+    """All assignments of ``rule`` with delta atoms bounded by ``gen <= hi``."""
+    full, _ = _variants(rule, context)
+    cursor = db.execute(full.sql, full.bind(hi=hi))
+    if context is not None:
+        context.stats.assignment_selects += 1
+    yield from assignments_from_rows(rule, full.atom_arities, cursor)
 
 
 def sql_semi_naive_closure(
@@ -85,14 +113,22 @@ def sql_semi_naive_closure(
     program: Program | Iterable[Rule],
     on_assignment=None,
     max_rounds: int | None = None,
+    collect_assignments: bool = True,
+    context: EvalContext | None = None,
 ) -> ClosureResult:
     """Derive all delta facts of ``db`` under ``program`` to fixpoint.
 
-    Equivalent to the naive SQL closure (same assignments, same delta facts,
-    same exactly-once ``on_assignment`` calls) and to the in-memory semi-naive
-    engine (same stage-style round count), but incremental after round 1 and
-    with fact installation kept inside SQLite.
+    Equivalent to the naive SQL closure (same delta facts; same assignments
+    and exactly-once ``on_assignment`` calls whenever assignments are
+    observed) and to the in-memory semi-naive engine (same stage-style round
+    count), but incremental after round 1 and with every variant's join
+    evaluated once per round (see module docstring).  With
+    ``collect_assignments=False`` the returned
+    :class:`~repro.datalog.evaluation.ClosureResult` carries an empty
+    assignment list; combined with no observers this enables the install-only
+    fast path.
     """
+    ctx = context if context is not None else EvalContext()
     rules = list(program)
     delta_rules = [rule for rule in rules if any(atom.is_delta for atom in rule.body)]
     #: Relations whose frontier can re-enter some rule.
@@ -103,6 +139,9 @@ def sql_semi_naive_closure(
         rule.head.relation: delta_copy_sql(rule.head.relation, rule.head.arity)
         for rule in rules
     }
+    observing = (
+        collect_assignments or on_assignment is not None or ctx.has_observers
+    )
 
     all_assignments: List[Assignment] = []
     seen_signatures: set[tuple] = set()
@@ -112,9 +151,41 @@ def sql_semi_naive_closure(
         if signature in seen_signatures:
             return
         seen_signatures.add(signature)
-        all_assignments.append(assignment)
+        if collect_assignments:
+            all_assignments.append(assignment)
         if on_assignment is not None:
             on_assignment(assignment)
+        ctx.notify(assignment)
+
+    def run_variant(rule: Rule, variant, window: Dict[str, int], gen: int,
+                    new_by_relation: Dict[str, int]) -> None:
+        """Evaluate one variant's join once, feeding observers and the install."""
+        if observing:
+            # Drop-before (not after): the previous variant's stage lingers
+            # until the next staging or the connection closes, which is
+            # harmless — temp tables never reach clones (the backup API only
+            # copies the main database) and each use re-creates it fresh.
+            db.execute(f"DROP TABLE IF EXISTS {STAGE_TABLE}")
+            db.execute(
+                f"CREATE TEMP TABLE {STAGE_TABLE} AS {variant.staged_select_sql}",
+                variant.bind(**window),
+            )
+            ctx.stats.staged_selects += 1
+            rows = db.execute(f"SELECT * FROM {STAGE_TABLE}")
+            for assignment in assignments_from_rows(
+                rule, variant.atom_arities, rows
+            ):
+                record(assignment)
+            cursor = db.execute(variant.staged_install_sql, variant.bind(gen=gen))
+            ctx.stats.staged_installs += 1
+        else:
+            cursor = db.execute(variant.install_sql, variant.bind(gen=gen, **window))
+            ctx.stats.direct_installs += 1
+        if cursor.rowcount > 0:
+            relation = rule.head.relation
+            new_by_relation[relation] = (
+                new_by_relation.get(relation, 0) + cursor.rowcount
+            )
 
     rounds = 0
 
@@ -134,10 +205,8 @@ def sql_semi_naive_closure(
     gen = db.next_generation()
     new_by_relation: Dict[str, int] = {}
     for rule in rules:
-        full, _ = compile_frontier_rule(rule)
-        for assignment in full_assignments_sql(db, rule, hi):
-            record(assignment)
-        _install(db, rule, full, {"hi": hi}, gen, new_by_relation)
+        full, _ = _variants(rule, ctx)
+        run_variant(rule, full, {"hi": hi}, gen, new_by_relation)
     for relation in new_by_relation:
         db.execute(copy_statements[relation], {"gen": gen})
 
@@ -150,17 +219,12 @@ def sql_semi_naive_closure(
         frontier = new_by_relation
         new_by_relation = {}
         for rule in delta_rules:
-            _, seeded = compile_frontier_rule(rule)
+            _, seeded = _variants(rule, ctx)
             for variant in seeded:
                 if not frontier.get(variant.seed_relation):
                     continue
-                cursor = db.execute(variant.sql, variant.bind(lo=lo, hi=hi))
-                for assignment in assignments_from_rows(
-                    rule, variant.atom_arities, cursor
-                ):
-                    record(assignment)
-                _install(
-                    db, rule, variant, {"lo": lo, "hi": hi}, gen, new_by_relation
+                run_variant(
+                    rule, variant, {"lo": lo, "hi": hi}, gen, new_by_relation
                 )
         for relation in new_by_relation:
             db.execute(copy_statements[relation], {"gen": gen})

@@ -148,6 +148,7 @@ def build_boolean_provenance(
     db: BaseDatabase,
     program: DeltaProgram | Program | Sequence[Rule],
     engine: str = "auto",
+    context=None,
 ) -> BooleanProvenance:
     """Build the Boolean provenance of every possible delta tuple (Algorithm 1, line 1).
 
@@ -159,9 +160,11 @@ def build_boolean_provenance(
     The hypothetical evaluation is a single pass (no fixpoint), so ``engine``
     only controls join planning: the default plans each rule's joins once and
     caches them, while ``engine="naive"`` re-derives the atom order at every
-    recursion step (the oracle behaviour).  On SQLite-backed databases both
-    engines evaluate through compiled SQL joins (the planner is bypassed), so
-    the knob only validates; unknown names raise
+    recursion step (the oracle behaviour).  A shared
+    :class:`~repro.datalog.context.EvalContext` (``context=``) backs the
+    planner with its cross-run structural plan cache.  On SQLite-backed
+    databases both engines evaluate through compiled SQL joins (the planner
+    is bypassed), so the knob only validates; unknown names raise
     :class:`~repro.exceptions.UnknownEngineError` either way.
     """
     from repro.datalog.evaluation import ENGINE_NAIVE, resolve_engine
@@ -173,7 +176,7 @@ def build_boolean_provenance(
     ):
         from repro.datalog.planner import JoinPlanner
 
-        planner = JoinPlanner(db)
+        planner = context.planner(db) if context is not None else JoinPlanner(db)
     provenance = BooleanProvenance()
     already_deleted = set(db.all_deltas())
     for rule in program:

@@ -82,12 +82,22 @@ class SQLiteDatabase(BaseDatabase):
         self._connection = sqlite3.connect(path, isolation_level=None)
         self._connection.execute("PRAGMA synchronous = OFF")
         self._connection.execute("PRAGMA journal_mode = MEMORY")
+        #: Callables receiving the text of every statement routed through
+        #: :meth:`execute` (the compiled-evaluation path) — the query-counter
+        #: hooks the staging tests and the benchmark smoke run install.
+        self._statement_hooks: list = []
         self._create_tables()
         #: Monotone generation counter backing the frontier tables.  Reopening
         #: a file-backed database must resume after the persisted stamps, or
         #: new deltas would collide with (and frontier windows exclude) the
         #: facts recorded by the previous session.
         self._generation = self._max_persisted_generation()
+        if path != ":memory:":
+            # A file written by an interrupted session may violate the
+            # d_R ↔ f_R mirror invariant (a kill between the install and the
+            # delta copy, or between the delta insert and the frontier stamp);
+            # restore it before any consumer takes a frontier token.
+            self._reconcile_frontier()
 
     # -- schema / DDL ---------------------------------------------------------
 
@@ -147,6 +157,41 @@ class SQLiteDatabase(BaseDatabase):
             if row[0] is not None:
                 top = max(top, int(row[0]))
         return top
+
+    def _reconcile_frontier(self) -> None:
+        """Restore the delta ↔ frontier mirror after a torn previous session.
+
+        The two extents are written by consecutive statements under autocommit,
+        so a crash can leave either side ahead:
+
+        * an ``INSERT OR IGNORE ... SELECT`` install commits into ``f_R``
+          before :func:`~repro.datalog.sql_compiler.delta_copy_sql` promotes
+          the rows into ``d_R`` — orphaned frontier rows would then never show
+          up in :meth:`delta_facts` and the repair semantics would silently
+          skip them;
+        * :meth:`mark_deleted` inserts into ``d_R`` before stamping ``f_R`` —
+          an unstamped delta fact would never enter any frontier window, so
+          semi-naive consumers would never join it (a *skipped* frontier
+          fact).
+
+        Frontier rows are copied into the delta extent verbatim; unstamped
+        delta rows are stamped with one fresh generation, so consumers that
+        take their token *after* reopening (they all do — tokens never
+        persist) see them as regular round-1 frontier content.
+        """
+        for name in self._schema.names():
+            columns = ", ".join([*self._columns(name), "tid"])
+            self._connection.execute(
+                f"INSERT OR IGNORE INTO {delta_table(name)} ({columns}) "
+                f"SELECT {columns} FROM {frontier_table(name)}"
+            )
+            cursor = self._connection.execute(
+                f"INSERT OR IGNORE INTO {frontier_table(name)} "
+                f"({columns}, gen) SELECT {columns}, ? FROM {delta_table(name)}",
+                (self._generation + 1,),
+            )
+            if cursor.rowcount > 0:
+                self._generation += 1
 
     def _check(self, item: Fact) -> None:
         if item.relation not in self._schema:
@@ -328,6 +373,25 @@ class SQLiteDatabase(BaseDatabase):
         """Close the underlying connection."""
         self._connection.close()
 
+    def add_statement_hook(self, hook) -> None:
+        """Register ``hook(sql)`` to observe every :meth:`execute` statement.
+
+        The compiled evaluation paths (rule SELECTs, staged creates, installs,
+        delta copies) all route through :meth:`execute`, and every compiled
+        statement embeds a ``/* repro:<class> */`` tag
+        (:mod:`repro.datalog.sql_compiler`), so a hook can count statement
+        classes — the staging tests and the benchmark smoke run use this to
+        assert each rule variant's join runs exactly once per round.
+        """
+        self._statement_hooks.append(hook)
+
+    def remove_statement_hook(self, hook) -> None:
+        """Unregister a previously added statement hook (no-op when absent)."""
+        try:
+            self._statement_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def execute(
         self, sql: str, params: Iterable[Any] | Mapping[str, Any] = ()
     ) -> sqlite3.Cursor:
@@ -336,6 +400,8 @@ class SQLiteDatabase(BaseDatabase):
         ``params`` may be positional (for ``?`` placeholders) or a mapping (for
         the named ``:name`` placeholders the semi-naive compiler emits).
         """
+        for hook in self._statement_hooks:
+            hook(sql)
         try:
             if isinstance(params, Mapping):
                 return self._connection.execute(sql, params)

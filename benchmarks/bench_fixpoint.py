@@ -24,7 +24,11 @@ perf trajectory is tracked across PRs.
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_fixpoint.py            # full run
-    PYTHONPATH=src python benchmarks/bench_fixpoint.py --smoke    # 1 repetition, small scales
+    PYTHONPATH=src python benchmarks/bench_fixpoint.py --smoke    # best-of-2, small scales
+    PYTHONPATH=src python benchmarks/bench_fixpoint.py --smoke --check
+    # ^ CI regression gate: fail when this run's naive/semi-naive or
+    #   staged/fast speedup ratios drop below --tolerance (default 0.35) of
+    #   the committed BENCH_fixpoint.json values on matching rows
 
 or through pytest (a correctness-checked smoke configuration that also
 asserts the staged single-pass discipline via a query-counter hook)::
@@ -283,15 +287,19 @@ def bench_compare(scale: float, repetitions: int) -> List[dict]:
 
 
 def assert_single_pass(scale: float = 1.0) -> dict:
-    """Verify the staged discipline with a query-counter hook (smoke check).
+    """Verify the staged and zero-DDL disciplines with a query-counter hook.
 
     Runs the mas/20 closure once per path on a SQLite copy with a statement
     hook counting the compiler's tag comments, and asserts:
 
-    * fast path — zero assignment SELECTs *and* zero staged creates: the only
+    * fast path — zero assignment SELECTs *and* zero staged inserts: the only
       join per variant is the install itself;
-    * staged path — zero assignment SELECTs and exactly one staged create per
-      staged install: the join never runs twice for the same variant.
+    * staged path — zero assignment SELECTs and exactly one staged insert per
+      staged install: the join never runs twice for the same variant;
+    * keyed stage tables — no ``DROP TABLE`` ever, and ``CREATE TEMP TABLE``
+      only on the first staging of each variant width: steady-state rounds
+      issue zero DDL (the multi-round mas/20 cascade stages far more joins
+      than it creates tables).
     """
     from collections import Counter
 
@@ -311,6 +319,10 @@ def assert_single_pass(scale: float = 1.0) -> dict:
                 counts["assign_select"] += 1
             if TAG_STAGE in sql:
                 counts["stage"] += 1
+            if "DROP TABLE" in sql:
+                counts["drop_table"] += 1
+            if "CREATE TEMP TABLE" in sql:
+                counts["create_temp_table"] += 1
 
         working.add_statement_hook(hook)
         context = EvalContext()
@@ -322,12 +334,30 @@ def assert_single_pass(scale: float = 1.0) -> dict:
                 f"{path_name} path re-ran {counts['assign_select']} assignment "
                 "SELECT joins — the single-pass discipline is broken"
             )
+        if counts["drop_table"] != 0:
+            raise AssertionError(
+                f"{path_name} path dropped {counts['drop_table']} tables — the "
+                "keyed stage tables must persist across rounds"
+            )
         if path_name == "fast" and counts["stage"] != 0:
             raise AssertionError("fast path staged rows despite no observer")
+        if path_name == "fast" and counts["create_temp_table"] != 0:
+            raise AssertionError("fast path created stage tables despite no observer")
         if path_name == "staged" and not (
             counts["stage"] == context.stats.staged_installs > 0
         ):
             raise AssertionError("staged path did not stage exactly once per install")
+        if path_name == "staged" and not (
+            0
+            < counts["create_temp_table"]
+            == context.stats.stage_ddl
+            < counts["stage"]
+        ):
+            raise AssertionError(
+                "staged path issued per-round DDL — steady-state rounds must "
+                "reuse the keyed stage tables "
+                f"(creates={counts['create_temp_table']}, stages={counts['stage']})"
+            )
         observed[path_name] = {
             **dict(counts),
             "joins": context.stats.joins(),
@@ -335,12 +365,66 @@ def assert_single_pass(scale: float = 1.0) -> dict:
     return observed
 
 
+def check_against_baseline(
+    report: dict, baseline: dict, tolerance: float = 0.35
+) -> List[str]:
+    """Compare a (smoke) run's speedup ratios against the committed baseline.
+
+    For every closure row present in both reports — matched on (backend,
+    workload, program, scale) — the run's naive/semi-naive ``speedup`` and
+    staged/fast ``fast_speedup`` ratios must stay above ``tolerance`` times
+    the committed value.  Ratios are machine-independent (both sides of each
+    ratio run on the same box), so a generous band absorbs CI noise while a
+    real regression — e.g. losing the single-pass or zero-DDL discipline —
+    collapses the ratio far below it.  Returns the list of violations (empty
+    = gate passes).  A run with **zero** comparable rows is itself a
+    violation: key drift (renamed programs, changed scales, restructured
+    baseline) must fail loudly instead of silently disabling the gate.
+    """
+    problems: List[str] = []
+    compared = 0
+
+    def by_key(rows: List[dict]) -> Dict[tuple, dict]:
+        return {
+            (row["backend"], row["workload"], row["program"], row["scale"]): row
+            for row in rows
+        }
+
+    for section in ("closure", "sqlite_closure", "sqlite_file_closure"):
+        committed = by_key(baseline.get(section, []))
+        for row in report.get(section, []):
+            key = (row["backend"], row["workload"], row["program"], row["scale"])
+            base = committed.get(key)
+            if base is None:
+                continue
+            for ratio in ("speedup", "fast_speedup"):
+                if ratio not in row or ratio not in base:
+                    continue
+                compared += 1
+                floor = base[ratio] * tolerance
+                if row[ratio] < floor:
+                    problems.append(
+                        f"{section} {key}: {ratio} {row[ratio]:.3f} < "
+                        f"{floor:.3f} (= {tolerance} x committed {base[ratio]:.3f})"
+                    )
+    if compared == 0:
+        problems.append(
+            "no rows of this run matched the committed baseline — the gate "
+            "compared nothing (program/scale/section drift?); refresh "
+            "BENCH_fixpoint.json or fix the row keys"
+        )
+    return problems
+
+
 def run_benchmark(smoke: bool = False) -> dict:
     # Warm the lazily imported engine modules so single-repetition (smoke)
     # timings measure evaluation, not the first import.
     import repro.datalog.seminaive  # noqa: F401
 
-    repetitions = 1 if smoke else 3
+    # Smoke keeps two repetitions (best-of-2): a single repetition makes the
+    # first, cold run the measurement, and cold-cache noise on the file-backed
+    # axis is larger than the --check tolerance band.
+    repetitions = 2 if smoke else 3
     if smoke:
         scales = {"mas": [1.0], "tpch": [1.0]}
         file_scales = {"mas": [1.0], "tpch": [1.0]}
@@ -507,18 +591,67 @@ def test_fixpoint_smoke():
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--smoke", action="store_true", help="1 repetition, small scales"
+        "--smoke", action="store_true", help="best-of-2 repetitions, small scales"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "regression gate: compare this run's naive/semi-naive and "
+            "staged/fast speedup ratios against the committed baseline and "
+            "exit non-zero on a regression"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_fixpoint.json"),
+        help="committed baseline report for --check",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help=(
+            "ratio floor for --check, as a fraction of the committed value "
+            "(default 0.35 — wide enough for 1-repetition CI noise, far "
+            "above a genuine discipline regression)"
+        ),
     )
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_fixpoint.json"),
-        help="output path for the machine-readable report",
+        default=None,
+        help=(
+            "output path for the machine-readable report (default: "
+            "BENCH_fixpoint.json at the repo root, or bench-check-report.json "
+            "under --check so a gated smoke run never overwrites the "
+            "committed full-run baseline)"
+        ),
     )
     args = parser.parse_args()
+    if args.out is None:
+        root = Path(__file__).resolve().parent.parent
+        args.out = str(
+            root / ("bench-check-report.json" if args.check else "BENCH_fixpoint.json")
+        )
+    baseline = None
+    if args.check:
+        baseline = json.loads(Path(args.baseline).read_text())
     report = run_benchmark(smoke=args.smoke)
     print(_render(report))
+    # Write before gating so CI can upload the report of a failed run too.
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
+    if baseline is not None:
+        problems = check_against_baseline(report, baseline, args.tolerance)
+        if problems:
+            print("ratio regression against committed baseline:")
+            for problem in problems:
+                print(f"  {problem}")
+            raise SystemExit(1)
+        print(
+            f"ratio gate ok (tolerance {args.tolerance} x committed "
+            f"{args.baseline})"
+        )
 
 
 if __name__ == "__main__":

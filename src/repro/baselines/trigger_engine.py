@@ -114,7 +114,12 @@ class TriggerEngine:
         (only the deletion set and order are reported, as in the paper).
         ``context`` (an :class:`~repro.datalog.context.EvalContext`) lets the
         per-event probe plans be shared with other runs — e.g. repeated
-        cascades of a trigger-comparison experiment.
+        cascades of a trigger-comparison experiment — and subscribes the
+        context's observers to the cascade *as it runs*: candidate observers
+        (``context.add_candidate_observer``) see every fact a probe join
+        iterates, and assignment observers (``context.add_observer``) receive
+        each probe match the moment a trigger fires on it, mid-cascade rather
+        than from the post-run report.
         """
         watch = Stopwatch()
         watch.start()
@@ -124,33 +129,51 @@ class TriggerEngine:
         planner = (
             context.planner(working) if context is not None else JoinPlanner(working)
         )
+        watching_candidates = (
+            context is not None
+            and context.has_candidate_observers
+            and hasattr(working, "add_candidate_observer")
+        )
+        if watching_candidates:
+            working.add_candidate_observer(context.notify_candidate)
         deleted: List[Fact] = []
         fired: List[tuple[str, Fact]] = []
         queue: deque[Fact] = deque()
 
-        for item in initial_deletions:
-            if working.has_active(item):
-                working.delete(item)
-                deleted.append(item)
-                queue.append(item)
+        try:
+            for item in initial_deletions:
+                if working.has_active(item):
+                    working.delete(item)
+                    deleted.append(item)
+                    queue.append(item)
 
-        processed = 0
-        while queue:
-            processed += 1
-            if processed > self.max_events:
-                raise ExperimentError(
-                    f"trigger cascade exceeded {self.max_events} events "
-                    "(possible non-termination)"
-                )
-            event = queue.popleft()
-            for trigger in self._ordered_triggers(event.relation):
-                for target in self._matching_targets(working, trigger, event, planner):
-                    if not working.has_active(target):
-                        continue
-                    working.delete(target)
-                    deleted.append(target)
-                    fired.append((trigger.name, target))
-                    queue.append(target)
+            processed = 0
+            while queue:
+                processed += 1
+                if processed > self.max_events:
+                    raise ExperimentError(
+                        f"trigger cascade exceeded {self.max_events} events "
+                        "(possible non-termination)"
+                    )
+                event = queue.popleft()
+                for trigger in self._ordered_triggers(event.relation):
+                    for assignment in self._matching_assignments(
+                        working, trigger, event, planner
+                    ):
+                        target = assignment.derived
+                        if not working.has_active(target):
+                            continue
+                        if context is not None:
+                            # Mid-cascade delivery: observers hear about the
+                            # firing probe match before its deletion applies.
+                            context.notify(assignment)
+                        working.delete(target)
+                        deleted.append(target)
+                        fired.append((trigger.name, target))
+                        queue.append(target)
+        finally:
+            if watching_candidates:
+                working.remove_candidate_observer(context.notify_candidate)
         return TriggerRun(
             policy=self.policy,
             deleted=frozenset(deleted),
@@ -159,14 +182,15 @@ class TriggerEngine:
             runtime=watch.stop(),
         )
 
-    def _matching_targets(
+    def _matching_assignments(
         self,
         db: BaseDatabase,
         trigger: DeleteTrigger,
         event: Fact,
         planner: JoinPlanner | None = None,
-    ) -> List[Fact]:
-        """Targets the trigger deletes in response to the deletion of ``event``.
+    ) -> List:
+        """Probe assignments of the trigger for the deletion of ``event``
+        (their ``derived`` facts are the deletion targets).
 
         The trigger's WHEN condition is evaluated against the current state of
         the database with the watched atom bound to the deleted row (the SQL
@@ -198,10 +222,7 @@ class TriggerEngine:
             name=trigger.name,
         )
         del bound_watched  # the OLD record itself is gone from the active extent
-        return [
-            assignment.derived
-            for assignment in find_assignments(db, probe_rule, planner=planner)
-        ]
+        return find_assignments(db, probe_rule, planner=planner)
 
 
 def _substitute_comparison(comparison, bindings: Dict[str, object]):

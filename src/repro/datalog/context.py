@@ -35,9 +35,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.datalog.planner import JoinPlanner
     from repro.datalog.sql_compiler import FrontierQuery
     from repro.storage.database import BaseDatabase
+    from repro.storage.facts import Fact
 
 #: Signature of an assignment observer.
 AssignmentObserver = Callable[["Assignment"], None]
+
+#: Signature of a candidate observer: ``(relation, fact)`` for every fact an
+#: in-memory candidate iterator yields while a subscribed run evaluates.
+CandidateObserver = Callable[[str, "Fact"], None]
 
 
 @dataclass
@@ -47,8 +52,15 @@ class QueryStats:
     Attributes
     ----------
     staged_selects:
-        ``CREATE TEMP TABLE ... AS SELECT`` statements — one *join* each; the
-        staged rows then feed both the observers and the install.
+        Keyed ``INSERT INTO _repro_stage_wN ... SELECT`` statements — one
+        *join* each; the staged rows then feed the observers (and, in the
+        closure driver, the install).  Includes the staged stage-discovery
+        joins run when a context is shared across semantics.
+    stage_ddl:
+        ``CREATE TEMP TABLE``/``CREATE INDEX`` statements creating a keyed
+        stage table — at most one table per distinct variant width per
+        connection; steady-state rounds issue none (the zero-DDL discipline
+        the staging tests assert).
     staged_installs:
         ``INSERT OR IGNORE ... SELECT ... FROM`` the stage table — a scan of
         the staged rows, **not** a join over the base tables.
@@ -56,8 +68,16 @@ class QueryStats:
         Fast-path ``INSERT OR IGNORE ... SELECT`` over the base tables — one
         join each, used when no observer needs the assignments.
     assignment_selects:
-        Plain assignment ``SELECT`` joins (the stage-semantics discovery path
-        and the naive oracle compiler; never the semi-naive closure driver).
+        Plain streaming assignment ``SELECT`` joins run under a context —
+        the stage-semantics discovery path when no assignment observer is
+        registered (staging would be pure overhead with a single consumer;
+        the gate mirrors the closure driver's ``observing`` flag).
+    replans:
+        Join plans rebuilt by round-boundary re-costing: the in-memory
+        planner detected that a relation's extent drifted past the
+        :data:`~repro.datalog.planner.DRIFT_FACTOR` band around the
+        cardinalities its cached plan was costed with, and re-costed the
+        plan in the shared structural cache.
     variant_compiles:
         Distinct rules whose frontier variants this context resolved (cache
         misses of :meth:`EvalContext.frontier_variants`).  This counts
@@ -69,9 +89,11 @@ class QueryStats:
     """
 
     staged_selects: int = 0
+    stage_ddl: int = 0
     staged_installs: int = 0
     direct_installs: int = 0
     assignment_selects: int = 0
+    replans: int = 0
     variant_compiles: int = 0
 
     def joins(self) -> int:
@@ -81,9 +103,11 @@ class QueryStats:
     def reset(self) -> None:
         """Zero every counter (the benchmark reuses one context per run)."""
         self.staged_selects = 0
+        self.stage_ddl = 0
         self.staged_installs = 0
         self.direct_installs = 0
         self.assignment_selects = 0
+        self.replans = 0
         self.variant_compiles = 0
 
 
@@ -102,6 +126,9 @@ class EvalContext:
     _plans: Dict = field(default_factory=dict, repr=False)
     _variants: Dict = field(default_factory=dict, repr=False)
     _observers: List[AssignmentObserver] = field(default_factory=list, repr=False)
+    _candidate_observers: List[CandidateObserver] = field(
+        default_factory=list, repr=False
+    )
 
     # -- planning ---------------------------------------------------------------
 
@@ -111,10 +138,13 @@ class EvalContext:
         Cardinality estimates stay per-planner (they describe one database
         instance); the structural plan dictionary is shared, so every planner
         the context hands out benefits from plans built by the others.
+        Planners created through a context also re-cost cached plans at round
+        boundaries (see :meth:`~repro.datalog.planner.JoinPlanner.begin_round`)
+        and record every rebuild in :attr:`QueryStats.replans`.
         """
         from repro.datalog.planner import JoinPlanner
 
-        return JoinPlanner(db, plans=self._plans)
+        return JoinPlanner(db, plans=self._plans, stats=self.stats)
 
     def plan_cache_size(self) -> int:
         """Number of distinct rule structures planned so far."""
@@ -164,3 +194,36 @@ class EvalContext:
         """Deliver one new assignment to every registered observer."""
         for observer in self._observers:
             observer(assignment)
+
+    # -- candidate observers -----------------------------------------------------
+
+    def add_candidate_observer(self, observer: CandidateObserver) -> None:
+        """Register ``observer`` on the in-memory candidate iterators.
+
+        While a run that honours the context evaluates (the semi-naive
+        in-memory closure, or a :class:`~repro.baselines.trigger_engine.TriggerEngine`
+        cascade), ``observer(relation, fact)`` fires for every fact a
+        :class:`~repro.storage.indexes.RelationIndex` candidate iterator
+        yields — a *probe-level* stream, delivered mid-round / mid-cascade as
+        the join explores, not once per finished assignment.  The SQL engine
+        never iterates candidates in Python, so SQLite-backed runs deliver
+        nothing here (subscribe assignment observers instead).
+        """
+        self._candidate_observers.append(observer)
+
+    def remove_candidate_observer(self, observer: CandidateObserver) -> None:
+        """Unregister a previously added candidate observer (no-op when absent)."""
+        try:
+            self._candidate_observers.remove(observer)
+        except ValueError:
+            pass
+
+    @property
+    def has_candidate_observers(self) -> bool:
+        """True when at least one candidate observer is registered."""
+        return bool(self._candidate_observers)
+
+    def notify_candidate(self, relation: str, item: "Fact") -> None:
+        """Deliver one candidate fact to every registered candidate observer."""
+        for observer in self._candidate_observers:
+            observer(relation, item)

@@ -20,11 +20,30 @@ positions) rather than by the rule object, so rules that differ only in the
 constant values they mention — e.g. the per-event probe rules the trigger
 baseline builds, or the per-tuple deletion requests of Section 3.6 — share a
 single cached plan.
+
+Round-boundary re-costing
+-------------------------
+
+A cached plan remembers the cardinalities it was costed with
+(:attr:`JoinPlan.cost_snapshot`).  Delta extents start near-empty and can grow
+by orders of magnitude across a deep cascade, so a join order that was right
+in round 2 may be badly wrong by round 10.  The semi-naive frontier loop calls
+:meth:`JoinPlanner.begin_round` at every round boundary, which drops the
+planner's per-round cardinality cache; the next :meth:`JoinPlanner.plan`
+request for a cached plan then compares the *current* extents against the
+snapshot and rebuilds the plan when any relation drifted past the
+:data:`DRIFT_FACTOR` band (in either direction).  Rebuilt plans replace their
+predecessor in the (possibly context-shared) structural cache — sharing is
+preserved, only the costing is refreshed — and every rebuild is recorded in
+:attr:`~repro.datalog.context.QueryStats.replans` when the planner was created
+through an :class:`~repro.datalog.context.EvalContext`.  Without a
+``begin_round`` call the cardinality cache never refreshes and the planner
+behaves exactly as before (plans are permanent).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, Tuple
 
 from repro.datalog.ast import Constant, Rule, Variable
@@ -33,6 +52,12 @@ from repro.storage.database import BaseDatabase
 #: Marker used in plan keys for constant positions (the value is irrelevant
 #: to the plan: any constant is an equality constraint on that position).
 _CONST = "\0const"
+
+#: Re-cost a cached plan when some scanned extent grew or shrank by at least
+#: this factor relative to the plan's cost snapshot.  Join orders only change
+#: on large relative swings (the planner compares sizes, not estimates), so a
+#: wide band keeps replans rare and ping-ponging impossible within a round.
+DRIFT_FACTOR = 4.0
 
 
 @dataclass(frozen=True)
@@ -47,10 +72,17 @@ class JoinPlan:
     seed:
         The body-atom index the plan assumes is matched first (from the
         delta frontier), or None for a full evaluation plan.
+    cost_snapshot:
+        The ``((relation, delta), size)`` cardinalities the plan was costed
+        with, used by round-boundary re-costing to detect drift.  Empty for
+        hand-built plans (never re-costed).
     """
 
     order: Tuple[int, ...]
     seed: int | None = None
+    cost_snapshot: Tuple[Tuple[Tuple[str, bool], int], ...] = field(
+        default=(), compare=False
+    )
 
 
 def _atom_shape(atom) -> tuple:
@@ -86,17 +118,38 @@ class JoinPlanner:
     one ``RepairEngine.compare()`` run (one per semantics, each over its own
     clone) reuse each other's join orders.  Plans are keyed purely on rule
     *structure*, so sharing them across clones of the same database is sound;
-    only the cardinality snapshots stay per-planner.
+    only the cardinality snapshots stay per-planner.  ``stats`` (a
+    :class:`~repro.datalog.context.QueryStats`) records round-boundary
+    replans; ``drift_factor`` widens or narrows the re-costing band (see the
+    module docstring).
     """
 
-    __slots__ = ("_db", "_plans", "_cardinalities")
+    __slots__ = (
+        "_db",
+        "_plans",
+        "_cardinalities",
+        "_stats",
+        "_recost_armed",
+        "drift_factor",
+    )
 
     def __init__(
-        self, db: BaseDatabase, plans: Dict[Hashable, JoinPlan] | None = None
+        self,
+        db: BaseDatabase,
+        plans: Dict[Hashable, JoinPlan] | None = None,
+        stats=None,
+        drift_factor: float = DRIFT_FACTOR,
     ) -> None:
         self._db = db
         self._plans: Dict[Hashable, JoinPlan] = plans if plans is not None else {}
         self._cardinalities: Dict[tuple[str, bool], int] = {}
+        self._stats = stats
+        #: Drift checks only arm after the first :meth:`begin_round` on *this*
+        #: planner: a fresh planner over a different database instance must
+        #: not re-cost plans a sibling put into a shared cache (plans stay
+        #: permanent for round-less consumers like the trigger probes).
+        self._recost_armed = False
+        self.drift_factor = drift_factor
 
     # -- cardinality estimates -------------------------------------------------
 
@@ -119,22 +172,63 @@ class JoinPlanner:
 
     # -- planning ---------------------------------------------------------------
 
+    def begin_round(self) -> None:
+        """Mark a round boundary: drop the cardinality cache so the next
+        :meth:`plan` request re-reads extents and can detect drift.
+
+        Called by the semi-naive frontier loop (and the incremental stage
+        discovery) before each delta round; cheap — cardinality reads within
+        the round stay memoised.  The first call also arms drift re-costing
+        for this planner; until then cached plans are returned untouched.
+        """
+        self._cardinalities.clear()
+        self._recost_armed = True
+
     def plan(
         self, rule: Rule, seed: int | None = None, hypothetical: bool = False
     ) -> JoinPlan:
-        """The join order for ``rule``, optionally seeded at body atom ``seed``."""
+        """The join order for ``rule``, optionally seeded at body atom ``seed``.
+
+        After :meth:`begin_round` has armed re-costing, a cached plan is
+        returned as-is unless its cost snapshot has drifted past the
+        :attr:`drift_factor` band, in which case it is re-costed in place
+        (shared caches see the refreshed plan too) and the rebuild is counted
+        in ``stats.replans``.  An unarmed planner (no round boundary crossed
+        yet) never re-costs, so sharing a plan cache across database
+        instances of different sizes cannot make round-less consumers thrash
+        each other's plans.
+        """
         key = plan_key(rule, seed, hypothetical)
         cached = self._plans.get(key)
-        if cached is not None:
+        if cached is not None and not (
+            self._recost_armed and self._drifted(cached, hypothetical)
+        ):
             return cached
         plan = self._build_plan(rule, seed, hypothetical)
         self._plans[key] = plan
+        if cached is not None and self._stats is not None:
+            self._stats.replans += 1
         return plan
+
+    def _drifted(self, plan: JoinPlan, hypothetical: bool) -> bool:
+        """True when some extent of ``plan``'s snapshot drifted past the band."""
+        factor = self.drift_factor
+        for (relation, delta), old in plan.cost_snapshot:
+            new = self._cardinality(relation, delta, hypothetical)
+            low, high = max(old, 1), max(new, 1)
+            if low > high:
+                low, high = high, low
+            if high >= factor * low:
+                return True
+        return False
 
     def _build_plan(self, rule: Rule, seed: int | None, hypothetical: bool) -> JoinPlan:
         body = rule.body
         bound: set[str] = set()
         order: list[int] = []
+        #: Extents read while costing, keyed (relation, delta) — the snapshot
+        #: round-boundary re-costing compares against.
+        costed: Dict[tuple[str, bool], int] = {}
         if seed is not None:
             order.append(seed)
             bound.update(body[seed].variable_names())
@@ -151,6 +245,7 @@ class JoinPlanner:
                     ):
                         connected += 1
                 size = self._cardinality(atom.relation, atom.is_delta, hypothetical)
+                costed[(atom.relation, atom.is_delta)] = size
                 # Highest connectivity first, then smallest extent, then body
                 # order; negations make a single min() comparison work.
                 score = (-connected, size, index)
@@ -160,4 +255,8 @@ class JoinPlanner:
             order.append(best)
             bound.update(body[best].variable_names())
             remaining.remove(best)
-        return JoinPlan(order=tuple(order), seed=seed)
+        return JoinPlan(
+            order=tuple(order),
+            seed=seed,
+            cost_snapshot=tuple(sorted(costed.items())),
+        )

@@ -28,22 +28,30 @@ can evaluate its join **exactly once per round**:
   SELECT`` over the body join, installing the derived head facts directly
   inside SQLite.  Used when nothing observes the assignments: the body join
   runs once and no row crosses into Python;
-* :attr:`FrontierQuery.staged_select_sql` — staged path, step 1: the same
-  body join with every projected column aliased ``s0..sN``, materialised into
-  the per-round temp table :data:`STAGE_TABLE` (``CREATE TEMP TABLE ... AS``);
+* :attr:`FrontierQuery.staged_insert_sql` — staged path, step 1: the same
+  body join with every projected column aliased ``s0..sN``, inserted into the
+  **persistent keyed stage table** of the variant's width
+  (:func:`~repro.storage.sqlite_backend.stage_table_name`), keyed by the
+  variant's :attr:`~FrontierQuery.variant_id`.  The table is created once per
+  connection (``SQLiteDatabase.ensure_stage_table``) and reused by every
+  variant of the same width, so steady-state rounds issue **zero DDL** — the
+  per-round cycle is ``DELETE`` (:attr:`~FrontierQuery.stage_delete_sql`) then
+  ``INSERT ... SELECT``;
 * :attr:`FrontierQuery.staged_install_sql` — staged path, step 2: the install
-  re-expressed over the staged rows, so observers (assignment collection,
-  provenance builders, stage discovery) and the install both read the single
-  join's output instead of re-running it.
+  re-expressed over the variant's staged rows, so observers (assignment
+  collection, provenance builders, stage discovery) and the install both read
+  the single join's output instead of re-running it.  Observers read the rows
+  back via :attr:`~FrontierQuery.staged_rows_sql`.
 
 Each statement embeds a ``/* repro:<class> */`` tag comment
 (:data:`TAG_ASSIGN_SELECT` ...), which the query-counter hooks of
 :meth:`~repro.storage.sqlite_backend.SQLiteDatabase.add_statement_hook` use to
-assert the single-pass discipline from tests and benchmarks.
+assert the single-pass and zero-DDL disciplines from tests and benchmarks.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Dict, Iterator, List, Tuple
@@ -56,21 +64,33 @@ from repro.storage.sqlite_backend import (
     active_table,
     delta_table,
     frontier_table,
+    stage_table_name,
 )
 
 _SQL_OPS = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
-#: Name of the per-round temp table holding one variant's staged rows.  The
-#: driver drops and recreates it per variant execution; temp tables are
-#: connection-local, so concurrent databases never collide.
-STAGE_TABLE = "_repro_stage"
-
 #: Statement-tag comments embedded in compiled SQL, one per statement class.
-#: Query-counter hooks grep for these to verify the single-pass discipline.
+#: Query-counter hooks grep for these to verify the single-pass (and, for the
+#: keyed stage tables, zero-DDL) discipline.  ``TAG_STAGE`` marks the keyed
+#: ``INSERT INTO _repro_stage_wN ... SELECT`` — one body *join* each;
+#: ``TAG_STAGE_DELETE`` / ``TAG_STAGE_ROWS`` mark the per-round key cleanup
+#: and the staged-row read-back, both plain scans of the stage table.
 TAG_ASSIGN_SELECT = "/* repro:assign-select */"
 TAG_STAGE = "/* repro:stage */"
+TAG_STAGE_DELETE = "/* repro:stage-delete */"
+TAG_STAGE_ROWS = "/* repro:stage-rows */"
 TAG_INSTALL_DIRECT = "/* repro:install-direct */"
 TAG_INSTALL_STAGED = "/* repro:install-staged */"
+
+#: Process-wide allocator of :attr:`FrontierQuery.variant_id` keys.  Ids are
+#: assigned at compile time and never reused, so two live variants can never
+#: collide in a shared stage table.  A rule evicted from the ``lru_cache``
+#: and recompiled gets a *fresh* id; the only cost is that rows a caller
+#: abandoned mid-iteration under the old id stop being reclaimed by that
+#: variant's pre-insert DELETE (completed runs always delete their rows, and
+#: per-context caches pin variants against eviction for a context's
+#: lifetime).
+_variant_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -223,15 +243,21 @@ class FrontierQuery:
         Fast path: ``INSERT OR IGNORE INTO f_H ... SELECT DISTINCT <head>,
         NULL, :gen`` over the body join, installing the derived head facts
         into the head relation's frontier table without leaving SQLite.
-    staged_select_sql:
-        The body join with every projected column aliased ``s0..sN``; the
-        driver materialises it with ``CREATE TEMP TABLE {STAGE_TABLE} AS ...``
-        so the join runs exactly once per round even with observers attached.
+    staged_insert_sql:
+        The body join with every projected column aliased ``s0..sN``,
+        inserted into the keyed stage table of this variant's width under
+        ``:variant`` (pre-bound to :attr:`variant_id`).  One body join per
+        execution; the table itself persists across rounds and runs.
+    staged_rows_sql:
+        Read-back of this variant's staged rows (a keyed scan, no join).
+    stage_delete_sql:
+        Per-round cleanup of this variant's key in the stage table.
     staged_install_sql:
-        The install re-expressed over :data:`STAGE_TABLE` (a scan of the
-        staged rows, no base-table join).
+        The install re-expressed over the variant's staged rows (a keyed scan
+        of the stage table, no base-table join).
     params:
-        The constant bind parameters, as ``(name, value)`` pairs.
+        The pre-bound parameters, as ``(name, value)`` pairs: the rule's
+        constants (``kN``) plus the stage key (``variant``).
     atom_arities:
         Arity of each body atom, for row-to-assignment reconstruction.
     seed:
@@ -240,16 +266,28 @@ class FrontierQuery:
     seed_relation:
         Relation of the seed atom (None for the full variant); the driver
         skips a variant when that relation's frontier is empty.
+    stage_table:
+        Name of the keyed stage table this variant stages into (shared by
+        every variant of the same :attr:`stage_width`).
+    stage_width:
+        Number of projected (staged) columns of the body join.
+    variant_id:
+        The variant's key into :attr:`stage_table` (process-wide unique).
     """
 
     sql: str
     install_sql: str
-    staged_select_sql: str
+    staged_insert_sql: str
+    staged_rows_sql: str
+    stage_delete_sql: str
     staged_install_sql: str
     params: tuple[tuple[str, Any], ...]
     atom_arities: tuple[int, ...]
     seed: int | None
     seed_relation: str | None
+    stage_table: str
+    stage_width: int
+    variant_id: int
 
     def bind(self, **window: int) -> Dict[str, Any]:
         """The full parameter mapping for one execution of the variant."""
@@ -345,13 +383,21 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
     where_sql = (" WHERE " + " AND ".join(where)) if where else ""
     body_sql = f"FROM {', '.join(from_parts)}{where_sql}"
     sql = f"{TAG_ASSIGN_SELECT} SELECT {', '.join(select_parts)} {body_sql}"
-    staged_select_sql = (
-        f"{TAG_STAGE} SELECT "
-        + ", ".join(
-            f"{expression} AS {staged_column[expression]}"
-            for expression in select_parts
-        )
-        + f" {body_sql}"
+
+    variant_id = next(_variant_ids)
+    stage_width = len(select_parts)
+    stage_table = stage_table_name(stage_width)
+    staged_columns = ", ".join(staged_column[expr] for expr in select_parts)
+    staged_insert_sql = (
+        f"{TAG_STAGE} INSERT INTO {stage_table} (variant_id, {staged_columns}) "
+        f"SELECT :variant, {', '.join(select_parts)} {body_sql}"
+    )
+    staged_rows_sql = (
+        f"{TAG_STAGE_ROWS} SELECT {staged_columns} FROM {stage_table} "
+        "WHERE variant_id = :variant"
+    )
+    stage_delete_sql = (
+        f"{TAG_STAGE_DELETE} DELETE FROM {stage_table} WHERE variant_id = :variant"
     )
 
     head_exprs: List[str] = []
@@ -385,19 +431,24 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
     staged_install_sql = (
         f"{TAG_INSTALL_STAGED} {install_into}"
         f"SELECT DISTINCT {', '.join(staged_head_exprs)}, NULL, :gen "
-        f"FROM {STAGE_TABLE}"
+        f"FROM {stage_table} WHERE variant_id = :variant"
     )
 
     seed_atom = rule.body[seed] if seed is not None else None
     return FrontierQuery(
         sql=sql,
         install_sql=install_sql,
-        staged_select_sql=staged_select_sql,
+        staged_insert_sql=staged_insert_sql,
+        staged_rows_sql=staged_rows_sql,
+        stage_delete_sql=stage_delete_sql,
         staged_install_sql=staged_install_sql,
-        params=tuple(params),
+        params=(*params, ("variant", variant_id)),
         atom_arities=tuple(arities),
         seed=seed,
         seed_relation=seed_atom.relation if seed_atom is not None else None,
+        stage_table=stage_table,
+        stage_width=stage_width,
+        variant_id=variant_id,
     )
 
 

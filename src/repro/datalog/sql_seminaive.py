@@ -28,14 +28,27 @@ execution forms runs depends on whether anything observes the assignments:
   and no :class:`~repro.datalog.context.EvalContext` observer: the driver
   runs only the variant's :attr:`~repro.datalog.sql_compiler.FrontierQuery.install_sql`.
   One join, zero rows crossing into Python;
-* **staged path** — somebody observes: the driver materialises the join's
-  rows into the per-round temp table
-  :data:`~repro.datalog.sql_compiler.STAGE_TABLE`
-  (``CREATE TEMP TABLE ... AS <staged_select_sql>``), replays the staged rows
-  to every observer (assignment collection, the ``on_assignment`` hook,
-  context observers such as provenance builders), and installs the head facts
-  from the *same* staged rows via ``staged_install_sql`` — the join is never
-  re-run for the install.
+* **staged path** — somebody observes: the driver inserts the join's rows
+  into the **persistent keyed stage table** of the variant's width
+  (:func:`~repro.storage.sqlite_backend.stage_table_name`, created at most
+  once per connection by ``SQLiteDatabase.ensure_stage_table``), keyed by the
+  variant's ``variant_id``.  The per-round cycle is ``DELETE`` the variant's
+  key, ``INSERT ... SELECT`` the join, replay the staged rows to every
+  observer (assignment collection, the ``on_assignment`` hook, context
+  observers such as provenance builders), and install the head facts from the
+  *same* staged rows via ``staged_install_sql`` — the join is never re-run
+  for the install and **steady-state rounds issue zero DDL** (no ``DROP
+  TABLE``/``CREATE TEMP TABLE`` after the first staging of each width).
+
+The stage-semantics discovery SELECTs (:func:`seeded_assignments_sql` /
+:func:`full_assignments_sql`) route through the same keyed staging path under
+the same gate as the driver: when the shared
+:class:`~repro.datalog.context.EvalContext` carries assignment observers,
+each discovery join is staged once and its rows feed both the
+live-assignment index and the observers (delivered once per enumeration);
+with no observers — or no context — a plain streaming SELECT is already
+single-pass, so nothing is materialised (the plain joins are counted in
+``stats.assignment_selects`` when a context is present).
 
 Observers are registered either per call (``on_assignment=``) or on a shared
 :class:`~repro.datalog.context.EvalContext` (``context.add_observer``); the
@@ -54,7 +67,7 @@ from repro.datalog.ast import Program, Rule
 from repro.datalog.context import EvalContext
 from repro.datalog.evaluation import Assignment, ClosureResult, ENGINE_SEMI_NAIVE
 from repro.datalog.sql_compiler import (
-    STAGE_TABLE,
+    FrontierQuery,
     assignments_from_rows,
     compile_frontier_rule,
     delta_copy_sql,
@@ -70,6 +83,62 @@ def _variants(rule: Rule, context: EvalContext | None):
     return compile_frontier_rule(rule)
 
 
+def stage_variant_rows(
+    db: SQLiteDatabase,
+    variant: FrontierQuery,
+    window: Dict[str, int],
+    context: EvalContext,
+):
+    """Run one variant's body join into its keyed stage slot; return the rows.
+
+    The shared staging primitive of the driver and the stage-semantics
+    discovery path: ensure the width's persistent stage table exists (DDL at
+    most once per connection, counted in ``stats.stage_ddl``), clear the
+    variant's key, insert the join's rows under it, and hand back a cursor
+    over the staged rows.  Exactly one base-table join is executed
+    (``stats.staged_selects``); everything else is a keyed scan of the stage
+    table.  Callers delete the variant's key again once they are done with
+    the rows, so a finished run leaves the stage tables empty (the pre-insert
+    delete here only guards abandoned iterations).
+    """
+    if db.ensure_stage_table(variant.stage_width):
+        context.stats.stage_ddl += 1
+    db.execute(variant.stage_delete_sql, variant.bind())
+    db.execute(variant.staged_insert_sql, variant.bind(**window))
+    context.stats.staged_selects += 1
+    return db.execute(variant.staged_rows_sql, variant.bind())
+
+
+def _discovery_assignments(
+    db: SQLiteDatabase,
+    rule: Rule,
+    variant: FrontierQuery,
+    window: Dict[str, int],
+    context: EvalContext | None,
+) -> Iterator[Assignment]:
+    """Enumerate one variant's discovery assignments, staged or plain.
+
+    The shared enumeration core of :func:`seeded_assignments_sql` and
+    :func:`full_assignments_sql`: when the context carries assignment
+    observers — the same gate the closure driver applies — the join is staged
+    through the keyed stage table and each assignment is delivered to the
+    observers before being yielded (and the variant's key is cleared once the
+    rows are consumed); otherwise a plain streaming SELECT is already
+    single-pass, counted in ``stats.assignment_selects`` under a context.
+    """
+    if context is not None and context.has_observers:
+        rows = stage_variant_rows(db, variant, window, context)
+        for assignment in assignments_from_rows(rule, variant.atom_arities, rows):
+            context.notify(assignment)
+            yield assignment
+        db.execute(variant.stage_delete_sql, variant.bind())
+    else:
+        rows = db.execute(variant.sql, variant.bind(**window))
+        if context is not None:
+            context.stats.assignment_selects += 1
+        yield from assignments_from_rows(rule, variant.atom_arities, rows)
+
+
 def seeded_assignments_sql(
     db: SQLiteDatabase,
     rule: Rule,
@@ -83,15 +152,13 @@ def seeded_assignments_sql(
     frontier expressed as a generation window; each qualifying assignment is
     produced exactly once (rank-stratified variants partition the space by the
     first delta atom falling inside the window).  This is the stage-semantics
-    discovery path: it only enumerates (no install), so a single plain SELECT
-    per variant is already single-pass.
+    discovery path: it only enumerates (no install), staged or plain per
+    :func:`_discovery_assignments`.
     """
     _, seeded = _variants(rule, context)
+    window = {"lo": lo, "hi": hi}
     for variant in seeded:
-        cursor = db.execute(variant.sql, variant.bind(lo=lo, hi=hi))
-        if context is not None:
-            context.stats.assignment_selects += 1
-        yield from assignments_from_rows(rule, variant.atom_arities, cursor)
+        yield from _discovery_assignments(db, rule, variant, window, context)
 
 
 def full_assignments_sql(
@@ -100,12 +167,13 @@ def full_assignments_sql(
     hi: int,
     context: EvalContext | None = None,
 ) -> Iterator[Assignment]:
-    """All assignments of ``rule`` with delta atoms bounded by ``gen <= hi``."""
+    """All assignments of ``rule`` with delta atoms bounded by ``gen <= hi``.
+
+    Staged or plain per :func:`_discovery_assignments`, exactly like
+    :func:`seeded_assignments_sql`.
+    """
     full, _ = _variants(rule, context)
-    cursor = db.execute(full.sql, full.bind(hi=hi))
-    if context is not None:
-        context.stats.assignment_selects += 1
-    yield from assignments_from_rows(rule, full.atom_arities, cursor)
+    yield from _discovery_assignments(db, rule, full, {"hi": hi}, context)
 
 
 def sql_semi_naive_closure(
@@ -161,23 +229,16 @@ def sql_semi_naive_closure(
                     new_by_relation: Dict[str, int]) -> None:
         """Evaluate one variant's join once, feeding observers and the install."""
         if observing:
-            # Drop-before (not after): the previous variant's stage lingers
-            # until the next staging or the connection closes, which is
-            # harmless — temp tables never reach clones (the backup API only
-            # copies the main database) and each use re-creates it fresh.
-            db.execute(f"DROP TABLE IF EXISTS {STAGE_TABLE}")
-            db.execute(
-                f"CREATE TEMP TABLE {STAGE_TABLE} AS {variant.staged_select_sql}",
-                variant.bind(**window),
-            )
-            ctx.stats.staged_selects += 1
-            rows = db.execute(f"SELECT * FROM {STAGE_TABLE}")
+            rows = stage_variant_rows(db, variant, window, ctx)
             for assignment in assignments_from_rows(
                 rule, variant.atom_arities, rows
             ):
                 record(assignment)
             cursor = db.execute(variant.staged_install_sql, variant.bind(gen=gen))
             ctx.stats.staged_installs += 1
+            # Drop the consumed rows so a finished closure leaves the keyed
+            # stage tables empty (they persist for the connection's lifetime).
+            db.execute(variant.stage_delete_sql, variant.bind())
         else:
             cursor = db.execute(variant.install_sql, variant.bind(gen=gen, **window))
             ctx.stats.direct_installs += 1

@@ -214,6 +214,9 @@ class Database(BaseDatabase):
             name: RelationIndex() for name in schema.names()
         }
         self._tid_counter = itertools.count(1)
+        #: ``observer -> [(index, wrapper), ...]`` for candidate-observer
+        #: removal (see :meth:`add_candidate_observer`).
+        self._candidate_observers: Dict[Any, list] = {}
 
     # -- construction helpers -----------------------------------------------
 
@@ -295,6 +298,32 @@ class Database(BaseDatabase):
         for item in delta.candidates(bindings):
             if item not in active:
                 yield item
+
+    # -- candidate observers ------------------------------------------------------
+
+    def add_candidate_observer(self, observer) -> None:
+        """Subscribe ``observer(relation, fact)`` to every candidate iterated.
+
+        The storage end of the :class:`~repro.datalog.context.EvalContext`
+        candidate-observer API: the observer fires for each fact any of this
+        database's per-relation candidate iterators yields (active and delta
+        extents alike) while it stays registered, so a subscriber sees probes
+        mid-round / mid-cascade.  Clones never inherit observers.
+        """
+        wrappers = []
+        for store in (self._active, self._delta):
+            for name, index in store.items():
+                def wrapper(item: Fact, relation: str = name) -> None:
+                    observer(relation, item)
+
+                index.add_observer(wrapper)
+                wrappers.append((index, wrapper))
+        self._candidate_observers.setdefault(observer, []).extend(wrappers)
+
+    def remove_candidate_observer(self, observer) -> None:
+        """Unsubscribe a previously added candidate observer (no-op when absent)."""
+        for index, wrapper in self._candidate_observers.pop(observer, ()):
+            index.remove_observer(wrapper)
 
     def delta_token(self, relation: str) -> int:
         try:

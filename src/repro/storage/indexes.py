@@ -10,11 +10,24 @@ The index also keeps an append-only log of insertions so the semi-naive
 evaluator can ask for the *frontier* — "every fact added since token ``T``" —
 without diffing whole extents (see :meth:`RelationIndex.token` and
 :meth:`RelationIndex.added_since`).
+
+Candidate observers
+-------------------
+
+:meth:`RelationIndex.add_observer` registers a callable invoked with every
+fact the :meth:`RelationIndex.candidates` iterator yields.  This is the
+storage end of the :class:`~repro.datalog.context.EvalContext` candidate
+observer API: the in-memory evaluation engines bridge context observers down
+to the per-relation indexes for the duration of a run, so a subscriber (e.g.
+a trigger-probe experiment) sees each probed fact *as the join explores* —
+mid-round and mid-cascade — rather than once per finished round.  With no
+observer registered the iterators are returned untouched (zero overhead on
+the hot path), and :meth:`RelationIndex.copy` never carries observers over.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Set
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Set
 
 from repro.storage.facts import Fact
 
@@ -28,7 +41,7 @@ class RelationIndex:
     removals keep that position's index up to date.
     """
 
-    __slots__ = ("_facts", "_by_position", "_snapshot", "_log")
+    __slots__ = ("_facts", "_by_position", "_snapshot", "_log", "_observers")
 
     def __init__(self, facts: Iterable[Fact] | None = None) -> None:
         self._facts: Set[Fact] = set(facts) if facts is not None else set()
@@ -37,6 +50,9 @@ class RelationIndex:
         self._snapshot: frozenset[Fact] | None = None
         #: Append-only insertion log backing the frontier tokens.
         self._log: List[Fact] = list(self._facts)
+        #: Callables fed every fact :meth:`candidates` yields (see module
+        #: docstring); empty in the common case.
+        self._observers: List[Callable[[Fact], None]] = []
 
     # -- extent maintenance --------------------------------------------------
 
@@ -125,13 +141,39 @@ class RelationIndex:
         bucket = buckets.get(value)
         return bucket if bucket is not None else _EMPTY_BUCKET
 
+    # -- candidate observers ---------------------------------------------------
+
+    def add_observer(self, observer: Callable[[Fact], None]) -> None:
+        """Register ``observer(fact)`` on every future :meth:`candidates` yield."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[Fact], None]) -> None:
+        """Unregister a previously added observer (no-op when absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _observed(self, iterator: Iterator[Fact]) -> Iterator[Fact]:
+        """Wrap ``iterator`` to notify the observers of every yielded fact."""
+        for item in iterator:
+            for observer in self._observers:
+                observer(item)
+            yield item
+
     def candidates(self, bindings: Mapping[int, Any]) -> Iterator[Fact]:
         """Facts matching every ``position -> value`` constraint in ``bindings``.
 
         With an empty ``bindings`` this iterates the whole extent.  Otherwise a
         single indexed position (the one with the smallest bucket) narrows the
-        scan and the remaining constraints are checked per candidate.
+        scan and the remaining constraints are checked per candidate.  With
+        observers registered, every yielded fact is delivered to them first.
         """
+        if self._observers:
+            return self._observed(self._candidates(bindings))
+        return self._candidates(bindings)
+
+    def _candidates(self, bindings: Mapping[int, Any]) -> Iterator[Fact]:
         if not bindings:
             yield from self._facts
             return
@@ -159,7 +201,8 @@ class RelationIndex:
                 yield item
 
     def copy(self) -> "RelationIndex":
-        """Return a copy sharing no mutable state (indexes are rebuilt lazily)."""
+        """Return a copy sharing no mutable state (indexes are rebuilt lazily,
+        observers are not carried over)."""
         return RelationIndex(self._facts)
 
 

@@ -44,6 +44,23 @@ from repro.storage.schema import Schema
 #: Mapping from repro attribute types to SQLite column types.
 _SQL_TYPES = {"int": "INTEGER", "str": "TEXT", "float": "REAL"}
 
+#: Statement tag on the stage-table DDL (see :mod:`repro.datalog.sql_compiler`
+#: for the other ``/* repro:<class> */`` tags).  Stage DDL runs at most once
+#: per (connection, stage width); steady-state rounds issue none.
+TAG_STAGE_DDL = "/* repro:stage-ddl */"
+
+
+def stage_table_name(width: int) -> str:
+    """Name of the keyed temp table staging rows of ``width`` columns.
+
+    One persistent temp table exists per distinct *stage width* (number of
+    projected columns of a compiled rule variant); rows of different variants
+    share it, keyed by a ``variant_id`` column.  Temp tables are
+    connection-local, so concurrent databases never collide, and the sqlite
+    backup API never copies them into clones.
+    """
+    return f"_repro_stage_w{width}"
+
 
 def active_table(relation: str) -> str:
     """Name of the SQLite table holding the active extent of ``relation``."""
@@ -82,10 +99,17 @@ class SQLiteDatabase(BaseDatabase):
         self._connection = sqlite3.connect(path, isolation_level=None)
         self._connection.execute("PRAGMA synchronous = OFF")
         self._connection.execute("PRAGMA journal_mode = MEMORY")
+        # Keep temp objects (the persistent keyed stage tables) in memory even
+        # when the main database is file-backed; staged rows are per-round
+        # scratch state and must never pay disk I/O.
+        self._connection.execute("PRAGMA temp_store = MEMORY")
         #: Callables receiving the text of every statement routed through
         #: :meth:`execute` (the compiled-evaluation path) — the query-counter
         #: hooks the staging tests and the benchmark smoke run install.
         self._statement_hooks: list = []
+        #: Stage widths whose keyed temp table already exists on this
+        #: connection (see :meth:`ensure_stage_table`).
+        self._stage_widths: set[int] = set()
         self._create_tables()
         #: Monotone generation counter backing the frontier tables.  Reopening
         #: a file-backed database must resume after the persisted stamps, or
@@ -372,6 +396,34 @@ class SQLiteDatabase(BaseDatabase):
     def close(self) -> None:
         """Close the underlying connection."""
         self._connection.close()
+
+    def ensure_stage_table(self, width: int) -> bool:
+        """Create the keyed stage table for ``width`` columns, once per connection.
+
+        Returns True when the DDL actually ran (first sighting of ``width`` on
+        this connection), False on the steady-state no-op path.  The table is
+        a temp table ``_repro_stage_w{width}`` with a ``variant_id`` key column
+        plus ``s0..s{width-1}``; the semi-naive driver and the staged
+        stage-discovery path ``DELETE``/``INSERT`` into it per round instead
+        of dropping and recreating a table per variant execution, so
+        steady-state rounds issue zero DDL.  The DDL routes through
+        :meth:`execute` (tagged :data:`TAG_STAGE_DDL`) so statement hooks can
+        assert exactly that.
+        """
+        if width in self._stage_widths:
+            return False
+        table = stage_table_name(width)
+        columns = ", ".join(f"s{i}" for i in range(width))
+        self.execute(
+            f"{TAG_STAGE_DDL} CREATE TEMP TABLE IF NOT EXISTS {table} "
+            f"(variant_id INTEGER NOT NULL, {columns})"
+        )
+        self.execute(
+            f"{TAG_STAGE_DDL} CREATE INDEX IF NOT EXISTS idx_stage_w{width}_variant "
+            f"ON {table} (variant_id)"
+        )
+        self._stage_widths.add(width)
+        return True
 
     def add_statement_hook(self, hook) -> None:
         """Register ``hook(sql)`` to observe every :meth:`execute` statement.

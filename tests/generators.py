@@ -38,6 +38,7 @@ predicate keeps failing.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from typing import Callable, Iterator
@@ -137,6 +138,35 @@ def random_instance(
 def paper_instance() -> tuple[Database, DeltaProgram]:
     """The paper's Figure-1 database with its Figure-2 delta program."""
     return make_paper_database(), DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+
+
+# ---------------------------------------------------------------------------
+# PYTEST_SEED rebasing, shared by the differential suites
+# ---------------------------------------------------------------------------
+
+#: Base seed for the differential suites, overridable for CI replay.  The
+#: property torture suite reads the same knob (with its own default); the
+#: stride below matches its instance-seed derivation.
+PYTEST_SEED = int(os.environ.get("PYTEST_SEED", "0"))
+
+#: Stride between rebased runs (same scheme as the property suite: instance
+#: ``i`` of a run uses ``PYTEST_SEED * SEED_STRIDE + i``).
+SEED_STRIDE = 100003
+
+
+def differential_seeds(count: int) -> tuple[int, ...]:
+    """``count`` instance seeds rebased on ``PYTEST_SEED``.
+
+    The default ``PYTEST_SEED=0`` yields ``0..count-1`` — the historical
+    seeds — so unpinned runs stay reproducible across PRs.
+    """
+    return tuple(PYTEST_SEED * SEED_STRIDE + index for index in range(count))
+
+
+def seed_note(seed: int, *extra) -> str:
+    """Failure-message context: the exact seed (and knob) to replay a failure."""
+    detail = f"seed={seed} (PYTEST_SEED={PYTEST_SEED})"
+    return " ".join([detail, *map(str, extra)])
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,10 @@ under *every* evaluation engine:
 Instances come from the seeded generators shared with the engine differential
 suite (:mod:`tests.generators`); 50+ randomized instances are checked per
 semantics, each under both the semi-naive engine and the naive oracle.
+``PYTEST_SEED`` rebases the instance seeds (instance ``i`` uses
+``PYTEST_SEED * 100003 + i``, default 0 → the historical seeds ``0..49``) and
+every failure message carries the concrete seed, so a CI failure is
+reproducible from the log alone — parity with the property torture suite.
 """
 
 from __future__ import annotations
@@ -35,10 +39,16 @@ from repro.datalog.evaluation import find_all_assignments, run_closure
 from repro.provenance.boolean import build_boolean_provenance
 from repro.storage.sqlite_backend import SQLiteDatabase
 
-from tests.generators import paper_instance, random_instance
+from tests.generators import (
+    differential_seeds,
+    paper_instance,
+    random_instance,
+    seed_note,
+)
 
-#: One randomized instance per seed; ≥ 50 instances per semantics.
-SEEDS = tuple(range(50))
+#: One randomized instance per seed (rebased on ``PYTEST_SEED``); ≥ 50
+#: instances per semantics.
+SEEDS = differential_seeds(50)
 ENGINES = ("naive", "semi-naive")
 
 
@@ -62,17 +72,25 @@ class TestClosureEquivalence:
             sql = run_closure(
                 sql_db, program, on_assignment=sql_seen.append, engine=engine
             )
-            assert mem.engine == sql.engine == engine
+            assert mem.engine == sql.engine == engine, seed_note(seed, engine)
             # Same delta fixpoint.
-            assert set(mem_db.all_deltas()) == set(sql_db.all_deltas())
+            assert set(mem_db.all_deltas()) == set(sql_db.all_deltas()), (
+                seed_note(seed, engine)
+            )
             # Same assignments; both backends duplicate-free and firing the
             # on_assignment hook exactly once per assignment.
             mem_signatures = [a.signature() for a in mem.assignments]
             sql_signatures = [a.signature() for a in sql.assignments]
-            assert len(set(sql_signatures)) == len(sql_signatures)
-            assert set(mem_signatures) == set(sql_signatures)
-            assert [a.signature() for a in mem_seen] == mem_signatures
-            assert [a.signature() for a in sql_seen] == sql_signatures
+            assert len(set(sql_signatures)) == len(sql_signatures), (
+                seed_note(seed, engine)
+            )
+            assert set(mem_signatures) == set(sql_signatures), seed_note(seed, engine)
+            assert [a.signature() for a in mem_seen] == mem_signatures, (
+                seed_note(seed, engine)
+            )
+            assert [a.signature() for a in sql_seen] == sql_signatures, (
+                seed_note(seed, engine)
+            )
 
     def test_semi_naive_round_counts_agree(self, seed):
         # Both semi-naive engines count stage-style rounds (frontier of round
@@ -80,7 +98,7 @@ class TestClosureEquivalence:
         memory, sqlite, program = instance_pair(seed)
         mem = run_closure(memory.clone(), program, engine="semi-naive")
         sql = run_closure(sqlite.clone(), program, engine="semi-naive")
-        assert mem.rounds == sql.rounds >= 1
+        assert mem.rounds == sql.rounds >= 1, seed_note(seed)
 
     def test_hypothetical_assignments_agree(self, seed):
         memory, sqlite, program = instance_pair(seed)
@@ -92,7 +110,7 @@ class TestClosureEquivalence:
             a.signature()
             for a in find_all_assignments(sqlite, program, hypothetical_deltas=True)
         }
-        assert mem == sql
+        assert mem == sql, seed_note(seed)
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -102,19 +120,21 @@ class TestSemanticsEquivalence:
         for engine in ENGINES:
             mem = end_semantics(memory, program, engine=engine)
             sql = end_semantics(sqlite, program, engine=engine)
-            assert mem.deleted == sql.deleted, engine
-            assert mem.repaired.same_state_as(sql.repaired), engine
-            assert mem.rounds == sql.rounds or engine == "naive", engine
+            assert mem.deleted == sql.deleted, seed_note(seed, engine)
+            assert mem.repaired.same_state_as(sql.repaired), seed_note(seed, engine)
+            assert mem.rounds == sql.rounds or engine == "naive", (
+                seed_note(seed, engine)
+            )
 
     def test_stage_semantics(self, seed):
         memory, sqlite, program = instance_pair(seed)
         for engine in ENGINES:
             mem = stage_semantics(memory, program, engine=engine)
             sql = stage_semantics(sqlite, program, engine=engine)
-            assert mem.deleted == sql.deleted, engine
-            assert mem.repaired.same_state_as(sql.repaired), engine
+            assert mem.deleted == sql.deleted, seed_note(seed, engine)
+            assert mem.repaired.same_state_as(sql.repaired), seed_note(seed, engine)
             # Stage counts the unique fixpoint iteration: backend-independent.
-            assert mem.rounds == sql.rounds, engine
+            assert mem.rounds == sql.rounds, seed_note(seed, engine)
 
     def test_step_semantics(self, seed):
         memory, sqlite, program = instance_pair(seed)
@@ -123,10 +143,10 @@ class TestSemanticsEquivalence:
             sql = step_semantics(sqlite, program, engine=engine)
             # The greedy traversal is deterministic in the provenance content,
             # which both backends build identically.
-            assert mem.deleted == sql.deleted, engine
+            assert mem.deleted == sql.deleted, seed_note(seed, engine)
             assert mem.metadata["provenance_assignments"] == (
                 sql.metadata["provenance_assignments"]
-            ), engine
+            ), seed_note(seed, engine)
 
     def test_independent_semantics(self, seed):
         memory, sqlite, program = instance_pair(seed)
@@ -135,9 +155,13 @@ class TestSemanticsEquivalence:
             sql = independent_semantics(sqlite, program, engine=engine)
             # Min-Ones may break ties between equal-size minima differently,
             # so compare sizes and validity rather than the exact sets.
-            assert mem.size == sql.size, engine
-            assert is_stabilizing_set(memory, program, mem.deleted), engine
-            assert is_stabilizing_set(sqlite, program, sql.deleted), engine
+            assert mem.size == sql.size, seed_note(seed, engine)
+            assert is_stabilizing_set(memory, program, mem.deleted), (
+                seed_note(seed, engine)
+            )
+            assert is_stabilizing_set(sqlite, program, sql.deleted), (
+                seed_note(seed, engine)
+            )
 
     def test_boolean_provenance_content(self, seed):
         memory, sqlite, program = instance_pair(seed)
@@ -151,8 +175,8 @@ class TestSemanticsEquivalence:
                 counted[key] = counted.get(key, 0) + 1
             return counted
 
-        assert clause_multiset(mem) == clause_multiset(sql)
-        assert mem.variables == sql.variables
+        assert clause_multiset(mem) == clause_multiset(sql), seed_note(seed)
+        assert mem.variables == sql.variables, seed_note(seed)
 
 
 class TestPaperInstance:

@@ -14,7 +14,11 @@ equivalent to the naive re-evaluate-everything engine it replaces:
 The instances are randomized: schemas, contents and delta programs are drawn
 from the seeded generators shared with the cross-backend suite
 (:mod:`tests.generators`), so every run exercises a fresh family of join
-shapes, cascade depths and comparison mixes.
+shapes, cascade depths and comparison mixes.  ``PYTEST_SEED`` rebases the
+instance seeds (parity with the property torture suite: instance ``i`` uses
+``PYTEST_SEED * 100003 + i``, default 0 → the historical seeds ``0..11``) and
+every failure message carries the concrete seed, so a CI failure is
+reproducible from the log alone.
 """
 
 from __future__ import annotations
@@ -35,10 +39,16 @@ from repro.storage.database import Database
 from repro.storage.facts import Fact
 from repro.storage.schema import Schema
 
-from tests.generators import paper_instance, random_instance
+from tests.generators import (
+    differential_seeds,
+    paper_instance,
+    random_instance,
+    seed_note,
+)
 
-#: Seeds for the randomized instances; each seed builds one (db, program) pair.
-SEEDS = tuple(range(12))
+#: Seeds for the randomized instances (rebased on ``PYTEST_SEED``); each seed
+#: builds one (db, program) pair.
+SEEDS = differential_seeds(12)
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -54,30 +64,30 @@ class TestClosureEquivalence:
         semi = run_closure(
             semi_db, program, on_assignment=semi_seen.append, engine="semi-naive"
         )
-        assert naive.engine == "naive" and semi.engine == "semi-naive"
+        assert naive.engine == "naive" and semi.engine == "semi-naive", seed_note(seed)
         # Same delta fixpoint.
-        assert set(naive_db.all_deltas()) == set(semi_db.all_deltas())
+        assert set(naive_db.all_deltas()) == set(semi_db.all_deltas()), seed_note(seed)
         # Same assignments, as multisets of signatures (each engine must also
         # be duplicate-free, so multiset equality reduces to set equality).
         naive_signatures = [a.signature() for a in naive.assignments]
         semi_signatures = [a.signature() for a in semi.assignments]
-        assert len(set(naive_signatures)) == len(naive_signatures)
-        assert len(set(semi_signatures)) == len(semi_signatures)
-        assert set(naive_signatures) == set(semi_signatures)
+        assert len(set(naive_signatures)) == len(naive_signatures), seed_note(seed)
+        assert len(set(semi_signatures)) == len(semi_signatures), seed_note(seed)
+        assert set(naive_signatures) == set(semi_signatures), seed_note(seed)
         # The on_assignment hook fired exactly once per assignment.
-        assert [a.signature() for a in naive_seen] == naive_signatures
-        assert [a.signature() for a in semi_seen] == semi_signatures
+        assert [a.signature() for a in naive_seen] == naive_signatures, seed_note(seed)
+        assert [a.signature() for a in semi_seen] == semi_signatures, seed_note(seed)
 
     def test_round_counts_consistent(self, seed):
         db, program = random_instance(seed)
         naive = run_closure(db.clone(), program, engine="naive")
         semi = run_closure(db.clone(), program, engine="semi-naive")
-        assert naive.rounds >= 1
-        assert semi.rounds >= 1
+        assert naive.rounds >= 1, seed_note(seed)
+        assert semi.rounds >= 1, seed_note(seed)
         # Stage-style rounds can only refine (never undercut by more than the
         # free quiescent round) the naive count: marking at round end defers
         # intra-round cascades, while an empty frontier needs no extra round.
-        assert semi.rounds >= naive.rounds - 1
+        assert semi.rounds >= naive.rounds - 1, seed_note(seed)
 
 
 @pytest.mark.parametrize("seed", SEEDS)
@@ -86,21 +96,21 @@ class TestSemanticsEquivalence:
         db, program = random_instance(seed)
         naive = end_semantics(db, program, engine="naive")
         semi = end_semantics(db, program, engine="semi-naive")
-        assert naive.deleted == semi.deleted
-        assert naive.metadata["engine"] == "naive"
-        assert semi.metadata["engine"] == "semi-naive"
-        assert naive.repaired.same_state_as(semi.repaired)
-        assert semi.rounds >= 1
+        assert naive.deleted == semi.deleted, seed_note(seed)
+        assert naive.metadata["engine"] == "naive", seed_note(seed)
+        assert semi.metadata["engine"] == "semi-naive", seed_note(seed)
+        assert naive.repaired.same_state_as(semi.repaired), seed_note(seed)
+        assert semi.rounds >= 1, seed_note(seed)
 
     def test_stage_semantics(self, seed):
         db, program = random_instance(seed)
         naive = stage_semantics(db, program, engine="naive")
         semi = stage_semantics(db, program, engine="semi-naive")
-        assert naive.deleted == semi.deleted
-        assert naive.repaired.same_state_as(semi.repaired)
+        assert naive.deleted == semi.deleted, seed_note(seed)
+        assert naive.repaired.same_state_as(semi.repaired), seed_note(seed)
         # Stage counts are defined by the unique fixpoint iteration, so the
         # incremental engine must report exactly the oracle's rounds.
-        assert naive.rounds == semi.rounds
+        assert naive.rounds == semi.rounds, seed_note(seed)
 
     def test_step_semantics(self, seed):
         db, program = random_instance(seed)
@@ -108,10 +118,10 @@ class TestSemanticsEquivalence:
         semi = step_semantics(db, program, engine="semi-naive")
         # The greedy traversal is deterministic in the provenance *content*,
         # which both engines build identically.
-        assert naive.deleted == semi.deleted
+        assert naive.deleted == semi.deleted, seed_note(seed)
         assert naive.metadata["provenance_assignments"] == (
             semi.metadata["provenance_assignments"]
-        )
+        ), seed_note(seed)
 
     def test_independent_semantics(self, seed):
         db, program = random_instance(seed)
@@ -119,9 +129,9 @@ class TestSemanticsEquivalence:
         semi = independent_semantics(db, program, engine="semi-naive")
         # Min-Ones may break ties between equal-size minima differently, so
         # compare sizes and validity rather than the exact sets.
-        assert naive.size == semi.size
-        assert is_stabilizing_set(db, program, naive.deleted)
-        assert is_stabilizing_set(db, program, semi.deleted)
+        assert naive.size == semi.size, seed_note(seed)
+        assert is_stabilizing_set(db, program, naive.deleted), seed_note(seed)
+        assert is_stabilizing_set(db, program, semi.deleted), seed_note(seed)
 
     def test_boolean_provenance_clause_multisets(self, seed):
         db, program = random_instance(seed)
@@ -135,8 +145,8 @@ class TestSemanticsEquivalence:
                 counted[key] = counted.get(key, 0) + 1
             return counted
 
-        assert clause_multiset(naive) == clause_multiset(semi)
-        assert naive.variables == semi.variables
+        assert clause_multiset(naive) == clause_multiset(semi), seed_note(seed)
+        assert naive.variables == semi.variables, seed_note(seed)
 
 
 class TestUnnamedRuleCollisions:

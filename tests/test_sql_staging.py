@@ -295,13 +295,99 @@ class TestSinglePassAccounting:
         run_closure(db.clone(), program, engine="semi-naive", context=ctx)
         assert ctx.stats.variant_compiles == compiles_after_first
 
-    def test_stage_discovery_counts_assignment_selects(self):
+    def test_stage_discovery_stages_when_context_has_observers(self):
         from repro.core.semantics import stage_semantics
 
         db, program = cascade_fixture()
+        # Observer-less shared context: discovery keeps streaming plain
+        # single-pass SELECTs (staging would be overhead with one consumer),
+        # counted per join.
+        plain_ctx = EvalContext()
+        plain = stage_semantics(db, program, context=plain_ctx)
+        assert plain.deleted
+        assert plain_ctx.stats.assignment_selects > 0
+        assert plain_ctx.stats.staged_selects == 0
+        # With an assignment observer the same joins stage through the keyed
+        # tables and feed the observer once per discovered assignment: one
+        # staged insert per join, no plain SELECTs, no staged installs
+        # (discovery only enumerates), at most one DDL batch per width.
         ctx = EvalContext()
+        observed: List = []
+        ctx.add_observer(observed.append)
         result = stage_semantics(db, program, context=ctx)
         assert result.deleted
-        assert ctx.stats.assignment_selects > 0
-        # Discovery never stages (it has no install to share the join with).
-        assert ctx.stats.staged_selects == 0
+        assert observed
+        assert ctx.stats.staged_selects > 0
+        assert ctx.stats.assignment_selects == 0
+        assert ctx.stats.staged_installs == 0
+        assert 0 < ctx.stats.stage_ddl < ctx.stats.staged_selects
+        # Both modes must agree with the naive oracle.
+        oracle = stage_semantics(db, program, engine="naive")
+        assert plain.deleted == result.deleted == oracle.deleted
+        assert plain.rounds == result.rounds == oracle.rounds
+
+    def test_stage_discovery_observer_delivery_is_backend_symmetric(self):
+        from repro.core.semantics import stage_semantics
+
+        memory, program = random_instance(3, max_facts=20)
+        sqlite = SQLiteDatabase.from_database(memory)
+        streams = {}
+        for backend, db in (("memory", memory), ("sqlite", sqlite)):
+            ctx = EvalContext()
+            seen: List = []
+            ctx.add_observer(seen.append)
+            stage_semantics(db, program, context=ctx)
+            streams[backend] = Counter(a.signature() for a in seen)
+        assert streams["memory"] == streams["sqlite"]
+        # Exactly-once per enumeration: no duplicates in either stream.
+        assert all(count == 1 for count in streams["memory"].values())
+
+    def test_discovery_without_context_stays_plain_selects(self):
+        from repro.datalog.sql_seminaive import (
+            full_assignments_sql,
+            seeded_assignments_sql,
+        )
+
+        db, program = cascade_fixture()
+        run_closure(db, program, engine="semi-naive", collect_assignments=False)
+        counts = tag_counter(db)
+        rules = list(program)
+        plain = [
+            a
+            for rule in rules
+            for a in full_assignments_sql(db, rule, db.generation())
+        ]
+        plain += [
+            a
+            for rule in rules
+            for a in seeded_assignments_sql(db, rule, 0, db.generation())
+        ]
+        assert plain
+        assert counts[TAG_ASSIGN_SELECT] > 0
+        assert counts[TAG_STAGE] == 0
+        # The same joins, staged through a shared context, enumerate the same
+        # assignment multiset without a single further plain SELECT — and the
+        # staged rows feed the context's assignment observers as they stream.
+        plain_selects = counts[TAG_ASSIGN_SELECT]
+        ctx = EvalContext()
+        observed: List = []
+        ctx.add_observer(observed.append)
+        staged = [
+            a
+            for rule in rules
+            for a in full_assignments_sql(db, rule, db.generation(), context=ctx)
+        ]
+        staged += [
+            a
+            for rule in rules
+            for a in seeded_assignments_sql(db, rule, 0, db.generation(), context=ctx)
+        ]
+        assert Counter(assignment_key(a) for a in staged) == Counter(
+            assignment_key(a) for a in plain
+        )
+        assert ctx.stats.staged_selects > 0
+        assert counts[TAG_ASSIGN_SELECT] == plain_selects
+        assert counts[TAG_STAGE] == ctx.stats.staged_selects
+        assert Counter(assignment_key(a) for a in observed) == Counter(
+            assignment_key(a) for a in staged
+        )

@@ -7,8 +7,19 @@ TPC-H workload programs over three backends:
 * ``memory`` — the in-memory engine with planned joins;
 * ``sqlite`` — in-memory SQLite, full-extent SQL joins vs the single-pass
   frontier-table driver of :mod:`repro.datalog.sql_seminaive`;
-* ``sqlite-file`` — the same driver against a file-backed database
+* ``sqlite-file`` — the same driver against a file-backed (WAL) database
   (``path != ":memory:"``), exercising the persisted generation counter.
+
+The SQLite backends additionally record the **sharded** engine
+(:mod:`repro.datalog.sharded`, ``shards=4``, workers auto-fitted to the
+machine's cores and recorded per row): ``sharded_speedup`` is single-
+connection semi-naive seconds over sharded seconds on the staged path,
+``sharded_fast_speedup`` the same ratio for the install-only fast paths.
+On a single-core container the sharded engine can at best match the
+single-connection driver (the ratios hover around 1.0 or below — the
+``cpus`` meta field records why); on multi-core hardware the per-shard
+SELECTs overlap on WAL reader connections and the ratio is expected to
+clear the parallel-win target.
 
 For the semi-naive SQL driver two timings are recorded per row: the *staged*
 path (assignments collected — comparable to the naive engine, which always
@@ -46,6 +57,8 @@ import time
 from pathlib import Path
 from typing import Dict, List
 
+import os
+
 from repro.core.repair import RepairEngine
 from repro.core.semantics import Semantics, end_semantics
 from repro.datalog.context import EvalContext
@@ -75,6 +88,10 @@ END_TO_END_PROGRAMS = ("16", "17", "18", "19", "20")
 COMPARE_PROGRAM = "18"
 
 SEED = 7
+
+#: Shard count of the benchmark's sharded-engine rows (the ISSUE/ROADMAP
+#: configuration: 4-way hash partition, workers fitted to the cores).
+BENCH_SHARDS = 4
 
 #: PR 2's recorded semi-naive seconds on the SQLite mas/20@8.0 closure
 #: (BENCH_fixpoint.json at commit 0d28ef4) — the double-pass baseline the
@@ -196,6 +213,47 @@ def bench_closures(
                 row["fast_speedup"] = round(
                     naive_seconds / max(fast_seconds, 1e-9), 3
                 )
+                # Sharded engine: 4-way hash partition, workers auto-fitted
+                # to the machine (recorded per row — ratios from different
+                # core counts are not comparable).  The staged ratio is
+                # sharded vs the single-connection staged path, the fast
+                # ratio sharded-fast vs the single-connection fast path.
+                shard_ctx = EvalContext(shards=BENCH_SHARDS)
+                sharded_seconds, sharded, sharded_deltas = _time_closure(
+                    factory, program, "sharded", repetitions, context=shard_ctx
+                )
+                sharded_signatures = {
+                    a.signature() for a in sharded.assignments
+                }
+                if (
+                    sharded_signatures != naive_signatures
+                    or sharded_deltas != naive_deltas
+                    or sharded.rounds != semi.rounds
+                ):
+                    raise AssertionError(
+                        f"{backend} {workload}/{program_id}@{scale}: sharded "
+                        "engine diverged from the oracle"
+                    )
+                sharded_fast_seconds, _, sharded_fast_deltas = _time_closure(
+                    factory, program, "sharded", repetitions,
+                    context=EvalContext(shards=BENCH_SHARDS),
+                    collect_assignments=False,
+                )
+                if sharded_fast_deltas != naive_deltas:
+                    raise AssertionError(
+                        f"{backend} {workload}/{program_id}@{scale}: sharded "
+                        "fast path diverged from the oracle"
+                    )
+                row["shards"] = BENCH_SHARDS
+                row["workers"] = shard_ctx.worker_count()
+                row["sharded_seconds"] = round(sharded_seconds, 6)
+                row["sharded_speedup"] = round(
+                    semi_seconds / max(sharded_seconds, 1e-9), 3
+                )
+                row["sharded_fast_seconds"] = round(sharded_fast_seconds, 6)
+                row["sharded_fast_speedup"] = round(
+                    fast_seconds / max(sharded_fast_seconds, 1e-9), 3
+                )
             rows.append(row)
     return rows
 
@@ -299,7 +357,11 @@ def assert_single_pass(scale: float = 1.0) -> dict:
     * keyed stage tables — no ``DROP TABLE`` ever, and ``CREATE TEMP TABLE``
       only on the first staging of each variant width: steady-state rounds
       issue zero DDL (the multi-round mas/20 cascade stages far more joins
-      than it creates tables).
+      than it creates tables);
+    * sharded fast path — zero assignment SELECTs, zero staged inserts and
+      zero stage DDL: every statement is a partitioned shard-install join,
+      ``QueryStats.shard_selects`` counting exactly ``shards`` per variant
+      execution.
     """
     from collections import Counter
 
@@ -307,9 +369,10 @@ def assert_single_pass(scale: float = 1.0) -> dict:
     program = mas_programs(dataset, ("20",))["20"]
     base = SQLiteDatabase.from_database(dataset.db)
     observed = {}
-    for path_name, options in (
-        ("fast", {"collect_assignments": False}),
-        ("staged", {}),
+    for path_name, engine, options in (
+        ("fast", "semi-naive", {"collect_assignments": False}),
+        ("staged", "semi-naive", {}),
+        ("sharded-fast", "sharded", {"collect_assignments": False}),
     ):
         working = base.clone()
         counts: Counter = Counter()
@@ -325,10 +388,12 @@ def assert_single_pass(scale: float = 1.0) -> dict:
                 counts["create_temp_table"] += 1
 
         working.add_statement_hook(hook)
-        context = EvalContext()
-        run_closure(
-            working, program, engine="semi-naive", context=context, **options
+        context = (
+            EvalContext(shards=BENCH_SHARDS, workers=1)
+            if engine == "sharded"
+            else EvalContext()
         )
+        run_closure(working, program, engine=engine, context=context, **options)
         if counts["assign_select"] != 0:
             raise AssertionError(
                 f"{path_name} path re-ran {counts['assign_select']} assignment "
@@ -358,6 +423,22 @@ def assert_single_pass(scale: float = 1.0) -> dict:
                 "reuse the keyed stage tables "
                 f"(creates={counts['create_temp_table']}, stages={counts['stage']})"
             )
+        if path_name == "sharded-fast":
+            if counts["stage"] != 0 or counts["create_temp_table"] != 0:
+                raise AssertionError(
+                    "sharded fast path staged rows despite no observer"
+                )
+            if not (
+                context.stats.shard_selects
+                == BENCH_SHARDS * context.stats.shard_installs
+                > 0
+            ):
+                raise AssertionError(
+                    "sharded fast path did not run exactly one partitioned "
+                    "join per (variant, shard) "
+                    f"(selects={context.stats.shard_selects}, "
+                    f"installs={context.stats.shard_installs})"
+                )
         observed[path_name] = {
             **dict(counts),
             "joins": context.stats.joins(),
@@ -371,18 +452,27 @@ def check_against_baseline(
     """Compare a (smoke) run's speedup ratios against the committed baseline.
 
     For every closure row present in both reports — matched on (backend,
-    workload, program, scale) — the run's naive/semi-naive ``speedup`` and
-    staged/fast ``fast_speedup`` ratios must stay above ``tolerance`` times
-    the committed value.  Ratios are machine-independent (both sides of each
-    ratio run on the same box), so a generous band absorbs CI noise while a
-    real regression — e.g. losing the single-pass or zero-DDL discipline —
-    collapses the ratio far below it.  Returns the list of violations (empty
-    = gate passes).  A run with **zero** comparable rows is itself a
-    violation: key drift (renamed programs, changed scales, restructured
-    baseline) must fail loudly instead of silently disabling the gate.
+    workload, program, scale) — the run's naive/semi-naive ``speedup``,
+    staged/fast ``fast_speedup`` and sharded-vs-single ``sharded_speedup`` /
+    ``sharded_fast_speedup`` ratios must stay above ``tolerance`` times
+    the committed value.  The engine-vs-engine ratios are machine-independent
+    (both sides of each ratio run on the same box), so a generous band
+    absorbs CI noise while a real regression — e.g. losing the single-pass
+    or zero-DDL discipline — collapses the ratio far below it.  The
+    *sharded* ratios are additionally **core-count-dependent** (the worker
+    pool can only overlap shard SELECTs when cores exist), so they are gated
+    only when this run has at least the baseline's ``meta.cpus`` — a
+    smaller-than-baseline runner skips them instead of failing spuriously.
+    Returns the list of violations (empty = gate passes).  A run with
+    **zero** comparable rows is itself a violation: key drift (renamed
+    programs, changed scales, restructured baseline) must fail loudly
+    instead of silently disabling the gate.
     """
     problems: List[str] = []
     compared = 0
+    run_cpus = report.get("meta", {}).get("cpus") or 1
+    baseline_cpus = baseline.get("meta", {}).get("cpus") or 1
+    gate_sharded = run_cpus >= baseline_cpus
 
     def by_key(rows: List[dict]) -> Dict[tuple, dict]:
         return {
@@ -397,8 +487,15 @@ def check_against_baseline(
             base = committed.get(key)
             if base is None:
                 continue
-            for ratio in ("speedup", "fast_speedup"):
+            for ratio in (
+                "speedup",
+                "fast_speedup",
+                "sharded_speedup",
+                "sharded_fast_speedup",
+            ):
                 if ratio not in row or ratio not in base:
+                    continue
+                if ratio.startswith("sharded") and not gate_sharded:
                     continue
                 compared += 1
                 floor = base[ratio] * tolerance
@@ -464,6 +561,10 @@ def run_benchmark(smoke: bool = False) -> dict:
             "repetitions": repetitions,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            # Sharded ratios are only comparable between machines with the
+            # same core budget: on one CPU the worker pool cannot overlap
+            # the per-shard SELECTs.
+            "cpus": os.cpu_count(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         },
         "closure": closure_rows,
@@ -506,6 +607,20 @@ def run_benchmark(smoke: bool = False) -> dict:
             "sqlite_file_largest_program_fast_speedup": file_largest[
                 "fast_speedup"
             ],
+            # Sharded vs single-connection on the acceptance workload
+            # (deep-cascade mas/20 at the deepest file-backed scale), with
+            # the worker count that actually ran — the parallel win only
+            # materialises when `meta.cpus` provides the cores.
+            "sharded_workers": file_largest["workers"],
+            "sqlite_largest_program_sharded_speedup": sqlite_largest[
+                "sharded_speedup"
+            ],
+            "sqlite_file_largest_program_sharded_speedup": file_largest[
+                "sharded_speedup"
+            ],
+            "sqlite_file_largest_program_sharded_fast_speedup": file_largest[
+                "sharded_fast_speedup"
+            ],
             "end_semantics_geomean_speedup": round(_geomean(end_speedups), 3),
             "compare_shared_vs_cold": {
                 row["backend"]: row["speedup"] for row in compare_rows
@@ -536,12 +651,19 @@ def _render(report: dict) -> str:
                 if "semi_naive_fast_seconds" in row
                 else ""
             )
+            sharded = (
+                f" sharded={row['sharded_seconds']:.4f}s"
+                f" ({row['sharded_speedup']:.2f}x/"
+                f"{row['sharded_fast_speedup']:.2f}x @w{row['workers']})"
+                if "sharded_seconds" in row
+                else ""
+            )
             lines.append(
                 f"  {row['workload']:>4}/{row['program']:<4} "
                 f"scale={row['scale']:<4} tuples={row['tuples']:<6} "
                 f"naive={row['naive_seconds']:.4f}s "
                 f"semi={row['semi_naive_seconds']:.4f}s "
-                f"speedup={row['speedup']:.2f}x{fast}"
+                f"speedup={row['speedup']:.2f}x{fast}{sharded}"
             )
     lines.append("end-to-end end semantics (figure-6c style):")
     for row in report["end_to_end"]:
@@ -566,8 +688,11 @@ def _render(report: dict) -> str:
         f"(fast {summary['sqlite_largest_program_fast_speedup']:.2f}x, "
         f"vs PR2 semi: staged {summary['sqlite_staged_vs_pr2_semi']:.2f}x / "
         f"fast {summary['sqlite_fast_vs_pr2_semi']:.2f}x), file-backed "
-        f"{summary['sqlite_file_largest_program_speedup']:.2f}x, end-semantics "
-        f"geomean {summary['end_semantics_geomean_speedup']:.2f}x"
+        f"{summary['sqlite_file_largest_program_speedup']:.2f}x, sharded "
+        f"vs single {summary['sqlite_file_largest_program_sharded_speedup']:.2f}x"
+        f"/{summary['sqlite_file_largest_program_sharded_fast_speedup']:.2f}x "
+        f"(w{summary['sharded_workers']}, {report['meta']['cpus']} cpus), "
+        f"end-semantics geomean {summary['end_semantics_geomean_speedup']:.2f}x"
     )
     return "\n".join(lines)
 
@@ -586,6 +711,8 @@ def test_fixpoint_smoke():
     assert report["summary"]["sqlite_max_closure_speedup"] > 1.0
     assert report["single_pass"]["fast"].get("assign_select", 0) == 0
     assert report["single_pass"]["staged"].get("assign_select", 0) == 0
+    assert report["single_pass"]["sharded-fast"].get("assign_select", 0) == 0
+    assert report["single_pass"]["sharded-fast"].get("stage", 0) == 0
 
 
 def main() -> None:

@@ -41,6 +41,7 @@ from repro.datalog.evaluation import (
     ENGINE_AUTO,
     ENGINE_NAIVE,
     ENGINE_SEMI_NAIVE,
+    ENGINE_SHARDED,
     derive_closure,
     find_assignments,
     resolve_engine,
@@ -76,4 +77,5 @@ __all__ = [
     "ENGINE_AUTO",
     "ENGINE_NAIVE",
     "ENGINE_SEMI_NAIVE",
+    "ENGINE_SHARDED",
 ]

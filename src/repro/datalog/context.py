@@ -26,8 +26,11 @@ of shared state:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+from repro.datalog.planner import DRIFT_FACTOR
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.datalog.ast import Rule
@@ -36,6 +39,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.datalog.sql_compiler import FrontierQuery
     from repro.storage.database import BaseDatabase
     from repro.storage.facts import Fact
+
+#: Environment variable overriding the default shard count of the sharded
+#: engine (read dynamically so a CI job can flip a whole test run at once).
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: Default shard count of ``engine="sharded"`` when neither the context nor
+#: the environment picks one: enough shards to exercise the partitioned path
+#: even on small machines, one worker per core up to the shard count.
+DEFAULT_SHARDS = 4
+
+
+def env_shards() -> int | None:
+    """The :data:`SHARDS_ENV` override, or None when unset/invalid."""
+    raw = os.environ.get(SHARDS_ENV)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
 
 #: Signature of an assignment observer.
 AssignmentObserver = Callable[["Assignment"], None]
@@ -78,6 +103,26 @@ class QueryStats:
         :data:`~repro.datalog.planner.DRIFT_FACTOR` band around the
         cardinalities its cached plan was costed with, and re-costed the
         plan in the shared structural cache.
+    noop_replans:
+        The subset of :attr:`replans` whose rebuilt plan kept the old join
+        order — wasted rebuilds, the signal the adaptive drift band widens
+        on (see *Adaptive drift band* in :mod:`repro.datalog.planner`).
+    drift_factor:
+        The re-costing band observed at the last replan — the base
+        :data:`~repro.datalog.planner.DRIFT_FACTOR` until consecutive no-op
+        replans widen it.
+    shard_selects:
+        Per-shard join SELECTs executed by the sharded SQLite driver — one
+        hash-partition of one variant's body join each; a round evaluates
+        every variant exactly once *in total* across its shards.
+    shard_installs:
+        Merged head-fact install batches (``INSERT OR IGNORE`` executemany
+        over the rows the shard SELECTs returned) — one per variant
+        execution per round, always on the primary connection.
+    replay_batches:
+        Bounded chunks in which staged rows were replayed to observers
+        (:data:`~repro.datalog.sql_seminaive.STAGE_REPLAY_CHUNK` rows per
+        chunk) instead of one unbounded Python round trip.
     variant_compiles:
         Distinct rules whose frontier variants this context resolved (cache
         misses of :meth:`EvalContext.frontier_variants`).  This counts
@@ -94,11 +139,26 @@ class QueryStats:
     direct_installs: int = 0
     assignment_selects: int = 0
     replans: int = 0
+    noop_replans: int = 0
+    drift_factor: float = DRIFT_FACTOR
     variant_compiles: int = 0
+    shard_selects: int = 0
+    shard_installs: int = 0
+    replay_batches: int = 0
 
     def joins(self) -> int:
-        """Total statements that join the base/frontier tables."""
-        return self.staged_selects + self.direct_installs + self.assignment_selects
+        """Total statements that join the base/frontier tables.
+
+        Every shard SELECT covers one hash-partition of a variant's join, so
+        the sharded counter is included: across the shards of one round each
+        variant's join is still evaluated exactly once in total.
+        """
+        return (
+            self.staged_selects
+            + self.direct_installs
+            + self.assignment_selects
+            + self.shard_selects
+        )
 
     def reset(self) -> None:
         """Zero every counter (the benchmark reuses one context per run)."""
@@ -108,7 +168,12 @@ class QueryStats:
         self.direct_installs = 0
         self.assignment_selects = 0
         self.replans = 0
+        self.noop_replans = 0
+        self.drift_factor = DRIFT_FACTOR
         self.variant_compiles = 0
+        self.shard_selects = 0
+        self.shard_installs = 0
+        self.replay_batches = 0
 
 
 @dataclass
@@ -120,15 +185,70 @@ class EvalContext:
     only ever reuses *structural* artefacts (join orders keyed on rule shape,
     compiled SQL keyed on the rule), so one context may span databases with
     different contents — e.g. the per-semantics clones of a ``compare()`` run.
+
+    ``shards`` / ``workers`` configure the sharded engine
+    (:mod:`repro.datalog.sharded`): ``shards`` is the number of hash
+    partitions each round's frontier is split into, ``workers`` the number of
+    worker threads the per-shard enumeration fans out across.  Either may be
+    left None: ``shards`` then falls back to the :data:`SHARDS_ENV`
+    environment override, the ``workers`` value, or :data:`DEFAULT_SHARDS`;
+    ``workers`` defaults to one per CPU core, capped at the shard count.
+    Setting either knob (or the environment variable) also makes
+    ``engine="auto"`` resolve to the sharded engine — the opt-in heuristic of
+    :func:`repro.datalog.evaluation.resolve_engine`.
     """
 
     stats: QueryStats = field(default_factory=QueryStats)
+    shards: int | None = None
+    workers: int | None = None
     _plans: Dict = field(default_factory=dict, repr=False)
     _variants: Dict = field(default_factory=dict, repr=False)
     _observers: List[AssignmentObserver] = field(default_factory=list, repr=False)
     _candidate_observers: List[CandidateObserver] = field(
         default_factory=list, repr=False
     )
+
+    # -- sharding ---------------------------------------------------------------
+
+    def shard_count(self) -> int:
+        """The number of hash partitions the sharded engine splits rounds into.
+
+        Resolution order: the explicit :attr:`shards` knob, the
+        :data:`SHARDS_ENV` environment override, the :attr:`workers` knob
+        (one shard per worker), then :data:`DEFAULT_SHARDS`.
+        """
+        if self.shards is not None:
+            return max(1, int(self.shards))
+        from_env = env_shards()
+        if from_env is not None:
+            return from_env
+        if self.workers is not None:
+            return max(1, int(self.workers))
+        return DEFAULT_SHARDS
+
+    def worker_count(self) -> int:
+        """The number of worker threads the sharded engine fans out across.
+
+        Defaults to one per CPU core, never more than the shard count (extra
+        workers would idle) and never less than one.
+        """
+        if self.workers is not None:
+            return max(1, min(int(self.workers), self.shard_count()))
+        return max(1, min(os.cpu_count() or 1, self.shard_count()))
+
+    def wants_sharding(self) -> bool:
+        """True when this context explicitly opts into the sharded engine.
+
+        The ``engine="auto"`` heuristic: sharding only pays off on large
+        frontiers and multi-core machines, so it is opt-in — an explicit
+        :attr:`shards` / :attr:`workers` knob or the :data:`SHARDS_ENV`
+        environment variable.
+        """
+        return (
+            self.shards is not None
+            or self.workers is not None
+            or env_shards() is not None
+        )
 
     # -- planning ---------------------------------------------------------------
 

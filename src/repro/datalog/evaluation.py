@@ -31,7 +31,8 @@ from repro.storage.sqlite_backend import SQLiteDatabase
 ENGINE_AUTO = "auto"
 ENGINE_NAIVE = "naive"
 ENGINE_SEMI_NAIVE = "semi-naive"
-ENGINES = (ENGINE_NAIVE, ENGINE_SEMI_NAIVE)
+ENGINE_SHARDED = "sharded"
+ENGINES = (ENGINE_NAIVE, ENGINE_SEMI_NAIVE, ENGINE_SHARDED)
 ENGINE_CHOICES = (ENGINE_AUTO, *ENGINES)
 
 
@@ -48,17 +49,32 @@ def validate_engine(engine: str | None) -> None:
         raise UnknownEngineError(engine, ENGINE_CHOICES)
 
 
-def resolve_engine(db: BaseDatabase, engine: str | None) -> str:
+def resolve_engine(
+    db: BaseDatabase, engine: str | None, context=None
+) -> str:
     """Resolve the ``engine=`` knob to a concrete engine name.
 
     ``"auto"`` (the default everywhere) selects the semi-naive engine on every
     backend: the delta-driven in-memory engine for :class:`Database` instances
     and the SQL-level frontier-table engine
-    (:mod:`repro.datalog.sql_seminaive`) for SQLite-backed ones.  ``"naive"``
-    forces the re-evaluate-everything loop, the differential-testing oracle.
+    (:mod:`repro.datalog.sql_seminaive`) for SQLite-backed ones — unless the
+    caller opted into sharding, in which case it resolves to the sharded
+    engine (:mod:`repro.datalog.sharded`).  The opt-in heuristic is
+    :meth:`~repro.datalog.context.EvalContext.wants_sharding`: an explicit
+    ``shards=`` / ``workers=`` knob on the ``context``, or the
+    ``REPRO_SHARDS`` environment variable (checked even without a context, so
+    a CI job can flip a whole run).  ``"naive"`` forces the
+    re-evaluate-everything loop, the differential-testing oracle.
     """
     validate_engine(engine)
     if engine is None or engine == ENGINE_AUTO:
+        if context is not None and context.wants_sharding():
+            return ENGINE_SHARDED
+        if context is None:
+            from repro.datalog.context import env_shards
+
+            if env_shards() is not None:
+                return ENGINE_SHARDED
         return ENGINE_SEMI_NAIVE
     return engine
 
@@ -448,11 +464,27 @@ def run_closure(
       databases run delta-rewritten SQL variants against generation-stamped
       frontier tables, with fact installation kept inside SQLite
       (:mod:`repro.datalog.sql_seminaive`);
+    * ``"sharded"`` — the same semi-naive rounds with every round's frontier
+      hash-partitioned across a worker pool (:mod:`repro.datalog.sharded`);
+      shard and worker counts come from the context's ``shards=`` /
+      ``workers=`` knobs (or ``REPRO_SHARDS``).  ``"auto"`` resolves here
+      when the context opts in via those knobs;
     * ``"naive"`` — every round re-evaluates every rule against the whole
       database and discards already-seen assignments by signature.  Kept as
       the differential-testing oracle.
     """
-    resolved = resolve_engine(db, engine)
+    resolved = resolve_engine(db, engine, context)
+    if resolved == ENGINE_SHARDED:
+        from repro.datalog.sharded import sharded_closure
+
+        return sharded_closure(
+            db,
+            program,
+            on_assignment=on_assignment,
+            max_rounds=max_rounds,
+            collect_assignments=collect_assignments,
+            context=context,
+        )
     if resolved == ENGINE_SEMI_NAIVE:
         if isinstance(db, SQLiteDatabase):
             from repro.datalog.sql_seminaive import sql_semi_naive_closure

@@ -39,6 +39,21 @@ preserved, only the costing is refreshed — and every rebuild is recorded in
 through an :class:`~repro.datalog.context.EvalContext`.  Without a
 ``begin_round`` call the cardinality cache never refreshes and the planner
 behaves exactly as before (plans are permanent).
+
+Adaptive drift band
+-------------------
+
+Re-costing is only worth its cardinality reads when the rebuilt plan actually
+changes the join order.  The planner therefore tracks the *outcome* of every
+rebuild: a rebuild that kept the old order is a **no-op replan**
+(:attr:`~repro.datalog.context.QueryStats.noop_replans`), and after
+:data:`NOOP_STREAK_TO_WIDEN` consecutive no-ops the band doubles (up to
+:data:`MAX_DRIFT_FACTOR`), so a workload whose extents swing wildly without
+ever changing the optimal order stops paying for rebuilds.  A rebuild that
+*does* change the order resets the band to the base :data:`DRIFT_FACTOR` —
+the drift signal proved informative again.  The band currently in effect is
+exposed through :attr:`~repro.datalog.context.QueryStats.drift_factor` when
+the planner came from an :class:`~repro.datalog.context.EvalContext`.
 """
 
 from __future__ import annotations
@@ -58,6 +73,13 @@ _CONST = "\0const"
 #: on large relative swings (the planner compares sizes, not estimates), so a
 #: wide band keeps replans rare and ping-ponging impossible within a round.
 DRIFT_FACTOR = 4.0
+
+#: Consecutive no-op replans (rebuilds that kept the join order) after which
+#: the drift band widens — and keeps widening on every further no-op.
+NOOP_STREAK_TO_WIDEN = 2
+
+#: Ceiling for the adaptively widened drift band.
+MAX_DRIFT_FACTOR = 64.0
 
 
 @dataclass(frozen=True)
@@ -130,6 +152,8 @@ class JoinPlanner:
         "_cardinalities",
         "_stats",
         "_recost_armed",
+        "_base_drift_factor",
+        "_noop_streak",
         "drift_factor",
     )
 
@@ -149,6 +173,10 @@ class JoinPlanner:
         #: not re-cost plans a sibling put into a shared cache (plans stay
         #: permanent for round-less consumers like the trigger probes).
         self._recost_armed = False
+        self._base_drift_factor = drift_factor
+        #: Consecutive rebuilds that kept the old join order (see module
+        #: docstring, *Adaptive drift band*).
+        self._noop_streak = 0
         self.drift_factor = drift_factor
 
     # -- cardinality estimates -------------------------------------------------
@@ -206,9 +234,31 @@ class JoinPlanner:
             return cached
         plan = self._build_plan(rule, seed, hypothetical)
         self._plans[key] = plan
-        if cached is not None and self._stats is not None:
-            self._stats.replans += 1
+        if cached is not None:
+            self._record_replan_outcome(changed_order=plan.order != cached.order)
         return plan
+
+    def _record_replan_outcome(self, changed_order: bool) -> None:
+        """Adapt the drift band to whether the rebuild changed the join order.
+
+        Rebuilds that keep the order are wasted cardinality reads; after
+        :data:`NOOP_STREAK_TO_WIDEN` consecutive no-ops the band doubles (to at
+        most :data:`MAX_DRIFT_FACTOR`) so the next drift of the same magnitude
+        no longer triggers a rebuild.  An order-changing rebuild proves the
+        signal useful and resets the band to its base value.
+        """
+        if changed_order:
+            self._noop_streak = 0
+            self.drift_factor = self._base_drift_factor
+        else:
+            self._noop_streak += 1
+            if self._noop_streak >= NOOP_STREAK_TO_WIDEN:
+                self.drift_factor = min(self.drift_factor * 2.0, MAX_DRIFT_FACTOR)
+        if self._stats is not None:
+            self._stats.replans += 1
+            if not changed_order:
+                self._stats.noop_replans += 1
+            self._stats.drift_factor = self.drift_factor
 
     def _drifted(self, plan: JoinPlan, hypothetical: bool) -> bool:
         """True when some extent of ``plan``'s snapshot drifted past the band."""

@@ -65,6 +65,50 @@ def delta_body_positions(rule: Rule) -> List[int]:
     return [index for index, atom in enumerate(rule.body) if atom.is_delta]
 
 
+def seeded_rank_assignments(
+    db: BaseDatabase,
+    rule: Rule,
+    frontier: Frontier,
+    planner: JoinPlanner,
+    rank: int,
+    seed_index: int,
+    seed_facts: Iterable[Fact],
+) -> List[Assignment]:
+    """Assignments of ``rule`` seeded from ``seed_facts`` at delta rank ``rank``.
+
+    One rank of the stratified enumeration of :func:`seeded_assignments`,
+    with the seed facts passed explicitly so callers can restrict them to a
+    subset — the sharded engine (:mod:`repro.datalog.sharded`) hands each
+    worker one hash partition of the rank's frontier.  The union over a
+    partition of the rank's frontier facts equals the rank's full result.
+    """
+    seed_atom = rule.body[seed_index]
+    delta_positions = delta_body_positions(rule)
+    plan = planner.plan(rule, seed=seed_index)
+    # Delta atoms strictly before the seed (in body order) must match
+    # pre-frontier facts only; later ones may match anything recorded.
+    pre_frontier = set(delta_positions[:rank])
+
+    def candidates_for(index: int, atom, fixed):
+        facts = db.candidates(atom.relation, fixed, delta=atom.is_delta)
+        if index in pre_frontier:
+            excluded = frontier.get(atom.relation)
+            if excluded:
+                return (item for item in facts if item not in excluded)
+        return facts
+
+    results: List[Assignment] = []
+    for item in seed_facts:
+        bindings = _match_atom(seed_atom, item, {})
+        if bindings is None:
+            continue
+        planned_search(
+            rule, plan.order, 1, bindings, [(seed_index, item)], set(),
+            results, candidates_for,
+        )
+    return results
+
+
 def seeded_assignments(
     db: BaseDatabase,
     rule: Rule,
@@ -80,33 +124,12 @@ def seeded_assignments(
     """
     delta_positions = delta_body_positions(rule)
     for rank, seed_index in enumerate(delta_positions):
-        seed_atom = rule.body[seed_index]
-        seed_facts = frontier.get(seed_atom.relation)
+        seed_facts = frontier.get(rule.body[seed_index].relation)
         if not seed_facts:
             continue
-        plan = planner.plan(rule, seed=seed_index)
-        # Delta atoms strictly before the seed (in body order) must match
-        # pre-frontier facts only; later ones may match anything recorded.
-        pre_frontier = set(delta_positions[:rank])
-
-        def candidates_for(index: int, atom, fixed):
-            facts = db.candidates(atom.relation, fixed, delta=atom.is_delta)
-            if index in pre_frontier:
-                excluded = frontier.get(atom.relation)
-                if excluded:
-                    return (item for item in facts if item not in excluded)
-            return facts
-
-        results: List[Assignment] = []
-        for item in seed_facts:
-            bindings = _match_atom(seed_atom, item, {})
-            if bindings is None:
-                continue
-            planned_search(
-                rule, plan.order, 1, bindings, [(seed_index, item)], set(),
-                results, candidates_for,
-            )
-        yield from results
+        yield from seeded_rank_assignments(
+            db, rule, frontier, planner, rank, seed_index, seed_facts
+        )
 
 
 def semi_naive_closure(

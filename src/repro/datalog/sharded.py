@@ -1,0 +1,617 @@
+"""Sharded parallel fixpoint evaluation: hash-partitioned frontiers.
+
+The semi-naive engines (:mod:`repro.datalog.seminaive`,
+:mod:`repro.datalog.sql_seminaive`) enumerate each round's whole frontier on
+one thread — and, on SQLite, one connection.  The drivers in this module keep
+the exact round structure, generation stamping, exactly-once observer
+delivery and :class:`~repro.datalog.context.QueryStats` accounting of those
+engines, but **partition every round's work by a hash of the seed fact** and
+fan the per-shard join enumeration out across a persistent worker-thread
+pool:
+
+* **SQLite** (:func:`sql_sharded_closure`): every compiled rule variant
+  carries sharded execution forms
+  (:attr:`~repro.datalog.sql_compiler.FrontierQuery.sharded_sql` /
+  :attr:`~repro.datalog.sql_compiler.FrontierQuery.sharded_heads_sql`) whose
+  shard predicate partitions the seed atom's table by ``rowid % nshards``.
+  On a file-backed WAL database the per-shard SELECTs run concurrently on
+  read-only sibling connections
+  (:meth:`~repro.storage.sqlite_backend.SQLiteDatabase.reader_connections`)
+  — CPython's sqlite3 module releases the GIL while stepping, so the joins
+  genuinely overlap on multi-core machines — while the **primary connection
+  serialises only the installs** (``INSERT OR IGNORE`` executemany over the
+  merged shard rows) and the delta copies.  In-memory SQLite databases have
+  no second connection to offer, so their shards run sequentially on the
+  primary connection (same results, same accounting).
+* **in-memory** (:func:`memory_sharded_closure`): the round's frontier seeds
+  (and, in round 1, the first planned atom's candidates) are hash-partitioned
+  across workers; each worker enumerates its partition over the shared
+  read-only indexes with the same per-rule plans, and the merge thread
+  replays the per-shard results in a fixed order.
+
+Determinism and equivalence
+---------------------------
+
+Shard execution may interleave arbitrarily, but workers only *read*: all
+installs happen on the merge thread, strictly after every shard of the wave
+returned, in a fixed (rule, variant/rank, shard-index) order.  The derived
+delta fixpoint, the assignment set, the round count and the exactly-once
+observer stream are therefore identical to the single-threaded semi-naive
+engines — the differential suites check this against the naive oracle at
+several shard counts, and a dedicated test pins the closure against shard /
+worker permutations.
+
+The shard and worker counts come from the
+:class:`~repro.datalog.context.EvalContext` knobs (``shards=`` /
+``workers=``, or the ``REPRO_SHARDS`` environment override); with
+``shards=1`` the drivers degenerate to a single partition of the same
+machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.datalog.ast import Program, Rule
+from repro.datalog.context import EvalContext
+from repro.datalog.evaluation import (
+    Assignment,
+    ClosureResult,
+    ENGINE_SHARDED,
+    _bound_positions,
+    default_candidates,
+    planned_search,
+)
+from repro.datalog.sql_compiler import (
+    FrontierQuery,
+    assignments_from_rows,
+    compile_frontier_rule,
+    delta_copy_sql,
+)
+from repro.exceptions import EvaluationError
+from repro.storage.database import BaseDatabase
+from repro.storage.facts import Fact
+from repro.storage.sqlite_backend import SQLiteDatabase
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+
+_pool_lock = threading.Lock()
+_pool: ThreadPoolExecutor | None = None
+_pool_size = 0
+
+
+def worker_pool(workers: int) -> ThreadPoolExecutor:
+    """The process-wide persistent worker pool, grown to ``workers`` threads.
+
+    One pool serves every sharded closure of the process (threads are
+    recycled across rounds, runs and databases); asking for more workers than
+    the pool currently has replaces it with a larger one, shutting the old
+    pool down (``wait=False`` — in-flight waves finish, the idle threads
+    exit instead of leaking for the process lifetime).  Worker threads only
+    ever *read* the database being evaluated, so sharing the pool across
+    concurrent closures is safe; the pool size is only an upper bound — each
+    wave caps its own concurrency at the run's ``workers`` knob (see
+    :func:`_run_wave`).
+    """
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is None or _pool_size < workers:
+            previous = _pool
+            _pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+            _pool_size = workers
+            if previous is not None:
+                previous.shutdown(wait=False)
+        return _pool
+
+
+def fact_shard(item: Fact, nshards: int) -> int:
+    """The hash partition of ``item`` among ``nshards`` shards (in-memory)."""
+    return hash(item) % nshards
+
+
+def _run_wave(
+    jobs: Sequence[Callable[[], object]], workers: int
+) -> List[object]:
+    """Run one wave of shard jobs, returning results in job order.
+
+    Concurrency is capped at ``workers`` regardless of the shared pool's
+    size: the jobs are dealt round-robin into at most ``workers`` slices and
+    each slice runs sequentially inside one submitted task, so a run
+    configured with ``workers=2`` never executes more than two jobs at once
+    even after an earlier run grew the pool.  With one worker (or one job)
+    the jobs run inline on the calling thread — no pool overhead, still the
+    exact same code path.
+    """
+    if workers <= 1 or len(jobs) <= 1:
+        return [job() for job in jobs]
+    pool = worker_pool(workers)
+    slices = [
+        list(range(start, len(jobs), workers))
+        for start in range(min(workers, len(jobs)))
+    ]
+
+    def run_slice(indices: List[int]) -> List[tuple]:
+        return [(index, jobs[index]()) for index in indices]
+
+    results: List[object] = [None] * len(jobs)
+    for future in [pool.submit(run_slice, chunk) for chunk in slices]:
+        for index, result in future.result():
+            results[index] = result
+    return results
+
+
+# ---------------------------------------------------------------------------
+# SQLite driver
+# ---------------------------------------------------------------------------
+
+
+def _sql_variants(rule: Rule, context: EvalContext | None):
+    if context is not None:
+        return context.frontier_variants(rule)
+    return compile_frontier_rule(rule)
+
+
+def sql_sharded_closure(
+    db: SQLiteDatabase,
+    program: Program | Iterable[Rule],
+    on_assignment=None,
+    max_rounds: int | None = None,
+    collect_assignments: bool = True,
+    context: EvalContext | None = None,
+) -> ClosureResult:
+    """Sharded counterpart of :func:`~repro.datalog.sql_seminaive.sql_semi_naive_closure`.
+
+    Same rounds, same generation stamping (one fresh generation per round,
+    delta copies promoting it), same observer contract.  Each round runs in
+    two phases: a read-only *shard wave* — every pending variant's join,
+    split into ``nshards`` partitions, executed on reader connections by the
+    worker pool (or on the primary connection when the database is in-memory
+    or a single worker is configured) — and a serial *merge* on the primary
+    connection that replays the rows in fixed order and installs the derived
+    head facts.  Without observers only the deduplicated head rows cross into
+    Python; with observers the full assignment rows do (they must — observers
+    consume them).
+    """
+    ctx = context if context is not None else EvalContext()
+    nshards = ctx.shard_count()
+    workers = ctx.worker_count()
+    rules = list(program)
+    delta_rules = [rule for rule in rules if any(atom.is_delta for atom in rule.body)]
+    watched = {
+        atom.relation for rule in delta_rules for atom in rule.body if atom.is_delta
+    }
+    copy_statements = {
+        rule.head.relation: delta_copy_sql(rule.head.relation, rule.head.arity)
+        for rule in rules
+    }
+    observing = (
+        collect_assignments or on_assignment is not None or ctx.has_observers
+    )
+    readers = db.reader_connections(workers) if workers > 1 else None
+
+    all_assignments: List[Assignment] = []
+    seen_signatures: set[tuple] = set()
+
+    def record(assignment: Assignment) -> None:
+        signature = assignment.signature()
+        if signature in seen_signatures:
+            return
+        seen_signatures.add(signature)
+        if collect_assignments:
+            all_assignments.append(assignment)
+        if on_assignment is not None:
+            on_assignment(assignment)
+        ctx.notify(assignment)
+
+    def shard_wave(
+        pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]]
+    ) -> List[List[tuple]]:
+        """Run every pending variant's join across all shards; per-variant rows.
+
+        Phase 1 of a round: read-only.  Each worker owns a slice of the shard
+        indices and one reader connection, runs every variant's sharded
+        SELECT for its shards (``sharded_heads_sql`` on the fast path,
+        ``sharded_sql`` when observers need assignment rows) and fetches the
+        rows.  The merge thread concatenates per variant in shard order, so
+        downstream processing is deterministic regardless of worker
+        interleaving, and replays the executed statements to the statement
+        hooks from a single thread.
+        """
+        select_sql = [
+            (variant.sharded_sql if observing else variant.sharded_heads_sql)
+            for _, variant, _ in pending
+        ]
+
+        def job(slot: int, shard_indices: List[int]):
+            connection = readers[slot] if readers is not None else None
+            results: Dict[Tuple[int, int], list] = {}
+            for shard in shard_indices:
+                for index, (_, variant, window) in enumerate(pending):
+                    bind = variant.bind(nshards=nshards, shard=shard, **window)
+                    if connection is not None:
+                        cursor = connection.execute(select_sql[index], bind)
+                        results[(index, shard)] = cursor.fetchall()
+                    else:
+                        results[(index, shard)] = db.execute(
+                            select_sql[index], bind
+                        ).fetchall()
+            return results
+
+        if readers is not None:
+            slices = [list(range(slot, nshards, workers)) for slot in range(workers)]
+            slices = [chunk for chunk in slices if chunk]
+            waves = _run_wave(
+                [
+                    (lambda s=slot, c=chunk: job(s, c))
+                    for slot, chunk in enumerate(slices)
+                ],
+                workers,
+            )
+            by_key: Dict[Tuple[int, int], list] = {}
+            for result in waves:
+                by_key.update(result)
+            # Reader connections bypass ``db.execute``; replay the statements
+            # to the hooks from the merge thread so counters stay coherent.
+            for index in range(len(pending)):
+                for _ in range(nshards):
+                    db.notify_statement_hooks(select_sql[index])
+        else:
+            by_key = job(0, list(range(nshards)))
+        ctx.stats.shard_selects += len(pending) * nshards
+        # Per-variant, per-shard row lists: the merge consumes them one shard
+        # batch at a time, never concatenating a round's rows into one list.
+        # The per-shard lists themselves are the parallel-prefetch buffers —
+        # that materialisation is what lets the SELECTs overlap; callers who
+        # need bounded memory run the fast path (head rows only) instead.
+        return [
+            [by_key[(index, shard)] for shard in range(nshards)]
+            for index in range(len(pending))
+        ]
+
+    def merge_and_install(
+        pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]],
+        per_variant_rows: List[List[list]],
+        gen: int,
+        new_by_relation: Dict[str, int],
+    ) -> None:
+        """Phase 2 of a round: serial, on the primary connection.
+
+        Replays assignment rows to the observers (staged path, one shard
+        batch at a time, in shard order) and installs the derived head facts
+        with this round's generation stamp.  The install is an ``INSERT OR
+        IGNORE`` executemany keyed on the value columns, so re-derived facts
+        keep their first-arrival generation exactly like the in-SQL installs
+        — and the number of *new* rows (measured via ``total_changes``)
+        drives the next round's frontier test, mirroring the
+        single-connection driver's change counts.
+        """
+        for (rule, variant, _window), shard_rows in zip(pending, per_variant_rows):
+            if observing:
+                heads = {
+                    variant.head_values(row)
+                    for batch in shard_rows
+                    for row in batch
+                }
+                for batch in shard_rows:
+                    for assignment in assignments_from_rows(
+                        rule, variant.atom_arities, batch
+                    ):
+                        record(assignment)
+            else:
+                heads = {row for batch in shard_rows for row in batch}
+            if heads:
+                before = db.connection.total_changes
+                # One transaction per batch: the connection runs in autocommit
+                # mode, where executemany would otherwise commit every row —
+                # per-commit WAL bookkeeping dwarfs the insert itself.
+                db.connection.execute("BEGIN")
+                try:
+                    # Batch order is irrelevant: head values are the table's
+                    # primary key, so no two rows of one batch collide.
+                    db.connection.executemany(
+                        variant.head_insert_sql,
+                        [(*head, gen) for head in heads],
+                    )
+                    db.connection.execute("COMMIT")
+                except BaseException:
+                    db.connection.execute("ROLLBACK")
+                    raise
+                installed = db.connection.total_changes - before
+                db.notify_statement_hooks(variant.head_insert_sql)
+                ctx.stats.shard_installs += 1
+                if installed > 0:
+                    relation = rule.head.relation
+                    new_by_relation[relation] = (
+                        new_by_relation.get(relation, 0) + installed
+                    )
+
+    def run_round(
+        pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]],
+        gen: int,
+        new_by_relation: Dict[str, int],
+    ) -> None:
+        """Evaluate one round's pending variants across all shards.
+
+        Two execution strategies, same results:
+
+        * **sequential fast path** (no observers, no reader connections): the
+          primary connection runs each variant's ``sharded_install_sql`` per
+          shard — the partitioned join and the install are one statement, no
+          row crosses into Python, exactly like the single-connection fast
+          path but in ``nshards`` slices;
+        * otherwise a shard wave gathers the rows (concurrently when readers
+          exist) and the merge thread installs them.
+        """
+        if not observing and readers is None:
+            for rule, variant, window in pending:
+                installed = 0
+                for shard in range(nshards):
+                    cursor = db.execute(
+                        variant.sharded_install_sql,
+                        variant.bind(nshards=nshards, shard=shard, gen=gen, **window),
+                    )
+                    if cursor.rowcount > 0:
+                        installed += cursor.rowcount
+                ctx.stats.shard_selects += nshards
+                ctx.stats.shard_installs += 1
+                if installed:
+                    relation = rule.head.relation
+                    new_by_relation[relation] = (
+                        new_by_relation.get(relation, 0) + installed
+                    )
+        else:
+            merge_and_install(pending, shard_wave(pending), gen, new_by_relation)
+
+    rounds = 0
+
+    def enter_round() -> None:
+        nonlocal rounds
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise EvaluationError(
+                f"closure did not converge within {max_rounds} rounds"
+            )
+
+    # Round 1: every rule's full variant, sharded on its first body atom.
+    enter_round()
+    hi = db.generation()
+    gen = db.next_generation()
+    new_by_relation: Dict[str, int] = {}
+    pending = []
+    for rule in rules:
+        full, _ = _sql_variants(rule, ctx)
+        pending.append((rule, full, {"hi": hi}))
+    run_round(pending, gen, new_by_relation)
+    for relation in new_by_relation:
+        db.execute(copy_statements[relation], {"gen": gen})
+
+    # Rounds 2..: the seeded variants of the previous round's frontier window.
+    while any(new_by_relation.get(relation) for relation in watched):
+        enter_round()
+        lo, hi = hi, gen
+        gen = db.next_generation()
+        frontier = new_by_relation
+        new_by_relation = {}
+        pending = []
+        for rule in delta_rules:
+            _, seeded = _sql_variants(rule, ctx)
+            for variant in seeded:
+                if not frontier.get(variant.seed_relation):
+                    continue
+                pending.append((rule, variant, {"lo": lo, "hi": hi}))
+        if pending:
+            run_round(pending, gen, new_by_relation)
+        for relation in new_by_relation:
+            db.execute(copy_statements[relation], {"gen": gen})
+
+    return ClosureResult(all_assignments, rounds, ENGINE_SHARDED)
+
+
+# ---------------------------------------------------------------------------
+# In-memory driver
+# ---------------------------------------------------------------------------
+
+
+def memory_sharded_closure(
+    db: BaseDatabase,
+    program: Program | Iterable[Rule],
+    on_assignment=None,
+    max_rounds: int | None = None,
+    planner=None,
+    collect_assignments: bool = True,
+    context: EvalContext | None = None,
+) -> ClosureResult:
+    """Sharded counterpart of :func:`~repro.datalog.seminaive.semi_naive_closure`.
+
+    The storage layer's frontier tokens, the stage-style rounds and the
+    round-boundary plan re-costing are untouched; only the per-round
+    enumeration is partitioned.  Round 1 partitions each rule's first planned
+    atom's candidate facts by hash; later rounds partition each delta rank's
+    frontier seed facts.  Workers read the shared indexes concurrently (no
+    writes happen during a wave — deletions are applied at round end, exactly
+    like the single-threaded engine) and the merge thread records the
+    per-shard results in (rule, rank, shard) order, preserving the
+    exactly-once observer contract.
+    """
+    from repro.datalog.seminaive import (
+        Frontier,
+        delta_body_positions,
+        seeded_rank_assignments,
+    )
+
+    ctx = context if context is not None else EvalContext()
+    nshards = ctx.shard_count()
+    workers = ctx.worker_count()
+    rules = list(program)
+    if planner is None:
+        planner = ctx.planner(db)
+    delta_rules = [rule for rule in rules if any(atom.is_delta for atom in rule.body)]
+    relations = sorted(
+        {atom.relation for rule in delta_rules for atom in rule.body if atom.is_delta}
+    )
+    tokens = {relation: db.delta_token(relation) for relation in relations}
+    watching_candidates = (
+        ctx.has_candidate_observers and hasattr(db, "add_candidate_observer")
+    )
+    if watching_candidates:
+        db.add_candidate_observer(ctx.notify_candidate)
+
+    all_assignments: List[Assignment] = []
+    seen_signatures: set[tuple] = set()
+    derived_now: List[Fact] = []
+
+    def record(assignment: Assignment) -> None:
+        signature = assignment.signature()
+        if signature in seen_signatures:
+            return
+        seen_signatures.add(signature)
+        if collect_assignments:
+            all_assignments.append(assignment)
+        if on_assignment is not None:
+            on_assignment(assignment)
+        ctx.notify(assignment)
+        derived_now.append(assignment.derived)
+
+    rounds = 0
+
+    def enter_round() -> None:
+        nonlocal rounds
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise EvaluationError(
+                f"closure did not converge within {max_rounds} rounds"
+            )
+
+    def full_rule_shard(
+        rule: Rule, first: int, seeds: List[Fact]
+    ) -> List[Assignment]:
+        """One shard of a rule's full (round-1) evaluation.
+
+        The partition axis is the first atom of the rule's cached plan: every
+        assignment extends exactly one candidate fact of that atom, so
+        restricting the first atom to one hash partition of its candidates
+        (``seeds``, pre-partitioned on the merge thread) partitions the full
+        result set.
+        """
+        plan = planner.plan(rule, seed=None)
+        base = default_candidates(db, False)
+
+        def candidates_for(index: int, atom, fixed):
+            if index == first:
+                return seeds
+            return base(index, atom, fixed)
+
+        results: List[Assignment] = []
+        planned_search(rule, plan.order, 0, {}, [], set(), results, candidates_for)
+        return results
+
+    try:
+        # Round 1: full evaluation of every rule, hash-partitioned on the
+        # first planned atom.  Plans are built — and the first atom's
+        # candidates enumerated and partitioned — on the merge thread before
+        # the wave is submitted: workers never mutate the shared plan cache,
+        # the partition axis is scanned exactly once per rule (not once per
+        # shard), and candidate observers see each probed fact exactly as
+        # often as the single-threaded engine would.
+        enter_round()
+        round_one_jobs = []
+        for rule in rules:
+            plan = planner.plan(rule, seed=None)
+            first = plan.order[0]
+            first_atom = rule.body[first]
+            first_fixed = _bound_positions(first_atom, {})
+            partitions: List[List[Fact]] = [[] for _ in range(nshards)]
+            for item in db.candidates(
+                first_atom.relation, first_fixed, delta=first_atom.is_delta
+            ):
+                partitions[fact_shard(item, nshards)].append(item)
+            for shard in range(nshards):
+                round_one_jobs.append(
+                    lambda r=rule, f=first, seeds=partitions[
+                        shard
+                    ]: full_rule_shard(r, f, seeds)
+                )
+        wave = _run_wave(round_one_jobs, workers)
+        for results in wave:
+            for assignment in results:
+                record(assignment)
+        for item in derived_now:
+            db.mark_deleted(item)
+
+        # Rounds 2..: partition each (rule, rank)'s frontier seeds by hash.
+        while True:
+            frontier: Frontier = {}
+            for relation in relations:
+                added = db.delta_added_since(relation, tokens[relation])
+                tokens[relation] = db.delta_token(relation)
+                if added:
+                    frontier[relation] = set(added)
+            if not frontier:
+                break
+            enter_round()
+            planner.begin_round()
+            derived_now = []
+            jobs = []
+            for rule in delta_rules:
+                for rank, seed_index in enumerate(delta_body_positions(rule)):
+                    seed_facts = frontier.get(rule.body[seed_index].relation)
+                    if not seed_facts:
+                        continue
+                    planner.plan(rule, seed=seed_index)
+                    partitions: List[List[Fact]] = [[] for _ in range(nshards)]
+                    for item in seed_facts:
+                        partitions[fact_shard(item, nshards)].append(item)
+                    for shard in range(nshards):
+                        if not partitions[shard]:
+                            continue
+                        jobs.append(
+                            lambda r=rule, k=rank, i=seed_index, seeds=partitions[
+                                shard
+                            ]: seeded_rank_assignments(
+                                db, r, frontier, planner, k, i, seeds
+                            )
+                        )
+            for results in _run_wave(jobs, workers):
+                for assignment in results:
+                    record(assignment)
+            for item in derived_now:
+                db.mark_deleted(item)
+    finally:
+        if watching_candidates:
+            db.remove_candidate_observer(ctx.notify_candidate)
+
+    return ClosureResult(all_assignments, rounds, ENGINE_SHARDED)
+
+
+def sharded_closure(
+    db: BaseDatabase,
+    program: Program | Iterable[Rule],
+    on_assignment=None,
+    max_rounds: int | None = None,
+    collect_assignments: bool = True,
+    context: EvalContext | None = None,
+) -> ClosureResult:
+    """Backend dispatch: the sharded driver matching ``db``'s storage engine."""
+    if isinstance(db, SQLiteDatabase):
+        return sql_sharded_closure(
+            db,
+            program,
+            on_assignment=on_assignment,
+            max_rounds=max_rounds,
+            collect_assignments=collect_assignments,
+            context=context,
+        )
+    return memory_sharded_closure(
+        db,
+        program,
+        on_assignment=on_assignment,
+        max_rounds=max_rounds,
+        collect_assignments=collect_assignments,
+        context=context,
+    )

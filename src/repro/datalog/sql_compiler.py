@@ -81,6 +81,11 @@ TAG_STAGE_DELETE = "/* repro:stage-delete */"
 TAG_STAGE_ROWS = "/* repro:stage-rows */"
 TAG_INSTALL_DIRECT = "/* repro:install-direct */"
 TAG_INSTALL_STAGED = "/* repro:install-staged */"
+TAG_SHARD_SELECT = "/* repro:shard-select */"
+TAG_SHARD_INSTALL = "/* repro:shard-install */"
+
+#: Marker for constant entries of :attr:`FrontierQuery.head_sources`.
+HEAD_CONST = "const"
 
 #: Process-wide allocator of :attr:`FrontierQuery.variant_id` keys.  Ids are
 #: assigned at compile time and never reused, so two live variants can never
@@ -273,6 +278,41 @@ class FrontierQuery:
         Number of projected (staged) columns of the body join.
     variant_id:
         The variant's key into :attr:`stage_table` (process-wide unique).
+    sharded_sql:
+        :attr:`sql` restricted to one hash partition of the shard axis: the
+        body join with ``rowid % :nshards = :shard`` (normalised to a
+        non-negative residue) on :attr:`shard_alias` appended.  The union of
+        the results over ``shard = 0 .. :nshards - 1`` is exactly the
+        unsharded result — every row of the shard-axis table falls in one
+        partition — so the sharded driver evaluates each variant's join once
+        per round *in total*, split across shards.
+    sharded_heads_sql:
+        ``SELECT DISTINCT <head exprs>`` over the same sharded body join —
+        the fast-path form: only the derived head facts cross into Python,
+        deduplicated per shard (cross-shard duplicates die in the
+        ``INSERT OR IGNORE`` of :attr:`head_insert_sql`).
+    sharded_install_sql:
+        :attr:`install_sql` restricted to one shard: the install-only fast
+        path for *sequential* shard execution (no reader connections — an
+        in-memory database or a single worker), where the primary connection
+        can run the partitioned join and the install as one statement and no
+        row ever crosses into Python.
+    head_insert_sql:
+        ``INSERT OR IGNORE INTO f_H (c0.., tid, gen) VALUES (?, .., NULL, ?)``
+        — the executemany install the sharded driver runs on the *primary*
+        connection over the merged shard rows; bind one ``(*head_values,
+        gen)`` tuple per row.
+    head_sources:
+        How to reconstruct the head-fact values from one assignment row of
+        :attr:`sql` / :attr:`sharded_sql`: a tuple with one entry per head
+        position — ``("col", index)`` picks the row column at ``index``,
+        ``(HEAD_CONST, value)`` is a constant head term.  Mirrors the head
+        expressions of :attr:`staged_install_sql`, so the sharded staged
+        path installs the same facts the staged SQL install would.
+    shard_alias:
+        The body alias carrying the shard predicate: the seed atom for
+        seeded variants (partitioning the frontier window), the first body
+        atom for the round-1 full variant.
     """
 
     sql: str
@@ -288,10 +328,24 @@ class FrontierQuery:
     stage_table: str
     stage_width: int
     variant_id: int
+    sharded_sql: str
+    sharded_heads_sql: str
+    sharded_install_sql: str
+    head_insert_sql: str
+    head_sources: tuple[tuple[str, Any], ...]
+    shard_alias: str
 
     def bind(self, **window: int) -> Dict[str, Any]:
         """The full parameter mapping for one execution of the variant."""
         return {**dict(self.params), **window}
+
+    def head_values(self, row: tuple) -> tuple:
+        """The head-fact values one assignment row derives (see
+        :attr:`head_sources`)."""
+        return tuple(
+            value if kind == HEAD_CONST else row[value]
+            for kind, value in self.head_sources
+        )
 
 
 @lru_cache(maxsize=1024)
@@ -384,6 +438,23 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
     body_sql = f"FROM {', '.join(from_parts)}{where_sql}"
     sql = f"{TAG_ASSIGN_SELECT} SELECT {', '.join(select_parts)} {body_sql}"
 
+    # Shard axis: the seed atom (its frontier window is what the sharded
+    # driver partitions) or, for the full round-1 variant, the first body
+    # atom.  The residue is normalised because SQLite's ``%`` keeps the sign
+    # of the dividend and rowid-aliased INTEGER PRIMARY KEY columns may hold
+    # negative values.
+    shard_alias = f"a{seed}" if seed is not None else "a0"
+    shard_predicate = (
+        f"(({shard_alias}.rowid % :nshards) + :nshards) % :nshards = :shard"
+    )
+    sharded_body_sql = (
+        f"FROM {', '.join(from_parts)} WHERE "
+        + " AND ".join([*where, shard_predicate])
+    )
+    sharded_sql = (
+        f"{TAG_SHARD_SELECT} SELECT {', '.join(select_parts)} {sharded_body_sql}"
+    )
+
     variant_id = next(_variant_ids)
     stage_width = len(select_parts)
     stage_table = stage_table_name(stage_width)
@@ -402,6 +473,7 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
 
     head_exprs: List[str] = []
     staged_head_exprs: List[str] = []
+    head_sources: List[tuple[str, Any]] = []
     for term in rule.head.terms:
         if isinstance(term, Variable):
             if term.name not in variable_column:
@@ -412,11 +484,15 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
             column = variable_column[term.name]
             head_exprs.append(column)
             staged_head_exprs.append(staged_column[column])
+            # ``sN`` aliases are allocated in select-list order, so the alias
+            # suffix doubles as the row index of the projected column.
+            head_sources.append(("col", int(staged_column[column][1:])))
         else:
             assert isinstance(term, Constant)
             placeholder = constant_param(term.value)
             head_exprs.append(placeholder)
             staged_head_exprs.append(placeholder)
+            head_sources.append((HEAD_CONST, term.value))
     head_columns = ", ".join(
         [*(f"c{i}" for i in range(rule.head.arity)), "tid", "gen"]
     )
@@ -432,6 +508,19 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
         f"{TAG_INSTALL_STAGED} {install_into}"
         f"SELECT DISTINCT {', '.join(staged_head_exprs)}, NULL, :gen "
         f"FROM {stage_table} WHERE variant_id = :variant"
+    )
+    sharded_heads_sql = (
+        f"{TAG_SHARD_SELECT} SELECT DISTINCT {', '.join(head_exprs)} "
+        f"{sharded_body_sql}"
+    )
+    sharded_install_sql = (
+        f"{TAG_SHARD_INSTALL} {install_into}"
+        f"SELECT DISTINCT {', '.join(head_exprs)}, NULL, :gen {sharded_body_sql}"
+    )
+    head_insert_sql = (
+        f"{TAG_SHARD_INSTALL} {install_into}VALUES ("
+        + ", ".join(["?"] * rule.head.arity)
+        + ", NULL, ?)"
     )
 
     seed_atom = rule.body[seed] if seed is not None else None
@@ -449,6 +538,12 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
         stage_table=stage_table,
         stage_width=stage_width,
         variant_id=variant_id,
+        sharded_sql=sharded_sql,
+        sharded_heads_sql=sharded_heads_sql,
+        sharded_install_sql=sharded_install_sql,
+        head_insert_sql=head_insert_sql,
+        head_sources=tuple(head_sources),
+        shard_alias=shard_alias,
     )
 
 

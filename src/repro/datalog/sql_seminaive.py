@@ -35,10 +35,13 @@ execution forms runs depends on whether anything observes the assignments:
   variant's ``variant_id``.  The per-round cycle is ``DELETE`` the variant's
   key, ``INSERT ... SELECT`` the join, replay the staged rows to every
   observer (assignment collection, the ``on_assignment`` hook, context
-  observers such as provenance builders), and install the head facts from the
-  *same* staged rows via ``staged_install_sql`` — the join is never re-run
-  for the install and **steady-state rounds issue zero DDL** (no ``DROP
-  TABLE``/``CREATE TEMP TABLE`` after the first staging of each width).
+  observers such as provenance builders) in bounded
+  :data:`STAGE_REPLAY_CHUNK`-row batches (:func:`staged_row_batches` — very
+  large staged row sets never cross into Python as one round trip), and
+  install the head facts from the *same* staged rows via
+  ``staged_install_sql`` — the join is never re-run for the install and
+  **steady-state rounds issue zero DDL** (no ``DROP TABLE``/``CREATE TEMP
+  TABLE`` after the first staging of each width).
 
 The stage-semantics discovery SELECTs (:func:`seeded_assignments_sql` /
 :func:`full_assignments_sql`) route through the same keyed staging path under
@@ -76,11 +79,37 @@ from repro.exceptions import EvaluationError
 from repro.storage.sqlite_backend import SQLiteDatabase
 
 
+#: Staged rows are replayed to observers in bounded chunks of this many rows
+#: (``cursor.fetchmany``) instead of one unbounded fetch: a very large staged
+#: row set — a deep cascade can stage hundreds of thousands of rows in one
+#: round — never materialises as a single Python list, and each chunk is
+#: accounted in :attr:`~repro.datalog.context.QueryStats.replay_batches`.
+STAGE_REPLAY_CHUNK = 10_000
+
+
 def _variants(rule: Rule, context: EvalContext | None):
     """Compiled ``(full, seeded)`` variants, via the context cache when given."""
     if context is not None:
         return context.frontier_variants(rule)
     return compile_frontier_rule(rule)
+
+
+def staged_row_batches(cursor, context: EvalContext | None = None):
+    """Yield the cursor's rows in :data:`STAGE_REPLAY_CHUNK`-bounded batches.
+
+    The batched observer replay of the staged paths: row order is exactly the
+    cursor's order (each batch is a consecutive slice), so observer delivery
+    order is unchanged — only the peak Python-side materialisation is bounded.
+    Every non-empty batch bumps ``stats.replay_batches`` when a context is
+    given.
+    """
+    while True:
+        batch = cursor.fetchmany(STAGE_REPLAY_CHUNK)
+        if not batch:
+            return
+        if context is not None:
+            context.stats.replay_batches += 1
+        yield batch
 
 
 def stage_variant_rows(
@@ -128,9 +157,12 @@ def _discovery_assignments(
     """
     if context is not None and context.has_observers:
         rows = stage_variant_rows(db, variant, window, context)
-        for assignment in assignments_from_rows(rule, variant.atom_arities, rows):
-            context.notify(assignment)
-            yield assignment
+        for batch in staged_row_batches(rows, context):
+            for assignment in assignments_from_rows(
+                rule, variant.atom_arities, batch
+            ):
+                context.notify(assignment)
+                yield assignment
         db.execute(variant.stage_delete_sql, variant.bind())
     else:
         rows = db.execute(variant.sql, variant.bind(**window))
@@ -230,10 +262,11 @@ def sql_semi_naive_closure(
         """Evaluate one variant's join once, feeding observers and the install."""
         if observing:
             rows = stage_variant_rows(db, variant, window, ctx)
-            for assignment in assignments_from_rows(
-                rule, variant.atom_arities, rows
-            ):
-                record(assignment)
+            for batch in staged_row_batches(rows, ctx):
+                for assignment in assignments_from_rows(
+                    rule, variant.atom_arities, batch
+                ):
+                    record(assignment)
             cursor = db.execute(variant.staged_install_sql, variant.bind(gen=gen))
             ctx.stats.staged_installs += 1
             # Drop the consumed rows so a finished closure leaves the keyed

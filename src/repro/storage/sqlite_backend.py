@@ -29,6 +29,13 @@ Rule bodies are compiled to SQL joins by :mod:`repro.datalog.sql_compiler`;
 the generic evaluator automatically uses that path whenever the database is a
 :class:`SQLiteDatabase`, and the closure engines route ``engine="auto"`` /
 ``"semi-naive"`` through the frontier-table driver.
+
+File-backed databases run in **WAL mode** (in-memory ones keep a MEMORY
+journal): WAL survives a crash mid-write where a MEMORY journal can corrupt
+the file, and it is what makes the sharded engine's multi-connection mode
+possible — :meth:`SQLiteDatabase.reader_connections` opens read-only sibling
+connections on the same file so per-shard join SELECTs run concurrently on
+worker threads while the primary connection serialises the installs.
 """
 
 from __future__ import annotations
@@ -97,8 +104,21 @@ class SQLiteDatabase(BaseDatabase):
         # API used by clone() always sees the latest state and no transaction
         # bookkeeping leaks into the storage interface.
         self._connection = sqlite3.connect(path, isolation_level=None)
-        self._connection.execute("PRAGMA synchronous = OFF")
-        self._connection.execute("PRAGMA journal_mode = MEMORY")
+        if path == ":memory:":
+            # In-memory databases have no durability story and no sibling
+            # connections; the rollback journal is pure overhead.
+            self._connection.execute("PRAGMA synchronous = OFF")
+            self._connection.execute("PRAGMA journal_mode = MEMORY")
+        else:
+            # File-backed databases run in WAL mode: crash-safe (a MEMORY
+            # journal can corrupt the file on an ill-timed kill) and the
+            # prerequisite for the sharded engine's read-only sibling
+            # connections (:meth:`reader_connections`) — WAL readers scan a
+            # consistent snapshot while the primary connection keeps
+            # appending installs.  ``synchronous = NORMAL`` is the
+            # recommended WAL pairing: commits only sync at checkpoints.
+            self._connection.execute("PRAGMA journal_mode = WAL")
+            self._connection.execute("PRAGMA synchronous = NORMAL")
         # Keep temp objects (the persistent keyed stage tables) in memory even
         # when the main database is file-backed; staged rows are per-round
         # scratch state and must never pay disk I/O.
@@ -110,6 +130,9 @@ class SQLiteDatabase(BaseDatabase):
         #: Stage widths whose keyed temp table already exists on this
         #: connection (see :meth:`ensure_stage_table`).
         self._stage_widths: set[int] = set()
+        #: Lazily opened read-only sibling connections (file-backed WAL
+        #: databases only; see :meth:`reader_connections`).
+        self._readers: list[sqlite3.Connection] = []
         self._create_tables()
         #: Monotone generation counter backing the frontier tables.  Reopening
         #: a file-backed database must resume after the persisted stamps, or
@@ -393,8 +416,56 @@ class SQLiteDatabase(BaseDatabase):
         copy._generation = self._generation
         return copy
 
+    @property
+    def path(self) -> str:
+        """The database path (``":memory:"`` for in-memory engines)."""
+        return self._path
+
+    def supports_readers(self) -> bool:
+        """True when read-only sibling connections can be opened (file + WAL)."""
+        return self._path != ":memory:"
+
+    def reader_connections(self, count: int) -> "list[sqlite3.Connection] | None":
+        """``count`` read-only sibling connections onto this database file.
+
+        WAL multi-connection mode for the sharded engine: each returned
+        connection is opened on the same file with ``PRAGMA query_only = ON``
+        and ``check_same_thread=False``, so worker threads can run the
+        per-shard frontier-window SELECTs concurrently while the primary
+        connection serialises only the installs and stage-table writes.  WAL
+        readers see the last committed state at the start of each statement;
+        the sharded driver only writes between shard waves, so every reader
+        scans the full frontier of its round.  Connections are opened lazily,
+        cached for the database's lifetime, and closed by :meth:`close`.
+        Returns None for in-memory databases (no file to share — callers fall
+        back to the primary connection).
+        """
+        if not self.supports_readers():
+            return None
+        while len(self._readers) < count:
+            reader = sqlite3.connect(
+                self._path, isolation_level=None, check_same_thread=False
+            )
+            reader.execute("PRAGMA query_only = ON")
+            self._readers.append(reader)
+        return self._readers[:count]
+
+    def notify_statement_hooks(self, sql: str) -> None:
+        """Deliver ``sql`` to the statement hooks without executing it.
+
+        The sharded driver runs its per-shard SELECTs on reader connections
+        from worker threads; it replays the executed statements to the hooks
+        from the merge (main) thread via this method, so query-counter hooks
+        stay single-threaded and deterministic.
+        """
+        for hook in self._statement_hooks:
+            hook(sql)
+
     def close(self) -> None:
-        """Close the underlying connection."""
+        """Close the underlying connection (and any reader connections)."""
+        for reader in self._readers:
+            reader.close()
+        self._readers.clear()
         self._connection.close()
 
     def ensure_stage_table(self, width: int) -> bool:

@@ -261,6 +261,106 @@ class TestPlanRecosting:
         }
 
 
+class TestAdaptiveDriftBand:
+    """The re-costing band widens on no-op replans, resets on effective ones."""
+
+    def _rule(self):
+        return parse_rule("delta R(x) :- R(x), S(x).")
+
+    def _db(self, r_count: int, s_count: int) -> Database:
+        schema = Schema.from_arities({"R": 1, "S": 1})
+        return Database.from_dicts(
+            schema,
+            {"R": [(i,) for i in range(r_count)], "S": [(i,) for i in range(s_count)]},
+        )
+
+    def test_consecutive_noop_replans_widen_band(self):
+        from repro.datalog.planner import DRIFT_FACTOR
+
+        # S stays far larger than R, so growing R past the band re-costs the
+        # plan but never changes the order: pure no-op replans.
+        db = self._db(2, 100_000)
+        ctx = EvalContext()
+        planner = ctx.planner(db)
+        rule = self._rule()
+        assert planner.plan(rule).order == (0, 1)
+        assert planner.drift_factor == DRIFT_FACTOR
+        sizes = [10, 50, 250, 1250]
+        widened = []
+        for size in sizes:
+            for value in range(size * 10, size * 11):
+                db.insert(Fact("R", (value,)))
+            planner.begin_round()
+            planner.plan(rule)
+            widened.append(planner.drift_factor)
+        assert ctx.stats.noop_replans >= 2
+        assert ctx.stats.replans >= ctx.stats.noop_replans
+        # The second consecutive no-op doubles the band, and the observed
+        # band is exposed through the context's stats.
+        assert planner.drift_factor > DRIFT_FACTOR
+        assert ctx.stats.drift_factor == planner.drift_factor
+        assert widened == sorted(widened)
+
+    def test_widened_band_suppresses_borderline_replans(self):
+        db = self._db(2, 100_000)
+        ctx = EvalContext()
+        planner = ctx.planner(db)
+        rule = self._rule()
+        planner.plan(rule)
+        # Two forced no-op replans widen the band to 8x.
+        for size in (30, 400):
+            for value in range(size * 100, size * 100 + size):
+                db.insert(Fact("R", (value,)))
+            planner.begin_round()
+            planner.plan(rule)
+        assert ctx.stats.noop_replans == 2
+        assert planner.drift_factor == 8.0
+        replans_before = ctx.stats.replans
+        # A 5x drift (inside the widened band, outside the base 4x band)
+        # no longer triggers a rebuild.
+        for value in range(1_000_000, 1_001_300):
+            db.insert(Fact("R", (value,)))
+        planner.begin_round()
+        planner.plan(rule)
+        assert ctx.stats.replans == replans_before
+
+    def test_effective_replan_resets_band(self):
+        from repro.datalog.planner import DRIFT_FACTOR
+
+        db = self._db(2, 3_000)
+        ctx = EvalContext()
+        planner = ctx.planner(db)
+        rule = self._rule()
+        assert planner.plan(rule).order == (0, 1)
+        # Two no-op replans widen the band...
+        for size in (20, 150):
+            for value in range(size * 1000, size * 1000 + size):
+                db.insert(Fact("R", (value,)))
+            planner.begin_round()
+            planner.plan(rule)
+        assert planner.drift_factor > DRIFT_FACTOR
+        # ...then R overtakes S and the rebuild flips the order: reset.
+        for value in range(5_000_000, 5_060_000):
+            db.insert(Fact("R", (value,)))
+        planner.begin_round()
+        assert planner.plan(rule).order == (1, 0)
+        assert planner.drift_factor == DRIFT_FACTOR
+        assert ctx.stats.drift_factor == DRIFT_FACTOR
+        assert ctx.stats.replans == ctx.stats.noop_replans + 1
+
+    def test_band_capped_at_maximum(self):
+        from repro.datalog.planner import MAX_DRIFT_FACTOR
+
+        db = self._db(1, 1)
+        ctx = EvalContext()
+        planner = ctx.planner(db)
+        planner.drift_factor = MAX_DRIFT_FACTOR
+        planner._noop_streak = 5
+        planner._record_replan_outcome(changed_order=False)
+        assert planner.drift_factor == MAX_DRIFT_FACTOR
+        assert ctx.stats.drift_factor == MAX_DRIFT_FACTOR
+
+
 class TestCandidateObservers:
     def test_relation_index_notifies_and_copy_drops_observers(self):
         index = RelationIndex([Fact("R", (1,)), Fact("R", (2,))])

@@ -3,9 +3,12 @@
 Every instance drawn from :func:`tests.generators.random_torture_spec` is
 checked across the full evaluation matrix
 
-    {in-memory, SQLite} × {naive, semi-naive} × {end, stage, step, independent}
+    {in-memory, SQLite} × {naive, semi-naive, sharded@{1,4}} ×
+    {end, stage, step, independent}
 
-against a single oracle: the **naive engine on the in-memory backend**.  The
+against a single oracle: the **naive engine on the in-memory backend** (the
+sharded engine runs at shard counts 1 and 4 in the closure layer and at 4 in
+the semantics layer).  The
 closure layer is checked too (delta fixpoints, assignment-signature sets and
 exactly-once ``on_assignment`` delivery).  Any divergence is shrunk to a
 1-minimal repro (:func:`tests.generators.shrink_spec`) before failing, and the
@@ -40,6 +43,7 @@ from repro.core.semantics import (
     step_semantics,
 )
 from repro.core.stability import is_stabilizing_set
+from repro.datalog.context import EvalContext
 from repro.datalog.evaluation import run_closure
 from repro.storage.sqlite_backend import SQLiteDatabase
 
@@ -51,6 +55,20 @@ INSTANCE_COUNT = 100 * SCALE
 
 ENGINES = ("naive", "semi-naive")
 MAX_ROUNDS = 200
+
+#: Closure-layer engine runs: ``(label, engine, shards)``.  The sharded
+#: engine is checked at the degenerate single partition and a 4-way hash
+#: partition; ``shards=None`` means no context knob (plain engines).
+CLOSURE_RUNS = (
+    ("naive", "naive", None),
+    ("semi-naive", "semi-naive", None),
+    ("sharded/1", "sharded", 1),
+    ("sharded/4", "sharded", 4),
+)
+
+
+def _run_context(shards):
+    return None if shards is None else EvalContext(shards=shards, workers=1)
 
 
 def _spec_for(index: int) -> InstanceSpec:
@@ -69,7 +87,7 @@ def divergences(spec: InstanceSpec) -> List[str]:
     oracle_deltas = set(oracle_db.all_deltas())
     oracle_signatures = {a.signature() for a in oracle_closure.assignments}
     for backend in ("memory", "sqlite"):
-        for engine in ENGINES:
+        for run_label, engine, shards in CLOSURE_RUNS:
             if backend == "memory" and engine == "naive":
                 continue  # that is the oracle itself
             db = (
@@ -84,8 +102,9 @@ def divergences(spec: InstanceSpec) -> List[str]:
                 on_assignment=hook_seen.append,
                 engine=engine,
                 max_rounds=MAX_ROUNDS,
+                context=_run_context(shards),
             )
-            label = f"closure[{backend}/{engine}]"
+            label = f"closure[{backend}/{run_label}]"
             if set(db.all_deltas()) != oracle_deltas:
                 problems.append(f"{label}: delta fixpoint differs from oracle")
             signatures = [a.signature() for a in closure.assignments]
@@ -103,18 +122,27 @@ def divergences(spec: InstanceSpec) -> List[str]:
         "step": step_semantics(memory, program, engine="naive"),
         "independent": independent_semantics(memory, program, engine="naive"),
     }
+    semantics_runs = (
+        ("naive", "naive", None),
+        ("semi-naive", "semi-naive", None),
+        ("sharded/4", "sharded", 4),
+    )
     for backend in ("memory", "sqlite"):
         db = (
             SQLiteDatabase.from_database(memory) if backend == "sqlite" else memory
         )
-        for engine in ENGINES:
+        for run_label, engine, shards in semantics_runs:
             if backend == "memory" and engine == "naive":
                 continue
-            label = f"[{backend}/{engine}]"
-            end = end_semantics(db, program, engine=engine)
+            label = f"[{backend}/{run_label}]"
+            end = end_semantics(
+                db, program, engine=engine, context=_run_context(shards)
+            )
             if end.deleted != oracle_results["end"].deleted:
                 problems.append(f"end{label}: deleted set differs from oracle")
-            stage = stage_semantics(db, program, engine=engine)
+            stage = stage_semantics(
+                db, program, engine=engine, context=_run_context(shards)
+            )
             if stage.deleted != oracle_results["stage"].deleted:
                 problems.append(f"stage{label}: deleted set differs from oracle")
             if stage.rounds != oracle_results["stage"].rounds:
@@ -122,10 +150,14 @@ def divergences(spec: InstanceSpec) -> List[str]:
                     f"stage{label}: {stage.rounds} stages, oracle "
                     f"{oracle_results['stage'].rounds}"
                 )
-            step = step_semantics(db, program, engine=engine)
+            step = step_semantics(
+                db, program, engine=engine, context=_run_context(shards)
+            )
             if step.deleted != oracle_results["step"].deleted:
                 problems.append(f"step{label}: deleted set differs from oracle")
-            independent = independent_semantics(db, program, engine=engine)
+            independent = independent_semantics(
+                db, program, engine=engine, context=_run_context(shards)
+            )
             if independent.size != oracle_results["independent"].size:
                 problems.append(
                     f"independent{label}: size {independent.size}, oracle "

@@ -1,0 +1,490 @@
+"""Sharded parallel fixpoint engine tests.
+
+Covers the tentpole machinery of the sharded engine
+(:mod:`repro.datalog.sharded`): the ``shards=`` / ``workers=`` knobs and the
+``REPRO_SHARDS`` override, the ``engine="auto"`` opt-in heuristic, oracle
+equivalence on every backend at several shard counts, the deterministic merge
+(same closure, same tids, same exactly-once observer stream regardless of
+shard/worker interleaving), the WAL reader connections, the merged
+``QueryStats`` accounting, and the bounded-chunk observer replay of the
+staged paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import sql_seminaive
+from repro.datalog.context import DEFAULT_SHARDS, EvalContext, SHARDS_ENV
+from repro.datalog.delta import DeltaProgram
+from repro.datalog.evaluation import (
+    ENGINE_SEMI_NAIVE,
+    ENGINE_SHARDED,
+    resolve_engine,
+    run_closure,
+)
+from repro.datalog.sharded import fact_shard, worker_pool
+from repro.storage.database import Database
+from repro.storage.facts import fact
+from repro.storage.schema import RelationSchema, Schema
+from repro.storage.sqlite_backend import SQLiteDatabase
+
+
+def cascade_instance():
+    """A three-relation cascade deep enough for several frontier rounds."""
+    schema = Schema.from_relations(
+        [
+            RelationSchema.of("E", "x:int", "y:int"),
+            RelationSchema.of("N", "x:int"),
+        ]
+    )
+    edges = [(i, i + 1) for i in range(12)] + [(i, i + 2) for i in range(0, 10, 2)]
+    db = Database.from_dicts(
+        schema, {"E": edges, "N": [(i,) for i in range(14)]}
+    )
+    program = DeltaProgram.from_text(
+        """
+        delta N(x) :- N(x), x = 0.
+        delta E(x, y) :- E(x, y), delta N(x).
+        delta N(y) :- N(y), E(x, y), delta E(x, y).
+        """
+    )
+    return db, program
+
+
+def oracle_state(db, program):
+    working = db.clone()
+    closure = run_closure(working, program, engine="naive")
+    return (
+        set(working.all_deltas()),
+        {a.signature() for a in closure.assignments},
+    )
+
+
+def make_backend(db, backend, tmp_path, tag=""):
+    if backend == "memory":
+        return db.clone()
+    if backend == "sqlite":
+        return SQLiteDatabase.from_database(db)
+    return SQLiteDatabase.from_database(
+        db, path=str(tmp_path / f"sharded_{tag}.db")
+    )
+
+
+class TestKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        ctx = EvalContext()
+        assert ctx.shard_count() == DEFAULT_SHARDS
+        assert 1 <= ctx.worker_count() <= ctx.shard_count()
+        assert not ctx.wants_sharding()
+
+    def test_explicit_knobs(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        ctx = EvalContext(shards=8, workers=2)
+        assert ctx.shard_count() == 8
+        assert ctx.worker_count() == 2
+        assert ctx.wants_sharding()
+        # Workers alone imply one shard per worker.
+        ctx = EvalContext(workers=3)
+        assert ctx.shard_count() == 3
+        assert ctx.wants_sharding()
+        # Workers never exceed shards.
+        assert EvalContext(shards=2, workers=16).worker_count() == 2
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "6")
+        ctx = EvalContext()
+        assert ctx.shard_count() == 6
+        assert ctx.wants_sharding()
+        # The explicit knob beats the environment.
+        assert EvalContext(shards=2).shard_count() == 2
+        monkeypatch.setenv(SHARDS_ENV, "not-a-number")
+        assert EvalContext().shard_count() == DEFAULT_SHARDS
+
+    def test_auto_heuristic(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        db, _ = cascade_instance()
+        assert resolve_engine(db, "auto") == ENGINE_SEMI_NAIVE
+        assert resolve_engine(db, "auto", EvalContext()) == ENGINE_SEMI_NAIVE
+        assert (
+            resolve_engine(db, "auto", EvalContext(shards=4)) == ENGINE_SHARDED
+        )
+        assert (
+            resolve_engine(db, "auto", EvalContext(workers=2)) == ENGINE_SHARDED
+        )
+        # The environment flips auto even without a context (CI uses this).
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert resolve_engine(db, "auto") == ENGINE_SHARDED
+        assert resolve_engine(db, "auto", EvalContext()) == ENGINE_SHARDED
+        # Explicit engines are never overridden.
+        assert resolve_engine(db, "semi-naive") == ENGINE_SEMI_NAIVE
+
+    def test_fact_shard_partitions(self):
+        facts = [fact("R", i, i + 1) for i in range(100)]
+        for nshards in (1, 3, 4):
+            assignments = [fact_shard(item, nshards) for item in facts]
+            assert set(assignments) <= set(range(nshards))
+            # A partition: re-hashing is stable.
+            assert assignments == [fact_shard(item, nshards) for item in facts]
+
+    def test_worker_pool_is_persistent_and_grows(self):
+        small = worker_pool(1)
+        assert worker_pool(1) is small
+        grown = worker_pool(2)
+        assert worker_pool(2) is grown
+
+
+@pytest.mark.parametrize("backend", ["memory", "sqlite", "sqlite-file"])
+@pytest.mark.parametrize("shards", [1, 4])
+class TestOracleEquivalence:
+    def test_closure_matches_naive_oracle(self, backend, shards, tmp_path):
+        base, program = cascade_instance()
+        oracle_deltas, oracle_sigs = oracle_state(base, program)
+        db = make_backend(base, backend, tmp_path, f"{backend}{shards}")
+        seen = []
+        ctx = EvalContext(shards=shards, workers=1)
+        result = run_closure(
+            db, program, engine="sharded", context=ctx, on_assignment=seen.append
+        )
+        assert result.engine == ENGINE_SHARDED
+        assert set(db.all_deltas()) == oracle_deltas
+        signatures = [a.signature() for a in result.assignments]
+        assert set(signatures) == oracle_sigs
+        # Exactly-once: no duplicates, hook stream == result list.
+        assert len(set(signatures)) == len(signatures)
+        assert [a.signature() for a in seen] == signatures
+        if isinstance(db, SQLiteDatabase):
+            db.close()
+
+    def test_rounds_match_semi_naive(self, backend, shards, tmp_path):
+        base, program = cascade_instance()
+        semi_db = make_backend(base, backend, tmp_path, f"semi{backend}{shards}")
+        semi = run_closure(semi_db, program, engine="semi-naive")
+        db = make_backend(base, backend, tmp_path, f"rounds{backend}{shards}")
+        sharded = run_closure(
+            db, program, engine="sharded", context=EvalContext(shards=shards)
+        )
+        assert sharded.rounds == semi.rounds >= 3
+        for handle in (semi_db, db):
+            if isinstance(handle, SQLiteDatabase):
+                handle.close()
+
+    def test_fast_path_matches_oracle(self, backend, shards, tmp_path):
+        base, program = cascade_instance()
+        oracle_deltas, _ = oracle_state(base, program)
+        db = make_backend(base, backend, tmp_path, f"fast{backend}{shards}")
+        result = run_closure(
+            db,
+            program,
+            engine="sharded",
+            context=EvalContext(shards=shards, workers=1),
+            collect_assignments=False,
+        )
+        assert result.assignments == []
+        assert set(db.all_deltas()) == oracle_deltas
+        if isinstance(db, SQLiteDatabase):
+            db.close()
+
+
+class TestDeterministicMerge:
+    """Same closure, same tids, regardless of shard/worker interleaving."""
+
+    CONFIGS = ((1, 1), (2, 1), (4, 1), (4, 2), (4, 4), (7, 3))
+
+    def _labelled_state(self, db):
+        return {
+            (item.relation, item.values, item.tid) for item in db.all_deltas()
+        }
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite", "sqlite-file"])
+    def test_closure_and_tids_invariant(self, backend, tmp_path):
+        base, program = cascade_instance()
+        states = []
+        signature_sets = []
+        for shards, workers in self.CONFIGS:
+            db = make_backend(base, backend, tmp_path, f"det{shards}_{workers}")
+            result = run_closure(
+                db,
+                program,
+                engine="sharded",
+                context=EvalContext(shards=shards, workers=workers),
+            )
+            states.append(self._labelled_state(db))
+            signature_sets.append({a.signature() for a in result.assignments})
+            if isinstance(db, SQLiteDatabase):
+                db.close()
+        assert all(state == states[0] for state in states[1:])
+        assert all(sigs == signature_sets[0] for sigs in signature_sets[1:])
+
+    def test_repeated_parallel_runs_are_stable(self, tmp_path):
+        base, program = cascade_instance()
+        reference = None
+        for attempt in range(3):
+            db = make_backend(base, "sqlite-file", tmp_path, f"rep{attempt}")
+            run_closure(
+                db,
+                program,
+                engine="sharded",
+                context=EvalContext(shards=4, workers=4),
+            )
+            state = self._labelled_state(db)
+            db.close()
+            if reference is None:
+                reference = state
+            assert state == reference
+
+    def test_candidate_observer_counts_match_single_threaded_engine(self):
+        # Round 1 pre-partitions the first planned atom's candidates on the
+        # merge thread, so candidate observers see each probed fact exactly
+        # as often as the semi-naive engine delivers it — not once per shard.
+        base, program = cascade_instance()
+
+        def probe_counts(engine, shards=None):
+            db = base.clone()
+            ctx = (
+                EvalContext(shards=shards, workers=1) if shards else EvalContext()
+            )
+            seen = []
+            ctx.add_candidate_observer(lambda rel, item: seen.append((rel, item)))
+            run_closure(db, program, engine=engine, context=ctx)
+            return seen
+
+        reference = probe_counts("semi-naive")
+        assert len(reference) > 0
+        for shards in (1, 4):
+            sharded = probe_counts("sharded", shards=shards)
+            assert len(sharded) == len(reference)
+            assert set(sharded) == set(reference)
+
+    def test_worker_cap_enforced_after_pool_growth(self):
+        # Growing the shared pool must not let a later small-workers run
+        # exceed its own cap: jobs are sliced to at most `workers` at a time.
+        import threading
+
+        from repro.datalog.sharded import _run_wave, worker_pool
+
+        worker_pool(4)  # grow the shared pool past the run's cap
+        active = 0
+        peak = 0
+        lock = threading.Lock()
+
+        def job():
+            nonlocal active, peak
+            with lock:
+                active += 1
+                peak = max(peak, active)
+            for _ in range(10_000):
+                pass
+            with lock:
+                active -= 1
+            return 1
+
+        results = _run_wave([job] * 16, workers=2)
+        assert results == [1] * 16
+        assert peak <= 2
+
+    def test_observer_stream_exactly_once_under_parallel_merge(self, tmp_path):
+        base, program = cascade_instance()
+        db = make_backend(base, "sqlite-file", tmp_path, "obs")
+        ctx = EvalContext(shards=4, workers=2)
+        delivered = []
+        ctx.add_observer(delivered.append)
+        result = run_closure(db, program, engine="sharded", context=ctx)
+        stream = [a.signature() for a in delivered]
+        assert stream == [a.signature() for a in result.assignments]
+        assert len(set(stream)) == len(stream)
+        db.close()
+
+
+class TestShardedSQLAccounting:
+    def test_sequential_fast_path_counts_partitioned_installs(self):
+        base, program = cascade_instance()
+        db = SQLiteDatabase.from_database(base)
+        ctx = EvalContext(shards=4, workers=1)
+        run_closure(
+            db, program, engine="sharded", context=ctx, collect_assignments=False
+        )
+        # Every variant execution ran as nshards partitioned install joins.
+        assert ctx.stats.shard_installs > 0
+        assert ctx.stats.shard_selects == 4 * ctx.stats.shard_installs
+        # The fast path never staged, never streamed assignment rows.
+        assert ctx.stats.staged_selects == 0
+        assert ctx.stats.assignment_selects == 0
+        db.close()
+
+    def test_parallel_wave_uses_reader_connections(self, tmp_path):
+        base, program = cascade_instance()
+        db = make_backend(base, "sqlite-file", tmp_path, "wave")
+        assert db.supports_readers()
+        ctx = EvalContext(shards=4, workers=2)
+        run_closure(db, program, engine="sharded", context=ctx)
+        # Readers were opened lazily for the wave and survive for reuse.
+        readers = db.reader_connections(2)
+        assert len(readers) == 2
+        assert ctx.stats.shard_selects > 0
+        assert ctx.stats.shard_installs > 0
+        db.close()
+
+    def test_statement_hooks_replayed_from_merge_thread(self, tmp_path):
+        from repro.datalog.sql_compiler import TAG_SHARD_INSTALL, TAG_SHARD_SELECT
+
+        base, program = cascade_instance()
+        db = make_backend(base, "sqlite-file", tmp_path, "hooks")
+        seen = {"select": 0, "install": 0}
+
+        def hook(sql: str) -> None:
+            if TAG_SHARD_SELECT in sql:
+                seen["select"] += 1
+            if TAG_SHARD_INSTALL in sql:
+                seen["install"] += 1
+
+        db.add_statement_hook(hook)
+        ctx = EvalContext(shards=4, workers=2)
+        run_closure(db, program, engine="sharded", context=ctx)
+        assert seen["select"] == ctx.stats.shard_selects
+        assert seen["install"] == ctx.stats.shard_installs
+        db.close()
+
+    def test_parallel_fast_path_installs_merged_heads(self, tmp_path):
+        # Readers + no observers: the wave fetches only DISTINCT head rows
+        # per shard and the merge thread installs them via executemany on
+        # the primary connection.
+        base, program = cascade_instance()
+        oracle_deltas, _ = oracle_state(base, program)
+        db = make_backend(base, "sqlite-file", tmp_path, "pfast")
+        ctx = EvalContext(shards=4, workers=2)
+        result = run_closure(
+            db, program, engine="sharded", context=ctx, collect_assignments=False
+        )
+        assert result.assignments == []
+        assert set(db.all_deltas()) == oracle_deltas
+        assert ctx.stats.shard_selects > 0
+        assert ctx.stats.shard_installs > 0
+        # Nothing staged, nothing streamed: heads were the only rows fetched.
+        assert ctx.stats.staged_selects == 0
+        assert ctx.stats.assignment_selects == 0
+        db.close()
+
+    def test_in_memory_sqlite_falls_back_without_readers(self):
+        base, program = cascade_instance()
+        oracle_deltas, _ = oracle_state(base, program)
+        db = SQLiteDatabase.from_database(base)
+        assert db.reader_connections(2) is None
+        run_closure(
+            db, program, engine="sharded", context=EvalContext(shards=4, workers=4)
+        )
+        assert set(db.all_deltas()) == oracle_deltas
+        db.close()
+
+
+class TestShardedSemantics:
+    """The engine knob reaches the semantics / repair layers."""
+
+    def test_all_four_semantics_match_oracle(self):
+        from repro.core.repair import RepairEngine
+        from repro.core.semantics import Semantics
+
+        base, program = cascade_instance()
+        ctx = EvalContext(shards=4, workers=1)
+        sharded_engine = RepairEngine(
+            base, program, engine="sharded", context=ctx
+        )
+        oracle_engine = RepairEngine(base, program, engine="naive")
+        for member in Semantics:
+            sharded = sharded_engine.repair(member)
+            oracle = oracle_engine.repair(member)
+            if member is Semantics.INDEPENDENT:
+                assert sharded.size == oracle.size
+            else:
+                assert sharded.deleted == oracle.deleted
+
+    def test_auto_with_sharded_context_reports_sharded(self):
+        from repro.core.semantics import end_semantics, stage_semantics
+
+        base, program = cascade_instance()
+        ctx = EvalContext(shards=2, workers=1)
+        result = end_semantics(base, program, engine="auto", context=ctx)
+        assert result.metadata["engine"] == ENGINE_SHARDED
+        staged = stage_semantics(base, program, engine="auto", context=ctx)
+        assert staged.metadata["engine"] == ENGINE_SHARDED
+
+
+class TestBatchedObserverReplay:
+    """Staged rows reach observers in bounded chunks, order preserved."""
+
+    def _wide_instance(self):
+        # One variant staging 20 rows in a single round, so a small chunk
+        # size forces several batches for one staged install.
+        schema = Schema.from_arities({"R": 2, "S": 1})
+        db = Database.from_dicts(
+            schema,
+            {"R": [(i, i % 5) for i in range(20)], "S": [(i,) for i in range(5)]},
+        )
+        program = DeltaProgram.from_text("delta R(x, y) :- R(x, y), S(y).")
+        return db, program
+
+    def _staged_stream(self, base, program):
+        db = SQLiteDatabase.from_database(base)
+        ctx = EvalContext()
+        delivered = []
+        ctx.add_observer(delivered.append)
+        result = run_closure(db, program, engine="semi-naive", context=ctx)
+        db.close()
+        return delivered, result, ctx
+
+    def test_chunked_replay_preserves_order_and_multiset(self, monkeypatch):
+        base, program = self._wide_instance()
+        reference, ref_result, ref_ctx = self._staged_stream(base, program)
+        assert len(reference) == 20
+        monkeypatch.setattr(sql_seminaive, "STAGE_REPLAY_CHUNK", 3)
+        chunked, result, ctx = self._staged_stream(base, program)
+        # 20 rows in chunks of 3 → 7 batches where the default chunk took 1.
+        assert ctx.stats.replay_batches > ref_ctx.stats.replay_batches > 0
+        assert [a.signature() for a in chunked] == [
+            a.signature() for a in reference
+        ]
+        assert [a.signature() for a in result.assignments] == [
+            a.signature() for a in ref_result.assignments
+        ]
+
+    def test_chunked_replay_in_deep_cascade(self, monkeypatch):
+        base, program = cascade_instance()
+        reference, _, _ = self._staged_stream(base, program)
+        monkeypatch.setattr(sql_seminaive, "STAGE_REPLAY_CHUNK", 2)
+        chunked, _, ctx = self._staged_stream(base, program)
+        assert ctx.stats.replay_batches > 0
+        assert [a.signature() for a in chunked] == [
+            a.signature() for a in reference
+        ]
+
+
+class TestShardedFileResume:
+    """Interrupting a sharded closure leaves a WAL file the next session resumes."""
+
+    def test_interrupted_sharded_closure_resumes(self, tmp_path):
+        from repro.exceptions import EvaluationError
+
+        base, program = cascade_instance()
+        path = str(tmp_path / "sharded_resume.db")
+        db = SQLiteDatabase.from_database(base, path=path)
+        with pytest.raises(EvaluationError):
+            run_closure(
+                db,
+                program,
+                engine="sharded",
+                context=EvalContext(shards=4, workers=2),
+                max_rounds=1,
+            )
+        db.close()
+
+        oracle_deltas, _ = oracle_state(base, program)
+        reopened = SQLiteDatabase(base.schema, path=path)
+        run_closure(
+            reopened,
+            program,
+            engine="sharded",
+            context=EvalContext(shards=4, workers=2),
+        )
+        assert set(reopened.all_deltas()) == oracle_deltas
+        reopened.close()

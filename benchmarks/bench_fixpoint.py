@@ -21,6 +21,13 @@ single-connection driver (the ratios hover around 1.0 or below — the
 SELECTs overlap on WAL reader connections and the ratio is expected to
 clear the parallel-win target.
 
+A ``wcoj`` axis benches the cyclic workload family
+(:mod:`repro.workloads.cyclic`) on the in-memory backend with the join
+strategy forced both ways via ``REPRO_FORCE_PLAN``: ``wcoj_speedup`` is
+forced-binary seconds over forced-wcoj seconds, and ``--check`` holds the
+largest-scale triangle / 4-clique rows to an absolute
+:data:`WCOJ_GATE_SPEEDUP` floor on top of the usual drift band.
+
 For the semi-naive SQL driver two timings are recorded per row: the *staged*
 path (assignments collected — comparable to the naive engine, which always
 materialises assignments) and the *fast* path (``collect_assignments=False``,
@@ -50,8 +57,10 @@ asserts the staged single-pass discipline via a query-counter hook)::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import platform
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -63,8 +72,10 @@ from repro.core.repair import RepairEngine
 from repro.core.semantics import Semantics, end_semantics
 from repro.datalog.context import EvalContext
 from repro.datalog.evaluation import run_closure
+from repro.datalog.planner import PLAN_BINARY, PLAN_ENV, PLAN_WCOJ
 from repro.datalog.sql_compiler import TAG_ASSIGN_SELECT, TAG_STAGE
 from repro.storage.sqlite_backend import SQLiteDatabase
+from repro.workloads.cyclic import cyclic_programs, generate_cyclic
 from repro.workloads.mas import generate_mas
 from repro.workloads.programs_mas import mas_programs
 from repro.workloads.programs_tpch import tpch_programs
@@ -92,6 +103,16 @@ SEED = 7
 #: Shard count of the benchmark's sharded-engine rows (the ISSUE/ROADMAP
 #: configuration: 4-way hash partition, workers fitted to the cores).
 BENCH_SHARDS = 4
+
+#: Cyclic programs whose largest-scale ``wcoj_speedup`` row is gated by an
+#: **absolute** floor under ``--check`` (the mutual-recursion program rides
+#: along ungated: its rounds are dominated by small seeded frontiers, where
+#: the two plans converge).
+WCOJ_GATE_PROGRAMS = ("triangle", "clique4")
+
+#: The acceptance floor: forced-wcoj must beat forced-binary by at least this
+#: factor at the largest benched cyclic scale on the in-memory backend.
+WCOJ_GATE_SPEEDUP = 3.0
 
 #: PR 2's recorded semi-naive seconds on the SQLite mas/20@8.0 closure
 #: (BENCH_fixpoint.json at commit 0d28ef4) — the double-pass baseline the
@@ -255,6 +276,112 @@ def bench_closures(
                     fast_seconds / max(sharded_fast_seconds, 1e-9), 3
                 )
             rows.append(row)
+    return rows
+
+
+@contextlib.contextmanager
+def _forced_plan(kind: str | None):
+    """Temporarily force (or clear) ``REPRO_FORCE_PLAN`` around a timed run."""
+    previous = os.environ.get(PLAN_ENV)
+    if kind is None:
+        os.environ.pop(PLAN_ENV, None)
+    else:
+        os.environ[PLAN_ENV] = kind
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(PLAN_ENV, None)
+        else:
+            os.environ[PLAN_ENV] = previous
+
+
+def bench_wcoj(scales: List[float], repetitions: int) -> List[dict]:
+    """Binary vs worst-case-optimal join plans on the cyclic workloads.
+
+    In-memory backend, semi-naive engine, install-only runs: the same closure
+    is timed once with every rule forced onto the binary planned search and
+    once forced onto the generic-join path (``REPRO_FORCE_PLAN``), so
+    ``wcoj_speedup`` isolates the join-evaluation strategy.  Each row also
+    records the planner's **unforced** classification (``auto_plan_kinds``) —
+    asserted here to route every cyclic program to wcoj — plus the wcoj
+    :class:`~repro.datalog.context.QueryStats` counters, and the smallest
+    scale doubles as a differential check of both plans against the naive
+    oracle.
+    """
+    rows: List[dict] = []
+    for scale in scales:
+        dataset = generate_cyclic(scale=scale, seed=SEED)
+        programs = cyclic_programs(dataset.hub)
+        for name, program in programs.items():
+            if scale == scales[0]:
+                oracle = run_closure(
+                    dataset.fresh_db(), program.rules, engine="naive"
+                )
+                oracle_signatures = {a.signature() for a in oracle.assignments}
+                for kind in (PLAN_BINARY, PLAN_WCOJ):
+                    with _forced_plan(kind):
+                        result = run_closure(
+                            dataset.fresh_db(),
+                            program.rules,
+                            engine="semi-naive",
+                            context=EvalContext(),
+                        )
+                    forced = {a.signature() for a in result.assignments}
+                    if forced != oracle_signatures:
+                        raise AssertionError(
+                            f"cyclic/{name}@{scale}: forced {kind} plan "
+                            "diverged from the naive oracle"
+                        )
+            timings: Dict[str, float] = {}
+            run_stats: Dict[str, object] = {}
+            for kind in (PLAN_BINARY, PLAN_WCOJ):
+                best = float("inf")
+                context = None
+                with _forced_plan(kind):
+                    for _ in range(repetitions):
+                        context = EvalContext()
+                        working = dataset.fresh_db()
+                        start = time.perf_counter()
+                        run_closure(
+                            working,
+                            program.rules,
+                            engine="semi-naive",
+                            context=context,
+                            collect_assignments=False,
+                        )
+                        best = min(best, time.perf_counter() - start)
+                timings[kind] = best
+                run_stats[kind] = context.stats
+            with _forced_plan(None):
+                planner = EvalContext().planner(dataset.db)
+                auto_kinds = sorted(
+                    {planner.plan(rule).kind for rule in program.rules}
+                )
+            if PLAN_WCOJ not in auto_kinds:
+                raise AssertionError(
+                    f"cyclic/{name}@{scale}: the width classifier routed no "
+                    f"rule to wcoj (kinds: {auto_kinds})"
+                )
+            wcoj_stats = run_stats[PLAN_WCOJ]
+            rows.append(
+                {
+                    "backend": "memory",
+                    "workload": "cyclic",
+                    "program": name,
+                    "scale": scale,
+                    "tuples": dataset.total_tuples,
+                    "binary_seconds": round(timings[PLAN_BINARY], 6),
+                    "wcoj_seconds": round(timings[PLAN_WCOJ], 6),
+                    "wcoj_speedup": round(
+                        timings[PLAN_BINARY] / max(timings[PLAN_WCOJ], 1e-9), 3
+                    ),
+                    "auto_plan_kinds": auto_kinds,
+                    "wcoj_rules": wcoj_stats.wcoj_rules,
+                    "wcoj_intersections": wcoj_stats.wcoj_intersections,
+                    "width_estimates": wcoj_stats.width_estimates,
+                }
+            )
     return rows
 
 
@@ -463,6 +590,19 @@ def check_against_baseline(
     pool can only overlap shard SELECTs when cores exist), so they are gated
     only when this run has at least the baseline's ``meta.cpus`` — a
     smaller-than-baseline runner skips them instead of failing spuriously.
+
+    A ratio column present on only **one** side of a matched row pair — a new
+    column the committed baseline predates, or a column this run stopped
+    producing — is warned about **loudly** (one stderr line per row and
+    column) instead of being silently skipped: a stale baseline must not
+    quietly disable the gate for a new metric.  Columns absent from *both*
+    sides (e.g. sharded ratios on memory rows) stay silent by design.
+
+    ``wcoj`` rows carry one further **absolute** gate: at the largest benched
+    cyclic scale of this run, the :data:`WCOJ_GATE_PROGRAMS` rows must hold
+    ``wcoj_speedup >= WCOJ_GATE_SPEEDUP`` regardless of the baseline — the
+    worst-case-optimal acceptance criterion, not a drift band.
+
     Returns the list of violations (empty = gate passes).  A run with
     **zero** comparable rows is itself a violation: key drift (renamed
     programs, changed scales, restructured baseline) must fail loudly
@@ -480,20 +620,47 @@ def check_against_baseline(
             for row in rows
         }
 
-    for section in ("closure", "sqlite_closure", "sqlite_file_closure"):
+    section_ratios = {
+        "closure": (
+            "speedup",
+            "fast_speedup",
+            "sharded_speedup",
+            "sharded_fast_speedup",
+        ),
+        "sqlite_closure": (
+            "speedup",
+            "fast_speedup",
+            "sharded_speedup",
+            "sharded_fast_speedup",
+        ),
+        "sqlite_file_closure": (
+            "speedup",
+            "fast_speedup",
+            "sharded_speedup",
+            "sharded_fast_speedup",
+        ),
+        "wcoj": ("wcoj_speedup",),
+    }
+    for section, ratios in section_ratios.items():
         committed = by_key(baseline.get(section, []))
         for row in report.get(section, []):
             key = (row["backend"], row["workload"], row["program"], row["scale"])
             base = committed.get(key)
             if base is None:
                 continue
-            for ratio in (
-                "speedup",
-                "fast_speedup",
-                "sharded_speedup",
-                "sharded_fast_speedup",
-            ):
-                if ratio not in row or ratio not in base:
+            for ratio in ratios:
+                in_row = ratio in row
+                in_base = ratio in base
+                if not (in_row and in_base):
+                    if in_row != in_base:
+                        missing_from = "committed baseline" if in_row else "run"
+                        print(
+                            f"bench --check warning: {section} {key}: column "
+                            f"{ratio!r} missing from the {missing_from}; this "
+                            "ratio is NOT gated — refresh BENCH_fixpoint.json "
+                            "(or restore the column) to re-arm it",
+                            file=sys.stderr,
+                        )
                     continue
                 if ratio.startswith("sharded") and not gate_sharded:
                     continue
@@ -504,6 +671,31 @@ def check_against_baseline(
                         f"{section} {key}: {ratio} {row[ratio]:.3f} < "
                         f"{floor:.3f} (= {tolerance} x committed {base[ratio]:.3f})"
                     )
+    wcoj_rows = report.get("wcoj", [])
+    if wcoj_rows:
+        largest_scale = max(row["scale"] for row in wcoj_rows)
+        for row in wcoj_rows:
+            if row["scale"] != largest_scale:
+                continue
+            if row["program"] not in WCOJ_GATE_PROGRAMS:
+                continue
+            compared += 1
+            speedup = row.get("wcoj_speedup")
+            if speedup is None:
+                # A gate program that stopped reporting the ratio leaves the
+                # acceptance criterion unverifiable — that is a failure, not
+                # a skip (unlike the warn-only drift columns above).
+                problems.append(
+                    f"wcoj cyclic/{row['program']}@{largest_scale}: "
+                    "wcoj_speedup column missing — the absolute "
+                    "worst-case-optimal floor cannot be verified"
+                )
+            elif speedup < WCOJ_GATE_SPEEDUP:
+                problems.append(
+                    f"wcoj cyclic/{row['program']}@{largest_scale}: "
+                    f"wcoj_speedup {speedup:.3f} < "
+                    f"{WCOJ_GATE_SPEEDUP} (absolute worst-case-optimal floor)"
+                )
     if compared == 0:
         problems.append(
             "no rows of this run matched the committed baseline — the gate "
@@ -527,11 +719,16 @@ def run_benchmark(smoke: bool = False) -> dict:
         file_scales = {"mas": [1.0], "tpch": [1.0]}
         end_scale = 1.0
         compare_scale = 1.0
+        # One cyclic scale, chosen well past the crossover where the binary
+        # plan's two-path blowup dominates (small scales sit too close to it
+        # for the absolute --check floor).
+        wcoj_scales = [3.0]
     else:
         scales = {"mas": [1.0, 2.0, 4.0, 8.0], "tpch": [1.0, 2.0, 4.0]}
         file_scales = {"mas": [1.0, 4.0, 8.0], "tpch": [1.0, 4.0]}
         end_scale = 4.0
         compare_scale = 2.0
+        wcoj_scales = [1.0, 2.0, 3.0, 4.0]
     with tempfile.TemporaryDirectory(prefix="bench_fixpoint_") as tmp:
         workdir = Path(tmp)
         closure_rows = bench_closures(scales, repetitions)
@@ -539,6 +736,7 @@ def run_benchmark(smoke: bool = False) -> dict:
         file_rows = bench_closures(
             file_scales, repetitions, backend="sqlite-file", workdir=workdir
         )
+    wcoj_rows = bench_wcoj(wcoj_scales, repetitions)
     end_rows = bench_end_to_end(end_scale, repetitions)
     compare_rows = bench_compare(compare_scale, repetitions)
     single_pass = assert_single_pass()
@@ -570,6 +768,7 @@ def run_benchmark(smoke: bool = False) -> dict:
         "closure": closure_rows,
         "sqlite_closure": sqlite_rows,
         "sqlite_file_closure": file_rows,
+        "wcoj": wcoj_rows,
         "end_to_end": end_rows,
         "compare": compare_rows,
         "single_pass": single_pass,
@@ -625,6 +824,20 @@ def run_benchmark(smoke: bool = False) -> dict:
             "compare_shared_vs_cold": {
                 row["backend"]: row["speedup"] for row in compare_rows
             },
+            # Binary vs worst-case-optimal at the largest benched cyclic
+            # scale; the gated programs must clear WCOJ_GATE_SPEEDUP.
+            "wcoj_largest_scale": max(row["scale"] for row in wcoj_rows),
+            "wcoj_speedups": {
+                row["program"]: row["wcoj_speedup"]
+                for row in wcoj_rows
+                if row["scale"] == max(r["scale"] for r in wcoj_rows)
+            },
+            "wcoj_min_gated_speedup": min(
+                row["wcoj_speedup"]
+                for row in wcoj_rows
+                if row["scale"] == max(r["scale"] for r in wcoj_rows)
+                and row["program"] in WCOJ_GATE_PROGRAMS
+            ),
         },
     }
 
@@ -665,6 +878,17 @@ def _render(report: dict) -> str:
                 f"semi={row['semi_naive_seconds']:.4f}s "
                 f"speedup={row['speedup']:.2f}x{fast}{sharded}"
             )
+    lines.append("wcoj (binary vs worst-case-optimal plans, in-memory backend):")
+    for row in report["wcoj"]:
+        lines.append(
+            f"  cyclic/{row['program']:<9} scale={row['scale']:<4} "
+            f"tuples={row['tuples']:<6} binary={row['binary_seconds']:.4f}s "
+            f"wcoj={row['wcoj_seconds']:.4f}s "
+            f"speedup={row['wcoj_speedup']:.2f}x "
+            f"(rules={row['wcoj_rules']}, "
+            f"intersections={row['wcoj_intersections']}, "
+            f"widths={row['width_estimates']})"
+        )
     lines.append("end-to-end end semantics (figure-6c style):")
     for row in report["end_to_end"]:
         lines.append(
@@ -692,7 +916,9 @@ def _render(report: dict) -> str:
         f"vs single {summary['sqlite_file_largest_program_sharded_speedup']:.2f}x"
         f"/{summary['sqlite_file_largest_program_sharded_fast_speedup']:.2f}x "
         f"(w{summary['sharded_workers']}, {report['meta']['cpus']} cpus), "
-        f"end-semantics geomean {summary['end_semantics_geomean_speedup']:.2f}x"
+        f"end-semantics geomean {summary['end_semantics_geomean_speedup']:.2f}x, "
+        f"wcoj min gated {summary['wcoj_min_gated_speedup']:.2f}x@"
+        f"{summary['wcoj_largest_scale']}"
     )
     return "\n".join(lines)
 
@@ -713,6 +939,14 @@ def test_fixpoint_smoke():
     assert report["single_pass"]["staged"].get("assign_select", 0) == 0
     assert report["single_pass"]["sharded-fast"].get("assign_select", 0) == 0
     assert report["single_pass"]["sharded-fast"].get("stage", 0) == 0
+    # The wcoj path actually ran (counters flowed through QueryStats) and the
+    # generic join won at the benched cyclic scale; the hard >= 3.0 gate is
+    # applied by --check on the committed full-run baseline.
+    assert report["wcoj"], "no wcoj rows benched"
+    for row in report["wcoj"]:
+        assert row["wcoj_rules"] > 0 and row["wcoj_intersections"] > 0, row
+        assert row["width_estimates"] > 0, row
+    assert report["summary"]["wcoj_min_gated_speedup"] > 1.0
 
 
 def main() -> None:

@@ -130,7 +130,20 @@ class QueryStats:
         memoised process-wide by the ``lru_cache`` on
         :func:`~repro.datalog.sql_compiler.compile_frontier_rule`, so a miss
         here is cheap; the counter exists to make sharing observable in
-        tests, not to measure compile cost.
+        tests, not to measure compile cost.  Keyed per ``(rule, plan kind)``
+        since the wcoj lowering compiles distinct SQL.
+    wcoj_rules:
+        Plan builds the in-memory planner classified as worst-case-optimal
+        (``plan_kind="wcoj"``) — once per build, so round-boundary re-costing
+        that re-confirms the kind counts again.
+    wcoj_intersections:
+        Variable-level leapfrog intersection steps the generic-join driver
+        performed (one per variable binding frontier explored).  Updated by
+        the in-memory wcoj driver only; SQLite wcoj statements are observable
+        through the ``/* repro:wcoj */`` statement tag instead.
+    width_estimates:
+        Width classifications performed (GYO reduction + AGM-vs-binary cost
+        comparison) — one per plan build over a body with ≥ 2 atoms.
     """
 
     staged_selects: int = 0
@@ -145,6 +158,9 @@ class QueryStats:
     shard_selects: int = 0
     shard_installs: int = 0
     replay_batches: int = 0
+    wcoj_rules: int = 0
+    wcoj_intersections: int = 0
+    width_estimates: int = 0
 
     def joins(self) -> int:
         """Total statements that join the base/frontier tables.
@@ -174,6 +190,9 @@ class QueryStats:
         self.shard_selects = 0
         self.shard_installs = 0
         self.replay_batches = 0
+        self.wcoj_rules = 0
+        self.wcoj_intersections = 0
+        self.width_estimates = 0
 
 
 @dataclass
@@ -281,15 +300,21 @@ class EvalContext:
         per-context dict sits on top of the process-wide ``lru_cache`` of
         :func:`~repro.datalog.sql_compiler.compile_frontier_rule`: it pins
         the variants against lru eviction for the context's lifetime and
-        gives the tests a deterministic sharing signal.
+        gives the tests a deterministic sharing signal.  The cache key
+        includes the resolved plan kind so flipping ``REPRO_FORCE_PLAN``
+        mid-process can never serve a stale lowering.
         """
-        cached = self._variants.get(rule)
-        if cached is None:
-            from repro.datalog.sql_compiler import compile_frontier_rule
+        from repro.datalog.sql_compiler import (
+            compile_frontier_rule,
+            resolve_plan_kind,
+        )
 
+        key = (rule, resolve_plan_kind(rule))
+        cached = self._variants.get(key)
+        if cached is None:
             self.stats.variant_compiles += 1
-            cached = compile_frontier_rule(rule)
-            self._variants[rule] = cached
+            cached = compile_frontier_rule(rule, plan_kind=key[1])
+            self._variants[key] = cached
         return cached
 
     # -- observers --------------------------------------------------------------

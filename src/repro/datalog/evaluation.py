@@ -338,7 +338,11 @@ def find_assignments(
         A :class:`~repro.datalog.planner.JoinPlanner` providing a static,
         cached join order for the rule.  Without one, the join order is
         re-derived at every recursion step from the currently bound positions
-        (the naive oracle behaviour).
+        (the naive oracle behaviour).  Plans the planner classified as
+        ``kind="wcoj"`` route through the generic-join driver
+        (:mod:`repro.datalog.wcoj`) when eligible — in-memory engine,
+        concrete deltas, no candidate observers — and fall back to the
+        binary order otherwise.
     """
     if use_sql is None:
         use_sql = isinstance(db, SQLiteDatabase)
@@ -351,6 +355,11 @@ def find_assignments(
 
     if planner is not None:
         plan = planner.plan(rule, seed=None, hypothetical=hypothetical_deltas)
+        if plan.kind != "binary":
+            from repro.datalog.wcoj import wcoj_assignments, wcoj_eligible
+
+            if wcoj_eligible(db, plan, hypothetical=hypothetical_deltas):
+                return wcoj_assignments(db, rule, plan, stats=planner.stats)
         planned_search(
             rule, plan.order, 0, {}, [], set(), results,
             default_candidates(db, hypothetical_deltas),

@@ -54,12 +54,40 @@ ever changing the optimal order stops paying for rebuilds.  A rebuild that
 the drift signal proved informative again.  The band currently in effect is
 exposed through :attr:`~repro.datalog.context.QueryStats.drift_factor` when
 the planner came from an :class:`~repro.datalog.context.EvalContext`.
+
+Width-aware plan kinds
+----------------------
+
+Binary join orders are provably suboptimal on *cyclic* rule bodies: a
+triangle ``R(x,y), R(y,z), R(z,x)`` over ``N`` facts can produce ``Θ(N²)``
+intermediate pairs even though at most ``O(N^1.5)`` triangles exist (the AGM
+bound).  The planner therefore classifies every body with at least two
+relational atoms into a ``plan_kind``:
+
+* ``"binary"`` — the classic one-atom-at-a-time order above;
+* ``"wcoj"`` — a variable-at-a-time generic join (:mod:`repro.datalog.wcoj`
+  in memory, ``CROSS JOIN``-pinned multiway joins on SQLite).
+
+Classification runs a GYO reduction on the body's join hypergraph
+(:func:`cyclic_core`); acyclic bodies always stay binary.  For a cyclic body
+the planner compares a cardinality-based AGM estimate — the product of the
+extents of a greedy fractional-edge-cover of the cyclic core — against the
+binary plan's first-join cost estimate, and picks ``wcoj`` when the AGM
+estimate is no worse.  The decision is re-taken by the same round-boundary
+re-costing machinery that refreshes join orders, so a rule can switch kinds
+as delta extents grow.  ``REPRO_FORCE_PLAN=binary|wcoj`` (read per plan
+build) overrides the heuristic for differential testing; hypothetical plans
+(independent semantics) always stay binary because wcoj tries cover single
+extents, not the active ∪ delta union.
 """
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Tuple
+from functools import lru_cache
+from typing import Dict, FrozenSet, Hashable, Tuple
 
 from repro.datalog.ast import Constant, Rule, Variable
 from repro.storage.database import BaseDatabase
@@ -81,6 +109,64 @@ NOOP_STREAK_TO_WIDEN = 2
 #: Ceiling for the adaptively widened drift band.
 MAX_DRIFT_FACTOR = 64.0
 
+#: Environment knob forcing every eligible rule onto one plan kind
+#: (``binary`` or ``wcoj``); read at each plan build so tests can flip it.
+PLAN_ENV = "REPRO_FORCE_PLAN"
+
+#: The two plan kinds (see module docstring, *Width-aware plan kinds*).
+PLAN_BINARY = "binary"
+PLAN_WCOJ = "wcoj"
+
+
+def env_forced_plan() -> str | None:
+    """The plan kind forced via :data:`PLAN_ENV`, or None when unset/invalid."""
+    forced = os.environ.get(PLAN_ENV, "").strip().lower()
+    return forced if forced in (PLAN_BINARY, PLAN_WCOJ) else None
+
+
+@lru_cache(maxsize=4096)
+def _gyo_core(edges: Tuple[FrozenSet[str], ...]) -> Tuple[int, ...]:
+    """Indices of the hyperedges surviving a GYO reduction (empty = acyclic).
+
+    Classic Graham/Yu–Özsoyoğlu ear removal: repeatedly delete vertices that
+    occur in exactly one edge and edges contained in another edge (of a pair
+    of equal edges only the later one is dropped).  The reduction empties the
+    hypergraph iff it is α-acyclic; whatever survives is the cyclic core.
+    """
+    alive: Dict[int, set] = {
+        index: set(edge) for index, edge in enumerate(edges) if edge
+    }
+    changed = True
+    while changed and alive:
+        changed = False
+        counts: Dict[str, int] = {}
+        for vertices in alive.values():
+            for vertex in vertices:
+                counts[vertex] = counts.get(vertex, 0) + 1
+        for vertices in alive.values():
+            isolated = {v for v in vertices if counts[v] == 1}
+            if isolated:
+                vertices -= isolated
+                changed = True
+        for index in [i for i, vertices in alive.items() if not vertices]:
+            del alive[index]
+            changed = True
+        for index in sorted(alive, reverse=True):
+            vertices = alive[index]
+            for other, theirs in alive.items():
+                if other != index and vertices <= theirs and (
+                    vertices < theirs or other < index
+                ):
+                    del alive[index]
+                    changed = True
+                    break
+    return tuple(sorted(alive))
+
+
+def cyclic_core(rule: Rule) -> Tuple[int, ...]:
+    """Body-atom indices forming the cyclic core of ``rule`` (empty = acyclic)."""
+    return _gyo_core(tuple(atom.variable_names() for atom in rule.body))
+
 
 @dataclass(frozen=True)
 class JoinPlan:
@@ -98,6 +184,16 @@ class JoinPlan:
         The ``((relation, delta), size)`` cardinalities the plan was costed
         with, used by round-boundary re-costing to detect drift.  Empty for
         hand-built plans (never re-costed).
+    kind:
+        ``"binary"`` or ``"wcoj"`` (see module docstring, *Width-aware plan
+        kinds*).  Defaults to binary so hand-built plans keep working.
+    var_order:
+        For wcoj plans: the global variable elimination order the generic
+        join binds variables in (seed-atom variables first, then descending
+        atom-degree).  Empty for binary plans.
+    width:
+        The fractional-cover width estimate of the cyclic core (e.g. 1.5 for
+        a triangle); 1.0 for acyclic/binary plans.  Informational.
     """
 
     order: Tuple[int, ...]
@@ -105,6 +201,9 @@ class JoinPlan:
     cost_snapshot: Tuple[Tuple[Tuple[str, bool], int], ...] = field(
         default=(), compare=False
     )
+    kind: str = PLAN_BINARY
+    var_order: Tuple[str, ...] = field(default=(), compare=False)
+    width: float = field(default=1.0, compare=False)
 
 
 def _atom_shape(atom) -> tuple:
@@ -235,8 +334,15 @@ class JoinPlanner:
         plan = self._build_plan(rule, seed, hypothetical)
         self._plans[key] = plan
         if cached is not None:
-            self._record_replan_outcome(changed_order=plan.order != cached.order)
+            self._record_replan_outcome(
+                changed_order=plan.order != cached.order or plan.kind != cached.kind
+            )
         return plan
+
+    @property
+    def stats(self):
+        """The :class:`~repro.datalog.context.QueryStats` sink, or None."""
+        return self._stats
 
     def _record_replan_outcome(self, changed_order: bool) -> None:
         """Adapt the drift band to whether the rebuild changed the join order.
@@ -305,8 +411,118 @@ class JoinPlanner:
             order.append(best)
             bound.update(body[best].variable_names())
             remaining.remove(best)
+        kind, var_order, width = self._classify(rule, seed, hypothetical)
         return JoinPlan(
             order=tuple(order),
             seed=seed,
             cost_snapshot=tuple(sorted(costed.items())),
+            kind=kind,
+            var_order=var_order,
+            width=width,
         )
+
+    # -- plan-kind classification ----------------------------------------------
+
+    def _classify(
+        self, rule: Rule, seed: int | None, hypothetical: bool
+    ) -> tuple[str, Tuple[str, ...], float]:
+        """Pick ``(kind, var_order, width)`` for one plan build.
+
+        Acyclic bodies (GYO reduction empties the join hypergraph) always stay
+        binary unless forced; cyclic ones go wcoj when the AGM estimate of
+        the cyclic core beats the binary plan's first-join estimate.
+        Hypothetical plans are always binary (wcoj tries cover single
+        extents, not active ∪ delta).
+        """
+        body = rule.body
+        if hypothetical or len(body) < 2:
+            return PLAN_BINARY, (), 1.0
+        core = cyclic_core(rule)
+        if self._stats is not None:
+            self._stats.width_estimates += 1
+        forced = env_forced_plan()
+        if forced == PLAN_BINARY:
+            return PLAN_BINARY, (), 1.0
+        width = (len(core) if core else len(body)) / 2.0
+        if forced == PLAN_WCOJ:
+            kind = PLAN_WCOJ
+        elif not core:
+            kind = PLAN_BINARY
+        else:
+            sizes = sorted(
+                max(
+                    self._cardinality(atom.relation, atom.is_delta, hypothetical), 1
+                )
+                for atom in body
+            )
+            binary_estimate = float(sizes[0] * sizes[1])
+            kind = (
+                PLAN_WCOJ
+                if self._agm_estimate(rule, core, hypothetical) <= binary_estimate
+                else PLAN_BINARY
+            )
+        if kind != PLAN_WCOJ:
+            return PLAN_BINARY, (), 1.0
+        if self._stats is not None:
+            self._stats.wcoj_rules += 1
+        return PLAN_WCOJ, self._variable_order(rule, seed), width
+
+    def _agm_estimate(
+        self, rule: Rule, core: Tuple[int, ...], hypothetical: bool
+    ) -> float:
+        """AGM-style output estimate: extent product of a greedy edge cover.
+
+        A greedy weighted set cover of the core's variables (edge weight =
+        ``log size``, benefit = newly covered variables) approximates the
+        optimal fractional edge cover whose extent product the AGM bound
+        multiplies out; exact for the symmetric cliques and cycles we care
+        about (triangle → N², matching the binary estimate, so ties go wcoj).
+        """
+        body = rule.body
+        sizes = {
+            index: max(
+                self._cardinality(
+                    body[index].relation, body[index].is_delta, hypothetical
+                ),
+                1,
+            )
+            for index in core
+        }
+        uncovered: set[str] = set()
+        for index in core:
+            uncovered |= body[index].variable_names()
+        estimate = 1.0
+        while uncovered:
+            best = None
+            best_score: tuple | None = None
+            for index in core:
+                covers = len(uncovered & body[index].variable_names())
+                if not covers:
+                    continue
+                score = (math.log(sizes[index]) / covers, index)
+                if best_score is None or score < best_score:
+                    best, best_score = index, score
+            if best is None:  # pragma: no cover - core vars always coverable
+                break
+            estimate *= sizes[best]
+            uncovered -= body[best].variable_names()
+        return estimate
+
+    @staticmethod
+    def _variable_order(rule: Rule, seed: int | None) -> Tuple[str, ...]:
+        """Global elimination order: seed variables first (they arrive bound
+        with the seed fact), then descending atom-degree, name as tie-break."""
+        body = rule.body
+        degree: Dict[str, int] = {}
+        for atom in body:
+            for name in atom.variable_names():
+                degree[name] = degree.get(name, 0) + 1
+        order: list[str] = []
+        if seed is not None:
+            for term in body[seed].terms:
+                if isinstance(term, Variable) and term.name not in order:
+                    order.append(term.name)
+        for name in sorted(degree, key=lambda n: (-degree[n], n)):
+            if name not in order:
+                order.append(name)
+        return tuple(order)

@@ -89,6 +89,25 @@ def seeded_rank_assignments(
     # pre-frontier facts only; later ones may match anything recorded.
     pre_frontier = set(delta_positions[:rank])
 
+    if plan.kind != "binary":
+        from repro.datalog.wcoj import wcoj_eligible, wcoj_seeded_assignments
+
+        if wcoj_eligible(db, plan):
+            excluded = {
+                index: frontier[rule.body[index].relation]
+                for index in pre_frontier
+                if frontier.get(rule.body[index].relation)
+            }
+            return wcoj_seeded_assignments(
+                db,
+                rule,
+                plan,
+                seed_index,
+                list(seed_facts),
+                excluded=excluded or None,
+                stats=planner.stats,
+            )
+
     def candidates_for(index: int, atom, fixed):
         facts = db.candidates(atom.relation, fixed, delta=atom.is_delta)
         if index in pre_frontier:

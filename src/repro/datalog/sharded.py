@@ -348,6 +348,12 @@ def sql_sharded_closure(
         * otherwise a shard wave gathers the rows (concurrently when readers
           exist) and the merge thread installs them.
         """
+        # wcoj covering indexes must exist (committed on the primary
+        # connection) before any reader connection runs the variant's
+        # sharded join; steady-state rounds are a no-op set lookup.
+        for _rule, variant, _window in pending:
+            if variant.wcoj_index_sql:
+                db.ensure_wcoj_indexes(variant.wcoj_index_sql)
         if not observing and readers is None:
             for rule, variant, window in pending:
                 installed = 0
@@ -500,6 +506,16 @@ def memory_sharded_closure(
         result set.
         """
         plan = planner.plan(rule, seed=None)
+        if plan.kind != "binary":
+            from repro.datalog.wcoj import wcoj_eligible, wcoj_seeded_assignments
+
+            if wcoj_eligible(db, plan):
+                # Same partition axis: the generic join unifies the first
+                # planned atom with each of this shard's candidate facts and
+                # intersects the remaining variables outward.
+                return wcoj_seeded_assignments(
+                    db, rule, plan, first, seeds, stats=planner.stats
+                )
         base = default_candidates(db, False)
 
         def candidates_for(index: int, atom, fixed):

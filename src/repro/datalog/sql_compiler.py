@@ -47,6 +47,15 @@ Each statement embeds a ``/* repro:<class> */`` tag comment
 (:data:`TAG_ASSIGN_SELECT` ...), which the query-counter hooks of
 :meth:`~repro.storage.sqlite_backend.SQLiteDatabase.add_statement_hook` use to
 assert the single-pass and zero-DDL disciplines from tests and benchmarks.
+
+Frontier variants additionally come in two *lowerings*, selected per rule by
+:func:`resolve_plan_kind` (mirroring the in-memory planner's plan kinds):
+binary variants keep the comma join and leave ordering to SQLite's optimiser,
+while wcoj variants — rules whose join hypergraph is cyclic — pin an explicit
+multi-way join order with ``CROSS JOIN`` and ship covering-index DDL
+(:attr:`FrontierQuery.wcoj_index_sql`) so each non-leading atom is entered
+through a sorted equality prefix, the ordered-join shape of a generic join.
+All wcoj statements carry the extra :data:`TAG_WCOJ` tag.
 """
 
 from __future__ import annotations
@@ -57,6 +66,12 @@ from functools import lru_cache
 from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.datalog.ast import Atom, Comparison, Constant, Rule, Variable
+from repro.datalog.planner import (
+    PLAN_BINARY,
+    PLAN_WCOJ,
+    cyclic_core,
+    env_forced_plan,
+)
 from repro.exceptions import EvaluationError
 from repro.storage.facts import Fact
 from repro.storage.sqlite_backend import (
@@ -83,6 +98,12 @@ TAG_INSTALL_DIRECT = "/* repro:install-direct */"
 TAG_INSTALL_STAGED = "/* repro:install-staged */"
 TAG_SHARD_SELECT = "/* repro:shard-select */"
 TAG_SHARD_INSTALL = "/* repro:shard-install */"
+
+#: Extra tag carried by every statement of a wcoj-lowered variant — the join
+#: statements *in addition to* their class tag, and the covering-index DDL of
+#: :attr:`FrontierQuery.wcoj_index_sql` on its own.  Statement hooks count it
+#: to assert which plan kind a run's SQL actually executed.
+TAG_WCOJ = "/* repro:wcoj */"
 
 #: Marker for constant entries of :attr:`FrontierQuery.head_sources`.
 HEAD_CONST = "const"
@@ -313,6 +334,18 @@ class FrontierQuery:
         The body alias carrying the shard predicate: the seed atom for
         seeded variants (partitioning the frontier window), the first body
         atom for the round-1 full variant.
+    plan_kind:
+        The lowering this variant was compiled under (``"binary"`` comma
+        join or ``"wcoj"`` ordered ``CROSS JOIN``); see
+        :func:`resolve_plan_kind`.
+    wcoj_index_sql:
+        For wcoj variants, the ``CREATE INDEX IF NOT EXISTS`` statements
+        (tagged :data:`TAG_WCOJ`) backing every non-leading atom of the
+        explicit join order with a covering index — equality-bound columns
+        first, the ``gen`` window next for frontier tables, then the covered
+        remainder and ``tid``.  Drivers run them once per connection via
+        :meth:`~repro.storage.sqlite_backend.SQLiteDatabase.ensure_wcoj_indexes`
+        before the variant's first execution.  Empty for binary variants.
     """
 
     sql: str
@@ -334,6 +367,8 @@ class FrontierQuery:
     head_insert_sql: str
     head_sources: tuple[tuple[str, Any], ...]
     shard_alias: str
+    plan_kind: str = PLAN_BINARY
+    wcoj_index_sql: tuple[str, ...] = ()
 
     def bind(self, **window: int) -> Dict[str, Any]:
         """The full parameter mapping for one execution of the variant."""
@@ -348,24 +383,92 @@ class FrontierQuery:
         )
 
 
-@lru_cache(maxsize=1024)
-def compile_frontier_rule(rule: Rule) -> tuple[FrontierQuery, tuple[FrontierQuery, ...]]:
+def resolve_plan_kind(rule: Rule) -> str:
+    """Plan kind the SQL lowering uses for ``rule``.
+
+    The SQL compiler runs ahead of any live cardinalities, so the decision is
+    structural where the in-memory :class:`~repro.datalog.planner.JoinPlanner`
+    is cost-based: a rule whose join hypergraph keeps a cyclic core under GYO
+    reduction (:func:`~repro.datalog.planner.cyclic_core`) lowers to the wcoj
+    form, acyclic rules to the binary comma join.  ``REPRO_FORCE_PLAN``
+    overrides the structural choice exactly as it does in the planner; rules
+    with fewer than two body atoms have no join and are always binary.
+    """
+    if len(rule.body) < 2:
+        return PLAN_BINARY
+    forced = env_forced_plan()
+    if forced is not None:
+        return forced
+    return PLAN_WCOJ if cyclic_core(rule) else PLAN_BINARY
+
+
+def compile_frontier_rule(
+    rule: Rule, plan_kind: str | None = None
+) -> tuple[FrontierQuery, tuple[FrontierQuery, ...]]:
     """Compile ``rule`` for the semi-naive engine.
 
     Returns ``(full, seeded)``: the round-1 variant whose delta atoms all read
     ``gen <= :hi``, plus one frontier-seeded variant per delta atom (empty for
     rules without delta atoms, which can only fire in round 1).
+
+    ``plan_kind`` selects the lowering (``"binary"`` comma join vs ``"wcoj"``
+    ordered ``CROSS JOIN``); None resolves it via :func:`resolve_plan_kind`.
+    Both kinds are cached independently, so a context that re-decides a rule's
+    kind at a round boundary swaps variants without recompiling.
     """
-    full = _compile_frontier_variant(rule, seed=None)
+    if plan_kind is None:
+        plan_kind = resolve_plan_kind(rule)
+    elif plan_kind == PLAN_WCOJ and len(rule.body) < 2:
+        plan_kind = PLAN_BINARY
+    return _compile_frontier_rule_cached(rule, plan_kind)
+
+
+@lru_cache(maxsize=1024)
+def _compile_frontier_rule_cached(
+    rule: Rule, kind: str
+) -> tuple[FrontierQuery, tuple[FrontierQuery, ...]]:
+    full = _compile_frontier_variant(rule, seed=None, kind=kind)
     seeded = tuple(
-        _compile_frontier_variant(rule, seed=index)
+        _compile_frontier_variant(rule, seed=index, kind=kind)
         for index, atom in enumerate(rule.body)
         if atom.is_delta
     )
     return full, seeded
 
 
-def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
+def _wcoj_join_order(rule: Rule, seed: int | None) -> List[int]:
+    """Explicit multi-way join order for the wcoj lowering.
+
+    Starts at the seed atom (the frontier window is the outermost loop, as on
+    the binary path) or at the first body atom for the full variant, then
+    greedily appends the atom sharing the most already-bound variables —
+    ties broken towards cyclic-core atoms, then body order — so every later
+    table is entered through the equality prefix its covering index sorts on.
+    """
+    body = rule.body
+    core = set(cyclic_core(rule))
+    start = seed if seed is not None else 0
+    order = [start]
+    bound = set(body[start].variable_names())
+    remaining = [index for index in range(len(body)) if index != start]
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda index: (
+                -len(bound & body[index].variable_names()),
+                0 if index in core else 1,
+                index,
+            ),
+        )
+        order.append(best)
+        bound |= set(body[best].variable_names())
+        remaining.remove(best)
+    return order
+
+
+def _compile_frontier_variant(
+    rule: Rule, seed: int | None, kind: str = PLAN_BINARY
+) -> FrontierQuery:
     delta_positions = [index for index, atom in enumerate(rule.body) if atom.is_delta]
     seed_rank = delta_positions.index(seed) if seed is not None else None
 
@@ -434,9 +537,54 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
             f"{operand(comparison.rhs)}"
         )
 
+    # The wcoj lowering pins an explicit multi-way join order with CROSS JOIN
+    # (SQLite keeps the written order for CROSS JOIN) and backs every
+    # non-leading atom with a covering index whose prefix is exactly the
+    # columns equality-bound by the time the atom is entered — the multi-way
+    # ordered-join shape of a generic join.  Binary variants keep the comma
+    # join and leave the order to SQLite's optimiser.
+    wcoj_index_sql: tuple[str, ...] = ()
+    wcoj_tag = ""
+    if kind == PLAN_WCOJ:
+        wcoj_tag = f" {TAG_WCOJ}"
+        join_order = _wcoj_join_order(rule, seed)
+        from_sql = " CROSS JOIN ".join(from_parts[index] for index in join_order)
+        indexes: List[str] = []
+        bound_vars = set(rule.body[join_order[0]].variable_names())
+        for index in join_order[1:]:
+            atom = rule.body[index]
+            table = (
+                frontier_table(atom.relation)
+                if atom.is_delta
+                else active_table(atom.relation)
+            )
+            eq_positions: List[int] = []
+            rest_positions: List[int] = []
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Constant) or term.name in bound_vars:
+                    eq_positions.append(position)
+                else:
+                    rest_positions.append(position)
+            columns = [f"c{position}" for position in eq_positions]
+            if atom.is_delta:
+                # The gen window is a range predicate: it sorts after the
+                # equality prefix, ahead of the covered remainder.
+                columns.append("gen")
+            columns.extend(f"c{position}" for position in rest_positions)
+            columns.append("tid")
+            name = f"wcoj_{table}__{'_'.join(columns)}"
+            indexes.append(
+                f"{TAG_WCOJ} CREATE INDEX IF NOT EXISTS {name} "
+                f"ON {table} ({', '.join(columns)})"
+            )
+            bound_vars |= set(atom.variable_names())
+        wcoj_index_sql = tuple(dict.fromkeys(indexes))
+    else:
+        from_sql = ", ".join(from_parts)
+
     where_sql = (" WHERE " + " AND ".join(where)) if where else ""
-    body_sql = f"FROM {', '.join(from_parts)}{where_sql}"
-    sql = f"{TAG_ASSIGN_SELECT} SELECT {', '.join(select_parts)} {body_sql}"
+    body_sql = f"FROM {from_sql}{where_sql}"
+    sql = f"{TAG_ASSIGN_SELECT}{wcoj_tag} SELECT {', '.join(select_parts)} {body_sql}"
 
     # Shard axis: the seed atom (its frontier window is what the sharded
     # driver partitions) or, for the full round-1 variant, the first body
@@ -448,11 +596,11 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
         f"(({shard_alias}.rowid % :nshards) + :nshards) % :nshards = :shard"
     )
     sharded_body_sql = (
-        f"FROM {', '.join(from_parts)} WHERE "
-        + " AND ".join([*where, shard_predicate])
+        f"FROM {from_sql} WHERE " + " AND ".join([*where, shard_predicate])
     )
     sharded_sql = (
-        f"{TAG_SHARD_SELECT} SELECT {', '.join(select_parts)} {sharded_body_sql}"
+        f"{TAG_SHARD_SELECT}{wcoj_tag} SELECT {', '.join(select_parts)} "
+        f"{sharded_body_sql}"
     )
 
     variant_id = next(_variant_ids)
@@ -460,7 +608,8 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
     stage_table = stage_table_name(stage_width)
     staged_columns = ", ".join(staged_column[expr] for expr in select_parts)
     staged_insert_sql = (
-        f"{TAG_STAGE} INSERT INTO {stage_table} (variant_id, {staged_columns}) "
+        f"{TAG_STAGE}{wcoj_tag} INSERT INTO {stage_table} "
+        f"(variant_id, {staged_columns}) "
         f"SELECT :variant, {', '.join(select_parts)} {body_sql}"
     )
     staged_rows_sql = (
@@ -501,7 +650,7 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
         f"({head_columns}) "
     )
     install_sql = (
-        f"{TAG_INSTALL_DIRECT} {install_into}"
+        f"{TAG_INSTALL_DIRECT}{wcoj_tag} {install_into}"
         f"SELECT DISTINCT {', '.join(head_exprs)}, NULL, :gen {body_sql}"
     )
     staged_install_sql = (
@@ -510,11 +659,11 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
         f"FROM {stage_table} WHERE variant_id = :variant"
     )
     sharded_heads_sql = (
-        f"{TAG_SHARD_SELECT} SELECT DISTINCT {', '.join(head_exprs)} "
+        f"{TAG_SHARD_SELECT}{wcoj_tag} SELECT DISTINCT {', '.join(head_exprs)} "
         f"{sharded_body_sql}"
     )
     sharded_install_sql = (
-        f"{TAG_SHARD_INSTALL} {install_into}"
+        f"{TAG_SHARD_INSTALL}{wcoj_tag} {install_into}"
         f"SELECT DISTINCT {', '.join(head_exprs)}, NULL, :gen {sharded_body_sql}"
     )
     head_insert_sql = (
@@ -544,6 +693,8 @@ def _compile_frontier_variant(rule: Rule, seed: int | None) -> FrontierQuery:
         head_insert_sql=head_insert_sql,
         head_sources=tuple(head_sources),
         shard_alias=shard_alias,
+        plan_kind=kind,
+        wcoj_index_sql=wcoj_index_sql,
     )
 
 

@@ -132,6 +132,8 @@ def stage_variant_rows(
     """
     if db.ensure_stage_table(variant.stage_width):
         context.stats.stage_ddl += 1
+    if variant.wcoj_index_sql:
+        db.ensure_wcoj_indexes(variant.wcoj_index_sql)
     db.execute(variant.stage_delete_sql, variant.bind())
     db.execute(variant.staged_insert_sql, variant.bind(**window))
     context.stats.staged_selects += 1
@@ -165,6 +167,8 @@ def _discovery_assignments(
                 yield assignment
         db.execute(variant.stage_delete_sql, variant.bind())
     else:
+        if variant.wcoj_index_sql:
+            db.ensure_wcoj_indexes(variant.wcoj_index_sql)
         rows = db.execute(variant.sql, variant.bind(**window))
         if context is not None:
             context.stats.assignment_selects += 1
@@ -273,6 +277,8 @@ def sql_semi_naive_closure(
             # stage tables empty (they persist for the connection's lifetime).
             db.execute(variant.stage_delete_sql, variant.bind())
         else:
+            if variant.wcoj_index_sql:
+                db.ensure_wcoj_indexes(variant.wcoj_index_sql)
             cursor = db.execute(variant.install_sql, variant.bind(gen=gen, **window))
             ctx.stats.direct_installs += 1
         if cursor.rowcount > 0:

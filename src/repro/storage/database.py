@@ -325,6 +325,24 @@ class Database(BaseDatabase):
         for index, wrapper in self._candidate_observers.pop(observer, ()):
             index.remove_observer(wrapper)
 
+    @property
+    def has_candidate_observers(self) -> bool:
+        """True while any candidate observer is registered.
+
+        The wcoj driver walks tries instead of candidate iterators, so the
+        engines fall back to the binary path whenever this is set — candidate
+        observers must see every probed fact.
+        """
+        return bool(self._candidate_observers)
+
+    def relation_index(self, relation: str, delta: bool = False) -> RelationIndex:
+        """The :class:`RelationIndex` backing one extent (trie access point)."""
+        store = self._delta if delta else self._active
+        try:
+            return store[relation]
+        except KeyError:
+            raise UnknownRelationError(relation) from None
+
     def delta_token(self, relation: str) -> int:
         try:
             return self._delta[relation].token()

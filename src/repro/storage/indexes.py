@@ -11,6 +11,24 @@ evaluator can ask for the *frontier* â€” "every fact added since token ``T``" â€
 without diffing whole extents (see :meth:`RelationIndex.token` and
 :meth:`RelationIndex.added_since`).
 
+Per-position tries
+------------------
+
+The worst-case-optimal join driver (:mod:`repro.datalog.wcoj`) walks relation
+extents attribute-by-attribute rather than fact-by-fact, intersecting the
+possible values of one variable across every atom that mentions it.  That
+access pattern needs a *trie* view of the extent: nested dictionaries keyed by
+the attribute values in a chosen position order, with the full fact at the
+leaves.  :meth:`RelationIndex.trie` builds such a view lazily per position
+order (the first request scans the extent once) and every subsequent
+``add``/``discard`` maintains all built tries incrementally, exactly like the
+per-position hash indexes.  Because :class:`~repro.storage.facts.Fact`
+equality ignores the tuple id, an extent holds at most one fact per value
+tuple, so a fully-descended trie path ends in a single ``Fact`` â€” no leaf
+cross-products.  ``clear`` drops the tries and :meth:`RelationIndex.copy`
+never carries them over; value-level ordering is applied by the wcoj driver
+when it materialises an intersection, keeping trie maintenance O(arity).
+
 Candidate observers
 -------------------
 
@@ -41,11 +59,20 @@ class RelationIndex:
     removals keep that position's index up to date.
     """
 
-    __slots__ = ("_facts", "_by_position", "_snapshot", "_log", "_observers")
+    __slots__ = (
+        "_facts",
+        "_by_position",
+        "_tries",
+        "_snapshot",
+        "_log",
+        "_observers",
+    )
 
     def __init__(self, facts: Iterable[Fact] | None = None) -> None:
         self._facts: Set[Fact] = set(facts) if facts is not None else set()
         self._by_position: Dict[int, Dict[Any, Set[Fact]]] = {}
+        #: Lazily built tries keyed by position order (see module docstring).
+        self._tries: Dict[tuple, Dict[Any, Any]] = {}
         #: Cached frozen snapshot of the extent, dropped on every write.
         self._snapshot: frozenset[Fact] | None = None
         #: Append-only insertion log backing the frontier tokens.
@@ -65,6 +92,8 @@ class RelationIndex:
         self._snapshot = None
         for position, buckets in self._by_position.items():
             buckets.setdefault(item.values[position], set()).add(item)
+        for positions, trie in self._tries.items():
+            self._trie_insert(trie, positions, item)
         return True
 
     def discard(self, item: Fact) -> bool:
@@ -79,6 +108,8 @@ class RelationIndex:
                 bucket.discard(item)
                 if not bucket:
                     del buckets[item.values[position]]
+        for positions, trie in self._tries.items():
+            self._trie_remove(trie, positions, item)
         return True
 
     def clear(self) -> None:
@@ -86,6 +117,7 @@ class RelationIndex:
         so outstanding tokens stay valid)."""
         self._facts.clear()
         self._by_position.clear()
+        self._tries.clear()
         self._snapshot = None
 
     # -- frontier tokens -------------------------------------------------------
@@ -140,6 +172,54 @@ class RelationIndex:
         buckets = self._ensure_position(position)
         bucket = buckets.get(value)
         return bucket if bucket is not None else _EMPTY_BUCKET
+
+    # -- tries -----------------------------------------------------------------
+
+    @staticmethod
+    def _trie_insert(trie: Dict[Any, Any], positions: tuple, item: Fact) -> None:
+        values = item.values
+        node = trie
+        for position in positions[:-1]:
+            node = node.setdefault(values[position], {})
+        node[values[positions[-1]]] = item
+
+    @staticmethod
+    def _trie_remove(trie: Dict[Any, Any], positions: tuple, item: Fact) -> None:
+        values = item.values
+        path: List[tuple] = []
+        node = trie
+        for position in positions[:-1]:
+            child = node.get(values[position])
+            if child is None:
+                return
+            path.append((node, values[position]))
+            node = child
+        node.pop(values[positions[-1]], None)
+        # Prune now-empty interior nodes so key sets stay exact.
+        while path and not node:
+            node, key = path.pop()
+            del node[key]
+
+    def trie(self, positions: tuple) -> Dict[Any, Any]:
+        """A nested-dict trie over the extent keyed in ``positions`` order.
+
+        ``positions`` must be a permutation of the relation's attribute
+        positions.  Level ``k`` maps the value at ``positions[k]`` to the next
+        level; the final level maps the last value to the (unique) fact.  The
+        returned trie is a *live view* maintained by ``add``/``discard`` â€” do
+        not mutate it.  Built on first request by a single extent scan; the
+        build publishes only a fully-constructed trie so concurrent readers
+        never observe a partial structure.
+        """
+        if not positions:
+            raise ValueError("trie requires at least one position")
+        trie = self._tries.get(positions)
+        if trie is None:
+            trie = {}
+            for item in self._facts:
+                self._trie_insert(trie, positions, item)
+            self._tries[positions] = trie
+        return trie
 
     # -- candidate observers ---------------------------------------------------
 

@@ -130,6 +130,9 @@ class SQLiteDatabase(BaseDatabase):
         #: Stage widths whose keyed temp table already exists on this
         #: connection (see :meth:`ensure_stage_table`).
         self._stage_widths: set[int] = set()
+        #: wcoj covering-index statements already applied through this
+        #: connection (see :meth:`ensure_wcoj_indexes`).
+        self._wcoj_indexes: set[str] = set()
         #: Lazily opened read-only sibling connections (file-backed WAL
         #: databases only; see :meth:`reader_connections`).
         self._readers: list[sqlite3.Connection] = []
@@ -495,6 +498,26 @@ class SQLiteDatabase(BaseDatabase):
         )
         self._stage_widths.add(width)
         return True
+
+    def ensure_wcoj_indexes(self, statements) -> int:
+        """Apply a wcoj variant's covering-index DDL, once per connection.
+
+        ``statements`` is :attr:`FrontierQuery.wcoj_index_sql
+        <repro.datalog.sql_compiler.FrontierQuery.wcoj_index_sql>` — tagged
+        ``CREATE INDEX IF NOT EXISTS`` statements.  Returns how many actually
+        ran (statements seen before on this connection are skipped, so
+        steady-state rounds issue zero DDL; ``IF NOT EXISTS`` makes the first
+        run idempotent across connections sharing a database file).  The DDL
+        routes through :meth:`execute` so statement hooks count it.
+        """
+        ran = 0
+        for statement in statements:
+            if statement in self._wcoj_indexes:
+                continue
+            self.execute(statement)
+            self._wcoj_indexes.add(statement)
+            ran += 1
+        return ran
 
     def add_statement_hook(self, hook) -> None:
         """Register ``hook(sql)`` to observe every :meth:`execute` statement.

@@ -6,6 +6,8 @@ offline, so this package generates synthetic instances over the same schemas
 with configurable scale and seeded randomness (see DESIGN.md, substitution 3),
 plus:
 
+* :mod:`repro.workloads.cyclic` — hub-heavy cyclic-join graphs (triangle,
+  4-clique, mutual recursion) exercising the worst-case-optimal join path;
 * :mod:`repro.workloads.errors` — the duplicate-with-perturbation error
   injector used by the DC / HoloClean experiments (Tables 4-5, Figure 10);
 * :mod:`repro.workloads.programs_mas` — the 20 MAS programs of Table 1;
@@ -13,6 +15,12 @@ plus:
 * :mod:`repro.workloads.programs_dc` — the four denial constraints DC1-DC4.
 """
 
+from repro.workloads.cyclic import (
+    CyclicDataset,
+    cyclic_programs,
+    cyclic_schema,
+    generate_cyclic,
+)
 from repro.workloads.mas import MASDataset, generate_mas, mas_schema
 from repro.workloads.tpch import TPCHDataset, generate_tpch, tpch_schema
 from repro.workloads.errors import ErrorInjectionResult, generate_author_table, inject_errors
@@ -21,6 +29,10 @@ from repro.workloads.programs_tpch import tpch_programs, tpch_program
 from repro.workloads.programs_dc import dc_constraints, dc_program
 
 __all__ = [
+    "CyclicDataset",
+    "cyclic_programs",
+    "cyclic_schema",
+    "generate_cyclic",
     "MASDataset",
     "generate_mas",
     "mas_schema",

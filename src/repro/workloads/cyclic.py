@@ -1,0 +1,181 @@
+"""Synthetic cyclic-join workloads for the worst-case-optimal join path.
+
+The MAS / TPC-H programs of the paper are acyclic (their join hypergraphs
+GYO-reduce to nothing), so they never exercise the generic-join evaluator of
+:mod:`repro.datalog.wcoj` or the ordered SQL lowering.  This module provides
+a workload family whose rule bodies keep a cyclic core:
+
+* **triangle** — ``delta Edge(x, y) :- Edge(x, y), Edge(y, z), Edge(z, x).``
+  The canonical AGM separation: a binary plan enumerates every length-2 path
+  (``Θ(Σ deg²)`` on a skewed graph) while the generic join is bounded by the
+  ``O(N^{3/2})`` triangle output;
+* **clique4** — the 4-clique body (six ``Edge`` atoms), a deeper cyclic core
+  with fractional-hypertree width 2;
+* **mutual** — a mutually recursive pair of delta rules over ``A`` / ``B``
+  whose bodies close a triangle through the *other* relation's frontier, so
+  the wcoj path runs seeded (rank-stratified) rounds, not just round 1.
+
+The generated graph is hub-heavy **by construction**: a fixed set of hub
+nodes is wired bidirectionally to a large sample of the remaining nodes, on
+top of a sparse ring and a few random extras.  The hub core guarantees the
+degree skew (it is not left to preferential-attachment luck, which varies
+wildly across seeds): every binary triangle plan must enumerate the hubs'
+``Θ(deg²)`` two-paths, while the generic join's per-variable intersections
+stay bounded by the small non-hub degrees — so the binary/wcoj separation
+grows with scale at every seed.
+
+All programs are *repair-style* delta programs (guard-first bodies: the head's
+base counterpart leads the body), matching the paper's program shape so every
+engine and semantics accepts them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datalog.delta import DeltaProgram
+from repro.storage.database import Database
+from repro.storage.facts import Fact
+from repro.storage.schema import RelationSchema, Schema
+from repro.utils.rng import make_rng
+
+
+def cyclic_schema() -> Schema:
+    """Schema of the cyclic workload family: three binary edge relations."""
+    return Schema.from_relations(
+        [
+            RelationSchema.of("Edge", "src:int", "dst:int"),
+            RelationSchema.of("A", "src:int", "dst:int"),
+            RelationSchema.of("B", "src:int", "dst:int"),
+        ]
+    )
+
+
+@dataclass
+class CyclicDataset:
+    """A generated cyclic-graph instance plus its hub node and size summary."""
+
+    db: Database
+    schema: Schema
+    counts: Dict[str, int]
+    #: The highest-degree node — the constant the mutual-recursion program
+    #: seeds its cascade from (and the node whose ``deg²`` dominates a binary
+    #: triangle plan).
+    hub: int
+
+    @property
+    def total_tuples(self) -> int:
+        """Total number of tuples across all three relations."""
+        return sum(self.counts.values())
+
+    def fresh_db(self) -> Database:
+        """A deep copy of the instance (runs mutate delta extents)."""
+        return self.db.clone()
+
+
+#: Number of hub nodes of the constructed core (nodes ``0 .. N_HUBS - 1``).
+N_HUBS = 3
+
+#: Fraction of the non-hub nodes each hub is wired to, in both directions.
+HUB_WINDOW = 0.6
+
+
+def generate_cyclic(scale: float = 1.0, seed: int = 0) -> CyclicDataset:
+    """Generate a hub-core digraph (see the module docstring).
+
+    ``scale`` multiplies the node count linearly (edges follow: the hub core
+    is ``Θ(N_HUBS · n)``, the ring and extras ``Θ(n)``).  The seed only
+    varies *which* nodes fall in each hub's window and where the extra edges
+    land — the degree skew itself is structural, so the binary-vs-wcoj
+    separation holds at every seed.  ``A`` holds the same edge set and ``B``
+    its reversal, giving the mutual-recursion program a closed triangle
+    through both relations for every directed triangle of the base graph.
+    """
+    rng = make_rng(seed, "cyclic", scale)
+    n_nodes = max(24, round(40 * scale))
+    nodes = list(range(n_nodes))
+    edges: set[Tuple[int, int]] = set()
+
+    # Hub core: every hub is wired bidirectionally to a HUB_WINDOW sample of
+    # the other nodes — the guaranteed Θ(deg²) two-path mass.
+    for hub in range(N_HUBS):
+        others = [node for node in nodes if node != hub]
+        window = rng.sample(others, round(HUB_WINDOW * len(others)))
+        for node in window:
+            edges.add((node, hub))
+            edges.add((hub, node))
+
+    # Sparse ring: closes triangles through the hubs (x -> hub -> x+1 -> x
+    # needs the ring edge) without inflating any degree.
+    for node in nodes:
+        edges.add((node, (node + 1) % n_nodes))
+
+    # A few random extras for triangle variety off the ring.
+    extras = n_nodes
+    while extras:
+        src, dst = rng.randrange(n_nodes), rng.randrange(n_nodes)
+        if src != dst and (src, dst) not in edges:
+            edges.add((src, dst))
+            extras -= 1
+
+    schema = cyclic_schema()
+    db = Database(schema)
+    ordered: List[Tuple[int, int]] = sorted(edges)
+    for index, (src, dst) in enumerate(ordered):
+        db.insert(Fact("Edge", (src, dst), tid=f"e{index}"))
+        db.insert(Fact("A", (src, dst), tid=f"a{index}"))
+        db.insert(Fact("B", (dst, src), tid=f"b{index}"))
+
+    degree: Dict[int, int] = {node: 0 for node in nodes}
+    for src, dst in ordered:
+        degree[src] += 1
+        degree[dst] += 1
+    hub = max(nodes, key=lambda node: (degree[node], -node))
+    counts = {"Edge": len(ordered), "A": len(ordered), "B": len(ordered)}
+    return CyclicDataset(db=db, schema=schema, counts=counts, hub=hub)
+
+
+def triangle_program() -> DeltaProgram:
+    """Delete every edge that closes a directed triangle."""
+    program = DeltaProgram.from_text(
+        "delta Edge(x, y) :- Edge(x, y), Edge(y, z), Edge(z, x)."
+    )
+    program.validate_against_schema(cyclic_schema())
+    return program
+
+
+def clique_program() -> DeltaProgram:
+    """Delete every edge lying on a directed 4-clique (six-atom cyclic body)."""
+    program = DeltaProgram.from_text(
+        "delta Edge(x, y) :- Edge(x, y), Edge(y, z), Edge(z, w), Edge(w, x), "
+        "Edge(x, z), Edge(y, w)."
+    )
+    program.validate_against_schema(cyclic_schema())
+    return program
+
+
+def mutual_recursion_program(hub: int) -> DeltaProgram:
+    """Mutually recursive triangle closure between ``A`` and ``B``.
+
+    The seed rule deletes the hub's outgoing ``A`` edges; each later round
+    closes a triangle through the *other* relation's frontier, so the cascade
+    alternates between the relations and the wcoj path runs through the
+    seeded, rank-stratified enumeration — not just the full round-1 variant.
+    """
+    program = DeltaProgram.from_text(
+        f"delta A(x, y) :- A(x, y), x = {hub}.\n"
+        "delta B(x, y) :- B(x, y), delta A(y, z), B(z, x).\n"
+        "delta A(x, y) :- A(x, y), delta B(y, z), A(z, x).\n"
+    )
+    program.validate_against_schema(cyclic_schema())
+    return program
+
+
+def cyclic_programs(hub: int) -> Dict[str, DeltaProgram]:
+    """The family's programs, keyed by short name (benchmark row labels)."""
+    return {
+        "triangle": triangle_program(),
+        "clique4": clique_program(),
+        "mutual": mutual_recursion_program(hub),
+    }

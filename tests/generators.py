@@ -304,12 +304,19 @@ def random_torture_spec(
     rng: random.Random,
     max_relations: int = 4,
     max_facts_per_relation: int = 12,
+    cyclic_rate: float = 0.25,
 ) -> InstanceSpec:
     """A random negation-free delta-program instance as a shrinkable spec.
 
     Deliberately biased toward the shapes that have historically broken
     engines: self-joins, in-atom constants, mutual recursion between rule
     heads, empty relations, repeated variables and comparisons.
+
+    ``cyclic_rate`` is the per-rule probability of appending a three-atom
+    cyclic triple over fresh variables (a triangle through arity >= 2
+    relations), so the torture suites exercise the planner's cyclic-core
+    classification and the generic-join path — bodies built from the other
+    biases alone almost always GYO-reduce to acyclic.
     """
     relation_count = rng.randint(2, max_relations)
     arities = tuple(
@@ -372,6 +379,22 @@ def random_torture_spec(
             body.append(
                 (previous, True, random_terms(previous, f"{rule_index}_m"))
             )
+        # Cyclic-core bias: a triangle over fresh variables through arity>=2
+        # relations, so the join hypergraph does not GYO-reduce and the
+        # planner routes the rule through the generic-join path.
+        wide = [name for name in names if arity_of[name] >= 2]
+        if wide and rng.random() < cyclic_rate:
+            cycle_vars = tuple(
+                (VAR, f"c{rule_index}_{i}") for i in range(3)
+            )
+            for leg in range(3):
+                relation = rng.choice(wide)
+                terms = [cycle_vars[leg], cycle_vars[(leg + 1) % 3]]
+                terms.extend(
+                    (VAR, f"c{rule_index}_{leg}_{position}")
+                    for position in range(2, arity_of[relation])
+                )
+                body.append((relation, rng.random() < 0.3, tuple(terms)))
 
         comparisons = ()
         if rng.random() < 0.4:

@@ -68,6 +68,7 @@ from repro.datalog import (
     parse_program,
     parse_rule,
 )
+from repro.service import MaintenanceResult, RepairService
 from repro.storage import (
     Attribute,
     BaseDatabase,
@@ -115,5 +116,8 @@ __all__ = [
     "verify_repair",
     "ContainmentReport",
     "compare_results",
+    # incremental maintenance
+    "RepairService",
+    "MaintenanceResult",
     "__version__",
 ]

@@ -144,6 +144,19 @@ class QueryStats:
     width_estimates:
         Width classifications performed (GYO reduction + AGM-vs-binary cost
         comparison) — one per plan build over a body with ≥ 2 atoms.
+    maintained_batches:
+        Insert/delete batches absorbed incrementally by a
+        :class:`~repro.service.RepairService` (one per
+        :meth:`~repro.service.RepairService.apply` call) instead of a full
+        re-fixpoint.
+    overdeleted:
+        Delta facts the DRed deletion pass over-deleted — facts with at least
+        one derivation transitively touching a deleted base fact, each a
+        re-derivation candidate.
+    rederived:
+        The subset of :attr:`overdeleted` rescued by the re-derivation pass
+        (an alternative derivation avoiding the deleted facts survived); the
+        difference ``overdeleted - rederived`` left the delta extent.
     """
 
     staged_selects: int = 0
@@ -161,6 +174,9 @@ class QueryStats:
     wcoj_rules: int = 0
     wcoj_intersections: int = 0
     width_estimates: int = 0
+    maintained_batches: int = 0
+    overdeleted: int = 0
+    rederived: int = 0
 
     def joins(self) -> int:
         """Total statements that join the base/frontier tables.
@@ -193,6 +209,9 @@ class QueryStats:
         self.wcoj_rules = 0
         self.wcoj_intersections = 0
         self.width_estimates = 0
+        self.maintained_batches = 0
+        self.overdeleted = 0
+        self.rederived = 0
 
 
 @dataclass
@@ -316,6 +335,24 @@ class EvalContext:
             cached = compile_frontier_rule(rule, plan_kind=key[1])
             self._variants[key] = cached
         return cached
+
+    def query_context(self) -> "EvalContext":
+        """A derived context sharing stats, knobs and caches — but no observers.
+
+        The incremental-maintenance layer (:mod:`repro.datalog.incremental`)
+        runs internal discovery queries that must benefit from this context's
+        plan/variant caches and account into the same :class:`QueryStats`,
+        while observer delivery stays under the caller's exactly-once
+        deduplication — the SQL discovery path notifies context observers
+        itself, so handing it the primary context would deliver assignments
+        twice.
+        """
+        derived = EvalContext(
+            stats=self.stats, shards=self.shards, workers=self.workers
+        )
+        derived._plans = self._plans
+        derived._variants = self._variants
+        return derived
 
     # -- observers --------------------------------------------------------------
 

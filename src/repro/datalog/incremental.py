@@ -1,0 +1,389 @@
+"""Incremental maintenance of delta closures under base-fact insert/delete streams.
+
+Everything else in the engine is batch: any change to the base instance means
+re-running the fixpoint from scratch.  This module maintains the closure —
+the delta extents, the set of satisfying assignments, and therefore the
+end-semantics repair outcome — **incrementally** across small update batches,
+the machinery behind :class:`repro.service.RepairService`:
+
+* **insertions** reuse the existing delta/frontier discipline.  A batch of
+  new base facts is absorbed in two phases: a *base-seeded* phase enumerates
+  every assignment using at least one new base fact (stratified over the
+  eligible body positions exactly like the semi-naive rank stratification, so
+  each assignment is found once), then the facts those assignments derive are
+  marked and the standard frontier propagation takes over — the in-memory
+  token loop of :mod:`repro.datalog.seminaive` or the generation-window
+  driver of :mod:`repro.datalog.sql_seminaive`, both untouched;
+* **deletions** run DRed-style over-delete / re-derive
+  (:func:`dred_delete`) against an :class:`AssignmentStore` that indexes
+  every live assignment by the facts it uses: dropping a base fact kills the
+  assignments using it, the facts they derived are over-deleted transitively,
+  and a re-derivation fixpoint rescues every fact that still has a derivation
+  avoiding the deleted facts.  Facts that stay dead are retracted from the
+  delta extent (:meth:`~repro.storage.database.BaseDatabase.retract_delta`),
+  including their frontier bookkeeping, so a later batch can re-derive them
+  through a fresh frontier entry.
+
+Delta programs are monotone (no negation), so deletions only ever shrink the
+closure and insertions only ever grow it — DRed is exact here, not an
+approximation.  After every batch the maintained state equals a from-scratch
+fixpoint on the updated base instance; the differential suite
+(``tests/test_incremental.py``) checks closures, tids, assignment signatures
+and repair outcomes against exactly that oracle on both backends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Set, Tuple
+
+from repro.datalog.ast import Rule
+from repro.datalog.context import EvalContext
+from repro.datalog.evaluation import Assignment, _match_atom, planned_search
+from repro.datalog.planner import JoinPlanner
+from repro.storage.database import BaseDatabase
+from repro.storage.facts import Fact
+from repro.storage.sqlite_backend import SQLiteDatabase
+
+#: Signature of the recording callback the maintenance drivers feed: returns
+#: True when the assignment was new (first sighting in the store), in which
+#: case its derived fact joins the propagation frontier.
+RecordFn = Callable[[Assignment], bool]
+
+
+class AssignmentStore:
+    """All live satisfying assignments, indexed by the facts they touch.
+
+    The store is the maintenance layer's provenance structure: one entry per
+    assignment signature, with three fact-level indexes —
+
+    * :meth:`base_users` — assignments using a fact at a *base* (non-delta)
+      body atom; invalidated permanently when the fact leaves the active
+      extent;
+    * :meth:`delta_users` — assignments using a fact at a *delta* body atom;
+      invalidated when the fact is retracted from the delta extent;
+    * :meth:`supports` — assignments *deriving* a fact; a delta fact stays
+      derivable exactly as long as one support remains whose delta facts are
+      all alive.
+
+    Fact equality ignores tids (set semantics), so lookups work with or
+    without a tuple identifier.
+    """
+
+    __slots__ = ("_by_signature", "_by_base", "_by_delta", "_support")
+
+    def __init__(self) -> None:
+        self._by_signature: Dict[tuple, Assignment] = {}
+        self._by_base: Dict[Fact, Set[tuple]] = {}
+        self._by_delta: Dict[Fact, Set[tuple]] = {}
+        self._support: Dict[Fact, Set[tuple]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_signature)
+
+    def __contains__(self, signature: tuple) -> bool:
+        return signature in self._by_signature
+
+    def get(self, signature: tuple) -> Assignment | None:
+        """The stored assignment with this signature, or None."""
+        return self._by_signature.get(signature)
+
+    def assignments(self) -> Iterable[Assignment]:
+        """Every live assignment (iteration order is insertion order)."""
+        return self._by_signature.values()
+
+    def add(self, assignment: Assignment) -> bool:
+        """Index ``assignment``; returns False when its signature is known."""
+        signature = assignment.signature()
+        if signature in self._by_signature:
+            return False
+        self._by_signature[signature] = assignment
+        for atom, item in assignment.used:
+            index = self._by_delta if atom.is_delta else self._by_base
+            index.setdefault(item, set()).add(signature)
+        self._support.setdefault(assignment.derived, set()).add(signature)
+        return True
+
+    def remove(self, signature: tuple) -> Assignment | None:
+        """Drop one assignment and unindex it; None when already absent."""
+        assignment = self._by_signature.pop(signature, None)
+        if assignment is None:
+            return None
+        for atom, item in assignment.used:
+            index = self._by_delta if atom.is_delta else self._by_base
+            bucket = index.get(item)
+            if bucket is not None:
+                bucket.discard(signature)
+                if not bucket:
+                    del index[item]
+        bucket = self._support.get(assignment.derived)
+        if bucket is not None:
+            bucket.discard(signature)
+            if not bucket:
+                del self._support[assignment.derived]
+        return assignment
+
+    def base_users(self, item: Fact) -> Tuple[tuple, ...]:
+        """Signatures of assignments using ``item`` at a base atom."""
+        return tuple(self._by_base.get(item, ()))
+
+    def delta_users(self, item: Fact) -> Tuple[tuple, ...]:
+        """Signatures of assignments using ``item`` at a delta atom."""
+        return tuple(self._by_delta.get(item, ()))
+
+    def supports(self, item: Fact) -> Tuple[tuple, ...]:
+        """Signatures of assignments deriving ``item``."""
+        return tuple(self._support.get(item, ()))
+
+
+# ---------------------------------------------------------------------------
+# Insertions: base-seeded discovery + frontier propagation
+# ---------------------------------------------------------------------------
+
+
+def seeded_insert_assignments(
+    db: BaseDatabase,
+    rule: Rule,
+    new_by_relation: Dict[str, Set[Fact]],
+    planner: JoinPlanner,
+) -> List[Assignment]:
+    """Assignments of ``rule`` using at least one newly inserted base fact.
+
+    The insert-side mirror of
+    :func:`repro.datalog.seminaive.seeded_rank_assignments`, seeding *base*
+    atoms from the batch of new active facts instead of delta atoms from the
+    frontier.  Exactly-once comes from the same rank stratification: the
+    enumeration is split by the first eligible body position matched to a new
+    fact, with earlier eligible positions restricted to pre-batch facts.
+    Delta atoms match the current delta extent — the closure *before* the
+    batch — so assignments needing a freshly derived delta fact are left to
+    the frontier propagation that follows.
+    """
+    body = rule.body
+    eligible = [
+        index
+        for index, atom in enumerate(body)
+        if not atom.is_delta and new_by_relation.get(atom.relation)
+    ]
+    results: List[Assignment] = []
+    for rank, seed_index in enumerate(eligible):
+        seed_atom = body[seed_index]
+        pre_batch = set(eligible[:rank])
+        plan = planner.plan(rule, seed=seed_index)
+
+        def candidates_for(index, atom, fixed, pre_batch=pre_batch):
+            facts = db.candidates(atom.relation, fixed, delta=atom.is_delta)
+            if index in pre_batch:
+                fresh = new_by_relation.get(atom.relation)
+                if fresh:
+                    return (item for item in facts if item not in fresh)
+            return facts
+
+        for item in new_by_relation[seed_atom.relation]:
+            bindings = _match_atom(seed_atom, item, {})
+            if bindings is None:
+                continue
+            planned_search(
+                rule, plan.order, 1, bindings, [(seed_index, item)], set(),
+                results, candidates_for,
+            )
+    return results
+
+
+def propagate_marks(
+    db: BaseDatabase,
+    rules: Iterable[Rule],
+    planner: JoinPlanner,
+    context: EvalContext,
+    record: RecordFn,
+    seeds: Iterable[Fact],
+) -> int:
+    """Mark ``seeds`` as fresh delta facts and run frontier rounds to fixpoint.
+
+    ``record`` receives every assignment the propagation enumerates and
+    returns True for first sightings — only those contribute their derived
+    fact to the next round's frontier.  ``context`` must be an observer-free
+    query context (:meth:`EvalContext.query_context`): on SQLite the
+    discovery path would otherwise deliver assignments to observers a second
+    time, outside the caller's deduplication.  Returns the number of frontier
+    rounds run.
+    """
+    delta_rules = [
+        rule for rule in rules if any(atom.is_delta for atom in rule.body)
+    ]
+    if isinstance(db, SQLiteDatabase):
+        return _propagate_sql(db, delta_rules, context, record, seeds)
+    return _propagate_memory(db, delta_rules, planner, record, seeds)
+
+
+def _propagate_memory(
+    db: BaseDatabase,
+    delta_rules: List[Rule],
+    planner: JoinPlanner,
+    record: RecordFn,
+    seeds: Iterable[Fact],
+) -> int:
+    from repro.datalog.seminaive import Frontier, seeded_assignments
+
+    relations = sorted(
+        {atom.relation for rule in delta_rules for atom in rule.body if atom.is_delta}
+    )
+    tokens = {relation: db.delta_token(relation) for relation in relations}
+    for item in seeds:
+        db.mark_deleted(item)
+    rounds = 0
+    while True:
+        frontier: Frontier = {}
+        for relation in relations:
+            added = db.delta_added_since(relation, tokens[relation])
+            tokens[relation] = db.delta_token(relation)
+            if added:
+                frontier[relation] = set(added)
+        if not frontier:
+            return rounds
+        rounds += 1
+        planner.begin_round()
+        derived: List[Fact] = []
+        for rule in delta_rules:
+            for assignment in seeded_assignments(db, rule, frontier, planner):
+                if record(assignment):
+                    derived.append(assignment.derived)
+        for item in derived:
+            db.mark_deleted(item)
+
+
+def _propagate_sql(
+    db: SQLiteDatabase,
+    delta_rules: List[Rule],
+    context: EvalContext,
+    record: RecordFn,
+    seeds: Iterable[Fact],
+) -> int:
+    from repro.datalog.sql_seminaive import seeded_assignments_sql
+
+    lo = db.generation()
+    for item in seeds:
+        db.mark_deleted(item)
+    hi = db.generation()
+    rounds = 0
+    while hi > lo:
+        rounds += 1
+        derived: List[Fact] = []
+        for rule in delta_rules:
+            # Materialise before marking: the streaming SELECT must not see
+            # writes mid-cursor.
+            batch = list(seeded_assignments_sql(db, rule, lo, hi, context))
+            for assignment in batch:
+                if record(assignment):
+                    derived.append(assignment.derived)
+        for item in derived:
+            db.mark_deleted(item)
+        lo, hi = hi, db.generation()
+    return rounds
+
+
+def maintain_insertions(
+    db: BaseDatabase,
+    rules: Iterable[Rule],
+    planner: JoinPlanner,
+    context: EvalContext,
+    record: RecordFn,
+    new_facts: Iterable[Fact],
+) -> int:
+    """Absorb a batch of already-inserted base facts into the closure.
+
+    ``new_facts`` must already be in the active extent (as stored, with
+    tids).  Returns the number of frontier propagation rounds the batch
+    needed.
+    """
+    new_by_relation: Dict[str, Set[Fact]] = {}
+    for item in new_facts:
+        new_by_relation.setdefault(item.relation, set()).add(item)
+    if not new_by_relation:
+        return 0
+    seeds: List[Fact] = []
+    for rule in rules:
+        for assignment in seeded_insert_assignments(
+            db, rule, new_by_relation, planner
+        ):
+            if record(assignment) and not db.has_delta(assignment.derived):
+                seeds.append(assignment.derived)
+    return propagate_marks(db, rules, planner, context, record, seeds)
+
+
+# ---------------------------------------------------------------------------
+# Deletions: DRed over-delete / re-derive
+# ---------------------------------------------------------------------------
+
+
+def dred_delete(
+    db: BaseDatabase,
+    store: AssignmentStore,
+    removed: Iterable[Fact],
+    stats=None,
+) -> Tuple[Set[Fact], Set[Fact], Set[Fact]]:
+    """Propagate base-fact deletions through the closure, DRed-style.
+
+    ``removed`` are base facts already dropped from the active extent.  Three
+    passes:
+
+    1. assignments using a removed fact at a base atom are invalid forever —
+       they leave the store, and the facts they derived seed the over-delete;
+    2. *over-delete*: every fact with a derivation transitively touching a
+       seeded fact at a delta atom is a deletion candidate;
+    3. *re-derive*: a candidate survives when some remaining support uses
+       only alive delta facts (its base facts are still active — every
+       base-invalidated assignment left the store in pass 1).  Facts that
+       stay dead are retracted from the delta extent and every assignment
+       using them at a delta atom leaves the store.
+
+    Returns ``(overdeleted, rederived, retracted)``; delta programs are
+    monotone, so the result is exact — retracted facts are precisely the
+    closure difference.
+    """
+    work: deque[Fact] = deque()
+    for item in removed:
+        for signature in store.base_users(item):
+            assignment = store.remove(signature)
+            if assignment is not None:
+                work.append(assignment.derived)
+
+    overdeleted: Set[Fact] = set()
+    while work:
+        item = work.popleft()
+        if item in overdeleted:
+            continue
+        overdeleted.add(item)
+        for signature in store.delta_users(item):
+            user = store.get(signature)
+            if user is not None:
+                work.append(user.derived)
+
+    rederived: Set[Fact] = set()
+    changed = True
+    while changed:
+        changed = False
+        for item in overdeleted:
+            if item in rederived:
+                continue
+            for signature in store.supports(item):
+                assignment = store.get(signature)
+                if assignment is None:
+                    continue
+                if all(
+                    used not in overdeleted or used in rederived
+                    for used in assignment.delta_facts()
+                ):
+                    rederived.add(item)
+                    changed = True
+                    break
+
+    retracted = overdeleted - rederived
+    for item in retracted:
+        db.retract_delta(item)
+        for signature in store.delta_users(item):
+            store.remove(signature)
+    if stats is not None:
+        stats.overdeleted += len(overdeleted)
+        stats.rederived += len(rederived)
+    return overdeleted, rederived, retracted

@@ -51,6 +51,7 @@ machinery.
 from __future__ import annotations
 
 import threading
+import zlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
@@ -82,6 +83,28 @@ from repro.storage.sqlite_backend import SQLiteDatabase
 _pool_lock = threading.Lock()
 _pool: ThreadPoolExecutor | None = None
 _pool_size = 0
+# Wave leases per pool: a retired pool (replaced by a larger one) is only shut
+# down once its last leased wave drained — a concurrent closure that picked the
+# pool up before the swap keeps submitting to a live executor instead of
+# hitting "cannot schedule new futures after shutdown".
+_pool_leases: Dict[ThreadPoolExecutor, int] = {}
+
+
+def _ensure_pool(workers: int) -> ThreadPoolExecutor:
+    """Grow the shared pool to ``workers`` threads.  Caller holds ``_pool_lock``."""
+    global _pool, _pool_size
+    if _pool is None or _pool_size < workers:
+        previous = _pool
+        _pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+        _pool_size = workers
+        if previous is not None and not _pool_leases.get(previous):
+            # No wave holds a lease on the old pool: the idle threads can exit
+            # now instead of leaking for the process lifetime.  A leased pool
+            # is shut down by the last _release_pool instead.
+            previous.shutdown(wait=False)
+    return _pool
 
 
 def worker_pool(workers: int) -> ThreadPoolExecutor:
@@ -89,30 +112,74 @@ def worker_pool(workers: int) -> ThreadPoolExecutor:
 
     One pool serves every sharded closure of the process (threads are
     recycled across rounds, runs and databases); asking for more workers than
-    the pool currently has replaces it with a larger one, shutting the old
-    pool down (``wait=False`` — in-flight waves finish, the idle threads
-    exit instead of leaking for the process lifetime).  Worker threads only
-    ever *read* the database being evaluated, so sharing the pool across
+    the pool currently has replaces it with a larger one.  Worker threads
+    only ever *read* the database being evaluated, so sharing the pool across
     concurrent closures is safe; the pool size is only an upper bound — each
     wave caps its own concurrency at the run's ``workers`` knob (see
-    :func:`_run_wave`).
+    :func:`_run_wave`).  Waves acquire the pool through a per-wave lease
+    (:func:`_acquire_pool` / :func:`_release_pool`): when a concurrent
+    closure grows the pool mid-run, the retired executor stays alive until
+    the last wave holding it drains, then shuts down.
     """
-    global _pool, _pool_size
     with _pool_lock:
-        if _pool is None or _pool_size < workers:
-            previous = _pool
-            _pool = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-shard"
-            )
-            _pool_size = workers
-            if previous is not None:
-                previous.shutdown(wait=False)
-        return _pool
+        return _ensure_pool(workers)
+
+
+def _acquire_pool(workers: int) -> ThreadPoolExecutor:
+    """Lease the shared pool (grown to ``workers``) for one wave."""
+    with _pool_lock:
+        pool = _ensure_pool(workers)
+        _pool_leases[pool] = _pool_leases.get(pool, 0) + 1
+        return pool
+
+
+def _release_pool(pool: ThreadPoolExecutor) -> None:
+    """Return a wave's lease; shut the pool down if it was retired meanwhile."""
+    with _pool_lock:
+        remaining = _pool_leases.get(pool, 0) - 1
+        if remaining > 0:
+            _pool_leases[pool] = remaining
+            return
+        _pool_leases.pop(pool, None)
+        if pool is not _pool:
+            pool.shutdown(wait=False)
+
+
+def _assignment_order(assignment: Assignment) -> tuple:
+    """Canonical in-shard replay order for one job's assignments.
+
+    Workers enumerate joins over hash-based indexes, whose iteration order is
+    salted for strings (``PYTHONHASHSEED``): replaying each shard's results in
+    enumeration order would deliver a process-dependent observer stream even
+    though the merged *set* is deterministic.  Sorting every job's results by
+    the used facts (one rule per job, so the tuples are comparable) makes the
+    full delivery stream reproducible across processes.
+    """
+    return tuple(
+        (atom.relation, atom.is_delta, item.sort_key())
+        for atom, item in assignment.used
+    )
 
 
 def fact_shard(item: Fact, nshards: int) -> int:
-    """The hash partition of ``item`` among ``nshards`` shards (in-memory)."""
-    return hash(item) % nshards
+    """The hash partition of ``item`` among ``nshards`` shards (in-memory).
+
+    The hash is a CRC-32 fold over a typed canonical encoding of the fact's
+    relation and values — **stable across processes and interpreter runs**,
+    unlike the builtin ``hash()``, which salts strings per process
+    (``PYTHONHASHSEED``).  Routing must not depend on the process: file-backed
+    resumes and CI-seed replays reproduce the exact tid and observer streams
+    only if every process deals the same fact to the same shard.  Tids are
+    ignored, matching :class:`~repro.storage.facts.Fact` equality; values are
+    tagged with their type name so e.g. ``1`` and ``"1"`` hash apart, and the
+    SQLite path is unaffected (it partitions by ``rowid % :nshards`` inside
+    the database).
+    """
+    digest = zlib.crc32(item.relation.encode("utf-8"))
+    for value in item.values:
+        encoded = f"{type(value).__name__}:{value!r};".encode("utf-8")
+        digest = zlib.crc32(encoded, digest)
+    return digest % nshards
 
 
 def _run_wave(
@@ -130,20 +197,23 @@ def _run_wave(
     """
     if workers <= 1 or len(jobs) <= 1:
         return [job() for job in jobs]
-    pool = worker_pool(workers)
-    slices = [
-        list(range(start, len(jobs), workers))
-        for start in range(min(workers, len(jobs)))
-    ]
+    pool = _acquire_pool(workers)
+    try:
+        slices = [
+            list(range(start, len(jobs), workers))
+            for start in range(min(workers, len(jobs)))
+        ]
 
-    def run_slice(indices: List[int]) -> List[tuple]:
-        return [(index, jobs[index]()) for index in indices]
+        def run_slice(indices: List[int]) -> List[tuple]:
+            return [(index, jobs[index]()) for index in indices]
 
-    results: List[object] = [None] * len(jobs)
-    for future in [pool.submit(run_slice, chunk) for chunk in slices]:
-        for index, result in future.result():
-            results[index] = result
-    return results
+        results: List[object] = [None] * len(jobs)
+        for future in [pool.submit(run_slice, chunk) for chunk in slices]:
+            for index, result in future.result():
+                results[index] = result
+        return results
+    finally:
+        _release_pool(pool)
 
 
 # ---------------------------------------------------------------------------
@@ -312,11 +382,14 @@ def sql_sharded_closure(
                 # per-commit WAL bookkeeping dwarfs the insert itself.
                 db.connection.execute("BEGIN")
                 try:
-                    # Batch order is irrelevant: head values are the table's
-                    # primary key, so no two rows of one batch collide.
+                    # Sorted batch order: head values are the table's primary
+                    # key so no two rows collide, but the *rowids* assigned
+                    # here become the shard axis of later rounds' partitioned
+                    # SELECTs — set order is salted for strings, sorted order
+                    # reproduces identical routing across processes.
                     db.connection.executemany(
                         variant.head_insert_sql,
-                        [(*head, gen) for head in heads],
+                        [(*head, gen) for head in sorted(heads, key=repr)],
                     )
                     db.connection.execute("COMMIT")
                 except BaseException:
@@ -555,7 +628,7 @@ def memory_sharded_closure(
                 )
         wave = _run_wave(round_one_jobs, workers)
         for results in wave:
-            for assignment in results:
+            for assignment in sorted(results, key=_assignment_order):
                 record(assignment)
         for item in derived_now:
             db.mark_deleted(item)
@@ -594,7 +667,7 @@ def memory_sharded_closure(
                             )
                         )
             for results in _run_wave(jobs, workers):
-                for assignment in results:
+                for assignment in sorted(results, key=_assignment_order):
                     record(assignment)
             for item in derived_now:
                 db.mark_deleted(item)

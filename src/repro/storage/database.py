@@ -157,6 +157,17 @@ class BaseDatabase(ABC):
     def drop_active(self, item: Fact) -> bool:
         """Remove ``item`` from the active extent only."""
 
+    @abstractmethod
+    def retract_delta(self, item: Fact) -> bool:
+        """Remove ``item`` from the delta extent only (inverse of :meth:`mark_deleted`).
+
+        Used by DRed-style incremental maintenance
+        (:mod:`repro.datalog.incremental`) when a derived delta fact loses its
+        last derivation: the fact leaves the delta extent *and* any frontier
+        bookkeeping, so a later re-derivation re-enters the frontier like a
+        brand-new delta fact.  Returns True when the delta extent changed.
+        """
+
     def delete_all(self, items: Iterable[Fact]) -> int:
         """Delete many facts; returns how many delta entries were added."""
         return sum(1 for item in items if self.delete(item))
@@ -383,6 +394,10 @@ class Database(BaseDatabase):
     def drop_active(self, item: Fact) -> bool:
         self._check(item)
         return self._active[item.relation].discard(item)
+
+    def retract_delta(self, item: Fact) -> bool:
+        self._check(item)
+        return self._delta[item.relation].discard(item)
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -393,6 +393,15 @@ class SQLiteDatabase(BaseDatabase):
         self._check(item)
         return self._delete_from(active_table(item.relation), item)
 
+    def retract_delta(self, item: Fact) -> bool:
+        self._check(item)
+        removed = self._delete_from(delta_table(item.relation), item)
+        # Drop the frontier mirror too: a later re-derivation must re-stamp
+        # ``f_R`` with a fresh generation (``INSERT OR IGNORE`` would otherwise
+        # keep the stale row and the fact would never re-enter any window).
+        self._delete_from(frontier_table(item.relation), item)
+        return removed
+
     def insert_all(self, items: Iterable[Fact]) -> int:
         by_relation: Dict[str, list[tuple]] = {}
         for item in items:
@@ -557,11 +566,18 @@ class SQLiteDatabase(BaseDatabase):
 
     @classmethod
     def from_database(cls, source: BaseDatabase, path: str = ":memory:") -> "SQLiteDatabase":
-        """Copy an existing (e.g. in-memory) database into a SQLite engine."""
+        """Copy an existing (e.g. in-memory) database into a SQLite engine.
+
+        Facts are inserted in sorted order, not the source's set-iteration
+        order: rowids double as the sharded engine's partition axis
+        (``rowid % :nshards``), so copies built in different processes must
+        assign the same rowids to the same facts or replays could not
+        reproduce shard routing (string hashes are salted per process).
+        """
         copy = cls(source.schema, path=path)
         for relation in source.relation_names():
-            copy.insert_all(source.active_facts(relation))
-            for item in source.delta_facts(relation):
+            copy.insert_all(sorted(source.active_facts(relation), key=Fact.sort_key))
+            for item in sorted(source.delta_facts(relation), key=Fact.sort_key):
                 copy.mark_deleted(item)
         return copy
 

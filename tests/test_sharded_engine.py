@@ -488,3 +488,175 @@ class TestShardedFileResume:
         )
         assert set(reopened.all_deltas()) == oracle_deltas
         reopened.close()
+
+
+class TestPoolLeases:
+    """The shared pool must outlive in-flight waves when a concurrent run grows it."""
+
+    def test_retired_pool_survives_until_lease_released(self):
+        from repro.datalog import sharded
+        from repro.datalog.sharded import _acquire_pool, _release_pool
+
+        leased = _acquire_pool(max(2, sharded._pool_size))
+        grown = worker_pool(sharded._pool_size + 2)  # forces a swap
+        assert grown is not leased
+        # The leased pool must still accept work: the old implementation shut
+        # it down on the swap, making this raise "cannot schedule new futures
+        # after shutdown".
+        assert leased.submit(lambda: 41 + 1).result() == 42
+        _release_pool(leased)
+        # Last lease returned on a retired pool: now it is shut down.
+        with pytest.raises(RuntimeError):
+            leased.submit(lambda: None)
+        # The current pool is unaffected.
+        assert grown.submit(lambda: 2).result() == 2
+
+    def test_concurrent_closures_at_different_worker_counts(self):
+        import threading
+
+        from repro.datalog import sharded
+
+        base, program = cascade_instance()
+        oracle_deltas, oracle_sigs = oracle_state(base, program)
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def run_small():
+            try:
+                barrier.wait()
+                for _ in range(6):
+                    db = base.clone()
+                    result = run_closure(
+                        db,
+                        program,
+                        engine="sharded",
+                        context=EvalContext(shards=4, workers=2),
+                    )
+                    assert set(db.all_deltas()) == oracle_deltas
+                    assert {
+                        a.signature() for a in result.assignments
+                    } == oracle_sigs
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def run_growing():
+            try:
+                barrier.wait()
+                for _ in range(6):
+                    # Each closure requests more workers than the pool has,
+                    # forcing a swap while the other thread's waves fly.
+                    workers = sharded._pool_size + 1
+                    db = base.clone()
+                    result = run_closure(
+                        db,
+                        program,
+                        engine="sharded",
+                        context=EvalContext(shards=workers, workers=workers),
+                    )
+                    assert set(db.all_deltas()) == oracle_deltas
+                    assert {
+                        a.signature() for a in result.assignments
+                    } == oracle_sigs
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run_small),
+            threading.Thread(target=run_growing),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
+class TestCrossProcessDeterminism:
+    """Shard routing must not depend on the process (PYTHONHASHSEED)."""
+
+    SCRIPT = """
+import json
+
+from repro.datalog.context import EvalContext
+from repro.datalog.delta import DeltaProgram
+from repro.datalog.evaluation import run_closure
+from repro.storage.database import Database
+from repro.storage.schema import RelationSchema, Schema
+from repro.storage.sqlite_backend import SQLiteDatabase
+
+schema = Schema.from_relations(
+    [
+        RelationSchema.of("E", "x:str", "y:str"),
+        RelationSchema.of("N", "x:str"),
+        RelationSchema.of("S", "x:str"),
+    ]
+)
+nodes = ["n%d" % i for i in range(14)]
+edges = [(nodes[i], nodes[i + 1]) for i in range(12)]
+edges += [(nodes[i], nodes[i + 2]) for i in range(0, 10, 2)]
+base = Database.from_dicts(
+    schema, {"E": edges, "N": [(n,) for n in nodes], "S": [(nodes[0],)]}
+)
+program = DeltaProgram.from_text(
+    \"\"\"
+    delta N(x) :- N(x), S(x).
+    delta E(x, y) :- E(x, y), delta N(x).
+    delta N(y) :- N(y), E(x, y), delta E(x, y).
+    \"\"\"
+)
+payload = {}
+for backend in ("memory", "sqlite"):
+    if backend == "memory":
+        db = base.clone()
+    else:
+        db = SQLiteDatabase.from_database(base)
+    ctx = EvalContext(shards=4, workers=2)
+    delivered = []
+    ctx.add_observer(delivered.append)
+    result = run_closure(db, program, engine="sharded", context=ctx)
+    payload[backend] = {
+        "rounds": result.rounds,
+        "closure": sorted(
+            [item.relation, list(item.values), item.tid]
+            for item in db.all_deltas()
+        ),
+        "stream": [str(a) for a in delivered],
+    }
+    if backend == "sqlite":
+        db.close()
+print(json.dumps(payload, sort_keys=True))
+"""
+
+    def test_closure_tids_and_observer_stream_match_across_hash_seeds(self):
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        outputs = []
+        for seed in ("1", "2"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = src_root
+            env.pop(SHARDS_ENV, None)
+            proc = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        # Byte-identical payloads: same closures, tids, round counts, and
+        # observer streams (including delivery order) on both backends.
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        for backend in ("memory", "sqlite"):
+            assert payload[backend]["rounds"] >= 3
+            assert payload[backend]["stream"]
+            assert payload[backend]["closure"]

@@ -71,9 +71,12 @@ import os
 
 from repro.core.repair import RepairEngine
 from repro.service import RepairService
-from repro.storage.facts import Fact
+from repro.storage.database import Database
+from repro.storage.facts import Fact, fact
+from repro.storage.schema import RelationSchema, Schema
 from repro.core.semantics import Semantics, end_semantics
 from repro.datalog.context import EvalContext
+from repro.datalog.delta import DeltaProgram
 from repro.datalog.evaluation import run_closure
 from repro.datalog.planner import PLAN_BINARY, PLAN_ENV, PLAN_WCOJ
 from repro.datalog.sql_compiler import TAG_ASSIGN_SELECT, TAG_STAGE
@@ -106,6 +109,14 @@ COMPARE_PROGRAM = "18"
 MAINTENANCE_PROGRAM = "20"
 MAINTENANCE_BATCHES = 6
 MAINTENANCE_BATCH_SIZE = 3
+
+#: Counting-deletion axis: a redundant-support chain closure (every seed fact
+#: has two base-only derivations) maintained with the counting fast path on
+#: and off.  The chain length is FIXED — identical in smoke and full runs —
+#: so the ``--check`` row key matches either baseline.
+COUNTING_PROGRAM = "counting-chain"
+COUNTING_CHAIN = 240
+COUNTING_BATCHES = 6
 
 SEED = 7
 
@@ -592,6 +603,134 @@ def bench_maintenance(scale: float, repetitions: int) -> List[dict]:
     return rows
 
 
+def counting_workload():
+    """The counting-deletion chain: two independent base-only seeds.
+
+    ``S(0)`` and ``T(0)`` each give ``delta N(0)`` a base-only derivation;
+    the recursive rule then walks the chain.  Deleting one seed leaves every
+    closure fact with a positive base-only support count, so the counting
+    fast path decides the batch without the DRed detour.
+    """
+    schema = Schema.from_relations(
+        [
+            RelationSchema.of("E", "x:int", "y:int"),
+            RelationSchema.of("N", "x:int"),
+            RelationSchema.of("S", "x:int"),
+            RelationSchema.of("T", "x:int"),
+        ]
+    )
+    program = DeltaProgram.from_text(
+        """
+        delta N(x) :- N(x), S(x).
+        delta N(x) :- N(x), T(x).
+        delta N(y) :- N(y), E(x, y), delta N(x).
+        """
+    )
+    facts = (
+        [fact("E", i, i + 1) for i in range(COUNTING_CHAIN)]
+        + [fact("N", i) for i in range(COUNTING_CHAIN + 1)]
+        + [fact("S", 0), fact("T", 0)]
+    )
+    return schema, program, facts
+
+
+def bench_counting(repetitions: int) -> List[dict]:
+    """Counting-based deletion vs exact DRed on the redundant-support chain.
+
+    Two :class:`~repro.service.RepairService` instances load the
+    :func:`counting_workload` closure, then absorb the same alternating
+    delete / re-insert batches of the redundant seed ``T(0)``.  The
+    ``counting=True`` service decides every delete batch from base-only
+    support counts alone (asserted: ``counted_deletes`` increments once per
+    delete batch, no fallback); the ``counting=False`` service runs the
+    exact DRed detour, over-deleting and re-deriving the whole chain each
+    time.  ``speedup`` is exact-DRed maintenance seconds over counting
+    maintenance seconds, and the final delta extents of both services are
+    asserted identical per backend.
+    """
+    schema, program, facts = counting_workload()
+    plan: List[tuple] = []
+    for _ in range(COUNTING_BATCHES):
+        plan.append(("delete", [fact("T", 0)]))
+        plan.append(("insert", [fact("T", 0)]))
+
+    rows: List[dict] = []
+    for backend in ("memory", "sqlite"):
+
+        def fresh():
+            if backend == "memory":
+                return Database.from_facts(schema, facts)
+            db = SQLiteDatabase(schema)
+            db.insert_all(facts)
+            return db
+
+        timings = {}
+        deltas = {}
+        counting_stats = None
+        exact_stats = None
+        load_best = float("inf")
+        for counting in (True, False):
+            best = float("inf")
+            for _ in range(repetitions):
+                db = fresh()
+                start = time.perf_counter()
+                service = RepairService(db, program, counting=counting)
+                if counting:
+                    load_best = min(load_best, time.perf_counter() - start)
+                start = time.perf_counter()
+                for kind, sample in plan:
+                    if kind == "delete":
+                        service.apply(deletes=sample)
+                    else:
+                        service.apply(inserts=sample)
+                best = min(best, time.perf_counter() - start)
+                deltas[counting] = {
+                    (item.relation, item.values) for item in db.all_deltas()
+                }
+                if counting:
+                    counting_stats = service.stats
+                else:
+                    exact_stats = service.stats
+                if isinstance(db, SQLiteDatabase):
+                    db.close()
+            timings[counting] = best
+
+        if deltas[True] != deltas[False]:
+            raise AssertionError(
+                "counting axis: counting-maintained closure disagrees with "
+                f"exact DRed on {backend}"
+            )
+        if counting_stats.counted_deletes != COUNTING_BATCHES:
+            raise AssertionError(
+                "counting axis: fast path did not decide every delete batch "
+                f"on {backend} ({counting_stats.counted_deletes}/"
+                f"{COUNTING_BATCHES} counted, "
+                f"{counting_stats.dred_fallbacks} fallbacks)"
+            )
+        batches = len(plan)
+        rows.append(
+            {
+                "backend": backend,
+                "workload": "chain",
+                "program": COUNTING_PROGRAM,
+                "scale": 1.0,
+                "chain": COUNTING_CHAIN,
+                "batches": batches,
+                "load_seconds": round(load_best, 6),
+                "counting_seconds": round(timings[True], 6),
+                "exact_seconds": round(timings[False], 6),
+                "per_batch_counting_seconds": round(timings[True] / batches, 6),
+                "per_batch_exact_seconds": round(timings[False] / batches, 6),
+                "speedup": round(timings[False] / max(timings[True], 1e-9), 3),
+                "counted_deletes": counting_stats.counted_deletes,
+                "dred_fallbacks": counting_stats.dred_fallbacks,
+                "exact_overdeleted": exact_stats.overdeleted,
+                "exact_rederived": exact_stats.rederived,
+            }
+        )
+    return rows
+
+
 def assert_single_pass(scale: float = 1.0) -> dict:
     """Verify the staged and zero-DDL disciplines with a query-counter hook.
 
@@ -762,6 +901,7 @@ def check_against_baseline(
         ),
         "wcoj": ("wcoj_speedup",),
         "maintenance": ("speedup",),
+        "counting": ("speedup",),
     }
     for section, ratios in section_ratios.items():
         committed = by_key(baseline.get(section, []))
@@ -864,6 +1004,7 @@ def run_benchmark(smoke: bool = False) -> dict:
     end_rows = bench_end_to_end(end_scale, repetitions)
     compare_rows = bench_compare(compare_scale, repetitions)
     maintenance_rows = bench_maintenance(maintenance_scale, repetitions)
+    counting_rows = bench_counting(repetitions)
     single_pass = assert_single_pass()
 
     def deepest(rows):
@@ -897,6 +1038,7 @@ def run_benchmark(smoke: bool = False) -> dict:
         "end_to_end": end_rows,
         "compare": compare_rows,
         "maintenance": maintenance_rows,
+        "counting": counting_rows,
         "single_pass": single_pass,
         "summary": {
             "largest_program": f"mas/20@{largest['scale']}",
@@ -957,6 +1099,15 @@ def run_benchmark(smoke: bool = False) -> dict:
             },
             "maintenance_min_speedup": min(
                 row["speedup"] for row in maintenance_rows
+            ),
+            # Counting-based deletion vs exact DRed on the redundant-support
+            # chain: support counts must beat the over-delete/re-derive
+            # detour when they can decide the batch.
+            "counting_speedups": {
+                row["backend"]: row["speedup"] for row in counting_rows
+            },
+            "counting_min_speedup": min(
+                row["speedup"] for row in counting_rows
             ),
             # Binary vs worst-case-optimal at the largest benched cyclic
             # scale; the gated programs must clear WCOJ_GATE_SPEEDUP.
@@ -1056,6 +1207,20 @@ def _render(report: dict) -> str:
             f"speedup={row['speedup']:.2f}x "
             f"(overdeleted={row['overdeleted']}, rederived={row['rederived']})"
         )
+    lines.append(
+        "counting deletion (base-only support counts vs exact DRed, "
+        "redundant-support chain):"
+    )
+    for row in report["counting"]:
+        lines.append(
+            f"  {row['backend']:>6} {row['workload']}/{row['program']} "
+            f"chain={row['chain']} batches={row['batches']} "
+            f"counting={row['per_batch_counting_seconds']:.4f}s/batch "
+            f"exact={row['per_batch_exact_seconds']:.4f}s/batch "
+            f"speedup={row['speedup']:.2f}x "
+            f"(counted_deletes={row['counted_deletes']}, exact overdeleted="
+            f"{row['exact_overdeleted']})"
+        )
     summary = report["summary"]
     lines.append(
         f"summary: largest={summary['largest_program']} "
@@ -1104,6 +1269,14 @@ def test_fixpoint_smoke():
     # inside the bench; per-batch maintenance must beat full recompute.
     assert report["maintenance"], "no maintenance rows benched"
     assert report["summary"]["maintenance_min_speedup"] > 1.0
+    # Counting axis: the bench itself asserts the fast path decided every
+    # delete batch and that both services converge to the same closure;
+    # counts must beat the exact DRed detour on both backends.
+    assert report["counting"], "no counting rows benched"
+    for row in report["counting"]:
+        assert row["counted_deletes"] > 0, row
+        assert row["dred_fallbacks"] == 0, row
+    assert report["summary"]["counting_min_speedup"] > 1.0
 
 
 def main() -> None:

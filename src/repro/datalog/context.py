@@ -157,6 +157,14 @@ class QueryStats:
         The subset of :attr:`overdeleted` rescued by the re-derivation pass
         (an alternative derivation avoiding the deleted facts survived); the
         difference ``overdeleted - rederived`` left the delta extent.
+    counted_deletes:
+        Deletion batches fully decided by the counting fast path: every killed
+        assignment's derived fact kept a positive *base-only* support count,
+        so the DRed over-delete / re-derive detour was skipped entirely.
+    dred_fallbacks:
+        Deletion batches where support counts alone could not prove every
+        affected fact alive, so the exact DRed passes ran (with counting-based
+        pruning of provably alive facts when enabled).
     """
 
     staged_selects: int = 0
@@ -177,6 +185,8 @@ class QueryStats:
     maintained_batches: int = 0
     overdeleted: int = 0
     rederived: int = 0
+    counted_deletes: int = 0
+    dred_fallbacks: int = 0
 
     def joins(self) -> int:
         """Total statements that join the base/frontier tables.
@@ -212,6 +222,8 @@ class QueryStats:
         self.maintained_batches = 0
         self.overdeleted = 0
         self.rederived = 0
+        self.counted_deletes = 0
+        self.dred_fallbacks = 0
 
 
 @dataclass

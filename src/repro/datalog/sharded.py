@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import threading
 import zlib
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait as futures_wait
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.datalog.ast import Program, Rule
@@ -208,9 +208,21 @@ def _run_wave(
             return [(index, jobs[index]()) for index in indices]
 
         results: List[object] = [None] * len(jobs)
-        for future in [pool.submit(run_slice, chunk) for chunk in slices]:
-            for index, result in future.result():
-                results[index] = result
+        futures = [pool.submit(run_slice, chunk) for chunk in slices]
+        try:
+            for future in futures:
+                for index, result in future.result():
+                    results[index] = result
+        except BaseException:
+            # A failing slice must not propagate while sibling slices still
+            # execute: the memory driver's ``finally`` would detach candidate
+            # observers under live workers, and the released pool lease could
+            # shut the executor down beneath them.  Cancel what has not
+            # started and drain what has before re-raising.
+            for future in futures:
+                future.cancel()
+            futures_wait(futures)
+            raise
         return results
     finally:
         _release_pool(pool)

@@ -68,6 +68,29 @@ class EvaluationError(ReproError):
     """Raised when rule evaluation fails (unbound variables, bad comparisons...)."""
 
 
+class ServicePoisonedError(EvaluationError):
+    """Raised by a :class:`~repro.service.RepairService` after a failed batch.
+
+    A batch that raises mid-maintenance leaves the active extent, the delta
+    extent and the assignment store mutually inconsistent; the service marks
+    itself *poisoned* and every later ``apply`` / ``apply_many`` / point query
+    raises this error instead of answering from corrupt state.  Recovery:
+    build a fresh service over a consistent base instance (re-deriving the
+    closure), or — for a file-backed database with a persisted assignment
+    store — reopen the last consistently flushed state from disk.
+    """
+
+    def __init__(self, cause: str) -> None:
+        super().__init__(
+            "RepairService is poisoned: a previous batch failed mid-maintenance "
+            f"({cause}); the maintained state is inconsistent. Recover by "
+            "constructing a new RepairService over a consistent base instance "
+            "(re-derive), or by reopening the last flushed on-disk state for "
+            "file-backed databases (reload)."
+        )
+        self.cause = cause
+
+
 class UnknownEngineError(EvaluationError, ValueError):
     """Raised when an ``engine=`` knob receives an unknown engine name.
 

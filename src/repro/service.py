@@ -46,12 +46,18 @@ from repro.datalog.incremental import (
     AssignmentStore,
     dred_delete,
     maintain_insertions,
+    make_assignment_store,
 )
-from repro.exceptions import EvaluationError
+from repro.exceptions import EvaluationError, ServicePoisonedError
 from repro.storage.database import BaseDatabase
 from repro.storage.facts import Fact
 
-__all__ = ["MaintenanceResult", "RepairService"]
+__all__ = ["ENGINE_WARM", "MaintenanceResult", "RepairService"]
+
+#: :attr:`RepairService.load_engine` value reported when the service
+#: warm-restarted from a persisted assignment store instead of running a
+#: closure engine.
+ENGINE_WARM = "warm"
 
 
 @dataclass(frozen=True)
@@ -104,7 +110,17 @@ class RepairService:
         observers see every assignment the service ever records, exactly
         once — during the load and during later batches.  Plans, compiled
         variants and :class:`~repro.datalog.context.QueryStats` are shared
-        with the maintenance passes.
+        with the maintenance passes.  On a warm restart the persisted
+        assignments are **replayed** to the observers in their original
+        record order, so a fresh process keeps the exactly-once contract
+        (an observer surviving from the writing process would see them
+        twice — reuse the service, not just the database, in-process).
+    counting:
+        Enable the counting-based deletion fast path (default True): delete
+        batches fully covered by base-only support counts skip the DRed
+        over-delete/re-derive detour (``stats.counted_deletes``), everything
+        else falls back to exact DRed (``stats.dred_fallbacks``).  Disable to
+        force exact DRed on every batch (the benchmark's comparison knob).
     """
 
     def __init__(
@@ -114,6 +130,7 @@ class RepairService:
         engine: str = ENGINE_AUTO,
         context: Optional[EvalContext] = None,
         max_rounds: int | None = None,
+        counting: bool = True,
     ) -> None:
         validate_engine(engine)
         if isinstance(program, DeltaProgram):
@@ -126,14 +143,27 @@ class RepairService:
         # _record so the SQLite discovery path cannot double-notify.
         self._qctx = self._context.query_context()
         self._planner = self._qctx.planner(db)
-        self._store = AssignmentStore()
+        self._store: AssignmentStore = make_assignment_store(db, self._rules)
         self._max_rounds = max_rounds
+        self._counting = counting
+        self._poisoned: str | None = None
         if db.count_delta() != 0:
-            raise EvaluationError(
-                "RepairService requires an empty delta extent to load; "
-                "pass a fresh base instance (the service derives the closure "
-                "itself)"
-            )
+            restored = self._store.load_persisted()
+            if restored is None:
+                raise EvaluationError(
+                    "RepairService requires an empty delta extent to load, or "
+                    "a cleanly flushed persisted assignment store to "
+                    "warm-restart from; pass a fresh base instance, or reopen "
+                    "a file-backed database whose previous service flushed "
+                    "its last batch (a dirty or mismatched store means the "
+                    "closure must be re-derived)"
+                )
+            for assignment in restored:
+                self._context.notify(assignment)
+            self._load_rounds = 0
+            self._load_engine = ENGINE_WARM
+            return
+        self._store.reset_persisted()
         result = run_closure(
             db,
             self._rules,
@@ -143,6 +173,7 @@ class RepairService:
             collect_assignments=False,
             context=self._qctx,
         )
+        self._store.flush()
         self._load_rounds = result.rounds
         self._load_engine = result.engine
 
@@ -169,40 +200,87 @@ class RepairService:
         against the current base instance (inserting a present fact, deleting
         an absent one) are skipped silently — batches are idempotent.
         """
-        # Refresh the planner's cardinality snapshot so the adaptive
-        # re-costing band sees extent drift accumulated across batches.
-        self._planner.begin_round()
+        return self.apply_many([(inserts, deletes)])
 
-        removed = []
-        for item in deletes:
-            stored = self._stored_active(item)
-            if stored is not None and self._db.drop_active(stored):
-                removed.append(stored)
-        if removed:
-            overdeleted, rederived, retracted = dred_delete(
-                self._db, self._store, removed, stats=self.stats
-            )
-        else:
-            overdeleted, rederived, retracted = set(), set(), set()
+    def apply_many(
+        self,
+        batches: Sequence[Tuple[Sequence[Fact], Sequence[Fact]]],
+    ) -> MaintenanceResult:
+        """Coalesce many tenants' ``(inserts, deletes)`` streams into one pass.
 
-        added = []
-        for item in inserts:
-            if self._db.has_active(item):
-                continue
-            self._db.insert(item)
-            stored = self._stored_active(item)
-            if stored is not None:
-                added.append(stored)
-        rounds = 0
-        if added:
-            rounds = maintain_insertions(
-                self._db,
-                self._rules,
-                self._planner,
-                self._qctx,
-                self._store_and_notify,
-                added,
-            )
+        The batches are merged into their *net effect* — one op per fact,
+        decided by walking the tenants in order with each tenant's deletes
+        applied before its inserts (so insert wins within a tenant, and a
+        later tenant overrides an earlier one) — and absorbed with a single
+        discovery + propagation pass and a single DRed/counting pass, instead
+        of one maintenance cycle per tenant.  The closure is a function of
+        the final base instance alone (delta programs are monotone), so the
+        maintained state equals applying the batches one by one; a fact
+        deleted and re-inserted across tenants is left untouched if already
+        present (net no-op), like re-inserting a present fact in
+        :meth:`apply`.
+        """
+        if self._poisoned is not None:
+            raise ServicePoisonedError(self._poisoned)
+        net: dict[Fact, bool] = {}
+        for inserts, deletes in batches:
+            for item in deletes:
+                net[item] = False
+            for item in inserts:
+                net[item] = True
+
+        self._store.begin_batch()
+        try:
+            # Refresh the planner's cardinality snapshot so the adaptive
+            # re-costing band sees extent drift accumulated across batches.
+            self._planner.begin_round()
+
+            removed = []
+            for item, is_insert in net.items():
+                if is_insert:
+                    continue
+                stored = self._db.stored_active(item)
+                if stored is not None and self._db.drop_active(stored):
+                    removed.append(stored)
+            if removed:
+                overdeleted, rederived, retracted = dred_delete(
+                    self._db,
+                    self._store,
+                    removed,
+                    stats=self.stats,
+                    counting=self._counting,
+                )
+            else:
+                overdeleted, rederived, retracted = set(), set(), set()
+
+            added = []
+            for item, is_insert in net.items():
+                if not is_insert or self._db.has_active(item):
+                    continue
+                self._db.insert(item)
+                stored = self._db.stored_active(item)
+                if stored is not None:
+                    added.append(stored)
+            rounds = 0
+            if added:
+                rounds = maintain_insertions(
+                    self._db,
+                    self._rules,
+                    self._planner,
+                    self._qctx,
+                    self._store_and_notify,
+                    added,
+                    max_rounds=self._max_rounds,
+                )
+            self._store.flush()
+        except BaseException as error:
+            # The base extent may have mutated before the failure: active,
+            # delta and store no longer agree.  Poison the service so every
+            # later call fails loudly instead of answering from corrupt
+            # state; the persistent store's dirty flag stays set, so a torn
+            # on-disk state refuses warm restart too.
+            self._poisoned = f"{type(error).__name__}: {error}"
+            raise
 
         self.stats.maintained_batches += 1
         return MaintenanceResult(
@@ -214,24 +292,31 @@ class RepairService:
             rounds=rounds,
         )
 
-    def _stored_active(self, item: Fact) -> Fact | None:
-        """The active extent's own copy of ``item`` (tid-stamped), or None."""
-        fixed = dict(enumerate(item.values))
-        return next(iter(self._db.candidates(item.relation, fixed)), None)
-
     # -- point queries -----------------------------------------------------
+
+    def _check_usable(self) -> None:
+        if self._poisoned is not None:
+            raise ServicePoisonedError(self._poisoned)
+
+    @property
+    def poisoned(self) -> bool:
+        """True after a failed batch left the maintained state inconsistent."""
+        return self._poisoned is not None
 
     def is_derivable(self, item: Fact) -> bool:
         """Is ``item`` in the maintained closure (the delta extents)?"""
+        self._check_usable()
         return self._db.has_delta(item)
 
     def in_repair(self, item: Fact) -> bool:
         """Does ``item`` survive the end-semantics repair of the current base
         instance?  True for active facts the closure does not delete."""
+        self._check_usable()
         return self._db.has_active(item) and not self._db.has_delta(item)
 
     def repair_deleted(self) -> frozenset:
         """The end-semantics deleted set: closure facts that are active."""
+        self._check_usable()
         return frozenset(
             item for item in self._db.all_deltas() if self._db.has_active(item)
         )

@@ -116,6 +116,17 @@ class BaseDatabase(ABC):
         """True when ``item`` is currently active."""
         return item in self.active_facts(item.relation)
 
+    def stored_active(self, item: Fact) -> Fact | None:
+        """The active extent's own copy of ``item`` (tid-stamped), or None.
+
+        Fact equality ignores tids, so a caller holding a bare value-level
+        fact can recover the stored row — the incremental maintenance layer
+        uses this to address assignments by the exact facts the closure
+        derived them from.
+        """
+        fixed = dict(enumerate(item.values))
+        return next(iter(self.candidates(item.relation, fixed)), None)
+
     def has_delta(self, item: Fact) -> bool:
         """True when ``item`` has been recorded as deleted."""
         return item in self.delta_facts(item.relation)

@@ -56,6 +56,11 @@ _SQL_TYPES = {"int": "INTEGER", "str": "TEXT", "float": "REAL"}
 #: per (connection, stage width); steady-state rounds issue none.
 TAG_STAGE_DDL = "/* repro:stage-ddl */"
 
+#: Statement tag on every persistent-assignment-store statement (DDL, batched
+#: writes, meta updates) — see
+#: :class:`repro.datalog.incremental.PersistentAssignmentStore`.
+TAG_ASSIGN = "/* repro:assign */"
+
 
 def stage_table_name(width: int) -> str:
     """Name of the keyed temp table staging rows of ``width`` columns.
@@ -561,6 +566,79 @@ class SQLiteDatabase(BaseDatabase):
             if isinstance(params, Mapping):
                 return self._connection.execute(sql, params)
             return self._connection.execute(sql, tuple(params))
+        except sqlite3.Error as error:
+            raise StorageError(f"SQL execution failed: {error}") from error
+
+    # -- persistent assignment store ------------------------------------------
+
+    def ensure_assignment_tables(self) -> None:
+        """Create the ``_repro_assign*`` table family, idempotently.
+
+        The durable mirror of the incremental maintenance layer's
+        :class:`~repro.datalog.incremental.AssignmentStore` — one row per live
+        satisfying assignment plus the three fact-level indexes and a meta
+        table (program fingerprint, dirty flag, aid counter).  The tables live
+        in the main database (not temp), so a file-backed
+        :class:`~repro.service.RepairService` can warm-restart from them; all
+        writes go through :meth:`execute` / :meth:`executemany` under the
+        existing autocommit discipline (batch flushes open their own
+        transaction), tagged :data:`TAG_ASSIGN` for statement hooks.
+        """
+        statements = (
+            "CREATE TABLE IF NOT EXISTS _repro_assign ("
+            "aid INTEGER PRIMARY KEY, rule INTEGER NOT NULL, used TEXT NOT NULL)",
+            "CREATE TABLE IF NOT EXISTS _repro_assign_base ("
+            "aid INTEGER NOT NULL, fact TEXT NOT NULL)",
+            "CREATE INDEX IF NOT EXISTS idx_assign_base_fact "
+            "ON _repro_assign_base (fact)",
+            "CREATE INDEX IF NOT EXISTS idx_assign_base_aid "
+            "ON _repro_assign_base (aid)",
+            "CREATE TABLE IF NOT EXISTS _repro_assign_delta ("
+            "aid INTEGER NOT NULL, fact TEXT NOT NULL)",
+            "CREATE INDEX IF NOT EXISTS idx_assign_delta_fact "
+            "ON _repro_assign_delta (fact)",
+            "CREATE INDEX IF NOT EXISTS idx_assign_delta_aid "
+            "ON _repro_assign_delta (aid)",
+            "CREATE TABLE IF NOT EXISTS _repro_assign_support ("
+            "aid INTEGER NOT NULL, fact TEXT NOT NULL, base_only INTEGER NOT NULL)",
+            "CREATE INDEX IF NOT EXISTS idx_assign_support_fact "
+            "ON _repro_assign_support (fact)",
+            "CREATE INDEX IF NOT EXISTS idx_assign_support_aid "
+            "ON _repro_assign_support (aid)",
+            "CREATE TABLE IF NOT EXISTS _repro_assign_meta ("
+            "key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+        )
+        for statement in statements:
+            self.execute(f"{TAG_ASSIGN} {statement}")
+
+    def assignment_meta(self, key: str) -> str | None:
+        """One value from the ``_repro_assign_meta`` table, or None."""
+        row = self.execute(
+            f"{TAG_ASSIGN} SELECT value FROM _repro_assign_meta WHERE key = ?",
+            (key,),
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    def set_assignment_meta(self, key: str, value: str) -> None:
+        """Upsert one ``_repro_assign_meta`` entry (commits immediately unless
+        the caller opened a transaction)."""
+        self.execute(
+            f"{TAG_ASSIGN} INSERT OR REPLACE INTO _repro_assign_meta VALUES (?, ?)",
+            (key, value),
+        )
+
+    def executemany(self, sql: str, rows: Iterable[tuple]) -> sqlite3.Cursor:
+        """Run one parameterised statement over many rows (hook-visible).
+
+        The batched-write mirror of :meth:`execute`: statement hooks see the
+        SQL once per call, and :class:`sqlite3.Error` is wrapped in
+        :class:`~repro.exceptions.StorageError` like every other storage
+        failure.
+        """
+        for hook in self._statement_hooks:
+            hook(sql)
+        try:
+            return self._connection.executemany(sql, rows)
         except sqlite3.Error as error:
             raise StorageError(f"SQL execution failed: {error}") from error
 

@@ -571,6 +571,82 @@ class TestPoolLeases:
         assert errors == []
 
 
+class TestWaveFailureDraining:
+    """A failing slice must drain its siblings before the wave re-raises.
+
+    Regression (ISSUE 8): ``_run_wave`` used to propagate the first failing
+    slice's exception while sibling slices were still executing — the memory
+    driver's ``finally`` block then detached candidate observers under live
+    workers, and the released pool lease could retire the executor beneath
+    them.
+    """
+
+    def test_failing_job_waits_for_sibling_slices(self):
+        import threading
+        import time
+
+        from repro.datalog.sharded import _run_wave
+
+        finished = threading.Event()
+
+        def failing_job():
+            raise ValueError("shard job exploded")
+
+        def slow_job():
+            time.sleep(0.2)
+            finished.set()
+            return "slow"
+
+        # Two workers deal the jobs into two one-job slices: the failing
+        # slice completes (and used to raise) long before the slow one.
+        with pytest.raises(ValueError, match="shard job exploded"):
+            _run_wave([failing_job, slow_job], workers=2)
+        # The wave only returned after every sibling slice drained.
+        assert finished.is_set()
+
+    def test_pool_stays_usable_for_the_next_wave(self):
+        from repro.datalog.sharded import _run_wave
+
+        def failing_job():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            _run_wave([failing_job, lambda: 1, lambda: 2], workers=2)
+        # The shared pool serves the next wave normally.
+        assert _run_wave([lambda: 10, lambda: 20, lambda: 30], workers=2) == [
+            10,
+            20,
+            30,
+        ]
+
+    def test_failing_shard_closure_leaves_pool_usable(self, tmp_path):
+        # End-to-end: a rule whose evaluation raises mid-wave must not wedge
+        # the pool or the observer bookkeeping for the next closure.
+        base, program = cascade_instance()
+        context = EvalContext(shards=4, workers=2)
+
+        calls = {"n": 0}
+
+        def exploding_observer(assignment):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("observer exploded")
+
+        bad_context = EvalContext(shards=4, workers=2)
+        bad_context.add_observer(exploding_observer)
+        with pytest.raises(RuntimeError, match="observer exploded"):
+            run_closure(
+                base.clone(), program, engine="sharded", context=bad_context
+            )
+
+        # The pool (and the candidate-observer machinery) still works.
+        oracle_deltas, oracle_sigs = oracle_state(base, program)
+        db = base.clone()
+        result = run_closure(db, program, engine="sharded", context=context)
+        assert set(db.all_deltas()) == oracle_deltas
+        assert {a.signature() for a in result.assignments} == oracle_sigs
+
+
 class TestCrossProcessDeterminism:
     """Shard routing must not depend on the process (PYTHONHASHSEED)."""
 

@@ -41,7 +41,7 @@ def test_ablation_exact_vs_greedy_solver(benchmark, repro_scale):
     def run_both():
         exact = RepairEngine(mas.fresh_db(), program).repair(Semantics.INDEPENDENT)
         greedy = RepairEngine(mas.fresh_db(), program).repair(
-            Semantics.INDEPENDENT, exact_variable_limit=1
+            Semantics.INDEPENDENT, exact_variable_limit=1,
         )
         return exact, greedy
 

@@ -213,17 +213,17 @@ def bench_closures(
             program = _program(workload, dataset, program_id)
             factory = _backend_factory(dataset, backend, workdir or Path("."))
             naive_seconds, naive, naive_deltas = _time_closure(
-                factory, program, "naive", repetitions
+                factory, program, "naive", repetitions,
             )
             semi_seconds, semi, semi_deltas = _time_closure(
-                factory, program, "semi-naive", repetitions
+                factory, program, "semi-naive", repetitions,
             )
             # The benchmark doubles as a differential check.
             naive_signatures = {a.signature() for a in naive.assignments}
             semi_signatures = {a.signature() for a in semi.assignments}
             if naive_signatures != semi_signatures or naive_deltas != semi_deltas:
                 raise AssertionError(
-                    f"{backend} {workload}/{program_id}@{scale}: engines disagree"
+                    f"{backend} {workload}/{program_id}@{scale}: engines disagree",
                 )
             row = {
                 "backend": backend,
@@ -248,11 +248,11 @@ def bench_closures(
                 if fast.rounds != semi.rounds or fast_deltas != naive_deltas:
                     raise AssertionError(
                         f"{backend} {workload}/{program_id}@{scale}: fast path "
-                        "diverged from the oracle"
+                        "diverged from the oracle",
                     )
                 row["semi_naive_fast_seconds"] = round(fast_seconds, 6)
                 row["fast_speedup"] = round(
-                    naive_seconds / max(fast_seconds, 1e-9), 3
+                    naive_seconds / max(fast_seconds, 1e-9), 3,
                 )
                 # Sharded engine: 4-way hash partition, workers auto-fitted
                 # to the machine (recorded per row — ratios from different
@@ -261,11 +261,9 @@ def bench_closures(
                 # ratio sharded-fast vs the single-connection fast path.
                 shard_ctx = EvalContext(shards=BENCH_SHARDS)
                 sharded_seconds, sharded, sharded_deltas = _time_closure(
-                    factory, program, "sharded", repetitions, context=shard_ctx
+                    factory, program, "sharded", repetitions, context=shard_ctx,
                 )
-                sharded_signatures = {
-                    a.signature() for a in sharded.assignments
-                }
+                sharded_signatures = {a.signature() for a in sharded.assignments}
                 if (
                     sharded_signatures != naive_signatures
                     or sharded_deltas != naive_deltas
@@ -273,7 +271,7 @@ def bench_closures(
                 ):
                     raise AssertionError(
                         f"{backend} {workload}/{program_id}@{scale}: sharded "
-                        "engine diverged from the oracle"
+                        "engine diverged from the oracle",
                     )
                 sharded_fast_seconds, _, sharded_fast_deltas = _time_closure(
                     factory, program, "sharded", repetitions,
@@ -283,17 +281,17 @@ def bench_closures(
                 if sharded_fast_deltas != naive_deltas:
                     raise AssertionError(
                         f"{backend} {workload}/{program_id}@{scale}: sharded "
-                        "fast path diverged from the oracle"
+                        "fast path diverged from the oracle",
                     )
                 row["shards"] = BENCH_SHARDS
                 row["workers"] = shard_ctx.worker_count()
                 row["sharded_seconds"] = round(sharded_seconds, 6)
                 row["sharded_speedup"] = round(
-                    semi_seconds / max(sharded_seconds, 1e-9), 3
+                    semi_seconds / max(sharded_seconds, 1e-9), 3,
                 )
                 row["sharded_fast_seconds"] = round(sharded_fast_seconds, 6)
                 row["sharded_fast_speedup"] = round(
-                    fast_seconds / max(sharded_fast_seconds, 1e-9), 3
+                    fast_seconds / max(sharded_fast_seconds, 1e-9), 3,
                 )
             rows.append(row)
     return rows
@@ -336,7 +334,7 @@ def bench_wcoj(scales: List[float], repetitions: int) -> List[dict]:
         for name, program in programs.items():
             if scale == scales[0]:
                 oracle = run_closure(
-                    dataset.fresh_db(), program.rules, engine="naive"
+                    dataset.fresh_db(), program.rules, engine="naive",
                 )
                 oracle_signatures = {a.signature() for a in oracle.assignments}
                 for kind in (PLAN_BINARY, PLAN_WCOJ):
@@ -351,7 +349,7 @@ def bench_wcoj(scales: List[float], repetitions: int) -> List[dict]:
                     if forced != oracle_signatures:
                         raise AssertionError(
                             f"cyclic/{name}@{scale}: forced {kind} plan "
-                            "diverged from the naive oracle"
+                            "diverged from the naive oracle",
                         )
             timings: Dict[str, float] = {}
             run_stats: Dict[str, object] = {}
@@ -376,12 +374,12 @@ def bench_wcoj(scales: List[float], repetitions: int) -> List[dict]:
             with _forced_plan(None):
                 planner = EvalContext().planner(dataset.db)
                 auto_kinds = sorted(
-                    {planner.plan(rule).kind for rule in program.rules}
+                    {planner.plan(rule).kind for rule in program.rules},
                 )
             if PLAN_WCOJ not in auto_kinds:
                 raise AssertionError(
                     f"cyclic/{name}@{scale}: the width classifier routed no "
-                    f"rule to wcoj (kinds: {auto_kinds})"
+                    f"rule to wcoj (kinds: {auto_kinds})",
                 )
             wcoj_stats = run_stats[PLAN_WCOJ]
             rows.append(
@@ -400,7 +398,7 @@ def bench_wcoj(scales: List[float], repetitions: int) -> List[dict]:
                     "wcoj_rules": wcoj_stats.wcoj_rules,
                     "wcoj_intersections": wcoj_stats.wcoj_intersections,
                     "width_estimates": wcoj_stats.width_estimates,
-                }
+                },
             )
     return rows
 
@@ -433,7 +431,7 @@ def bench_end_to_end(scale: float, repetitions: int) -> List[dict]:
                 "speedup": round(
                     timings["naive"] / max(timings["semi-naive"], 1e-9), 3
                 ),
-            }
+            },
         )
     return rows
 
@@ -475,7 +473,7 @@ def bench_compare(scale: float, repetitions: int) -> List[dict]:
             if shared_results[member].deleted != cold_results[member].deleted:
                 raise AssertionError(
                     f"compare axis: {member.value} disagrees between shared "
-                    f"and cold contexts on {backend}"
+                    f"and cold contexts on {backend}",
                 )
         rows.append(
             {
@@ -486,7 +484,7 @@ def bench_compare(scale: float, repetitions: int) -> List[dict]:
                 "shared_seconds": round(shared_best, 6),
                 "cold_seconds": round(cold_best, 6),
                 "speedup": round(cold_best / max(shared_best, 1e-9), 3),
-            }
+            },
         )
     return rows
 
@@ -504,6 +502,14 @@ def bench_maintenance(scale: float, repetitions: int) -> List[dict]:
     touch a few facts per batch while the recompute redoes the whole closure,
     so the ratio is the headline number of the maintenance layer.  The final
     delta extents of both sides are asserted identical per repetition.
+
+    A third leg absorbs the same plan with sharded maintenance
+    (``EvalContext(shards=BENCH_SHARDS, shard_maintenance=True)``):
+    ``sharded_maintain_seconds`` / ``sharded_speedup`` record the serial-
+    drivers-over-sharded-drivers ratio per batch, and the deltas are asserted
+    equal to the serial leg (the byte-identical contract).  Like every
+    parallel ratio, ``sharded_speedup`` is only gated by ``--check`` when the
+    run's ``meta.cpus`` reaches the baseline's.
     """
     rows: List[dict] = []
     dataset = generate_mas(scale=scale, seed=SEED)
@@ -554,6 +560,30 @@ def bench_maintenance(scale: float, repetitions: int) -> List[dict]:
             if isinstance(db, SQLiteDatabase):
                 db.close()
 
+        # Sharded maintenance leg: the same plan absorbed with the per-batch
+        # discovery/propagation/DRed drivers fanned over the worker pool
+        # (byte-identical contract, so the deltas must match the serial leg).
+        sharded_best = float("inf")
+        sharded_deltas = None
+        sharded_ctx = None
+        for _ in range(repetitions):
+            db = fresh()
+            context = EvalContext(shards=BENCH_SHARDS, shard_maintenance=True)
+            service = RepairService(db, program, context=context)
+            start = time.perf_counter()
+            for kind, sample in plan:
+                if kind == "delete":
+                    service.apply(deletes=sample)
+                else:
+                    service.apply(inserts=sample)
+            sharded_best = min(sharded_best, time.perf_counter() - start)
+            sharded_deltas = {
+                (item.relation, item.values) for item in db.all_deltas()
+            }
+            sharded_ctx = context
+            if isinstance(db, SQLiteDatabase):
+                db.close()
+
         recompute_best = float("inf")
         recompute_deltas = None
         for _ in range(repetitions):
@@ -579,7 +609,12 @@ def bench_maintenance(scale: float, repetitions: int) -> List[dict]:
         if maintained_deltas != recompute_deltas:
             raise AssertionError(
                 f"maintenance axis: maintained closure disagrees with "
-                f"from-scratch recompute on {backend}"
+                f"from-scratch recompute on {backend}",
+            )
+        if sharded_deltas != maintained_deltas:
+            raise AssertionError(
+                f"maintenance axis: sharded maintenance disagrees with the "
+                f"serial drivers on {backend}",
             )
         batches = len(plan)
         rows.append(
@@ -596,9 +631,25 @@ def bench_maintenance(scale: float, repetitions: int) -> List[dict]:
                 "per_batch_maintain_seconds": round(maintain_best / batches, 6),
                 "per_batch_recompute_seconds": round(recompute_best / batches, 6),
                 "speedup": round(recompute_best / max(maintain_best, 1e-9), 3),
+                "shards": BENCH_SHARDS,
+                "workers": sharded_ctx.worker_count(),
+                "sharded_maintain_seconds": round(sharded_best, 6),
+                "per_batch_sharded_maintain_seconds": round(
+                    sharded_best / batches, 6,
+                ),
+                # Serial drivers over sharded drivers: > 1 means the fan-out
+                # wins; cpus-gated in --check like every sharded ratio.
+                "sharded_speedup": round(
+                    maintain_best / max(sharded_best, 1e-9), 3,
+                ),
+                "maint_shard_jobs": (
+                    sharded_ctx.stats.maint_discovery_shards
+                    + sharded_ctx.stats.maint_propagate_shards
+                    + sharded_ctx.stats.maint_dred_shards
+                ),
                 "overdeleted": stats.overdeleted,
                 "rederived": stats.rederived,
-            }
+            },
         )
     return rows
 
@@ -617,14 +668,14 @@ def counting_workload():
             RelationSchema.of("N", "x:int"),
             RelationSchema.of("S", "x:int"),
             RelationSchema.of("T", "x:int"),
-        ]
+        ],
     )
     program = DeltaProgram.from_text(
         """
         delta N(x) :- N(x), S(x).
         delta N(x) :- N(x), T(x).
         delta N(y) :- N(y), E(x, y), delta N(x).
-        """
+        """,
     )
     facts = (
         [fact("E", i, i + 1) for i in range(COUNTING_CHAIN)]
@@ -698,14 +749,14 @@ def bench_counting(repetitions: int) -> List[dict]:
         if deltas[True] != deltas[False]:
             raise AssertionError(
                 "counting axis: counting-maintained closure disagrees with "
-                f"exact DRed on {backend}"
+                f"exact DRed on {backend}",
             )
         if counting_stats.counted_deletes != COUNTING_BATCHES:
             raise AssertionError(
                 "counting axis: fast path did not decide every delete batch "
                 f"on {backend} ({counting_stats.counted_deletes}/"
                 f"{COUNTING_BATCHES} counted, "
-                f"{counting_stats.dred_fallbacks} fallbacks)"
+                f"{counting_stats.dred_fallbacks} fallbacks)",
             )
         batches = len(plan)
         rows.append(
@@ -726,7 +777,7 @@ def bench_counting(repetitions: int) -> List[dict]:
                 "dred_fallbacks": counting_stats.dred_fallbacks,
                 "exact_overdeleted": exact_stats.overdeleted,
                 "exact_rederived": exact_stats.rederived,
-            }
+            },
         )
     return rows
 
@@ -784,12 +835,12 @@ def assert_single_pass(scale: float = 1.0) -> dict:
         if counts["assign_select"] != 0:
             raise AssertionError(
                 f"{path_name} path re-ran {counts['assign_select']} assignment "
-                "SELECT joins — the single-pass discipline is broken"
+                "SELECT joins — the single-pass discipline is broken",
             )
         if counts["drop_table"] != 0:
             raise AssertionError(
                 f"{path_name} path dropped {counts['drop_table']} tables — the "
-                "keyed stage tables must persist across rounds"
+                "keyed stage tables must persist across rounds",
             )
         if path_name == "fast" and counts["stage"] != 0:
             raise AssertionError("fast path staged rows despite no observer")
@@ -808,12 +859,12 @@ def assert_single_pass(scale: float = 1.0) -> dict:
             raise AssertionError(
                 "staged path issued per-round DDL — steady-state rounds must "
                 "reuse the keyed stage tables "
-                f"(creates={counts['create_temp_table']}, stages={counts['stage']})"
+                f"(creates={counts['create_temp_table']}, stages={counts['stage']})",
             )
         if path_name == "sharded-fast":
             if counts["stage"] != 0 or counts["create_temp_table"] != 0:
                 raise AssertionError(
-                    "sharded fast path staged rows despite no observer"
+                    "sharded fast path staged rows despite no observer",
                 )
             if not (
                 context.stats.shard_selects
@@ -824,7 +875,7 @@ def assert_single_pass(scale: float = 1.0) -> dict:
                     "sharded fast path did not run exactly one partitioned "
                     "join per (variant, shard) "
                     f"(selects={context.stats.shard_selects}, "
-                    f"installs={context.stats.shard_installs})"
+                    f"installs={context.stats.shard_installs})",
                 )
         observed[path_name] = {
             **dict(counts),
@@ -834,7 +885,7 @@ def assert_single_pass(scale: float = 1.0) -> dict:
 
 
 def check_against_baseline(
-    report: dict, baseline: dict, tolerance: float = 0.35
+    report: dict, baseline: dict, tolerance: float = 0.35,
 ) -> List[str]:
     """Compare a (smoke) run's speedup ratios against the committed baseline.
 
@@ -900,7 +951,7 @@ def check_against_baseline(
             "sharded_fast_speedup",
         ),
         "wcoj": ("wcoj_speedup",),
-        "maintenance": ("speedup",),
+        "maintenance": ("speedup", "sharded_speedup"),
         "counting": ("speedup",),
     }
     for section, ratios in section_ratios.items():
@@ -925,13 +976,24 @@ def check_against_baseline(
                         )
                     continue
                 if ratio.startswith("sharded") and not gate_sharded:
+                    # Downgraded, not silent: a smaller-than-baseline runner
+                    # cannot reproduce a parallel ratio, but the reader must
+                    # see the gate was disarmed rather than passed.
+                    print(
+                        f"bench --check warning: {section} {key}: {ratio} NOT "
+                        f"gated — this run has {run_cpus} cpu(s) vs the "
+                        f"baseline's {baseline_cpus}; parallel ratios are "
+                        "only enforced on runners with at least the "
+                        "baseline's cores",
+                        file=sys.stderr,
+                    )
                     continue
                 compared += 1
                 floor = base[ratio] * tolerance
                 if row[ratio] < floor:
                     problems.append(
                         f"{section} {key}: {ratio} {row[ratio]:.3f} < "
-                        f"{floor:.3f} (= {tolerance} x committed {base[ratio]:.3f})"
+                        f"{floor:.3f} (= {tolerance} x committed {base[ratio]:.3f})",
                     )
     wcoj_rows = report.get("wcoj", [])
     if wcoj_rows:
@@ -950,19 +1012,19 @@ def check_against_baseline(
                 problems.append(
                     f"wcoj cyclic/{row['program']}@{largest_scale}: "
                     "wcoj_speedup column missing — the absolute "
-                    "worst-case-optimal floor cannot be verified"
+                    "worst-case-optimal floor cannot be verified",
                 )
             elif speedup < WCOJ_GATE_SPEEDUP:
                 problems.append(
                     f"wcoj cyclic/{row['program']}@{largest_scale}: "
                     f"wcoj_speedup {speedup:.3f} < "
-                    f"{WCOJ_GATE_SPEEDUP} (absolute worst-case-optimal floor)"
+                    f"{WCOJ_GATE_SPEEDUP} (absolute worst-case-optimal floor)",
                 )
     if compared == 0:
         problems.append(
             "no rows of this run matched the committed baseline — the gate "
             "compared nothing (program/scale/section drift?); refresh "
-            "BENCH_fixpoint.json or fix the row keys"
+            "BENCH_fixpoint.json or fix the row keys",
         )
     return problems
 
@@ -998,7 +1060,7 @@ def run_benchmark(smoke: bool = False) -> dict:
         closure_rows = bench_closures(scales, repetitions)
         sqlite_rows = bench_closures(scales, repetitions, backend="sqlite")
         file_rows = bench_closures(
-            file_scales, repetitions, backend="sqlite-file", workdir=workdir
+            file_scales, repetitions, backend="sqlite-file", workdir=workdir,
         )
     wcoj_rows = bench_wcoj(wcoj_scales, repetitions)
     end_rows = bench_end_to_end(end_scale, repetitions)
@@ -1161,13 +1223,13 @@ def _render(report: dict) -> str:
                 f"scale={row['scale']:<4} tuples={row['tuples']:<6} "
                 f"naive={row['naive_seconds']:.4f}s "
                 f"semi={row['semi_naive_seconds']:.4f}s "
-                f"speedup={row['speedup']:.2f}x{fast}{sharded}"
+                f"speedup={row['speedup']:.2f}x{fast}{sharded}",
             )
     lines.append(
         f"  note: sharded columns ran with {report['meta']['cpus']} cpu(s); "
         "on a 1-CPU runner the worker pool cannot overlap shard SELECTs, so "
         "committed sharded rows from such a machine are a 1-CPU baseline, "
-        "not the parallel win."
+        "not the parallel win.",
     )
     lines.append("wcoj (binary vs worst-case-optimal plans, in-memory backend):")
     for row in report["wcoj"]:
@@ -1178,24 +1240,24 @@ def _render(report: dict) -> str:
             f"speedup={row['wcoj_speedup']:.2f}x "
             f"(rules={row['wcoj_rules']}, "
             f"intersections={row['wcoj_intersections']}, "
-            f"widths={row['width_estimates']})"
+            f"widths={row['width_estimates']})",
         )
     lines.append("end-to-end end semantics (figure-6c style):")
     for row in report["end_to_end"]:
         lines.append(
             f"  mas/{row['program']:<4} scale={row['scale']:<4} "
             f"naive={row['naive_seconds']:.4f}s semi={row['semi_naive_seconds']:.4f}s "
-            f"speedup={row['speedup']:.2f}x"
+            f"speedup={row['speedup']:.2f}x",
         )
     lines.append("compare() — four semantics, shared context vs cold engines:")
     for row in report["compare"]:
         lines.append(
             f"  {row['backend']:>6} mas/{row['program']} scale={row['scale']:<4} "
             f"shared={row['shared_seconds']:.4f}s cold={row['cold_seconds']:.4f}s "
-            f"speedup={row['speedup']:.2f}x"
+            f"speedup={row['speedup']:.2f}x",
         )
     lines.append(
-        "maintenance (RepairService batches vs from-scratch recompute):"
+        "maintenance (RepairService batches vs from-scratch recompute):",
     )
     for row in report["maintenance"]:
         lines.append(
@@ -1205,11 +1267,14 @@ def _render(report: dict) -> str:
             f"maintain={row['per_batch_maintain_seconds']:.4f}s/batch "
             f"recompute={row['per_batch_recompute_seconds']:.4f}s/batch "
             f"speedup={row['speedup']:.2f}x "
-            f"(overdeleted={row['overdeleted']}, rederived={row['rederived']})"
+            f"sharded={row['per_batch_sharded_maintain_seconds']:.4f}s/batch "
+            f"({row['sharded_speedup']:.2f}x @s{row['shards']}w{row['workers']}, "
+            f"{row['maint_shard_jobs']} jobs) "
+            f"(overdeleted={row['overdeleted']}, rederived={row['rederived']})",
         )
     lines.append(
         "counting deletion (base-only support counts vs exact DRed, "
-        "redundant-support chain):"
+        "redundant-support chain):",
     )
     for row in report["counting"]:
         lines.append(
@@ -1219,7 +1284,7 @@ def _render(report: dict) -> str:
             f"exact={row['per_batch_exact_seconds']:.4f}s/batch "
             f"speedup={row['speedup']:.2f}x "
             f"(counted_deletes={row['counted_deletes']}, exact overdeleted="
-            f"{row['exact_overdeleted']})"
+            f"{row['exact_overdeleted']})",
         )
     summary = report["summary"]
     lines.append(
@@ -1236,7 +1301,7 @@ def _render(report: dict) -> str:
         f"(w{summary['sharded_workers']}, {report['meta']['cpus']} cpus), "
         f"end-semantics geomean {summary['end_semantics_geomean_speedup']:.2f}x, "
         f"wcoj min gated {summary['wcoj_min_gated_speedup']:.2f}x@"
-        f"{summary['wcoj_largest_scale']}"
+        f"{summary['wcoj_largest_scale']}",
     )
     return "\n".join(lines)
 
@@ -1282,7 +1347,7 @@ def test_fixpoint_smoke():
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--smoke", action="store_true", help="best-of-2 repetitions, small scales"
+        "--smoke", action="store_true", help="best-of-2 repetitions, small scales",
     )
     parser.add_argument(
         "--check",
@@ -1322,7 +1387,7 @@ def main() -> None:
     if args.out is None:
         root = Path(__file__).resolve().parent.parent
         args.out = str(
-            root / ("bench-check-report.json" if args.check else "BENCH_fixpoint.json")
+            root / ("bench-check-report.json" if args.check else "BENCH_fixpoint.json"),
         )
     baseline = None
     if args.check:

@@ -6,7 +6,7 @@ from repro.experiments import table3
 
 def test_table3_containment(benchmark, repro_scale):
     report = run_once(
-        benchmark, table3.run, mas_scale=repro_scale, tpch_scale=repro_scale
+        benchmark, table3.run, mas_scale=repro_scale, tpch_scale=repro_scale,
     )
     print("\n" + report.render())
     assert report.data["invariant_failures"] == []

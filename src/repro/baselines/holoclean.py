@@ -26,11 +26,11 @@ Pipeline (mirroring HoloClean's detect → domain → infer stages):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.constraints.denial import DenialConstraint
-from repro.datalog.ast import Comparison, Variable
+from repro.datalog.ast import Variable
 from repro.datalog.evaluation import find_assignments
 from repro.storage.database import BaseDatabase
 from repro.storage.facts import Fact
@@ -95,7 +95,8 @@ class HoloCleanStyleRepairer:
         noisy = self._detect_noisy_cells(db)
         statistics = self._cooccurrence_statistics(db)
         repairs: Dict[Tuple[Fact, int], object] = {}
-        for item, position in sorted(noisy, key=lambda cell: (cell[0].sort_key(), cell[1])):
+        ordered = sorted(noisy, key=lambda cell: (cell[0].sort_key(), cell[1]))
+        for item, position in ordered:
             best = self._best_candidate(item, position, statistics)
             if best is not None and best != item.values[position]:
                 repairs[(item, position)] = best
@@ -152,7 +153,7 @@ class HoloCleanStyleRepairer:
             for position, term in enumerate(atom.terms):
                 if isinstance(term, Variable):
                     variable_positions.setdefault(term.name, []).append(
-                        (atom_index, position)
+                        (atom_index, position),
                     )
         blamed: Dict[int, List[int]] = {}
         for comparison in constraint.comparisons:
@@ -167,7 +168,7 @@ class HoloCleanStyleRepairer:
     # -- domain + inference ----------------------------------------------------------
 
     def _cooccurrence_statistics(
-        self, db: BaseDatabase
+        self, db: BaseDatabase,
     ) -> Dict[str, Dict[Tuple[int, object, int], Dict[object, int]]]:
         """Counts of value co-occurrence within tuples, per relation.
 
@@ -218,7 +219,7 @@ class HoloCleanStyleRepairer:
     # -- application -------------------------------------------------------------------
 
     def _apply(
-        self, db: BaseDatabase, repairs: Dict[Tuple[Fact, int], object]
+        self, db: BaseDatabase, repairs: Dict[Tuple[Fact, int], object],
     ) -> BaseDatabase:
         """Apply cell repairs to a clone of ``db`` (merging repairs on the same tuple)."""
         by_fact: Dict[Fact, Dict[int, object]] = {}

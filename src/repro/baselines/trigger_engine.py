@@ -13,7 +13,7 @@ immediately, and the newly deleted rows are queued as further events.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Sequence
 
@@ -153,12 +153,12 @@ class TriggerEngine:
                 if processed > self.max_events:
                     raise ExperimentError(
                         f"trigger cascade exceeded {self.max_events} events "
-                        "(possible non-termination)"
+                        "(possible non-termination)",
                     )
                 event = queue.popleft()
                 for trigger in self._ordered_triggers(event.relation):
                     for assignment in self._matching_assignments(
-                        working, trigger, event, planner
+                        working, trigger, event, planner,
                     ):
                         target = assignment.derived
                         if not working.has_active(target):

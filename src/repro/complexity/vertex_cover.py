@@ -13,7 +13,7 @@ with known answers.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable
 
 import networkx as nx
 
@@ -58,7 +58,7 @@ def independent_instance_from_graph(graph: "nx.Graph") -> tuple[Database, DeltaP
             delta VC(x) :- VC(x), delta E(x, y).
             delta VC(y) :- VC(y), delta E(x, y).
             """
-        )
+        ),
     )
     return _reduction_database(graph), program
 
@@ -66,7 +66,7 @@ def independent_instance_from_graph(graph: "nx.Graph") -> tuple[Database, DeltaP
 def step_instance_from_graph(graph: "nx.Graph") -> tuple[Database, DeltaProgram]:
     """The (database, program) pair of the step-semantics reduction (rule (1) only)."""
     program = DeltaProgram(
-        parse_program("delta VC(x) :- E(x, y), VC(x), VC(y).")
+        parse_program("delta VC(x) :- E(x, y), VC(x), VC(y)."),
     )
     return _reduction_database(graph), program
 
@@ -90,7 +90,7 @@ def minimum_vertex_cover_bruteforce(graph: "nx.Graph", max_nodes: int = 20) -> f
     nodes = list(graph.nodes)
     if len(nodes) > max_nodes:
         raise ValueError(
-            f"brute-force vertex cover refused: {len(nodes)} nodes exceeds {max_nodes}"
+            f"brute-force vertex cover refused: {len(nodes)} nodes exceeds {max_nodes}",
         )
     for size in range(len(nodes) + 1):
         for candidate in combinations(nodes, size):

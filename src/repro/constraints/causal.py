@@ -33,7 +33,7 @@ class CausalRule:
     def __post_init__(self) -> None:
         if self.cause.is_delta or self.effect.is_delta:
             raise RuleValidationError(
-                f"causal rule {self.name!r}: cause/effect must be base atoms"
+                f"causal rule {self.name!r}: cause/effect must be base atoms",
             )
 
     def to_delta_rule(self) -> Rule:

@@ -20,7 +20,7 @@ two delta-rule encodings:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.datalog.ast import Atom, Comparison, Rule
 from repro.datalog.delta import DeltaProgram
@@ -41,7 +41,7 @@ class DenialConstraint:
         for atom in self.atoms:
             if atom.is_delta:
                 raise RuleValidationError(
-                    f"denial constraint {self.name!r}: atoms must be base atoms, got {atom}"
+                    f"denial constraint {self.name!r}: atoms must be base atoms, got {atom}",
                 )
 
     # -- translations ----------------------------------------------------------
@@ -50,7 +50,7 @@ class DenialConstraint:
         """The single-head encoding: delete the atom at ``head_index`` when violated."""
         if not 0 <= head_index < len(self.atoms):
             raise RuleValidationError(
-                f"denial constraint {self.name!r}: head index {head_index} out of range"
+                f"denial constraint {self.name!r}: head index {head_index} out of range",
             )
         head = self.atoms[head_index].as_delta()
         return Rule(head, self.atoms, self.comparisons, name=f"{self.name}_h{head_index}")

@@ -10,7 +10,7 @@ citing Deutch & Frost).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any
 
 from repro.datalog.ast import Atom, Comparison, Constant, Rule, Variable
 from repro.datalog.delta import DeltaProgram
@@ -41,14 +41,12 @@ class DomainConstraint:
         if has_set == has_range:
             raise RuleValidationError(
                 f"domain constraint {self.name!r}: provide either allowed_values or "
-                "a minimum/maximum range (not both, not neither)"
+                "a minimum/maximum range (not both, not neither)",
             )
         self.relation.position_of(self.attribute)  # raises for unknown attributes
 
     def _head_and_guard(self) -> tuple[Atom, Atom, Variable]:
-        variables = tuple(
-            Variable(f"x{i}") for i in range(self.relation.arity)
-        )
+        variables = tuple(Variable(f"x{i}") for i in range(self.relation.arity))
         position = self.relation.position_of(self.attribute)
         head = Atom(self.relation.name, variables, is_delta=True)
         guard = Atom(self.relation.name, variables, is_delta=False)
@@ -74,7 +72,7 @@ class DomainConstraint:
                     (guard,),
                     (Comparison(target, "<", Constant(self.minimum)),),
                     name=f"{self.name}_below",
-                )
+                ),
             )
         if self.maximum is not None:
             rules.append(
@@ -83,7 +81,7 @@ class DomainConstraint:
                     (guard,),
                     (Comparison(target, ">", Constant(self.maximum)),),
                     name=f"{self.name}_above",
-                )
+                ),
             )
         return tuple(rules)
 

@@ -46,12 +46,12 @@ class DeleteTrigger:
     def __post_init__(self) -> None:
         if self.watched.is_delta or self.target.is_delta:
             raise RuleValidationError(
-                f"trigger {self.name!r}: watched/target atoms must be base atoms"
+                f"trigger {self.name!r}: watched/target atoms must be base atoms",
             )
         for atom in self.condition:
             if atom.is_delta:
                 raise RuleValidationError(
-                    f"trigger {self.name!r}: condition atoms must be base atoms"
+                    f"trigger {self.name!r}: condition atoms must be base atoms",
                 )
 
     def to_delta_rule(self) -> Rule:
@@ -96,6 +96,6 @@ def triggers_from_program(program: DeltaProgram) -> list[DeleteTrigger]:
                 target=guard,
                 condition=condition,
                 comparisons=rule.comparisons,
-            )
+            ),
         )
     return triggers

@@ -70,7 +70,7 @@ class ContainmentReport:
 
 
 def compare_results(
-    results: Mapping[Semantics | str, RepairResult], name: str = ""
+    results: Mapping[Semantics | str, RepairResult], name: str = "",
 ) -> ContainmentReport:
     """Build a :class:`ContainmentReport` from per-semantics results.
 
@@ -83,7 +83,7 @@ def compare_results(
     if missing:
         raise ValueError(
             "compare_results needs all four semantics; missing: "
-            + ", ".join(member.value for member in missing)
+            + ", ".join(member.value for member in missing),
         )
     end = normalized[Semantics.END]
     stage = normalized[Semantics.STAGE]
@@ -91,7 +91,12 @@ def compare_results(
     ind = normalized[Semantics.INDEPENDENT]
     sizes = tuple(
         (member.value, normalized[member].size)
-        for member in (Semantics.END, Semantics.STAGE, Semantics.STEP, Semantics.INDEPENDENT)
+        for member in (
+            Semantics.END,
+            Semantics.STAGE,
+            Semantics.STEP,
+            Semantics.INDEPENDENT,
+        )
     )
     return ContainmentReport(
         name=name,

@@ -87,7 +87,10 @@ def _derivation_chain(graph: ProvenanceGraph, target: Fact) -> List[DerivationSt
         best = min(
             derivations,
             key=lambda assignment: (
-                max((graph.layers.get(dep, 0) for dep in assignment.delta_facts()), default=0),
+                max(
+                    (graph.layers.get(dep, 0) for dep in assignment.delta_facts()),
+                    default=0,
+                ),
                 len(assignment.delta_facts()),
             ),
         )
@@ -98,7 +101,7 @@ def _derivation_chain(graph: ProvenanceGraph, target: Fact) -> List[DerivationSt
                     ("Δ" if atom.is_delta else "") + str(item) for atom, item in best.used
                 ),
                 derived=str(current),
-            )
+            ),
         )
         dependencies = best.delta_facts()
         if not dependencies:
@@ -131,7 +134,8 @@ def explain_deletion(
         involved = [
             clause
             for clause in provenance.clauses
-            if target in clause.positives and not clause.satisfied_by(result.deleted - {target})
+            if target in clause.positives
+            and not clause.satisfied_by(result.deleted - {target})
         ]
         conflicts = tuple(
             f"[{clause.rule_name}] would delete "

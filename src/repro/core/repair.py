@@ -126,7 +126,7 @@ class RepairEngine:
     # -- repairs ------------------------------------------------------------------
 
     def repair(
-        self, semantics: Semantics | str = Semantics.INDEPENDENT, **options: Any
+        self, semantics: Semantics | str = Semantics.INDEPENDENT, **options: Any,
     ) -> RepairResult:
         """Compute the repair under the given semantics.
 
@@ -142,7 +142,7 @@ class RepairEngine:
         if self._verify and not verify_repair(self._db, self._program, result):
             raise SemanticsError(
                 f"{result.semantics.value} semantics returned a non-stabilizing set "
-                "(internal error)"
+                "(internal error)",
             )
         return result
 

@@ -57,13 +57,13 @@ def independent_semantics(
     # Line 1: Boolean provenance of every possible delta tuple.
     with timer.phase(PHASE_EVAL):
         provenance = build_boolean_provenance(
-            db, rules, engine=engine, context=context
+            db, rules, engine=engine, context=context,
         )
 
     # Lines 2-4: the negated provenance as a CNF over deletion variables.
     with timer.phase(PHASE_PROCESS_PROV):
         ordered_facts: list[Fact] = sorted(
-            provenance.variables, key=lambda item: item.sort_key()
+            provenance.variables, key=lambda item: item.sort_key(),
         )
         mapping = FactVariableMap.from_keys(ordered_facts)
         fact_to_var = mapping.key_to_var
@@ -83,7 +83,7 @@ def independent_semantics(
     # Line 5: Min-Ones SAT.
     with timer.phase(PHASE_SOLVE):
         solution = solve_min_ones(
-            cnf, exact_variable_limit=exact_variable_limit, node_limit=node_limit
+            cnf, exact_variable_limit=exact_variable_limit, node_limit=node_limit,
         )
 
     var_to_fact = mapping.var_to_key

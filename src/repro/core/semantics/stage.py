@@ -93,7 +93,7 @@ def stage_semantics(
 
 
 def _apply_stage(
-    working: BaseDatabase, derived_now: Set[Fact], deleted: set
+    working: BaseDatabase, derived_now: Set[Fact], deleted: set,
 ) -> tuple[bool, List[Fact]]:
     """Delete this stage's derived tuples; returns (changed, facts deleted from
     the active extent)."""
@@ -116,7 +116,7 @@ def _apply_stage(
 
 
 def _stage_fixpoint_naive(
-    working: BaseDatabase, rules: List[Rule], deleted: set
+    working: BaseDatabase, rules: List[Rule], deleted: set,
 ) -> int:
     """The oracle loop: re-enumerate every rule at every stage."""
     stages = 0
@@ -137,7 +137,7 @@ class _MemoryStageDiscovery:
     """Assignment discovery over the in-memory engine's planned joins."""
 
     def __init__(
-        self, working: BaseDatabase, rules: List[Rule], context=None
+        self, working: BaseDatabase, rules: List[Rule], context=None,
     ) -> None:
         from repro.datalog.planner import JoinPlanner
 
@@ -156,7 +156,7 @@ class _MemoryStageDiscovery:
                 for rule in self._delta_rules
                 for atom in rule.body
                 if atom.is_delta
-            }
+            },
         )
         self._tokens = {
             relation: working.delta_token(relation) for relation in self._relations
@@ -177,7 +177,7 @@ class _MemoryStageDiscovery:
     def initial(self) -> Iterator[Assignment]:
         for rule in self._rules:
             yield from self._deliver(
-                find_assignments(self._working, rule, planner=self._planner)
+                find_assignments(self._working, rule, planner=self._planner),
             )
 
     def newly_enabled(self) -> Iterator[Assignment]:
@@ -195,7 +195,7 @@ class _MemoryStageDiscovery:
         if frontier:
             for rule in self._delta_rules:
                 yield from self._deliver(
-                    seeded_assignments(self._working, rule, frontier, self._planner)
+                    seeded_assignments(self._working, rule, frontier, self._planner),
                 )
 
 
@@ -208,7 +208,7 @@ class _SQLStageDiscovery:
     """
 
     def __init__(
-        self, working: SQLiteDatabase, rules: List[Rule], context=None
+        self, working: SQLiteDatabase, rules: List[Rule], context=None,
     ) -> None:
         self._working = working
         self._rules = rules
@@ -223,7 +223,7 @@ class _SQLStageDiscovery:
 
         for rule in self._rules:
             yield from full_assignments_sql(
-                self._working, rule, self._token, context=self._context
+                self._working, rule, self._token, context=self._context,
             )
 
     def newly_enabled(self) -> Iterator[Assignment]:
@@ -234,12 +234,12 @@ class _SQLStageDiscovery:
             return
         for rule in self._delta_rules:
             yield from seeded_assignments_sql(
-                self._working, rule, lo, self._token, context=self._context
+                self._working, rule, lo, self._token, context=self._context,
             )
 
 
 def _stage_fixpoint_incremental(
-    working: BaseDatabase, rules: List[Rule], deleted: set, context=None
+    working: BaseDatabase, rules: List[Rule], deleted: set, context=None,
 ) -> int:
     """Delta-driven stages: maintain the live assignments across deletions."""
     if isinstance(working, SQLiteDatabase):

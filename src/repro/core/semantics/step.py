@@ -213,7 +213,7 @@ def _step_exhaustive(
             if explored > max_states:
                 raise SemanticsError(
                     f"exhaustive step search exceeded {max_states} states; "
-                    "use method='greedy' for this input"
+                    "use method='greedy' for this input",
                 )
             if best is not None and len(deleted) >= len(best):
                 # Any extension only grows; a known smaller/equal fixpoint wins.

@@ -43,7 +43,7 @@ def is_stable(db: BaseDatabase, program: ProgramLike) -> bool:
 
 
 def is_stabilizing_set(
-    db: BaseDatabase, program: ProgramLike, deleted: Iterable[Fact]
+    db: BaseDatabase, program: ProgramLike, deleted: Iterable[Fact],
 ) -> bool:
     """True when removing ``deleted`` (and adding ``Δ(deleted)``) stabilizes ``db``."""
     rules = list(program)
@@ -79,7 +79,7 @@ def minimum_stabilizing_set_bruteforce(
     if len(facts) > max_tuples:
         raise SemanticsError(
             f"brute-force minimum stabilizing set refused: {len(facts)} tuples "
-            f"exceeds the limit of {max_tuples}"
+            f"exceeds the limit of {max_tuples}",
         )
     for size in range(len(facts) + 1):
         for subset in combinations(facts, size):
@@ -100,7 +100,7 @@ def all_minimum_stabilizing_sets(
     facts = sorted(db.all_active(), key=lambda item: item.sort_key())
     if len(facts) > max_tuples:
         raise SemanticsError(
-            f"enumeration refused: {len(facts)} tuples exceeds the limit of {max_tuples}"
+            f"enumeration refused: {len(facts)} tuples exceeds the limit of {max_tuples}",
         )
     for size in range(len(facts) + 1):
         found = [

@@ -130,7 +130,7 @@ def analyze_program(program: Program | Iterable[Rule]) -> ProgramReport:
     heads = sorted({rule.head.relation for rule in rules})
     max_body = max((len(rule.body) for rule in rules), default=0)
     max_join = max(
-        (len(rule.body) + len(rule.comparisons) for rule in rules), default=0
+        (len(rule.body) + len(rule.comparisons) for rule in rules), default=0,
     )
     strata = relation_strata(rules) if rules else {}
     return ProgramReport(

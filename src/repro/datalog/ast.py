@@ -14,8 +14,8 @@ The grammar follows the paper's notation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping
 
 from repro.exceptions import RuleValidationError
 

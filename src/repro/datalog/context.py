@@ -62,6 +62,21 @@ def env_shards() -> int | None:
     return value if value > 0 else None
 
 
+#: Environment variable opting the incremental maintenance drivers into the
+#: sharded execution paths (insert discovery, frontier propagation and the
+#: DRed scans fan out over the worker pool).  Separate from :data:`SHARDS_ENV`
+#: on purpose: ``REPRO_SHARDS`` alone reroutes the *closure loads* through the
+#: sharded engine while the per-batch maintenance stays serial, so CI can
+#: exercise either axis independently.
+MAINTENANCE_ENV = "REPRO_SHARD_MAINTENANCE"
+
+
+def env_shard_maintenance() -> bool:
+    """True when :data:`MAINTENANCE_ENV` enables sharded maintenance."""
+    raw = os.environ.get(MAINTENANCE_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
+
+
 #: Signature of an assignment observer.
 AssignmentObserver = Callable[["Assignment"], None]
 
@@ -165,6 +180,19 @@ class QueryStats:
         Deletion batches where support counts alone could not prove every
         affected fact alive, so the exact DRed passes ran (with counting-based
         pruning of provably alive facts when enabled).
+    maint_discovery_shards:
+        Per-shard insert-discovery jobs the sharded maintenance path ran —
+        one hash partition of one (rule, eligible position)'s seed facts
+        each.  Zero while maintenance runs serial
+        (:meth:`EvalContext.wants_shard_maintenance` off).
+    maint_propagate_shards:
+        Per-shard frontier-propagation jobs of the sharded maintenance path:
+        one hash partition of one (rule, rank)'s frontier in memory, one
+        ``rowid % :nshards`` window of one seeded variant on SQLite.
+    maint_dred_shards:
+        Per-shard DRed scan jobs (over-delete BFS levels and re-derive
+        sweeps) the sharded maintenance path ran; the counting fast path
+        never shards (it decides batches from support counts alone).
     """
 
     staged_selects: int = 0
@@ -187,6 +215,9 @@ class QueryStats:
     rederived: int = 0
     counted_deletes: int = 0
     dred_fallbacks: int = 0
+    maint_discovery_shards: int = 0
+    maint_propagate_shards: int = 0
+    maint_dred_shards: int = 0
 
     def joins(self) -> int:
         """Total statements that join the base/frontier tables.
@@ -224,6 +255,9 @@ class QueryStats:
         self.rederived = 0
         self.counted_deletes = 0
         self.dred_fallbacks = 0
+        self.maint_discovery_shards = 0
+        self.maint_propagate_shards = 0
+        self.maint_dred_shards = 0
 
 
 @dataclass
@@ -246,16 +280,27 @@ class EvalContext:
     Setting either knob (or the environment variable) also makes
     ``engine="auto"`` resolve to the sharded engine — the opt-in heuristic of
     :func:`repro.datalog.evaluation.resolve_engine`.
+
+    ``shard_maintenance`` opts the *incremental maintenance drivers*
+    (:mod:`repro.datalog.incremental`) into the same hash-partitioned
+    worker-pool execution: insert discovery, frontier propagation and the
+    DRed scans fan their per-batch work across ``shards`` partitions and
+    ``workers`` threads.  None defers to the :data:`MAINTENANCE_ENV`
+    environment override; an explicit False pins maintenance serial even
+    under the environment knob.  Either way the maintained state is
+    byte-identical — same closure, same assignment record order, same
+    observer stream, same persisted store — at any shard/worker count.
     """
 
     stats: QueryStats = field(default_factory=QueryStats)
     shards: int | None = None
     workers: int | None = None
+    shard_maintenance: bool | None = None
     _plans: Dict = field(default_factory=dict, repr=False)
     _variants: Dict = field(default_factory=dict, repr=False)
     _observers: List[AssignmentObserver] = field(default_factory=list, repr=False)
     _candidate_observers: List[CandidateObserver] = field(
-        default_factory=list, repr=False
+        default_factory=list, repr=False,
     )
 
     # -- sharding ---------------------------------------------------------------
@@ -300,6 +345,18 @@ class EvalContext:
             or env_shards() is not None
         )
 
+    def wants_shard_maintenance(self) -> bool:
+        """True when the maintenance drivers should run their sharded paths.
+
+        The explicit :attr:`shard_maintenance` knob wins in both directions;
+        when left None the :data:`MAINTENANCE_ENV` environment variable
+        decides (read dynamically, like :data:`SHARDS_ENV`, so a CI job can
+        flip a whole test run at once).
+        """
+        if self.shard_maintenance is not None:
+            return bool(self.shard_maintenance)
+        return env_shard_maintenance()
+
     # -- planning ---------------------------------------------------------------
 
     def planner(self, db: "BaseDatabase") -> "JoinPlanner":
@@ -321,7 +378,7 @@ class EvalContext:
         return len(self._plans)
 
     def frontier_variants(
-        self, rule: "Rule"
+        self, rule: "Rule",
     ) -> Tuple["FrontierQuery", Tuple["FrontierQuery", ...]]:
         """The compiled ``(full, seeded)`` SQL variants of ``rule``, cached.
 
@@ -360,7 +417,10 @@ class EvalContext:
         twice.
         """
         derived = EvalContext(
-            stats=self.stats, shards=self.shards, workers=self.workers
+            stats=self.stats,
+            shards=self.shards,
+            workers=self.workers,
+            shard_maintenance=self.shard_maintenance,
         )
         derived._plans = self._plans
         derived._variants = self._variants

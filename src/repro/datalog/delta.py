@@ -39,18 +39,18 @@ def validate_delta_rule(rule: Rule, require_guard: bool = True) -> None:
     """
     if not rule.head.is_delta:
         raise RuleValidationError(
-            f"rule {rule.display_name()}: the head must be a delta atom, got {rule.head}"
+            f"rule {rule.display_name()}: the head must be a delta atom, got {rule.head}",
         )
     if not rule.is_safe():
         raise RuleValidationError(
             f"rule {rule.display_name()}: unsafe rule — every head variable must "
-            "appear in the body"
+            "appear in the body",
         )
     if require_guard and rule.guard_atom() is None:
         raise RuleValidationError(
             f"rule {rule.display_name()}: the body must contain the guard atom "
             f"{rule.head.relation}({', '.join(str(t) for t in rule.head.terms)}) "
-            "(Definition 3.1)"
+            "(Definition 3.1)",
         )
 
 
@@ -113,7 +113,7 @@ class DeltaProgram:
             key = (rule.head, rule.body, rule.comparisons)
             if key in seen:
                 raise ProgramValidationError(
-                    f"duplicate rule in program: {rule}"
+                    f"duplicate rule in program: {rule}",
                 )
             seen.add(key)
 
@@ -154,13 +154,13 @@ class DeltaProgram:
             for atom in atoms:
                 if atom.relation not in schema:
                     raise ProgramValidationError(
-                        f"rule {rule.display_name()}: unknown relation {atom.relation!r}"
+                        f"rule {rule.display_name()}: unknown relation {atom.relation!r}",
                     )
                 expected = schema.arity(atom.relation)
                 if atom.arity != expected:
                     raise ProgramValidationError(
                         f"rule {rule.display_name()}: atom {atom} has arity "
-                        f"{atom.arity}, schema says {expected}"
+                        f"{atom.arity}, schema says {expected}",
                     )
 
     # -- extension ------------------------------------------------------------------
@@ -172,13 +172,13 @@ class DeltaProgram:
             for index, item in enumerate(items)
         ]
         return DeltaProgram(
-            self.program.extended(extra), require_guard=self.require_guard
+            self.program.extended(extra), require_guard=self.require_guard,
         )
 
     def with_rules(self, rules: Iterable[Rule]) -> "DeltaProgram":
         """Return a new program extended with additional delta rules."""
         return DeltaProgram(
-            self.program.extended(rules), require_guard=self.require_guard
+            self.program.extended(rules), require_guard=self.require_guard,
         )
 
     # -- introspection ---------------------------------------------------------------

@@ -50,7 +50,7 @@ def validate_engine(engine: str | None) -> None:
 
 
 def resolve_engine(
-    db: BaseDatabase, engine: str | None, context=None
+    db: BaseDatabase, engine: str | None, context=None,
 ) -> str:
     """Resolve the ``engine=`` knob to a concrete engine name.
 
@@ -147,7 +147,7 @@ def ground_head(rule: Rule, bindings: Dict[str, Any]) -> Fact:
         if isinstance(term, Variable):
             if term.name not in bindings:
                 raise EvaluationError(
-                    f"rule {rule.display_name()}: head variable {term.name!r} is unbound"
+                    f"rule {rule.display_name()}: head variable {term.name!r} is unbound",
                 )
             values.append(bindings[term.name])
         else:
@@ -167,7 +167,9 @@ def _bound_positions(atom: Atom, bindings: Dict[str, Any]) -> Dict[int, Any]:
     return fixed
 
 
-def _match_atom(atom: Atom, item: Fact, bindings: Dict[str, Any]) -> Dict[str, Any] | None:
+def _match_atom(
+    atom: Atom, item: Fact, bindings: Dict[str, Any]
+) -> Dict[str, Any] | None:
     """Try to unify ``atom`` with ``item`` under ``bindings``.
 
     Returns the extended bindings on success, None on failure.  Handles
@@ -239,7 +241,7 @@ def _finalize(
         ]
         raise EvaluationError(
             f"rule {rule.display_name()}: comparisons with unbound variables: "
-            + ", ".join(unchecked)
+            + ", ".join(unchecked),
         )
     derived = ground_head(rule, bindings)
     # ``used`` carries body indices, so restoring body order is a single
@@ -253,7 +255,7 @@ def _finalize(
             bindings=tuple(sorted(bindings.items(), key=lambda kv: kv[0])),
             used=tuple(pairs),  # type: ignore[arg-type]
             derived=derived,
-        )
+        ),
     )
 
 
@@ -295,7 +297,7 @@ def planned_search(
 
 
 def _check_ready_comparisons(
-    comparisons: Sequence[Comparison], bindings: Dict[str, Any], checked: set[int]
+    comparisons: Sequence[Comparison], bindings: Dict[str, Any], checked: set[int],
 ) -> bool:
     """Evaluate every not-yet-checked comparison whose variables are all bound.
 
@@ -410,7 +412,7 @@ def find_all_assignments(
     assignments: List[Assignment] = []
     for rule in program:
         assignments.extend(
-            find_assignments(db, rule, hypothetical_deltas=hypothetical_deltas)
+            find_assignments(db, rule, hypothetical_deltas=hypothetical_deltas),
         )
     return assignments
 
@@ -525,7 +527,7 @@ def run_closure(
         rounds += 1
         if max_rounds is not None and rounds > max_rounds:
             raise EvaluationError(
-                f"closure did not converge within {max_rounds} rounds"
+                f"closure did not converge within {max_rounds} rounds",
             )
         new_delta = False
         for rule in rules:
@@ -560,5 +562,5 @@ def derive_closure(
     count or the resolved engine name is needed.
     """
     return run_closure(
-        db, program, on_assignment=on_assignment, max_rounds=max_rounds, engine=engine
+        db, program, on_assignment=on_assignment, max_rounds=max_rounds, engine=engine,
     ).assignments

@@ -122,7 +122,7 @@ class _Parser:
             raise ParseError(f"expected {kind}, found end of input")
         if token.kind != kind:
             raise ParseError(
-                f"expected {kind}, found {token.text!r}", token.line, token.column
+                f"expected {kind}, found {token.text!r}", token.line, token.column,
             )
         return self._advance()
 
@@ -257,7 +257,7 @@ def parse_rule(source: str) -> Rule:
         token = parser._peek()
         assert token is not None
         raise ParseError(
-            f"unexpected trailing input starting at {token.text!r}", token.line, token.column
+            f"unexpected trailing input starting at {token.text!r}", token.line, token.column,
         )
     return rule
 

@@ -199,7 +199,7 @@ class JoinPlan:
     order: Tuple[int, ...]
     seed: int | None = None
     cost_snapshot: Tuple[Tuple[Tuple[str, bool], int], ...] = field(
-        default=(), compare=False
+        default=(), compare=False,
     )
     kind: str = PLAN_BINARY
     var_order: Tuple[str, ...] = field(default=(), compare=False)
@@ -284,7 +284,7 @@ class JoinPlanner:
         """Extent size the atom will scan, cached at first use."""
         if delta and hypothetical:
             return self._cardinality(relation, False, False) + self._cardinality(
-                relation, True, False
+                relation, True, False,
             )
         key = (relation, delta)
         size = self._cardinalities.get(key)
@@ -312,7 +312,7 @@ class JoinPlanner:
         self._recost_armed = True
 
     def plan(
-        self, rule: Rule, seed: int | None = None, hypothetical: bool = False
+        self, rule: Rule, seed: int | None = None, hypothetical: bool = False,
     ) -> JoinPlan:
         """The join order for ``rule``, optionally seeded at body atom ``seed``.
 
@@ -335,7 +335,7 @@ class JoinPlanner:
         self._plans[key] = plan
         if cached is not None:
             self._record_replan_outcome(
-                changed_order=plan.order != cached.order or plan.kind != cached.kind
+                changed_order=plan.order != cached.order or plan.kind != cached.kind,
             )
         return plan
 
@@ -424,7 +424,7 @@ class JoinPlanner:
     # -- plan-kind classification ----------------------------------------------
 
     def _classify(
-        self, rule: Rule, seed: int | None, hypothetical: bool
+        self, rule: Rule, seed: int | None, hypothetical: bool,
     ) -> tuple[str, Tuple[str, ...], float]:
         """Pick ``(kind, var_order, width)`` for one plan build.
 
@@ -468,7 +468,7 @@ class JoinPlanner:
         return PLAN_WCOJ, self._variable_order(rule, seed), width
 
     def _agm_estimate(
-        self, rule: Rule, core: Tuple[int, ...], hypothetical: bool
+        self, rule: Rule, core: Tuple[int, ...], hypothetical: bool,
     ) -> float:
         """AGM-style output estimate: extent product of a greedy edge cover.
 

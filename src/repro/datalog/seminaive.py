@@ -46,7 +46,6 @@ from repro.datalog.evaluation import (
     Assignment,
     ClosureResult,
     ENGINE_SEMI_NAIVE,
-    _bound_positions,
     _match_atom,
     find_assignments,
     planned_search,
@@ -147,7 +146,7 @@ def seeded_assignments(
         if not seed_facts:
             continue
         yield from seeded_rank_assignments(
-            db, rule, frontier, planner, rank, seed_index, seed_facts
+            db, rule, frontier, planner, rank, seed_index, seed_facts,
         )
 
 
@@ -175,7 +174,7 @@ def semi_naive_closure(
         planner = context.planner(db) if context is not None else JoinPlanner(db)
     delta_rules = [rule for rule in rules if any(atom.is_delta for atom in rule.body)]
     relations = sorted(
-        {atom.relation for rule in delta_rules for atom in rule.body if atom.is_delta}
+        {atom.relation for rule in delta_rules for atom in rule.body if atom.is_delta},
     )
     tokens = {relation: db.delta_token(relation) for relation in relations}
     # Context candidate observers attach to the storage layer's candidate
@@ -213,7 +212,7 @@ def semi_naive_closure(
         rounds += 1
         if max_rounds is not None and rounds > max_rounds:
             raise EvaluationError(
-                f"closure did not converge within {max_rounds} rounds"
+                f"closure did not converge within {max_rounds} rounds",
             )
 
     try:

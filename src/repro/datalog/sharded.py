@@ -96,7 +96,7 @@ def _ensure_pool(workers: int) -> ThreadPoolExecutor:
     if _pool is None or _pool_size < workers:
         previous = _pool
         _pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-shard"
+            max_workers=workers, thread_name_prefix="repro-shard",
         )
         _pool_size = workers
         if previous is not None and not _pool_leases.get(previous):
@@ -161,6 +161,15 @@ def _assignment_order(assignment: Assignment) -> tuple:
     )
 
 
+#: Public name of the canonical per-job replay order — the incremental
+#: maintenance drivers sort *both* their serial and their sharded record
+#: streams with it, which is what makes sharded maintenance byte-identical
+#: to the serial drivers at any shard/worker count.
+def assignment_replay_order(assignment: Assignment) -> tuple:
+    """Alias of :func:`_assignment_order` for out-of-module callers."""
+    return _assignment_order(assignment)
+
+
 def fact_shard(item: Fact, nshards: int) -> int:
     """The hash partition of ``item`` among ``nshards`` shards (in-memory).
 
@@ -182,8 +191,22 @@ def fact_shard(item: Fact, nshards: int) -> int:
     return digest % nshards
 
 
+def partition_facts(items: Iterable[Fact], nshards: int) -> List[List[Fact]]:
+    """Deal ``items`` into their :func:`fact_shard` partitions.
+
+    The shared partitioning step of the in-memory sharded closure and the
+    sharded maintenance drivers: each returned list holds one shard's facts
+    in the input's iteration order, and the concatenation over shards is a
+    permutation of the input.
+    """
+    partitions: List[List[Fact]] = [[] for _ in range(nshards)]
+    for item in items:
+        partitions[fact_shard(item, nshards)].append(item)
+    return partitions
+
+
 def _run_wave(
-    jobs: Sequence[Callable[[], object]], workers: int
+    jobs: Sequence[Callable[[], object]], workers: int,
 ) -> List[object]:
     """Run one wave of shard jobs, returning results in job order.
 
@@ -272,9 +295,7 @@ def sql_sharded_closure(
         rule.head.relation: delta_copy_sql(rule.head.relation, rule.head.arity)
         for rule in rules
     }
-    observing = (
-        collect_assignments or on_assignment is not None or ctx.has_observers
-    )
+    observing = (collect_assignments or on_assignment is not None or ctx.has_observers)
     readers = db.reader_connections(workers) if workers > 1 else None
 
     all_assignments: List[Assignment] = []
@@ -292,7 +313,7 @@ def sql_sharded_closure(
         ctx.notify(assignment)
 
     def shard_wave(
-        pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]]
+        pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]],
     ) -> List[List[tuple]]:
         """Run every pending variant's join across all shards; per-variant rows.
 
@@ -321,7 +342,7 @@ def sql_sharded_closure(
                         results[(index, shard)] = cursor.fetchall()
                     else:
                         results[(index, shard)] = db.execute(
-                            select_sql[index], bind
+                            select_sql[index], bind,
                         ).fetchall()
             return results
 
@@ -382,7 +403,7 @@ def sql_sharded_closure(
                 }
                 for batch in shard_rows:
                     for assignment in assignments_from_rows(
-                        rule, variant.atom_arities, batch
+                        rule, variant.atom_arities, batch,
                     ):
                         record(assignment)
             else:
@@ -466,7 +487,7 @@ def sql_sharded_closure(
         rounds += 1
         if max_rounds is not None and rounds > max_rounds:
             raise EvaluationError(
-                f"closure did not converge within {max_rounds} rounds"
+                f"closure did not converge within {max_rounds} rounds",
             )
 
     # Round 1: every rule's full variant, sharded on its first body atom.
@@ -544,7 +565,7 @@ def memory_sharded_closure(
         planner = ctx.planner(db)
     delta_rules = [rule for rule in rules if any(atom.is_delta for atom in rule.body)]
     relations = sorted(
-        {atom.relation for rule in delta_rules for atom in rule.body if atom.is_delta}
+        {atom.relation for rule in delta_rules for atom in rule.body if atom.is_delta},
     )
     tokens = {relation: db.delta_token(relation) for relation in relations}
     watching_candidates = (
@@ -576,11 +597,11 @@ def memory_sharded_closure(
         rounds += 1
         if max_rounds is not None and rounds > max_rounds:
             raise EvaluationError(
-                f"closure did not converge within {max_rounds} rounds"
+                f"closure did not converge within {max_rounds} rounds",
             )
 
     def full_rule_shard(
-        rule: Rule, first: int, seeds: List[Fact]
+        rule: Rule, first: int, seeds: List[Fact],
     ) -> List[Assignment]:
         """One shard of a rule's full (round-1) evaluation.
 
@@ -599,7 +620,7 @@ def memory_sharded_closure(
                 # planned atom with each of this shard's candidate facts and
                 # intersects the remaining variables outward.
                 return wcoj_seeded_assignments(
-                    db, rule, plan, first, seeds, stats=planner.stats
+                    db, rule, plan, first, seeds, stats=planner.stats,
                 )
         base = default_candidates(db, False)
 
@@ -627,16 +648,17 @@ def memory_sharded_closure(
             first = plan.order[0]
             first_atom = rule.body[first]
             first_fixed = _bound_positions(first_atom, {})
-            partitions: List[List[Fact]] = [[] for _ in range(nshards)]
-            for item in db.candidates(
-                first_atom.relation, first_fixed, delta=first_atom.is_delta
-            ):
-                partitions[fact_shard(item, nshards)].append(item)
+            partitions = partition_facts(
+                db.candidates(
+                    first_atom.relation, first_fixed, delta=first_atom.is_delta
+                ),
+                nshards,
+            )
             for shard in range(nshards):
                 round_one_jobs.append(
                     lambda r=rule, f=first, seeds=partitions[
                         shard
-                    ]: full_rule_shard(r, f, seeds)
+                    ]: full_rule_shard(r, f, seeds),
                 )
         wave = _run_wave(round_one_jobs, workers)
         for results in wave:
@@ -665,9 +687,7 @@ def memory_sharded_closure(
                     if not seed_facts:
                         continue
                     planner.plan(rule, seed=seed_index)
-                    partitions: List[List[Fact]] = [[] for _ in range(nshards)]
-                    for item in seed_facts:
-                        partitions[fact_shard(item, nshards)].append(item)
+                    partitions = partition_facts(seed_facts, nshards)
                     for shard in range(nshards):
                         if not partitions[shard]:
                             continue
@@ -676,7 +696,7 @@ def memory_sharded_closure(
                                 shard
                             ]: seeded_rank_assignments(
                                 db, r, frontier, planner, k, i, seeds
-                            )
+                            ),
                         )
             for results in _run_wave(jobs, workers):
                 for assignment in sorted(results, key=_assignment_order):

@@ -150,9 +150,7 @@ def compile_rule(
     combination of source tables (the union of their results is the assignment
     set).  In normal mode exactly one query is produced.
     """
-    delta_positions = [
-        index for index, atom in enumerate(rule.body) if atom.is_delta
-    ]
+    delta_positions = [index for index, atom in enumerate(rule.body) if atom.is_delta]
     source_choices: List[Dict[int, str]] = [{}]
     if hypothetical_deltas and delta_positions:
         source_choices = []
@@ -231,7 +229,7 @@ def _compile_comparison(
             if term.name not in variable_column:
                 raise EvaluationError(
                     f"rule {rule.display_name()}: comparison variable {term.name!r} "
-                    "does not occur in any body atom"
+                    "does not occur in any body atom",
                 )
             return variable_column[term.name]
         assert isinstance(term, Constant)
@@ -403,7 +401,7 @@ def resolve_plan_kind(rule: Rule) -> str:
 
 
 def compile_frontier_rule(
-    rule: Rule, plan_kind: str | None = None
+    rule: Rule, plan_kind: str | None = None,
 ) -> tuple[FrontierQuery, tuple[FrontierQuery, ...]]:
     """Compile ``rule`` for the semi-naive engine.
 
@@ -425,7 +423,7 @@ def compile_frontier_rule(
 
 @lru_cache(maxsize=1024)
 def _compile_frontier_rule_cached(
-    rule: Rule, kind: str
+    rule: Rule, kind: str,
 ) -> tuple[FrontierQuery, tuple[FrontierQuery, ...]]:
     full = _compile_frontier_variant(rule, seed=None, kind=kind)
     seeded = tuple(
@@ -467,7 +465,7 @@ def _wcoj_join_order(rule: Rule, seed: int | None) -> List[int]:
 
 
 def _compile_frontier_variant(
-    rule: Rule, seed: int | None, kind: str = PLAN_BINARY
+    rule: Rule, seed: int | None, kind: str = PLAN_BINARY,
 ) -> FrontierQuery:
     delta_positions = [index for index, atom in enumerate(rule.body) if atom.is_delta]
     seed_rank = delta_positions.index(seed) if seed is not None else None
@@ -526,7 +524,7 @@ def _compile_frontier_variant(
                 if term.name not in variable_column:
                     raise EvaluationError(
                         f"rule {rule.display_name()}: comparison variable "
-                        f"{term.name!r} does not occur in any body atom"
+                        f"{term.name!r} does not occur in any body atom",
                     )
                 return variable_column[term.name]
             assert isinstance(term, Constant)
@@ -534,7 +532,7 @@ def _compile_frontier_variant(
 
         where.append(
             f"{operand(comparison.lhs)} {_SQL_OPS[comparison.op]} "
-            f"{operand(comparison.rhs)}"
+            f"{operand(comparison.rhs)}",
         )
 
     # The wcoj lowering pins an explicit multi-way join order with CROSS JOIN
@@ -575,7 +573,7 @@ def _compile_frontier_variant(
             name = f"wcoj_{table}__{'_'.join(columns)}"
             indexes.append(
                 f"{TAG_WCOJ} CREATE INDEX IF NOT EXISTS {name} "
-                f"ON {table} ({', '.join(columns)})"
+                f"ON {table} ({', '.join(columns)})",
             )
             bound_vars |= set(atom.variable_names())
         wcoj_index_sql = tuple(dict.fromkeys(indexes))
@@ -628,7 +626,7 @@ def _compile_frontier_variant(
             if term.name not in variable_column:
                 raise EvaluationError(
                     f"rule {rule.display_name()}: head variable {term.name!r} "
-                    "is unbound"
+                    "is unbound",
                 )
             column = variable_column[term.name]
             head_exprs.append(column)
@@ -643,7 +641,7 @@ def _compile_frontier_variant(
             staged_head_exprs.append(placeholder)
             head_sources.append((HEAD_CONST, term.value))
     head_columns = ", ".join(
-        [*(f"c{i}" for i in range(rule.head.arity)), "tid", "gen"]
+        [*(f"c{i}" for i in range(rule.head.arity)), "tid", "gen"],
     )
     install_into = (
         f"INSERT OR IGNORE INTO {frontier_table(rule.head.relation)} "
@@ -717,7 +715,7 @@ def delta_copy_sql(relation: str, arity: int) -> str:
 
 
 def assignments_from_rows(
-    rule: Rule, atom_arities: Tuple[int, ...], rows: Iterator[tuple]
+    rule: Rule, atom_arities: Tuple[int, ...], rows: Iterator[tuple],
 ) -> Iterator["Assignment"]:
     """Rebuild :class:`~repro.datalog.evaluation.Assignment` objects from rows.
 
@@ -772,7 +770,7 @@ def find_assignments_sql(
     for compiled in compile_rule(rule, hypothetical_deltas=hypothetical_deltas):
         cursor = db.execute(compiled.sql, compiled.params)
         for assignment in assignments_from_rows(
-            rule, compiled.atom_arities, cursor
+            rule, compiled.atom_arities, cursor,
         ):
             signature = assignment.signature()
             if signature not in seen:

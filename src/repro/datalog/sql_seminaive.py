@@ -161,7 +161,7 @@ def _discovery_assignments(
         rows = stage_variant_rows(db, variant, window, context)
         for batch in staged_row_batches(rows, context):
             for assignment in assignments_from_rows(
-                rule, variant.atom_arities, batch
+                rule, variant.atom_arities, batch,
             ):
                 context.notify(assignment)
                 yield assignment
@@ -243,9 +243,7 @@ def sql_semi_naive_closure(
         rule.head.relation: delta_copy_sql(rule.head.relation, rule.head.arity)
         for rule in rules
     }
-    observing = (
-        collect_assignments or on_assignment is not None or ctx.has_observers
-    )
+    observing = (collect_assignments or on_assignment is not None or ctx.has_observers)
 
     all_assignments: List[Assignment] = []
     seen_signatures: set[tuple] = set()
@@ -262,13 +260,13 @@ def sql_semi_naive_closure(
         ctx.notify(assignment)
 
     def run_variant(rule: Rule, variant, window: Dict[str, int], gen: int,
-                    new_by_relation: Dict[str, int]) -> None:
+                    new_by_relation: Dict[str, int],) -> None:
         """Evaluate one variant's join once, feeding observers and the install."""
         if observing:
             rows = stage_variant_rows(db, variant, window, ctx)
             for batch in staged_row_batches(rows, ctx):
                 for assignment in assignments_from_rows(
-                    rule, variant.atom_arities, batch
+                    rule, variant.atom_arities, batch,
                 ):
                     record(assignment)
             cursor = db.execute(variant.staged_install_sql, variant.bind(gen=gen))
@@ -294,7 +292,7 @@ def sql_semi_naive_closure(
         rounds += 1
         if max_rounds is not None and rounds > max_rounds:
             raise EvaluationError(
-                f"closure did not converge within {max_rounds} rounds"
+                f"closure did not converge within {max_rounds} rounds",
             )
 
     # Round 1: one full evaluation of every rule, bounded by the generations
@@ -324,7 +322,7 @@ def sql_semi_naive_closure(
                 if not frontier.get(variant.seed_relation):
                     continue
                 run_variant(
-                    rule, variant, {"lo": lo, "hi": hi}, gen, new_by_relation
+                    rule, variant, {"lo": lo, "hi": hi}, gen, new_by_relation,
                 )
         for relation in new_by_relation:
             db.execute(copy_statements[relation], {"gen": gen})

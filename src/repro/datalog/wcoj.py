@@ -99,7 +99,7 @@ class _Cursor:
 
 
 def _make_cursor(
-    db: Database, rule: Rule, plan: JoinPlan, index: int
+    db: Database, rule: Rule, plan: JoinPlan, index: int,
 ) -> _Cursor | None:
     """Build the cursor for body atom ``index``; None when unsatisfiable."""
     atom = rule.body[index]
@@ -134,11 +134,13 @@ def _make_cursor(
         if node is None:
             return None
     return _Cursor(
-        index, node, {name: len(occ) for name, occ in var_positions.items()}
+        index, node, {name: len(occ) for name, occ in var_positions.items()},
     )
 
 
-def _descend(participants: Sequence[_Cursor], value: Any, name: str) -> List[Any] | None:
+def _descend(
+    participants: Sequence[_Cursor], value: Any, name: str
+) -> List[Any] | None:
     """Advance every participant through its ``name`` block by ``value``.
 
     Returns the saved previous nodes for restoration, or None when some atom
@@ -263,7 +265,7 @@ def _enumerate_one(
 
 
 def wcoj_assignments(
-    db: Database, rule: Rule, plan: JoinPlan, stats=None
+    db: Database, rule: Rule, plan: JoinPlan, stats=None,
 ) -> List[Assignment]:
     """Full (unseeded) generic-join evaluation of ``rule`` over ``db``.
 

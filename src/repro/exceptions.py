@@ -34,7 +34,7 @@ class ArityMismatchError(StorageError):
 
     def __init__(self, relation: str, expected: int, got: int) -> None:
         super().__init__(
-            f"relation {relation!r} expects {expected} attributes, got {got}"
+            f"relation {relation!r} expects {expected} attributes, got {got}",
         )
         self.relation = relation
         self.expected = expected
@@ -44,7 +44,9 @@ class ArityMismatchError(StorageError):
 class ParseError(ReproError):
     """Raised when textual datalog / delta-rule syntax cannot be parsed."""
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+    def __init__(
+        self, message: str, line: int | None = None, column: int | None = None
+    ) -> None:
         location = ""
         if line is not None:
             location = f" (line {line}"
@@ -86,7 +88,7 @@ class ServicePoisonedError(EvaluationError):
             f"({cause}); the maintained state is inconsistent. Recover by "
             "constructing a new RepairService over a consistent base instance "
             "(re-derive), or by reopening the last flushed on-disk state for "
-            "file-backed databases (reload)."
+            "file-backed databases (reload).",
         )
         self.cause = cause
 
@@ -101,7 +103,7 @@ class UnknownEngineError(EvaluationError, ValueError):
     def __init__(self, engine: object, choices: tuple[str, ...]) -> None:
         super().__init__(
             f"unknown evaluation engine {engine!r}; expected one of "
-            + ", ".join(repr(choice) for choice in choices)
+            + ", ".join(repr(choice) for choice in choices),
         )
         self.engine = engine
         self.choices = choices

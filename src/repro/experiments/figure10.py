@@ -61,12 +61,12 @@ def run(
                 runtimes["step"],
                 runtimes["independent"],
                 cell_result.runtime,
-            ]
+            ],
         )
         details[point] = {"runtimes": runtimes, "holoclean": cell_result.runtime}
     report.add_note(
         "expected shape: end/stage are the fastest; the provenance-based algorithms and "
-        "the cell-repair baseline are in the same (slower) ballpark"
+        "the cell-repair baseline are in the same (slower) ballpark",
     )
     report.data["details"] = details
     return report

@@ -37,7 +37,9 @@ def run(
         program_ids = PANELS[panel]
 
     mas = generate_mas(scale=scale, seed=seed)
-    runs = run_program_suite(mas.db, mas_programs(mas, tuple(program_ids)), verify=verify)
+    runs = run_program_suite(
+        mas.db, mas_programs(mas, tuple(program_ids)), verify=verify
+    )
 
     report = ExperimentReport(
         name=f"Figure 6 ({panel}) — result sizes, MAS programs",
@@ -46,13 +48,13 @@ def run(
     for name, run_result in runs.items():
         sizes = run_result.sizes
         report.add_row(
-            [name, sizes["end"], sizes["stage"], sizes["step"], sizes["independent"]]
+            [name, sizes["end"], sizes["stage"], sizes["step"], sizes["independent"]],
         )
     report.add_note(f"synthetic MAS instance of {mas.total_tuples} tuples (scale={scale})")
     if panel in ("6b", "all"):
         report.add_note(
             "expected shape (6b): End/Stage/Step identical across 11-15, Ind decreases "
-            "as the join chain grows"
+            "as the join chain grows",
         )
     if panel in ("6c", "all"):
         report.add_note("expected shape (6c): all four semantics coincide on cascade chains")

@@ -23,7 +23,9 @@ def run(
 ) -> ExperimentReport:
     """Regenerate Figure 7 on a synthetic MAS instance."""
     mas = generate_mas(scale=scale, seed=seed)
-    runs = run_program_suite(mas.db, mas_programs(mas, tuple(program_ids)), verify=verify)
+    runs = run_program_suite(
+        mas.db, mas_programs(mas, tuple(program_ids)), verify=verify
+    )
 
     report = ExperimentReport(
         name="Figure 7 — execution time (seconds), MAS programs",
@@ -40,19 +42,21 @@ def run(
                 runtimes["step"],
                 runtimes["independent"],
                 slowest,
-            ]
+            ],
         )
     averages = {
-        semantics: average([run_result.runtimes[semantics] for run_result in runs.values()])
+        semantics: average(
+            [run_result.runtimes[semantics] for run_result in runs.values()]
+        )
         for semantics in ("end", "stage", "step", "independent")
     }
     report.add_note(
         "average runtimes: "
-        + ", ".join(f"{name}={value:.4f}s" for name, value in averages.items())
+        + ", ".join(f"{name}={value:.4f}s" for name, value in averages.items()),
     )
     report.add_note(
         "expected shape: end/stage are the fastest on cascades; step/independent pay "
-        "the provenance overhead (paper averages: 16.9 / 21.1 / 389.5 / 73 seconds)"
+        "the provenance overhead (paper averages: 16.9 / 21.1 / 389.5 / 73 seconds)",
     )
     report.data["runs"] = runs
     report.data["averages"] = averages

@@ -10,7 +10,7 @@ averages the fractions.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 from repro.core.semantics import (
     PHASE_EVAL,
@@ -70,7 +70,7 @@ def run(scale: float = 0.5, seed: int = 7) -> ExperimentReport:
 
     report.add_note(
         "expected shape: evaluation + provenance storage dominates; Solve/Traverse is "
-        "second; converting the provenance is negligible (paper Figure 8)"
+        "second; converting the provenance is negligible (paper Figure 8)",
     )
     report.data["runs"] = runs
     report.data["breakdowns"] = breakdowns

@@ -17,7 +17,9 @@ def run(
 ) -> ExperimentReport:
     """Regenerate Figure 9 on a synthetic TPC-H instance."""
     tpch = generate_tpch(scale=scale, seed=seed)
-    runs = run_program_suite(tpch.db, tpch_programs(tpch, tuple(program_ids)), verify=verify)
+    runs = run_program_suite(
+        tpch.db, tpch_programs(tpch, tuple(program_ids)), verify=verify
+    )
 
     report = ExperimentReport(
         name="Figure 9 — TPC-H result sizes (9a) and runtimes in seconds (9b)",
@@ -47,14 +49,14 @@ def run(
                 runtimes["stage"],
                 runtimes["step"],
                 runtimes["independent"],
-            ]
+            ],
         )
     report.add_note(
-        f"synthetic TPC-H instance of {tpch.total_tuples} tuples (scale={scale})"
+        f"synthetic TPC-H instance of {tpch.total_tuples} tuples (scale={scale})",
     )
     report.add_note(
         "expected shape: for T-1/T-3/T-5/T-6 independent semantics deletes fewer tuples "
-        "by choosing tuples the other semantics cannot derive"
+        "by choosing tuples the other semantics cannot derive",
     )
     report.data["runs"] = runs
     return report

@@ -31,13 +31,17 @@ class SemanticsRun:
     @property
     def sizes(self) -> Dict[str, int]:
         """Result size per semantics (keyed by semantics name)."""
-        return {semantics.value: result.size for semantics, result in self.results.items()}
+        return {
+            semantics.value: result.size
+            for semantics, result in self.results.items()
+        }
 
     @property
     def runtimes(self) -> Dict[str, float]:
         """Wall-clock seconds per semantics (keyed by semantics name)."""
         return {
-            semantics.value: result.runtime for semantics, result in self.results.items()
+            semantics.value: result.runtime
+            for semantics, result in self.results.items()
         }
 
     def result(self, semantics: Semantics | str) -> RepairResult:

@@ -32,11 +32,11 @@ def run(
 
     mas = generate_mas(scale=mas_scale, seed=seed)
     mas_runs = run_program_suite(
-        mas.db, mas_programs(mas, tuple(mas_ids)), verify=verify
+        mas.db, mas_programs(mas, tuple(mas_ids)), verify=verify,
     )
     tpch = generate_tpch(scale=tpch_scale, seed=seed)
     tpch_runs = run_program_suite(
-        tpch.db, tpch_programs(tpch, tuple(tpch_ids)), verify=verify
+        tpch.db, tpch_programs(tpch, tuple(tpch_ids)), verify=verify,
     )
 
     invariant_failures = []
@@ -48,7 +48,7 @@ def run(
                 containment.step_equals_stage,
                 containment.ind_subset_of_stage,
                 containment.ind_subset_of_step,
-            ]
+            ],
         )
         if not containment.invariants_hold():
             invariant_failures.append(name)
@@ -57,10 +57,10 @@ def run(
         "Stage ⊆ End, Step ⊆ End and |Ind| ≤ |Step|, |Stage| hold for every program "
         "(Proposition 3.20)"
         if not invariant_failures
-        else f"INVARIANT VIOLATION for programs: {', '.join(invariant_failures)}"
+        else f"INVARIANT VIOLATION for programs: {', '.join(invariant_failures)}",
     )
     report.add_note(
-        f"MAS instance: {mas.total_tuples} tuples, TPC-H instance: {tpch.total_tuples} tuples"
+        f"MAS instance: {mas.total_tuples} tuples, TPC-H instance: {tpch.total_tuples} tuples",
     )
     report.data["mas_runs"] = mas_runs
     report.data["tpch_runs"] = tpch_runs

@@ -53,7 +53,7 @@ def run(
                 f"+{sizes['stage'] - required_repairs}",
                 f"+{sizes['end'] - required_repairs}",
                 f"-{required_repairs - min(cell_result.repaired_tuple_count, required_repairs)}",
-            ]
+            ],
         )
         details[errors] = {
             "sizes": sizes,
@@ -64,7 +64,7 @@ def run(
     report.add_note(
         "expected shape: Ind deletes exactly the injected duplicates (+0), Step stays "
         "close, Stage/End over-delete both sides of every violation, HoloClean repairs "
-        "fewer tuples than required"
+        "fewer tuples than required",
     )
     report.data["details"] = details
     return report

@@ -70,7 +70,7 @@ def run(
                 f"{cell_result.total_residual_violations()}/"
                 f"{cell_result.total_initial_violations()}",
                 f"{sum(ours_after.values())}/{cell_result.total_initial_violations()}",
-            ]
+            ],
         )
         details[errors] = {
             "holoclean_after": cell_result.residual_violations,
@@ -80,7 +80,7 @@ def run(
     report.add_note(
         "expected shape: every semantics drives all four DCs to zero residual "
         "violations; the HoloClean-style baseline leaves residual violations that grow "
-        "with the number of errors"
+        "with the number of errors",
     )
     report.data["details"] = details
     return report

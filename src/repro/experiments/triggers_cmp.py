@@ -46,10 +46,10 @@ def run(
     for name, program in programs.items():
         seeds = seed_deletions(mas.fresh_db(), program)
         postgres = TriggerEngine.from_program(program, FiringPolicy.POSTGRESQL).run(
-            mas.fresh_db(), seeds
+            mas.fresh_db(), seeds,
         )
         mysql = TriggerEngine.from_program(program, FiringPolicy.MYSQL).run(
-            mas.fresh_db(), seeds
+            mas.fresh_db(), seeds,
         )
         sizes = runs[name].sizes
         report.add_row(
@@ -61,13 +61,13 @@ def run(
                 sizes["stage"],
                 sizes["step"],
                 sizes["independent"],
-            ]
+            ],
         )
         trigger_runs[name] = {"postgresql": postgres, "mysql": mysql}
     report.add_note(
         "expected shape: trigger results match the cascade semantics for pure cascade "
         "programs (5, 20) and over-delete relative to step/independent semantics when "
-        "several triggers watch the same event (3, 4, 8)"
+        "several triggers watch the same event (3, 4, 8)",
     )
     report.data["runs"] = runs
     report.data["trigger_runs"] = trigger_runs

@@ -92,7 +92,9 @@ class BooleanProvenance:
     dnf_by_tuple: Dict[Fact, List[Assignment]] = field(default_factory=dict)
     variables: set[Fact] = field(default_factory=set)
 
-    def add_assignment(self, assignment: Assignment, already_deleted: set[Fact]) -> None:
+    def add_assignment(
+        self, assignment: Assignment, already_deleted: set[Fact]
+    ) -> None:
         """Record one hypothetical assignment as a DNF clause and a CNF clause."""
         self.dnf_by_tuple.setdefault(assignment.derived, []).append(assignment)
         positives = frozenset(assignment.base_facts())
@@ -133,7 +135,9 @@ class BooleanProvenance:
     def violated_clauses(self, deleted: Iterable[Fact]) -> List[Clause]:
         """Clauses not satisfied when deleting exactly ``deleted`` (for debugging)."""
         deleted_set = set(deleted)
-        return [clause for clause in self.clauses if not clause.satisfied_by(deleted_set)]
+        return [
+            clause for clause in self.clauses if not clause.satisfied_by(deleted_set)
+        ]
 
     def describe(self) -> str:
         """A compact multi-line rendering of the negated provenance."""
@@ -172,7 +176,7 @@ def build_boolean_provenance(
 
     planner = None
     if resolve_engine(db, engine, context) != ENGINE_NAIVE and not isinstance(
-        db, SQLiteDatabase
+        db, SQLiteDatabase,
     ):
         from repro.datalog.planner import JoinPlanner
 
@@ -181,7 +185,7 @@ def build_boolean_provenance(
     already_deleted = set(db.all_deltas())
     for rule in program:
         for assignment in find_assignments(
-            db, rule, hypothetical_deltas=True, planner=planner
+            db, rule, hypothetical_deltas=True, planner=planner,
         ):
             provenance.add_assignment(assignment, already_deleted)
     return provenance

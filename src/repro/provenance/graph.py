@@ -19,7 +19,7 @@ Two derived quantities drive the greedy algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import networkx as nx
 
@@ -108,11 +108,11 @@ class ProvenanceGraph:
         """A short multi-line description of the graph's shape."""
         lines = [
             f"nodes={self.node_count()}, edges={self.edge_count()}, "
-            f"derived={len(self.derived)}, layers={self.layer_count}"
+            f"derived={len(self.derived)}, layers={self.layer_count}",
         ]
         for layer in range(1, self.layer_count + 1):
             members = ", ".join(
-                sorted(item.label() for item in self.tuples_in_layer(layer))
+                sorted(item.label() for item in self.tuples_in_layer(layer)),
             )
             lines.append(f"  layer {layer}: {members}")
         return "\n".join(lines)
@@ -145,7 +145,7 @@ class ProvenanceGraph:
                 if any(dep not in self.layers for dep in dependencies):
                     continue
                 depth = 1 + max(
-                    (self.layers[dep] for dep in dependencies), default=0
+                    (self.layers[dep] for dep in dependencies), default=0,
                 )
                 current = self.layers.get(assignment.derived)
                 if current is None or depth < current:
@@ -174,7 +174,7 @@ def build_provenance_graph(
     working = db.clone()
     provenance = ProvenanceGraph()
     derive_closure(
-        working, program, on_assignment=provenance._register_assignment, engine=engine
+        working, program, on_assignment=provenance._register_assignment, engine=engine,
     )
     provenance._compute_layers()
     provenance._compute_benefits()

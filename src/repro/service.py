@@ -115,6 +115,12 @@ class RepairService:
         record order, so a fresh process keeps the exactly-once contract
         (an observer surviving from the writing process would see them
         twice — reuse the service, not just the database, in-process).
+        The context's ``shard_maintenance`` knob (or the
+        ``REPRO_SHARD_MAINTENANCE`` environment variable) additionally fans
+        every maintenance batch's discovery, propagation and DRed scans out
+        over the sharded worker pool, with a byte-identical maintained
+        state, record stream and persisted store at any ``shards=`` /
+        ``workers=`` count.
     counting:
         Enable the counting-based deletion fast path (default True): delete
         batches fully covered by base-only support counts skip the DRed
@@ -156,7 +162,7 @@ class RepairService:
                     "warm-restart from; pass a fresh base instance, or reopen "
                     "a file-backed database whose previous service flushed "
                     "its last batch (a dirty or mismatched store means the "
-                    "closure must be re-derived)"
+                    "closure must be re-derived)",
                 )
             for assignment in restored:
                 self._context.notify(assignment)
@@ -249,6 +255,7 @@ class RepairService:
                     removed,
                     stats=self.stats,
                     counting=self._counting,
+                    context=self._qctx,
                 )
             else:
                 overdeleted, rederived, retracted = set(), set(), set()

@@ -23,7 +23,7 @@ def solve_min_ones_bruteforce(cnf: CNF, max_variables: int = 22) -> MinOnesResul
     if len(variables) > max_variables:
         raise SolverError(
             f"brute force refused: {len(variables)} variables exceeds the limit of "
-            f"{max_variables}"
+            f"{max_variables}",
         )
     for size in range(len(variables) + 1):
         for chosen in combinations(variables, size):

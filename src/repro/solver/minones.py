@@ -188,7 +188,8 @@ class _ComponentSolver:
         if propagated is None:
             return
         cost = self._cost(propagated)
-        if self.best_cost is not None and cost + self._lower_bound(propagated) >= self.best_cost:
+        bound = cost + self._lower_bound(propagated)
+        if self.best_cost is not None and bound >= self.best_cost:
             return
         # Fully satisfied with everything else False?
         remaining_unsat = [
@@ -245,7 +246,7 @@ def _find_any_model(cnf: CNF) -> Optional[Dict[int, bool]]:
                     assignment[literal_variable(literal)] = literal_is_positive(literal)
                     changed = True
         branch_variable = next(
-            (variable for variable in variables if variable not in assignment), None
+            (variable for variable in variables if variable not in assignment), None,
         )
         if branch_variable is None:
             return assignment if cnf.is_satisfied_by(assignment) else None

@@ -55,7 +55,7 @@ class BaseDatabase(ABC):
 
     @abstractmethod
     def candidates(
-        self, relation: str, bindings: Mapping[int, Any], delta: bool = False
+        self, relation: str, bindings: Mapping[int, Any], delta: bool = False,
     ) -> Iterator[Fact]:
         """Facts of ``relation`` matching the ``position -> value`` constraints.
 
@@ -63,7 +63,7 @@ class BaseDatabase(ABC):
         """
 
     def hypothetical_candidates(
-        self, relation: str, bindings: Mapping[int, Any]
+        self, relation: str, bindings: Mapping[int, Any],
     ) -> Iterator[Fact]:
         """Candidates for a *hypothetical* delta atom: active ∪ delta extent.
 
@@ -251,7 +251,7 @@ class Database(BaseDatabase):
 
     @classmethod
     def from_dicts(
-        cls, schema: Schema, contents: Mapping[str, Iterable[Sequence[Any]]]
+        cls, schema: Schema, contents: Mapping[str, Iterable[Sequence[Any]]],
     ) -> "Database":
         """Build a database from ``{relation: [value-tuples]}``.
 
@@ -297,7 +297,7 @@ class Database(BaseDatabase):
             raise UnknownRelationError(relation) from None
 
     def candidates(
-        self, relation: str, bindings: Mapping[int, Any], delta: bool = False
+        self, relation: str, bindings: Mapping[int, Any], delta: bool = False,
     ) -> Iterator[Fact]:
         store = self._delta if delta else self._active
         try:
@@ -307,7 +307,7 @@ class Database(BaseDatabase):
         return index.candidates(bindings)
 
     def hypothetical_candidates(
-        self, relation: str, bindings: Mapping[int, Any]
+        self, relation: str, bindings: Mapping[int, Any],
     ) -> Iterator[Fact]:
         try:
             active = self._active[relation]
@@ -449,7 +449,7 @@ def stabilized_copy(db: BaseDatabase, deleted: Iterable[Fact]) -> BaseDatabase:
     for item in deleted:
         if not copy.has_active(item) and not copy.has_delta(item):
             raise StorageError(
-                f"cannot stabilize with {item!r}: not a tuple of the database"
+                f"cannot stabilize with {item!r}: not a tuple of the database",
             )
         copy.delete(item)
     return copy

@@ -28,7 +28,9 @@ class Fact:
 
     __slots__ = ("relation", "values", "tid", "_hash")
 
-    def __init__(self, relation: str, values: Sequence[Any], tid: str | None = None) -> None:
+    def __init__(
+        self, relation: str, values: Sequence[Any], tid: str | None = None
+    ) -> None:
         object.__setattr__(self, "relation", relation)
         object.__setattr__(self, "values", tuple(values))
         object.__setattr__(self, "tid", tid)

@@ -40,7 +40,7 @@ class Attribute:
             raise SchemaError(f"invalid attribute name: {self.name!r}")
         if self.dtype not in VALID_TYPES:
             raise SchemaError(
-                f"invalid attribute type {self.dtype!r}; expected one of {VALID_TYPES}"
+                f"invalid attribute type {self.dtype!r}; expected one of {VALID_TYPES}",
             )
 
     def validate(self, value: object) -> bool:
@@ -87,21 +87,21 @@ class RelationSchema:
             if attribute.name == attribute_name:
                 return index
         raise SchemaError(
-            f"relation {self.name!r} has no attribute {attribute_name!r}"
+            f"relation {self.name!r} has no attribute {attribute_name!r}",
         )
 
     def validate_values(self, values: Sequence[object], typed: bool = False) -> None:
         """Check arity (and optionally attribute types) of a value vector."""
         if len(values) != self.arity:
             raise SchemaError(
-                f"relation {self.name!r} expects {self.arity} values, got {len(values)}"
+                f"relation {self.name!r} expects {self.arity} values, got {len(values)}",
             )
         if typed:
             for attribute, value in zip(self.attributes, values):
                 if not attribute.validate(value):
                     raise SchemaError(
                         f"value {value!r} is not a valid {attribute.dtype} for "
-                        f"{self.name}.{attribute.name}"
+                        f"{self.name}.{attribute.name}",
                     )
 
     @classmethod
@@ -132,7 +132,7 @@ class Schema:
         for name, relation in self.relations.items():
             if name != relation.name:
                 raise SchemaError(
-                    f"schema key {name!r} does not match relation name {relation.name!r}"
+                    f"schema key {name!r} does not match relation name {relation.name!r}",
                 )
 
     # -- construction ------------------------------------------------------

@@ -181,15 +181,15 @@ class SQLiteDatabase(BaseDatabase):
             for table in (active_table(name), delta_table(name)):
                 cursor.execute(
                     f"CREATE TABLE IF NOT EXISTS {table} ({column_defs}, tid TEXT, "
-                    f"PRIMARY KEY ({key}))"
+                    f"PRIMARY KEY ({key}))",
                 )
             cursor.execute(
                 f"CREATE TABLE IF NOT EXISTS {frontier_table(name)} "
-                f"({column_defs}, tid TEXT, gen INTEGER NOT NULL, PRIMARY KEY ({key}))"
+                f"({column_defs}, tid TEXT, gen INTEGER NOT NULL, PRIMARY KEY ({key}))",
             )
             cursor.execute(
                 f"CREATE INDEX IF NOT EXISTS idx_{name}_f_gen "
-                f"ON {frontier_table(name)} (gen)"
+                f"ON {frontier_table(name)} (gen)",
             )
             # Index every column: rule bodies join on arbitrary positions.
             for i in range(relation_schema.arity):
@@ -200,14 +200,14 @@ class SQLiteDatabase(BaseDatabase):
                 ):
                     cursor.execute(
                         f"CREATE INDEX IF NOT EXISTS idx_{name}_{tag}_{i} "
-                        f"ON {table} (c{i})"
+                        f"ON {table} (c{i})",
                     )
 
     def _max_persisted_generation(self) -> int:
         top = 0
         for name in self._schema.names():
             row = self._connection.execute(
-                f"SELECT MAX(gen) FROM {frontier_table(name)}"
+                f"SELECT MAX(gen) FROM {frontier_table(name)}",
             ).fetchone()
             if row[0] is not None:
                 top = max(top, int(row[0]))
@@ -238,7 +238,7 @@ class SQLiteDatabase(BaseDatabase):
             columns = ", ".join([*self._columns(name), "tid"])
             self._connection.execute(
                 f"INSERT OR IGNORE INTO {delta_table(name)} ({columns}) "
-                f"SELECT {columns} FROM {frontier_table(name)}"
+                f"SELECT {columns} FROM {frontier_table(name)}",
             )
             cursor = self._connection.execute(
                 f"INSERT OR IGNORE INTO {frontier_table(name)} "
@@ -274,9 +274,15 @@ class SQLiteDatabase(BaseDatabase):
         rows = self._connection.execute(f"SELECT * FROM {delta_table(relation)}")
         return frozenset(self._rows_to_facts(relation, rows))
 
-    def candidates(
-        self, relation: str, bindings: Mapping[int, Any], delta: bool = False
-    ) -> Iterator[Fact]:
+    def _candidate_query(
+        self, relation: str, bindings: Mapping[int, Any], delta: bool,
+    ) -> tuple[str, list]:
+        """The ``candidates()`` SELECT and parameters, connection-agnostic.
+
+        Shared by the primary-connection :meth:`candidates` and the read-only
+        :class:`SQLiteReaderView` the sharded maintenance drivers hand their
+        worker threads, so both windows run the identical statement.
+        """
         if relation not in self._schema:
             raise UnknownRelationError(relation)
         table = delta_table(relation) if delta else active_table(relation)
@@ -288,7 +294,13 @@ class SQLiteDatabase(BaseDatabase):
                 clauses.append(f"c{position} = ?")
                 params.append(value)
             where = " WHERE " + " AND ".join(clauses)
-        rows = self._connection.execute(f"SELECT * FROM {table}{where}", params)
+        return f"SELECT * FROM {table}{where}", params
+
+    def candidates(
+        self, relation: str, bindings: Mapping[int, Any], delta: bool = False,
+    ) -> Iterator[Fact]:
+        sql, params = self._candidate_query(relation, bindings, delta)
+        rows = self._connection.execute(sql, params)
         return self._rows_to_facts(relation, rows)
 
     def has_active(self, item: Fact) -> bool:
@@ -301,7 +313,7 @@ class SQLiteDatabase(BaseDatabase):
         self._check(item)
         clauses = " AND ".join(f"c{i} = ?" for i in range(item.arity))
         row = self._connection.execute(
-            f"SELECT 1 FROM {table} WHERE {clauses} LIMIT 1", item.values
+            f"SELECT 1 FROM {table} WHERE {clauses} LIMIT 1", item.values,
         ).fetchone()
         return row is not None
 
@@ -381,7 +393,7 @@ class SQLiteDatabase(BaseDatabase):
     def _delete_from(self, table: str, item: Fact) -> bool:
         clauses = " AND ".join(f"c{i} = ?" for i in range(item.arity))
         cursor = self._connection.execute(
-            f"DELETE FROM {table} WHERE {clauses}", item.values
+            f"DELETE FROM {table} WHERE {clauses}", item.values,
         )
         return cursor.rowcount > 0
 
@@ -461,11 +473,30 @@ class SQLiteDatabase(BaseDatabase):
             return None
         while len(self._readers) < count:
             reader = sqlite3.connect(
-                self._path, isolation_level=None, check_same_thread=False
+                self._path, isolation_level=None, check_same_thread=False,
             )
             reader.execute("PRAGMA query_only = ON")
             self._readers.append(reader)
         return self._readers[:count]
+
+    def reader_views(self, count: int) -> "list[SQLiteReaderView] | None":
+        """``count`` read-only :class:`SQLiteReaderView` windows, or None.
+
+        The Python-join counterpart of :meth:`reader_connections`: the
+        incremental maintenance drivers run their insert-discovery joins
+        Python-side (``planned_search`` probing :meth:`candidates`), and the
+        primary connection is pinned to its creating thread, so each worker
+        slot of a sharded maintenance batch gets one reader connection
+        wrapped in a view exposing the same ``candidates()`` surface.  The
+        underlying connections are the cached :meth:`reader_connections`
+        siblings — a maintenance batch that follows a sharded closure load
+        (or one batch following another) reuses them instead of reopening.
+        Returns None for in-memory databases, like :meth:`reader_connections`.
+        """
+        readers = self.reader_connections(count)
+        if readers is None:
+            return None
+        return [SQLiteReaderView(self, reader) for reader in readers]
 
     def notify_statement_hooks(self, sql: str) -> None:
         """Deliver ``sql`` to the statement hooks without executing it.
@@ -504,11 +535,11 @@ class SQLiteDatabase(BaseDatabase):
         columns = ", ".join(f"s{i}" for i in range(width))
         self.execute(
             f"{TAG_STAGE_DDL} CREATE TEMP TABLE IF NOT EXISTS {table} "
-            f"(variant_id INTEGER NOT NULL, {columns})"
+            f"(variant_id INTEGER NOT NULL, {columns})",
         )
         self.execute(
             f"{TAG_STAGE_DDL} CREATE INDEX IF NOT EXISTS idx_stage_w{width}_variant "
-            f"ON {table} (variant_id)"
+            f"ON {table} (variant_id)",
         )
         self._stage_widths.add(width)
         return True
@@ -553,7 +584,7 @@ class SQLiteDatabase(BaseDatabase):
             pass
 
     def execute(
-        self, sql: str, params: Iterable[Any] | Mapping[str, Any] = ()
+        self, sql: str, params: Iterable[Any] | Mapping[str, Any] = (),
     ) -> sqlite3.Cursor:
         """Run a raw SQL statement against the backing connection.
 
@@ -669,3 +700,29 @@ class SQLiteDatabase(BaseDatabase):
 
     def __hash__(self) -> int:  # pragma: no cover
         raise TypeError("SQLiteDatabase instances are mutable and unhashable")
+
+
+class SQLiteReaderView:
+    """A thread-confined read-only ``candidates()`` window onto a database.
+
+    Wraps one WAL reader connection (see
+    :meth:`SQLiteDatabase.reader_views`); a sharded maintenance worker probes
+    it exactly like the database itself — same SELECT, same row-to-fact
+    decoding — while the primary connection stays untouched on the merge
+    thread.  WAL readers see the last committed state at statement start, and
+    the backend runs in autocommit mode, so every base/delta row written
+    before a shard wave is visible to every view during it.
+    """
+
+    __slots__ = ("_db", "_connection")
+
+    def __init__(self, db: SQLiteDatabase, connection: sqlite3.Connection) -> None:
+        self._db = db
+        self._connection = connection
+
+    def candidates(
+        self, relation: str, bindings: Mapping[int, Any], delta: bool = False,
+    ) -> Iterator[Fact]:
+        sql, params = self._db._candidate_query(relation, bindings, delta)
+        rows = self._connection.execute(sql, params)
+        return self._db._rows_to_facts(relation, rows)

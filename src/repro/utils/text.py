@@ -42,9 +42,7 @@ def format_table(
                 widths.append(len(cell))
 
     def render_row(cells: Sequence[str]) -> str:
-        padded = [
-            cell.ljust(widths[index]) for index, cell in enumerate(cells)
-        ]
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
         return " | ".join(padded).rstrip()
 
     lines = []

@@ -23,7 +23,11 @@ from repro.workloads.cyclic import (
 )
 from repro.workloads.mas import MASDataset, generate_mas, mas_schema
 from repro.workloads.tpch import TPCHDataset, generate_tpch, tpch_schema
-from repro.workloads.errors import ErrorInjectionResult, generate_author_table, inject_errors
+from repro.workloads.errors import (
+    ErrorInjectionResult,
+    generate_author_table,
+    inject_errors,
+)
 from repro.workloads.programs_mas import mas_programs, mas_program
 from repro.workloads.programs_tpch import tpch_programs, tpch_program
 from repro.workloads.programs_dc import dc_constraints, dc_program

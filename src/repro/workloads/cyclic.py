@@ -48,7 +48,7 @@ def cyclic_schema() -> Schema:
             RelationSchema.of("Edge", "src:int", "dst:int"),
             RelationSchema.of("A", "src:int", "dst:int"),
             RelationSchema.of("B", "src:int", "dst:int"),
-        ]
+        ],
     )
 
 
@@ -139,7 +139,7 @@ def generate_cyclic(scale: float = 1.0, seed: int = 0) -> CyclicDataset:
 def triangle_program() -> DeltaProgram:
     """Delete every edge that closes a directed triangle."""
     program = DeltaProgram.from_text(
-        "delta Edge(x, y) :- Edge(x, y), Edge(y, z), Edge(z, x)."
+        "delta Edge(x, y) :- Edge(x, y), Edge(y, z), Edge(z, x).",
     )
     program.validate_against_schema(cyclic_schema())
     return program
@@ -149,7 +149,7 @@ def clique_program() -> DeltaProgram:
     """Delete every edge lying on a directed 4-clique (six-atom cyclic body)."""
     program = DeltaProgram.from_text(
         "delta Edge(x, y) :- Edge(x, y), Edge(y, z), Edge(z, w), Edge(w, x), "
-        "Edge(x, z), Edge(y, w)."
+        "Edge(x, z), Edge(y, w).",
     )
     program.validate_against_schema(cyclic_schema())
     return program
@@ -166,7 +166,7 @@ def mutual_recursion_program(hub: int) -> DeltaProgram:
     program = DeltaProgram.from_text(
         f"delta A(x, y) :- A(x, y), x = {hub}.\n"
         "delta B(x, y) :- B(x, y), delta A(y, z), B(z, x).\n"
-        "delta A(x, y) :- A(x, y), delta B(y, z), A(z, x).\n"
+        "delta A(x, y) :- A(x, y), delta B(y, z), A(z, x).\n",
     )
     program.validate_against_schema(cyclic_schema())
     return program

@@ -35,11 +35,13 @@ def author_table_schema() -> Schema:
             RelationSchema.of(
                 AUTHOR_EXT_RELATION, "aid:int", "name:str", "oid:int", "organization:str"
             )
-        ]
+        ],
     )
 
 
-def generate_author_table(n_rows: int, n_orgs: int | None = None, seed: int = 0) -> Database:
+def generate_author_table(
+    n_rows: int, n_orgs: int | None = None, seed: int = 0
+) -> Database:
     """A clean extended Author table.
 
     Every ``aid`` appears once, and ``organization`` is functionally determined
@@ -57,7 +59,7 @@ def generate_author_table(n_rows: int, n_orgs: int | None = None, seed: int = 0)
                 AUTHOR_EXT_RELATION,
                 (aid, f"Author {aid}", oid, org_names[oid]),
                 tid=f"a{aid}",
-            )
+            ),
         )
     return db
 
@@ -109,11 +111,12 @@ def inject_errors(
     violate DC4 against the other rows of the same organization).
     """
     clean_facts = sorted(
-        clean_db.active_facts(AUTHOR_EXT_RELATION), key=lambda item: item.values[_POS_AID]
+        clean_db.active_facts(AUTHOR_EXT_RELATION),
+        key=lambda item: item.values[_POS_AID],
     )
     if n_errors > len(clean_facts):
         raise ExperimentError(
-            f"cannot inject {n_errors} errors into a table of {len(clean_facts)} rows"
+            f"cannot inject {n_errors} errors into a table of {len(clean_facts)} rows",
         )
     rng = make_rng(seed, "error-injection", n_errors)
     victims = rng.sample(clean_facts, n_errors)

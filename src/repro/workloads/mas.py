@@ -53,7 +53,7 @@ def mas_schema() -> Schema:
             RelationSchema.of("Writes", "aid:int", "pid:int"),
             RelationSchema.of("Publication", "pid:int", "title:str"),
             RelationSchema.of("Cite", "citing:int", "cited:int"),
-        ]
+        ],
     )
 
 
@@ -109,9 +109,7 @@ def generate_mas(scale: float = 1.0, seed: int = 0) -> MASDataset:
 
     # Organizations -----------------------------------------------------------
     for oid in range(1, n_orgs + 1):
-        name = (
-            f"{rng.choice(_LAST_NAMES)} {rng.choice(_ORG_SUFFIXES)} {oid}"
-        )
+        name = (f"{rng.choice(_LAST_NAMES)} {rng.choice(_ORG_SUFFIXES)} {oid}")
         db.insert(Fact("Organization", (oid, name), tid=f"o{oid}"))
 
     # Authors (organization sizes are skewed: ~zipf over organizations) --------
@@ -164,7 +162,9 @@ def generate_mas(scale: float = 1.0, seed: int = 0) -> MASDataset:
     pubs_per_author: Dict[int, int] = {}
     for aid, _pid in writes:
         pubs_per_author[aid] = pubs_per_author.get(aid, 0) + 1
-    target_author_id = max(pubs_per_author, key=lambda aid: (pubs_per_author[aid], -aid))
+    target_author_id = max(
+        pubs_per_author, key=lambda aid: (pubs_per_author[aid], -aid)
+    )
     authors_per_org: Dict[int, int] = {}
     for aid, (_name, oid) in authors.items():
         authors_per_org[oid] = authors_per_org.get(oid, 0) + 1

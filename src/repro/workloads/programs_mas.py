@@ -128,7 +128,7 @@ def mas_program(dataset: MASDataset, program_id: str | int) -> DeltaProgram:
     sources = _program_sources(dataset)
     if key not in sources:
         raise ExperimentError(
-            f"unknown MAS program {program_id!r}; expected one of 1..20"
+            f"unknown MAS program {program_id!r}; expected one of 1..20",
         )
     program = DeltaProgram.from_text(sources[key])
     program.validate_against_schema(dataset.schema)
@@ -136,7 +136,7 @@ def mas_program(dataset: MASDataset, program_id: str | int) -> DeltaProgram:
 
 
 def mas_programs(
-    dataset: MASDataset, program_ids: tuple[str, ...] = MAS_PROGRAM_IDS
+    dataset: MASDataset, program_ids: tuple[str, ...] = MAS_PROGRAM_IDS,
 ) -> Dict[str, DeltaProgram]:
     """All requested Table-1 programs, keyed by their paper number."""
     return {key: mas_program(dataset, key) for key in program_ids}

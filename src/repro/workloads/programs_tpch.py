@@ -63,7 +63,7 @@ def tpch_program(dataset: TPCHDataset, program_id: str) -> DeltaProgram:
     sources = _program_sources(dataset)
     if program_id not in sources:
         raise ExperimentError(
-            f"unknown TPC-H program {program_id!r}; expected one of {TPCH_PROGRAM_IDS}"
+            f"unknown TPC-H program {program_id!r}; expected one of {TPCH_PROGRAM_IDS}",
         )
     program = DeltaProgram.from_text(sources[program_id])
     program.validate_against_schema(dataset.schema)
@@ -71,7 +71,7 @@ def tpch_program(dataset: TPCHDataset, program_id: str) -> DeltaProgram:
 
 
 def tpch_programs(
-    dataset: TPCHDataset, program_ids: tuple[str, ...] = TPCH_PROGRAM_IDS
+    dataset: TPCHDataset, program_ids: tuple[str, ...] = TPCH_PROGRAM_IDS,
 ) -> Dict[str, DeltaProgram]:
     """All requested Table-2 programs, keyed by their paper label."""
     return {key: tpch_program(dataset, key) for key in program_ids}

@@ -41,7 +41,7 @@ def tpch_schema() -> Schema:
             RelationSchema.of("PartSupp", "sk:int", "pk:int", "availqty:int"),
             RelationSchema.of("Orders", "ok:int", "ck:int", "status:str"),
             RelationSchema.of("LineItem", "ok:int", "sk:int", "pk:int"),
-        ]
+        ],
     )
 
 
@@ -108,7 +108,8 @@ def generate_tpch(scale: float = 1.0, seed: int = 0) -> TPCHDataset:
 
     partsupp: List[tuple[int, int]] = []
     for pk in range(1, n_parts + 1):
-        for sk in rng.sample(range(1, n_suppliers + 1), k=min(n_suppliers, rng.randint(2, 3))):
+        supplier_ids = range(1, n_suppliers + 1)
+        for sk in rng.sample(supplier_ids, k=min(n_suppliers, rng.randint(2, 3))):
             qty = rng.randint(1, 9999)
             partsupp.append((sk, pk))
             db.insert(Fact("PartSupp", (sk, pk, qty), tid=f"ps{sk}_{pk}"))

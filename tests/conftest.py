@@ -38,7 +38,7 @@ def make_paper_schema() -> Schema:
             RelationSchema.of("Writes", "aid:int", "pid:int"),
             RelationSchema.of("Pub", "pid:int", "title:str"),
             RelationSchema.of("Cite", "citing:int", "cited:int"),
-        ]
+        ],
     )
 
 

@@ -65,14 +65,12 @@ def random_instance(
     """
     rng = random.Random(seed)
     relation_count = rng.randint(2, max_relations)
-    arities = {
-        f"R{index}": rng.randint(1, 3) for index in range(relation_count)
-    }
+    arities = {f"R{index}": rng.randint(1, 3) for index in range(relation_count)}
     schema = Schema.from_relations(
         [
             RelationSchema.of(name, *(f"a{i}:int" for i in range(arity)))
             for name, arity in arities.items()
-        ]
+        ],
     )
     domain = rng.randint(3, 8)
     contents = {
@@ -107,7 +105,7 @@ def random_instance(
                 else:
                     terms.append(Variable(f"y{rule_index}_{position}"))
             body.append(
-                Atom(other, tuple(terms), is_delta=rng.random() < 0.5)
+                Atom(other, tuple(terms), is_delta=rng.random() < 0.5),
             )
         comparisons = ()
         if rng.random() < 0.5:
@@ -233,7 +231,7 @@ class InstanceSpec:
             [
                 RelationSchema.of(name, *(f"a{i}:int" for i in range(arity)))
                 for name, arity in self.arities
-            ]
+            ],
         )
         contents: dict = {name: set() for name, _ in self.arities}
         for relation, values in self.facts:
@@ -319,9 +317,7 @@ def random_torture_spec(
     biases alone almost always GYO-reduce to acyclic.
     """
     relation_count = rng.randint(2, max_relations)
-    arities = tuple(
-        (f"R{index}", rng.randint(1, 3)) for index in range(relation_count)
-    )
+    arities = tuple((f"R{index}", rng.randint(1, 3)) for index in range(relation_count))
     arity_of = dict(arities)
     names = [name for name, _ in arities]
     domain = rng.randint(2, 6)
@@ -362,7 +358,7 @@ def random_torture_spec(
         for atom_index in range(extra):
             other = rng.choice(names)
             body.append(
-                (other, rng.random() < 0.5, random_terms(other, f"{rule_index}_{atom_index}"))
+                (other, rng.random() < 0.5, random_terms(other, f"{rule_index}_{atom_index}")),
             )
         # Self-join bias: a second atom over the head relation.
         if rng.random() < 0.25:
@@ -371,22 +367,20 @@ def random_torture_spec(
                     head_relation,
                     rng.random() < 0.5,
                     random_terms(head_relation, f"{rule_index}_s"),
-                )
+                ),
             )
         # Mutual-recursion bias: re-enter through the previous rule's head.
         if rules and rng.random() < 0.4:
             previous = rules[-1].head[0]
             body.append(
-                (previous, True, random_terms(previous, f"{rule_index}_m"))
+                (previous, True, random_terms(previous, f"{rule_index}_m")),
             )
         # Cyclic-core bias: a triangle over fresh variables through arity>=2
         # relations, so the join hypergraph does not GYO-reduce and the
         # planner routes the rule through the generic-join path.
         wide = [name for name in names if arity_of[name] >= 2]
         if wide and rng.random() < cyclic_rate:
-            cycle_vars = tuple(
-                (VAR, f"c{rule_index}_{i}") for i in range(3)
-            )
+            cycle_vars = tuple((VAR, f"c{rule_index}_{i}") for i in range(3))
             for leg in range(3):
                 relation = rng.choice(wide)
                 terms = [cycle_vars[leg], cycle_vars[(leg + 1) % 3]]
@@ -411,7 +405,7 @@ def random_torture_spec(
                 body=tuple(body),
                 comparisons=comparisons,
                 name=f"r{rule_index}" if rng.random() < 0.5 else None,
-            )
+            ),
         )
 
     # Drop exact-duplicate rules (DeltaProgram rejects them).

@@ -29,7 +29,6 @@ from repro.core.repair import RepairEngine
 from repro.core.semantics import Semantics
 from repro.datalog import DeltaProgram, EvalContext, run_closure
 from repro.datalog.parser import parse_rule
-from repro.datalog.planner import JoinPlanner
 from repro.datalog.sql_compiler import compile_frontier_rule
 from repro.storage.database import Database
 from repro.storage.facts import Fact, fact
@@ -56,18 +55,18 @@ def ddl_counter(db: SQLiteDatabase) -> dict:
 
 def cascade_fixture():
     schema = Schema.from_relations(
-        [RelationSchema.of("R", "x:int", "y:str"), RelationSchema.of("S", "x:int")]
+        [RelationSchema.of("R", "x:int", "y:str"), RelationSchema.of("S", "x:int")],
     )
     db = SQLiteDatabase(schema)
     db.insert_all(
-        [fact("R", 1, "a", tid="r1"), fact("R", 2, "b", tid="r2"), fact("S", 1, tid="s1")]
+        [fact("R", 1, "a", tid="r1"), fact("R", 2, "b", tid="r2"), fact("S", 1, tid="s1")],
     )
     program = DeltaProgram.from_text(
         """
         delta R(x, y) :- R(x, y), S(x).
         delta S(x) :- S(x), delta R(x, y).
         delta R(x, y) :- R(x, y), delta S(x).
-        """
+        """,
     )
     return db, program
 
@@ -101,7 +100,7 @@ class TestKeyedStageTables:
             delta A(x) :- A(x).
             delta B(x, y) :- B(x, y), delta A(x).
             delta C(x, y, z) :- C(x, y, z), delta A(x).
-            """
+            """,
         )
         widths = set()
         for rule in program:
@@ -123,7 +122,7 @@ class TestKeyedStageTables:
             """
             delta R(x) :- R(x), S(x).
             delta S(x) :- S(x), delta R(x).
-            """
+            """,
         )
         seen_ids = set()
         for rule in program:
@@ -147,7 +146,7 @@ class TestKeyedStageTables:
                 widths.add(variant.stage_width)
         for width in widths:
             rows = db.execute(
-                f"SELECT COUNT(*) FROM {stage_table_name(width)}"
+                f"SELECT COUNT(*) FROM {stage_table_name(width)}",
             ).fetchone()
             assert rows[0] == 0, width
         # Staged discovery (observer-bearing context) cleans up after itself
@@ -169,7 +168,7 @@ class TestKeyedStageTables:
                 continue
             staged_tables += 1
             rows = repaired.execute(
-                f"SELECT COUNT(*) FROM {stage_table_name(width)}"
+                f"SELECT COUNT(*) FROM {stage_table_name(width)}",
             ).fetchone()
             assert rows[0] == 0, width
         assert staged_tables > 0
@@ -179,7 +178,7 @@ class TestKeyedStageTables:
         staged_db, fast_db = db.clone(), db.clone()
         staged = run_closure(staged_db, program, engine="semi-naive")
         fast = run_closure(
-            fast_db, program, engine="semi-naive", collect_assignments=False
+            fast_db, program, engine="semi-naive", collect_assignments=False,
         )
         assert staged.rounds == fast.rounds
         assert set(staged_db.all_deltas()) == set(fast_db.all_deltas())
@@ -245,7 +244,7 @@ class TestPlanRecosting:
             delta A(x, y) :- A(x, y), x = 0.
             delta A(y, z) :- A(y, z), delta A(x, y).
             delta P(x, z) :- P(x, z), delta A(x, y), delta A(y, z).
-            """
+            """,
         )
         ctx = EvalContext()
         semi_db = chain.clone()
@@ -388,11 +387,13 @@ class TestCandidateObservers:
             """
             delta R(x) :- R(x), S(x).
             delta S(x) :- S(x), delta R(x).
-            """
+            """,
         )
         ctx = EvalContext()
         probes: List[tuple] = []
-        ctx.add_candidate_observer(lambda relation, item: probes.append((relation, item)))
+        ctx.add_candidate_observer(
+            lambda relation, item: probes.append((relation, item))
+        )
         result = run_closure(db, program, engine="semi-naive", context=ctx)
         assert result.assignments
         assert probes
@@ -417,7 +418,7 @@ class TestCandidateObservers:
             delta Author(a, n) :- Author(a, n), a = 1.
             delta Writes(a, p) :- Writes(a, p), delta Author(a, n).
             delta Publication(p, t) :- Publication(p, t), delta Writes(a, p).
-            """
+            """,
         )
         ctx = EvalContext()
         assignments: List = []

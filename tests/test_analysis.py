@@ -48,7 +48,7 @@ class TestRecursion:
 
     def test_mutual_recursion_detected(self):
         program = parse_program(
-            "delta R(x) :- R(x), delta S(x). delta S(x) :- S(x), delta R(x)."
+            "delta R(x) :- R(x), delta S(x). delta S(x) :- S(x), delta R(x).",
         )
         assert is_syntactically_recursive(program)
 
@@ -66,7 +66,7 @@ class TestStrata:
         strata = relation_strata(
             parse_program(
                 "delta R(x) :- R(x), delta S(x). delta S(x) :- S(x), delta R(x)."
-            )
+            ),
         )
         assert strata["R"] == strata["S"]
 

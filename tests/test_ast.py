@@ -3,7 +3,6 @@
 import pytest
 
 from repro.datalog.ast import (
-    Atom,
     Comparison,
     Constant,
     Program,

@@ -71,10 +71,10 @@ class TestClosureEquivalence:
             mem_seen: list = []
             sql_seen: list = []
             mem = run_closure(
-                mem_db, program, on_assignment=mem_seen.append, engine=engine
+                mem_db, program, on_assignment=mem_seen.append, engine=engine,
             )
             sql = run_closure(
-                sql_db, program, on_assignment=sql_seen.append, engine=engine
+                sql_db, program, on_assignment=sql_seen.append, engine=engine,
             )
             assert mem.engine == sql.engine == engine, seed_note(seed, engine)
             # Same delta fixpoint.
@@ -136,7 +136,7 @@ class TestShardedEquivalence:
         oracle_deltas = set(oracle_db.all_deltas())
         oracle_signatures = {a.signature() for a in oracle.assignments}
         semi_rounds = run_closure(
-            memory.clone(), program, engine="semi-naive"
+            memory.clone(), program, engine="semi-naive",
         ).rounds
         for shards in SHARD_COUNTS:
             for backend, db in (

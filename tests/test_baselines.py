@@ -32,7 +32,7 @@ def cascade_program() -> DeltaProgram:
         delta Author(a, n) :- Author(a, n), a = 1.
         delta Writes(a, p) :- Writes(a, p), delta Author(a, n).
         delta Publication(p, t) :- Publication(p, t), delta Writes(a, p).
-        """
+        """,
     )
 
 
@@ -51,7 +51,7 @@ class TestTriggerEngine:
     def test_deletion_order_starts_with_seed(self, academic_db):
         program = cascade_program()
         run = TriggerEngine.from_program(program).run(
-            academic_db, seed_deletions(academic_db, program)
+            academic_db, seed_deletions(academic_db, program),
         )
         assert run.deletion_order[0] == fact("Author", 1, "Ada")
         assert run.fired  # cascading triggers actually fired
@@ -59,7 +59,7 @@ class TestTriggerEngine:
     def test_original_database_untouched(self, academic_db):
         program = cascade_program()
         TriggerEngine.from_program(program).run(
-            academic_db, seed_deletions(academic_db, program)
+            academic_db, seed_deletions(academic_db, program),
         )
         assert academic_db.count_delta() == 0
 
@@ -90,7 +90,7 @@ class TestTriggerEngine:
     def test_run_reports_runtime_and_size(self, academic_db):
         program = cascade_program()
         run = TriggerEngine.from_program(program).run(
-            academic_db, seed_deletions(academic_db, program)
+            academic_db, seed_deletions(academic_db, program),
         )
         assert run.size == len(run.deleted)
         assert run.runtime >= 0.0
@@ -142,9 +142,11 @@ class TestHoloCleanStyleRepairer:
 
     def test_confidence_margin_makes_it_more_conservative(self):
         dirty = self.make_dirty()
-        eager = HoloCleanStyleRepairer(list(dc_constraints().values()), confidence_margin=1.0)
+        eager = HoloCleanStyleRepairer(
+            list(dc_constraints().values()), confidence_margin=1.0
+        )
         cautious = HoloCleanStyleRepairer(
-            list(dc_constraints().values()), confidence_margin=50.0
+            list(dc_constraints().values()), confidence_margin=50.0,
         )
         assert (
             cautious.repair(dirty.db).repaired_cell_count
@@ -157,5 +159,6 @@ class TestHoloCleanStyleRepairer:
 
         repairer = HoloCleanStyleRepairer(list(dc_constraints().values()))
         dirty = self.make_dirty(rows=80, errors=8)
-        repaired = RepairEngine(dirty.db, dc_program()).repair(Semantics.INDEPENDENT).repaired
+        engine = RepairEngine(dirty.db, dc_program())
+        repaired = engine.repair(Semantics.INDEPENDENT).repaired
         assert sum(repairer.count_violations(repaired).values()) == 0

@@ -76,7 +76,7 @@ class TestReductionCorrectness:
         db, program = independent_instance_from_graph(graph)
         result = RepairEngine(db, program).repair(Semantics.INDEPENDENT)
         assert len(cover_from_result(result)) == len(
-            minimum_vertex_cover_bruteforce(graph)
+            minimum_vertex_cover_bruteforce(graph),
         )
 
     def test_exhaustive_step_finds_minimum_cover_on_triangle(self):

@@ -3,11 +3,16 @@
 import pytest
 
 from repro import Database, RepairEngine, Schema, Semantics, fact
-from repro.constraints import CausalRule, DeleteTrigger, DenialConstraint, DomainConstraint
+from repro.constraints import (
+    CausalRule,
+    DeleteTrigger,
+    DenialConstraint,
+    DomainConstraint,
+)
 from repro.constraints.causal import program_from_causal_rules
 from repro.constraints.denial import program_from_denial_constraints, violating_sets
 from repro.constraints.triggers import program_from_triggers, triggers_from_program
-from repro.datalog.ast import Comparison, Constant, Variable, make_atom
+from repro.datalog.ast import Comparison, Variable, make_atom
 from repro.datalog.delta import DeltaProgram
 from repro.exceptions import RuleValidationError
 from repro.storage.schema import RelationSchema
@@ -96,7 +101,7 @@ class TestDeleteTrigger:
 
     def test_seed_rules_are_not_triggers(self):
         program = DeltaProgram.from_text(
-            "delta A(x) :- A(x), x = 1. delta B(x) :- B(x), delta A(x)."
+            "delta A(x) :- A(x), x = 1. delta B(x) :- B(x), delta A(x).",
         )
         recovered = triggers_from_program(program)
         assert len(recovered) == 1
@@ -119,13 +124,13 @@ class TestCausalRule:
 
     def test_program_with_interventions(self):
         causal = CausalRule(
-            cause=make_atom("Author", "a", "n"), effect=make_atom("Writes", "a", "p")
+            cause=make_atom("Author", "a", "n"), effect=make_atom("Writes", "a", "p"),
         )
         program = program_from_causal_rules([causal], interventions=[fact("Author", 1, "x")])
         assert len(program) == 2
         schema = Schema.from_arities({"Author": 2, "Writes": 2})
         db = Database.from_dicts(
-            schema, {"Author": [(1, "x"), (2, "y")], "Writes": [(1, 10), (2, 20)]}
+            schema, {"Author": [(1, "x"), (2, "y")], "Writes": [(1, 10), (2, 20)]},
         )
         result = RepairEngine(db, program).repair(Semantics.STAGE)
         assert result.deleted == frozenset({fact("Author", 1, "x"), fact("Writes", 1, 10)})
@@ -141,7 +146,7 @@ class TestDomainConstraint:
 
     def test_range_constraint_rules(self):
         constraint = DomainConstraint(
-            self.relation(), "value", minimum=0, maximum=100, name="range"
+            self.relation(), "value", minimum=0, maximum=100, name="range",
         )
         rules = constraint.to_delta_rules()
         assert len(rules) == 2
@@ -151,7 +156,7 @@ class TestDomainConstraint:
 
     def test_allowed_values_constraint(self):
         constraint = DomainConstraint(
-            self.relation(), "sensor", allowed_values=(1, 2), name="sensors"
+            self.relation(), "sensor", allowed_values=(1, 2), name="sensors",
         )
         rules = constraint.to_delta_rules()
         assert len(rules) == 1
@@ -160,7 +165,7 @@ class TestDomainConstraint:
     def test_repair_deletes_out_of_domain_tuples(self):
         schema = Schema.from_relations([self.relation()])
         db = Database.from_dicts(
-            schema, {"Reading": [(1, 50), (1, 150), (2, -5), (2, 99)]}
+            schema, {"Reading": [(1, 50), (1, 150), (2, -5), (2, 99)]},
         )
         constraint = DomainConstraint(self.relation(), "value", minimum=0, maximum=100)
         result = RepairEngine(db, constraint.to_program()).repair(Semantics.END)
@@ -171,7 +176,7 @@ class TestDomainConstraint:
             DomainConstraint(self.relation(), "value")
         with pytest.raises(RuleValidationError):
             DomainConstraint(
-                self.relation(), "value", allowed_values=(1,), minimum=0
+                self.relation(), "value", allowed_values=(1,), minimum=0,
             )
 
     def test_unknown_attribute_rejected(self):

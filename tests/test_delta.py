@@ -49,7 +49,7 @@ class TestDeltaProgram:
     def test_duplicate_rules_rejected(self):
         with pytest.raises(ProgramValidationError):
             DeltaProgram.from_text(
-                "delta R(x) :- R(x), S(x). delta R(x) :- R(x), S(x)."
+                "delta R(x) :- R(x), S(x). delta R(x) :- R(x), S(x).",
             )
 
     def test_collection_protocol(self):

@@ -39,7 +39,7 @@ BAD_ENGINES = ("bogus", "semi", "SEMI-NAIVE", "")
 
 def small_instance():
     schema = Schema.from_relations(
-        [RelationSchema.of("R", "x:int"), RelationSchema.of("S", "x:int")]
+        [RelationSchema.of("R", "x:int"), RelationSchema.of("S", "x:int")],
     )
     db = Database.from_dicts(schema, {"R": [(1,), (2,)], "S": [(1,)]})
     program = DeltaProgram.from_text("delta R(x) :- R(x), S(x).")

@@ -110,7 +110,7 @@ class TestGroundHead:
 class TestClosure:
     def test_find_all_assignments_covers_all_rules(self, db):
         program = DeltaProgram.from_text(
-            "delta T(x) :- T(x). delta R(x, y) :- R(x, y), S(x, z)."
+            "delta T(x) :- T(x). delta R(x, y) :- R(x, y), S(x, z).",
         )
         assignments = find_all_assignments(db, program)
         assert {a.rule.head.relation for a in assignments} == {"T", "R"}
@@ -118,7 +118,7 @@ class TestClosure:
     def test_derive_closure_marks_without_deleting(self, schema):
         db = Database.from_dicts(schema, {"T": [(1,)], "R": [(1, "a")], "S": []})
         program = DeltaProgram.from_text(
-            "delta T(x) :- T(x). delta R(x, y) :- R(x, y), delta T(x)."
+            "delta T(x) :- T(x). delta R(x, y) :- R(x, y), delta T(x).",
         )
         assignments = derive_closure(db, program)
         assert db.count_active() == 2  # active extents untouched
@@ -128,7 +128,7 @@ class TestClosure:
     def test_derive_closure_callback_sees_new_assignments_once(self, schema):
         db = Database.from_dicts(schema, {"T": [(1,)], "R": [(1, "a")], "S": []})
         program = DeltaProgram.from_text(
-            "delta T(x) :- T(x). delta R(x, y) :- R(x, y), delta T(x)."
+            "delta T(x) :- T(x). delta R(x, y) :- R(x, y), delta T(x).",
         )
         seen = []
         derive_closure(db, program, on_assignment=seen.append)

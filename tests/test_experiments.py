@@ -43,7 +43,7 @@ class TestRunner:
 class TestTableAndFigureModules:
     def test_table3_invariants_hold(self):
         report = table3.run(
-            mas_scale=0.2, tpch_scale=0.2, mas_ids=("2", "8", "16"), tpch_ids=("T-2",)
+            mas_scale=0.2, tpch_scale=0.2, mas_ids=("2", "8", "16"), tpch_ids=("T-2",),
         )
         assert report.data["invariant_failures"] == []
         assert len(report.rows) == 4

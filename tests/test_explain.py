@@ -61,7 +61,8 @@ class TestExplainRepair:
         result = engine.repair(Semantics.STEP)
         explanations = explain_repair(db, program, result)
         assert len(explanations) == result.size
-        assert {explanation.target for explanation in explanations} == set(result.deleted)
+        targets = {explanation.target for explanation in explanations}
+        assert targets == set(result.deleted)
 
     def test_limit(self, setup):
         db, program, engine = setup

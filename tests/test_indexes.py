@@ -42,7 +42,7 @@ class TestRelationIndex:
 
     def test_candidates_with_multiple_bindings(self):
         index = RelationIndex(
-            [fact("R", 1, "a", 10), fact("R", 1, "b", 10), fact("R", 2, "a", 10)]
+            [fact("R", 1, "a", 10), fact("R", 1, "b", 10), fact("R", 2, "a", 10)],
         )
         matches = set(index.candidates({0: 1, 1: "a"}))
         assert matches == {fact("R", 1, "a", 10)}

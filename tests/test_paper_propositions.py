@@ -14,7 +14,7 @@ from tests.conftest import PAPER_PROGRAM_TEXT, make_paper_database
 @pytest.fixture
 def engine() -> RepairEngine:
     return RepairEngine(
-        make_paper_database(), DeltaProgram.from_text(PAPER_PROGRAM_TEXT), verify=True
+        make_paper_database(), DeltaProgram.from_text(PAPER_PROGRAM_TEXT), verify=True,
     )
 
 
@@ -37,12 +37,12 @@ class TestExample13:
                 fact("Author", 5, "Homer"),
                 fact("Writes", 4, 6),
                 fact("Writes", 5, 7),
-            }
+            },
         )
 
     def test_independent_result(self, engine):
         assert engine.repair(Semantics.INDEPENDENT).deleted == frozenset(
-            {fact("Grant", 2, "ERC"), fact("AuthGrant", 4, 2), fact("AuthGrant", 5, 2)}
+            {fact("Grant", 2, "ERC"), fact("AuthGrant", 4, 2), fact("AuthGrant", 5, 2)},
         )
 
     def test_example_1_2_stabilizing_sets(self, engine):
@@ -85,7 +85,7 @@ class TestProposition319:
             """
             delta R1(x) :- R1(x), R2(y).
             delta R2(y) :- R1(x), R2(y).
-            """
+            """,
         )
 
     def test_two_minimum_stabilizing_sets_exist(self):
@@ -115,7 +115,7 @@ class TestProposition320:
         """|Ind| can be strictly smaller than |Step| and |Stage|."""
         schema = Schema.from_arities({"R1": 1, "R2": 1})
         db = Database.from_dicts(
-            schema, {"R1": [(f"a{i}",) for i in range(4)], "R2": [("b",)]}
+            schema, {"R1": [(f"a{i}",) for i in range(4)], "R2": [("b",)]},
         )
         program = DeltaProgram.from_text("delta R1(x) :- R1(x), R2(y).")
         results = RepairEngine(db, program).repair_all()
@@ -137,7 +137,7 @@ class TestProposition320:
             delta R1(x) :- R1(x).
             delta R2(x) :- R2(x), delta R1(x).
             delta R3(y) :- R3(y), R1(x), delta R2(x).
-            """
+            """,
         )
         results = RepairEngine(db, program).repair_all()
         assert results[Semantics.STAGE].deleted < results[Semantics.END].deleted
@@ -147,13 +147,13 @@ class TestProposition320:
         """Part 1 of Prop 3.20-4: Step ⊊ Stage on the two-same-body-rules gadget."""
         schema = Schema.from_arities({"R1": 1, "R2": 1})
         db = Database.from_dicts(
-            schema, {"R1": [("a",)], "R2": [(f"b{i}",) for i in range(3)]}
+            schema, {"R1": [("a",)], "R2": [(f"b{i}",) for i in range(3)]},
         )
         program = DeltaProgram.from_text(
             """
             delta R1(x) :- R1(x), R2(y).
             delta R2(y) :- R1(x), R2(y).
-            """
+            """,
         )
         results = RepairEngine(db, program).repair_all(
             semantics=(Semantics.STEP, Semantics.STAGE),
@@ -175,7 +175,7 @@ class TestProposition320:
             delta R2(x) :- R1(y), R2(x).
             delta R3(z) :- R3(z), delta R1(x), R2(y).
             delta R3(z) :- R3(z), R1(x), delta R2(y).
-            """
+            """,
         )
         engine = RepairEngine(db, program)
         stage = engine.repair(Semantics.STAGE)

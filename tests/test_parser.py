@@ -45,7 +45,7 @@ class TestParseRule:
 
     def test_all_comparison_operators(self):
         rule = parse_rule(
-            "delta R(a, b) :- R(a, b), a = 1, a != 2, a < 3, a <= 4, a > 0, a >= 1, b <> 9."
+            "delta R(a, b) :- R(a, b), a = 1, a != 2, a < 3, a <= 4, a > 0, a >= 1, b <> 9.",
         )
         operators = [comparison.op for comparison in rule.comparisons]
         assert operators == ["=", "!=", "<", "<=", ">", ">=", "!="]
@@ -92,7 +92,7 @@ class TestParseProgram:
             delta G(g, n) :- G(g, n), n = 'ERC'.
             # cascade
             delta A(a) :- A(a), AG(a, g), delta G(g, n).
-            """
+            """,
         )
         assert len(program) == 2
         assert program[1].body[2].is_delta

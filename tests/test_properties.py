@@ -41,7 +41,7 @@ _RULE_POOL = tuple(
         delta R(x) :- R(x), x = 0.
         delta T(x) :- T(x), S(x), x > 1.
         """
-    ).rules
+    ).rules,
 )
 
 values = st.integers(min_value=0, max_value=3)
@@ -50,16 +50,17 @@ relation_contents = st.fixed_dictionaries(
         "R": st.sets(values, max_size=3),
         "S": st.sets(values, max_size=3),
         "T": st.sets(values, max_size=3),
-    }
+    },
 )
 rule_subsets = st.sets(
-    st.integers(min_value=0, max_value=len(_RULE_POOL) - 1), min_size=1, max_size=4
+    st.integers(min_value=0, max_value=len(_RULE_POOL) - 1), min_size=1, max_size=4,
 )
 
 
 def build_database(contents: dict) -> Database:
     return Database.from_dicts(
-        _SCHEMA, {name: [(value,) for value in values] for name, values in contents.items()}
+        _SCHEMA,
+        {name: [(value,) for value in values] for name, values in contents.items()},
     )
 
 
@@ -68,7 +69,7 @@ def build_program(indexes: set[int]) -> DeltaProgram:
 
 
 core_settings = settings(
-    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow],
 )
 
 

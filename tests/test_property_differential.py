@@ -128,40 +128,38 @@ def divergences(spec: InstanceSpec) -> List[str]:
         ("sharded/4", "sharded", 4),
     )
     for backend in ("memory", "sqlite"):
-        db = (
-            SQLiteDatabase.from_database(memory) if backend == "sqlite" else memory
-        )
+        db = (SQLiteDatabase.from_database(memory) if backend == "sqlite" else memory)
         for run_label, engine, shards in semantics_runs:
             if backend == "memory" and engine == "naive":
                 continue
             label = f"[{backend}/{run_label}]"
             end = end_semantics(
-                db, program, engine=engine, context=_run_context(shards)
+                db, program, engine=engine, context=_run_context(shards),
             )
             if end.deleted != oracle_results["end"].deleted:
                 problems.append(f"end{label}: deleted set differs from oracle")
             stage = stage_semantics(
-                db, program, engine=engine, context=_run_context(shards)
+                db, program, engine=engine, context=_run_context(shards),
             )
             if stage.deleted != oracle_results["stage"].deleted:
                 problems.append(f"stage{label}: deleted set differs from oracle")
             if stage.rounds != oracle_results["stage"].rounds:
                 problems.append(
                     f"stage{label}: {stage.rounds} stages, oracle "
-                    f"{oracle_results['stage'].rounds}"
+                    f"{oracle_results['stage'].rounds}",
                 )
             step = step_semantics(
-                db, program, engine=engine, context=_run_context(shards)
+                db, program, engine=engine, context=_run_context(shards),
             )
             if step.deleted != oracle_results["step"].deleted:
                 problems.append(f"step{label}: deleted set differs from oracle")
             independent = independent_semantics(
-                db, program, engine=engine, context=_run_context(shards)
+                db, program, engine=engine, context=_run_context(shards),
             )
             if independent.size != oracle_results["independent"].size:
                 problems.append(
                     f"independent{label}: size {independent.size}, oracle "
-                    f"{oracle_results['independent'].size}"
+                    f"{oracle_results['independent'].size}",
                 )
             if not is_stabilizing_set(db, program, independent.deleted):
                 problems.append(f"independent{label}: non-stabilizing result")
@@ -191,7 +189,7 @@ def test_instance_matches_naive_oracle(index: int) -> None:
         pytest.fail(
             f"instance {index} (PYTEST_SEED={SEED}) diverges from the naive "
             f"oracle:\n  " + "\n  ".join(final or problems) + "\n"
-            f"minimized repro (paste into divergences()):\n{shrunk!r}"
+            f"minimized repro (paste into divergences()):\n{shrunk!r}",
         )
 
 

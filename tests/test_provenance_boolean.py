@@ -19,7 +19,7 @@ class TestClause:
 
     def test_satisfied_by_keeping_a_negative(self):
         clause = Clause(
-            positives=frozenset({fact("R", 1)}), negatives=frozenset({fact("S", 2)})
+            positives=frozenset({fact("R", 1)}), negatives=frozenset({fact("S", 2)}),
         )
         assert clause.satisfied_by([])  # S(2) is kept
         assert not clause.satisfied_by([fact("S", 2)])
@@ -27,7 +27,7 @@ class TestClause:
 
     def test_variables_and_len(self):
         clause = Clause(
-            positives=frozenset({fact("R", 1)}), negatives=frozenset({fact("S", 2)})
+            positives=frozenset({fact("R", 1)}), negatives=frozenset({fact("S", 2)}),
         )
         assert clause.variables() == {fact("R", 1), fact("S", 2)}
         assert len(clause) == 2

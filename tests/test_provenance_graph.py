@@ -90,7 +90,7 @@ class TestEdgeCases:
             delta B(x) :- B(x), delta A(x).
             delta C(x) :- C(x), delta B(x).
             delta C(x) :- C(x), delta A(x).
-            """
+            """,
         )
         graph = build_provenance_graph(db, program)
         # C(1) is derivable both at depth 2 (via A) and 3 (via B); the layer is the minimum.

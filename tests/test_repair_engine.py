@@ -16,7 +16,7 @@ from repro import (
 from repro.core.containment import ContainmentReport
 from repro.core.semantics import compute_repair
 from repro.core.stability import violating_assignments
-from repro.exceptions import ProgramValidationError, SemanticsError
+from repro.exceptions import ProgramValidationError
 from repro.utils.timing import PhaseTimer
 
 from tests.conftest import PAPER_PROGRAM_TEXT, make_paper_database
@@ -85,7 +85,7 @@ class TestRepairEngine:
             """
             delta Author(a, n) :- Author(a, n), AuthGrant(a, g), delta Grant(g, gn).
             delta Writes(a, p) :- Pub(p, t), Writes(a, p), delta Author(a, n).
-            """
+            """,
         )
         engine = RepairEngine(db, cascade_only)
         assert engine.is_stable()
@@ -112,7 +112,7 @@ class TestRepairEngine:
 class TestRepairResult:
     def test_result_reporting_helpers(self):
         engine = RepairEngine(
-            make_paper_database(), DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
+            make_paper_database(), DeltaProgram.from_text(PAPER_PROGRAM_TEXT),
         )
         result = engine.repair(Semantics.STAGE)
         by_relation = result.deleted_by_relation()

@@ -15,14 +15,14 @@ def chain_setup():
     """The Proposition 3.20-2 counterexample separating stage from end semantics."""
     schema = Schema.from_arities({"R1": 1, "R2": 1, "R3": 1})
     db = Database.from_dicts(
-        schema, {"R1": [("a",)], "R2": [("a",)], "R3": [(f"b{i}",) for i in range(4)]}
+        schema, {"R1": [("a",)], "R2": [("a",)], "R3": [(f"b{i}",) for i in range(4)]},
     )
     program = DeltaProgram.from_text(
         """
         delta R1(x) :- R1(x).
         delta R2(x) :- R2(x), delta R1(x).
         delta R3(y) :- R3(y), R1(x), delta R2(x).
-        """
+        """,
     )
     return db, program
 

@@ -1,7 +1,5 @@
 """Unit tests for independent semantics (Algorithm 1)."""
 
-import pytest
-
 from repro.core.semantics import Semantics, independent_semantics
 from repro.core.stability import (
     is_stabilizing_set,
@@ -21,7 +19,7 @@ class TestPaperExample:
         program = DeltaProgram.from_text(PAPER_PROGRAM_TEXT)
         result = independent_semantics(db, program)
         assert result.deleted == frozenset(
-            {fact("Grant", 2, "ERC"), fact("AuthGrant", 4, 2), fact("AuthGrant", 5, 2)}
+            {fact("Grant", 2, "ERC"), fact("AuthGrant", 4, 2), fact("AuthGrant", 5, 2)},
         )
         assert result.metadata["optimal"]
         assert result.semantics is Semantics.INDEPENDENT
@@ -70,7 +68,7 @@ class TestSmallInstances:
         """Proposition 3.20-1: Ind deletes the single shared tuple, not the n others."""
         schema = Schema.from_arities({"R1": 1, "R2": 1})
         db = Database.from_dicts(
-            schema, {"R1": [(f"a{i}",) for i in range(5)], "R2": [("b",)]}
+            schema, {"R1": [(f"a{i}",) for i in range(5)], "R2": [("b",)]},
         )
         program = DeltaProgram.from_text("delta R1(x) :- R1(x), R2(y).")
         result = independent_semantics(db, program)
@@ -96,7 +94,7 @@ class TestSmallInstances:
             """
             delta R(x) :- R(x), S(x).
             delta T(y) :- T(y), delta R(x).
-            """
+            """,
         )
         result = independent_semantics(db, program)
         # Deleting S(1) stabilizes at cost 1; deleting R(1) would force all T tuples too.
@@ -105,13 +103,13 @@ class TestSmallInstances:
     def test_matches_bruteforce_on_random_small_instances(self):
         schema = Schema.from_arities({"R": 2, "S": 1})
         db = Database.from_dicts(
-            schema, {"R": [(1, 2), (2, 3), (3, 1), (2, 2)], "S": [(1,), (2,), (3,)]}
+            schema, {"R": [(1, 2), (2, 3), (3, 1), (2, 2)], "S": [(1,), (2,), (3,)]},
         )
         program = DeltaProgram.from_text(
             """
             delta S(x) :- S(x), S(y), R(x, y).
             delta R(x, y) :- R(x, y), delta S(x).
-            """
+            """,
         )
         exact = minimum_stabilizing_set_bruteforce(db, program, max_tuples=16)
         result = independent_semantics(db, program)

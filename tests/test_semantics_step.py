@@ -17,13 +17,13 @@ def small_choice_instance():
     """Proposition 3.20-4 part 1: step can fire one rule and block the other."""
     schema = Schema.from_arities({"R1": 1, "R2": 1})
     db = Database.from_dicts(
-        schema, {"R1": [("a",)], "R2": [(f"b{i}",) for i in range(3)]}
+        schema, {"R1": [("a",)], "R2": [(f"b{i}",) for i in range(3)]},
     )
     program = DeltaProgram.from_text(
         """
         delta R1(x) :- R1(x), R2(y).
         delta R2(y) :- R1(x), R2(y).
-        """
+        """,
     )
     return db, program
 
@@ -40,7 +40,7 @@ class TestGreedyStep:
                 fact("Author", 5, "Homer"),
                 fact("Writes", 4, 6),
                 fact("Writes", 5, 7),
-            }
+            },
         )
         assert result.metadata["method"] == "greedy"
 
@@ -107,14 +107,14 @@ class TestExhaustiveStep:
         """The exhaustive search is the ground truth; greedy is an upper bound."""
         schema = Schema.from_arities({"A": 1, "B": 1, "C": 1})
         db = Database.from_dicts(
-            schema, {"A": [(1,), (2,)], "B": [(1,), (2,)], "C": [(1,)]}
+            schema, {"A": [(1,), (2,)], "B": [(1,), (2,)], "C": [(1,)]},
         )
         program = DeltaProgram.from_text(
             """
             delta A(x) :- A(x), B(x).
             delta B(x) :- A(x), B(x).
             delta C(x) :- C(x), delta A(x).
-            """
+            """,
         )
         exact = step_semantics(db, program, method="exhaustive")
         greedy = step_semantics(db, program, method="greedy")

@@ -59,10 +59,10 @@ class TestClosureEquivalence:
         naive_seen: list = []
         semi_seen: list = []
         naive = run_closure(
-            naive_db, program, on_assignment=naive_seen.append, engine="naive"
+            naive_db, program, on_assignment=naive_seen.append, engine="naive",
         )
         semi = run_closure(
-            semi_db, program, on_assignment=semi_seen.append, engine="semi-naive"
+            semi_db, program, on_assignment=semi_seen.append, engine="semi-naive",
         )
         assert naive.engine == "naive" and semi.engine == "semi-naive", seed_note(seed)
         # Same delta fixpoint.
@@ -173,7 +173,7 @@ class TestUnnamedRuleCollisions:
         naive = stage_semantics(db, program, engine="naive")
         semi = stage_semantics(db, program, engine="semi-naive")
         assert naive.deleted == semi.deleted == frozenset(
-            {Fact("R", (0, 0)), Fact("R", (1, 1))}
+            {Fact("R", (0, 0)), Fact("R", (1, 1))},
         )
         closure_naive = run_closure(db.clone(), program, engine="naive")
         closure_semi = run_closure(db.clone(), program, engine="semi-naive")

@@ -39,7 +39,7 @@ def cascade_schema():
             RelationSchema.of("E", "x:int", "y:int"),
             RelationSchema.of("N", "x:int"),
             RelationSchema.of("S", "x:int"),
-        ]
+        ],
     )
 
 
@@ -49,7 +49,7 @@ def cascade_program():
         delta N(x) :- N(x), S(x).
         delta E(x, y) :- E(x, y), delta N(x).
         delta N(y) :- N(y), E(x, y), delta E(x, y).
-        """
+        """,
     )
 
 
@@ -70,7 +70,7 @@ def redundant_schema():
             RelationSchema.of("N", "x:int"),
             RelationSchema.of("S", "x:int"),
             RelationSchema.of("T", "x:int"),
-        ]
+        ],
     )
 
 
@@ -81,7 +81,7 @@ def redundant_program():
         delta N(x) :- N(x), S(x).
         delta N(x) :- N(x), T(x).
         delta N(y) :- N(y), E(x, y), delta N(x).
-        """
+        """,
     )
 
 
@@ -133,9 +133,7 @@ def assert_matches_scratch(service, schema, program, backend, tmp_path, tag):
     maintained_sigs = {a.signature() for a in service.assignments()}
     scratch_sigs = {a.signature() for a in result.assignments}
     assert maintained_sigs == scratch_sigs
-    scratch_repair = {
-        item for item in scratch.all_deltas() if scratch.has_active(item)
-    }
+    scratch_repair = {item for item in scratch.all_deltas() if scratch.has_active(item)}
     assert service.repair_deleted() == frozenset(scratch_repair)
     if isinstance(scratch, SQLiteDatabase):
         scratch.close()
@@ -154,14 +152,14 @@ class TestWarmRestart:
     def test_store_backend_selection(self, tmp_path):
         schema = cascade_schema()
         assert isinstance(
-            make_assignment_store(Database(schema), []), AssignmentStore
+            make_assignment_store(Database(schema), []), AssignmentStore,
         )
         assert not isinstance(
-            make_assignment_store(Database(schema), []), PersistentAssignmentStore
+            make_assignment_store(Database(schema), []), PersistentAssignmentStore,
         )
         db = SQLiteDatabase(schema)
         assert isinstance(
-            make_assignment_store(db, []), PersistentAssignmentStore
+            make_assignment_store(db, []), PersistentAssignmentStore,
         )
         db.close()
 
@@ -357,7 +355,7 @@ class TestCountingDeletion:
             }
             assert counted.repair_deleted() == exact.repair_deleted()
             assert_matches_scratch(
-                counted, schema, program, backend, tmp_path, f"eq{batch}"
+                counted, schema, program, backend, tmp_path, f"eq{batch}",
             )
         # The redundant seeds make some batches decidable by counts alone.
         assert counted.stats.counted_deletes > 0
@@ -386,7 +384,7 @@ class TestApplyMany:
                 ([fact("E", 8, 2)], [fact("E", 2, 3)]),
                 ([fact("N", 9), fact("E", 3, 9)], []),
                 ([], [fact("E", 7, 8), fact("N", 7)]),
-            ]
+            ],
         )
         # One maintenance pass for all three tenants.
         assert service.stats.maintained_batches == 1
@@ -405,7 +403,7 @@ class TestApplyMany:
             service.db.close()
 
     def test_insert_wins_within_tenant_later_tenant_overrides(
-        self, backend, tmp_path
+        self, backend, tmp_path,
     ):
         service, schema, program = self.make_service(backend, tmp_path, "wins")
         # Tenant 1 deletes and inserts E(0,1): insert wins -> stays present.
@@ -414,7 +412,7 @@ class TestApplyMany:
             [
                 ([fact("E", 0, 1)], [fact("E", 0, 1), fact("E", 1, 2)]),
                 ([], [fact("E", 1, 2)]),
-            ]
+            ],
         )
         assert service.db.has_active(fact("E", 0, 1))
         assert not service.db.has_active(fact("E", 1, 2))
@@ -507,3 +505,66 @@ def test_poisoned_file_store_refuses_warm_restart(tmp_path):
     with pytest.raises(EvaluationError, match="warm-restart"):
         RepairService(db2, program)
     db2.close()
+
+
+def test_concurrent_services_share_pool_without_corruption(tmp_path):
+    """Two sharded-maintenance services at *different* ``workers=`` counts
+    run batches concurrently: the shared worker pool's lease accounting must
+    survive the mid-run pool growth, and each service's maintained state must
+    still equal a from-scratch fixpoint."""
+    from repro.datalog import sharded
+
+    def drive(backend, shards, workers, tag, errors, barrier):
+        try:
+            schema, program = cascade_schema(), cascade_program()
+            # SQLite primary connections are thread-bound: build the database
+            # inside the thread that maintains and checks it.
+            db = make_db(backend, schema, cascade_facts(), tmp_path, tag)
+            context = EvalContext(
+                shards=shards, workers=workers, shard_maintenance=True,
+            )
+            service = RepairService(
+                db, program, engine="semi-naive", context=context,
+            )
+            rng = random.Random(41 + shards)
+            barrier.wait(timeout=30)
+            for step in range(6):
+                inserts = [
+                    fact("E", rng.randint(0, 8), rng.randint(0, 8))
+                    for _ in range(rng.randint(1, 3))
+                ]
+                deletes = [
+                    fact("E", rng.randint(0, 8), rng.randint(0, 8))
+                    for _ in range(rng.randint(1, 3))
+                ]
+                service.apply(inserts=inserts, deletes=deletes)
+                assert_matches_scratch(
+                    service, schema, program, backend, tmp_path, f"{tag}{step}",
+                )
+            if isinstance(db, SQLiteDatabase):
+                db.close()
+        except BaseException as error:  # noqa: BLE001 - surfaced in main thread
+            errors.append((tag, error))
+
+    import threading
+
+    errors = []
+    barrier = threading.Barrier(2)
+    threads = [
+        threading.Thread(
+            target=drive, args=("memory", 3, 2, "conc_a", errors, barrier)
+        ),
+        threading.Thread(
+            target=drive, args=("sqlite-file", 5, 3, "conc_b", errors, barrier)
+        ),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+    assert not errors, errors
+    # Every wave returned its lease: no pool is left leased once both
+    # services are idle, and the live pool grew to the larger workers count.
+    with sharded._pool_lock:
+        assert not sharded._pool_leases

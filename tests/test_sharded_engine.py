@@ -36,18 +36,18 @@ def cascade_instance():
         [
             RelationSchema.of("E", "x:int", "y:int"),
             RelationSchema.of("N", "x:int"),
-        ]
+        ],
     )
     edges = [(i, i + 1) for i in range(12)] + [(i, i + 2) for i in range(0, 10, 2)]
     db = Database.from_dicts(
-        schema, {"E": edges, "N": [(i,) for i in range(14)]}
+        schema, {"E": edges, "N": [(i,) for i in range(14)]},
     )
     program = DeltaProgram.from_text(
         """
         delta N(x) :- N(x), x = 0.
         delta E(x, y) :- E(x, y), delta N(x).
         delta N(y) :- N(y), E(x, y), delta E(x, y).
-        """
+        """,
     )
     return db, program
 
@@ -67,7 +67,7 @@ def make_backend(db, backend, tmp_path, tag=""):
     if backend == "sqlite":
         return SQLiteDatabase.from_database(db)
     return SQLiteDatabase.from_database(
-        db, path=str(tmp_path / f"sharded_{tag}.db")
+        db, path=str(tmp_path / f"sharded_{tag}.db"),
     )
 
 
@@ -107,12 +107,8 @@ class TestKnobs:
         db, _ = cascade_instance()
         assert resolve_engine(db, "auto") == ENGINE_SEMI_NAIVE
         assert resolve_engine(db, "auto", EvalContext()) == ENGINE_SEMI_NAIVE
-        assert (
-            resolve_engine(db, "auto", EvalContext(shards=4)) == ENGINE_SHARDED
-        )
-        assert (
-            resolve_engine(db, "auto", EvalContext(workers=2)) == ENGINE_SHARDED
-        )
+        assert (resolve_engine(db, "auto", EvalContext(shards=4)) == ENGINE_SHARDED)
+        assert (resolve_engine(db, "auto", EvalContext(workers=2)) == ENGINE_SHARDED)
         # The environment flips auto even without a context (CI uses this).
         monkeypatch.setenv(SHARDS_ENV, "4")
         assert resolve_engine(db, "auto") == ENGINE_SHARDED
@@ -145,7 +141,7 @@ class TestOracleEquivalence:
         seen = []
         ctx = EvalContext(shards=shards, workers=1)
         result = run_closure(
-            db, program, engine="sharded", context=ctx, on_assignment=seen.append
+            db, program, engine="sharded", context=ctx, on_assignment=seen.append,
         )
         assert result.engine == ENGINE_SHARDED
         assert set(db.all_deltas()) == oracle_deltas
@@ -163,7 +159,7 @@ class TestOracleEquivalence:
         semi = run_closure(semi_db, program, engine="semi-naive")
         db = make_backend(base, backend, tmp_path, f"rounds{backend}{shards}")
         sharded = run_closure(
-            db, program, engine="sharded", context=EvalContext(shards=shards)
+            db, program, engine="sharded", context=EvalContext(shards=shards),
         )
         assert sharded.rounds == semi.rounds >= 3
         for handle in (semi_db, db):
@@ -193,9 +189,7 @@ class TestDeterministicMerge:
     CONFIGS = ((1, 1), (2, 1), (4, 1), (4, 2), (4, 4), (7, 3))
 
     def _labelled_state(self, db):
-        return {
-            (item.relation, item.values, item.tid) for item in db.all_deltas()
-        }
+        return {(item.relation, item.values, item.tid) for item in db.all_deltas()}
 
     @pytest.mark.parametrize("backend", ["memory", "sqlite", "sqlite-file"])
     def test_closure_and_tids_invariant(self, backend, tmp_path):
@@ -242,9 +236,7 @@ class TestDeterministicMerge:
 
         def probe_counts(engine, shards=None):
             db = base.clone()
-            ctx = (
-                EvalContext(shards=shards, workers=1) if shards else EvalContext()
-            )
+            ctx = (EvalContext(shards=shards, workers=1) if shards else EvalContext())
             seen = []
             ctx.add_candidate_observer(lambda rel, item: seen.append((rel, item)))
             run_closure(db, program, engine=engine, context=ctx)
@@ -303,7 +295,7 @@ class TestShardedSQLAccounting:
         db = SQLiteDatabase.from_database(base)
         ctx = EvalContext(shards=4, workers=1)
         run_closure(
-            db, program, engine="sharded", context=ctx, collect_assignments=False
+            db, program, engine="sharded", context=ctx, collect_assignments=False,
         )
         # Every variant execution ran as nshards partitioned install joins.
         assert ctx.stats.shard_installs > 0
@@ -355,7 +347,7 @@ class TestShardedSQLAccounting:
         db = make_backend(base, "sqlite-file", tmp_path, "pfast")
         ctx = EvalContext(shards=4, workers=2)
         result = run_closure(
-            db, program, engine="sharded", context=ctx, collect_assignments=False
+            db, program, engine="sharded", context=ctx, collect_assignments=False,
         )
         assert result.assignments == []
         assert set(db.all_deltas()) == oracle_deltas
@@ -372,7 +364,7 @@ class TestShardedSQLAccounting:
         db = SQLiteDatabase.from_database(base)
         assert db.reader_connections(2) is None
         run_closure(
-            db, program, engine="sharded", context=EvalContext(shards=4, workers=4)
+            db, program, engine="sharded", context=EvalContext(shards=4, workers=4),
         )
         assert set(db.all_deltas()) == oracle_deltas
         db.close()
@@ -388,7 +380,7 @@ class TestShardedSemantics:
         base, program = cascade_instance()
         ctx = EvalContext(shards=4, workers=1)
         sharded_engine = RepairEngine(
-            base, program, engine="sharded", context=ctx
+            base, program, engine="sharded", context=ctx,
         )
         oracle_engine = RepairEngine(base, program, engine="naive")
         for member in Semantics:
@@ -441,9 +433,7 @@ class TestBatchedObserverReplay:
         chunked, result, ctx = self._staged_stream(base, program)
         # 20 rows in chunks of 3 → 7 batches where the default chunk took 1.
         assert ctx.stats.replay_batches > ref_ctx.stats.replay_batches > 0
-        assert [a.signature() for a in chunked] == [
-            a.signature() for a in reference
-        ]
+        assert [a.signature() for a in chunked] == [a.signature() for a in reference]
         assert [a.signature() for a in result.assignments] == [
             a.signature() for a in ref_result.assignments
         ]
@@ -454,9 +444,7 @@ class TestBatchedObserverReplay:
         monkeypatch.setattr(sql_seminaive, "STAGE_REPLAY_CHUNK", 2)
         chunked, _, ctx = self._staged_stream(base, program)
         assert ctx.stats.replay_batches > 0
-        assert [a.signature() for a in chunked] == [
-            a.signature() for a in reference
-        ]
+        assert [a.signature() for a in chunked] == [a.signature() for a in reference]
 
 
 class TestShardedFileResume:
@@ -533,9 +521,7 @@ class TestPoolLeases:
                         context=EvalContext(shards=4, workers=2),
                     )
                     assert set(db.all_deltas()) == oracle_deltas
-                    assert {
-                        a.signature() for a in result.assignments
-                    } == oracle_sigs
+                    assert {a.signature() for a in result.assignments} == oracle_sigs
             except BaseException as exc:  # noqa: BLE001 - surfaced below
                 errors.append(exc)
 
@@ -554,9 +540,7 @@ class TestPoolLeases:
                         context=EvalContext(shards=workers, workers=workers),
                     )
                     assert set(db.all_deltas()) == oracle_deltas
-                    assert {
-                        a.signature() for a in result.assignments
-                    } == oracle_sigs
+                    assert {a.signature() for a in result.assignments} == oracle_sigs
             except BaseException as exc:  # noqa: BLE001 - surfaced below
                 errors.append(exc)
 
@@ -636,7 +620,7 @@ class TestWaveFailureDraining:
         bad_context.add_observer(exploding_observer)
         with pytest.raises(RuntimeError, match="observer exploded"):
             run_closure(
-                base.clone(), program, engine="sharded", context=bad_context
+                base.clone(), program, engine="sharded", context=bad_context,
             )
 
         # The pool (and the candidate-observer machinery) still works.

@@ -19,7 +19,7 @@ def schema() -> Schema:
         [
             RelationSchema.of("R", "x:int", "y:str"),
             RelationSchema.of("S", "x:int", "z:int"),
-        ]
+        ],
     )
 
 
@@ -27,7 +27,7 @@ def schema() -> Schema:
 def db(schema: Schema) -> SQLiteDatabase:
     built = SQLiteDatabase(schema)
     built.insert_all(
-        [fact("R", 1, "a"), fact("R", 2, "b"), fact("S", 1, 10), fact("S", 1, 20)]
+        [fact("R", 1, "a"), fact("R", 2, "b"), fact("S", 1, 10), fact("S", 1, 20)],
     )
     return built
 
@@ -66,7 +66,7 @@ class TestFindAssignmentsSQL:
     def test_matches_in_memory_evaluator(self, schema, db):
         rule = parse_rule("delta R(x, y) :- R(x, y), S(x, z), z > 15.")
         memory = Database.from_dicts(
-            schema, {"R": [(1, "a"), (2, "b")], "S": [(1, 10), (1, 20)]}
+            schema, {"R": [(1, "a"), (2, "b")], "S": [(1, 10), (1, 20)]},
         )
         sql_results = {a.signature() for a in find_assignments_sql(db, rule)}
         mem_results = {a.signature() for a in find_assignments(memory, rule)}
@@ -103,10 +103,10 @@ class TestFindAssignmentsSQL:
 
     def test_full_program_closure_matches_memory(self, schema):
         program = DeltaProgram.from_text(
-            "delta S(x, z) :- S(x, z), z > 15. delta R(x, y) :- R(x, y), delta S(x, z)."
+            "delta S(x, z) :- S(x, z), z > 15. delta R(x, y) :- R(x, y), delta S(x, z).",
         )
         memory = Database.from_dicts(
-            schema, {"R": [(1, "a"), (2, "b")], "S": [(1, 10), (1, 20)]}
+            schema, {"R": [(1, "a"), (2, "b")], "S": [(1, 10), (1, 20)]},
         )
         sqlite = SQLiteDatabase.from_database(memory)
         from repro import RepairEngine, Semantics

@@ -30,7 +30,6 @@ from repro.datalog.sql_compiler import (
     compile_frontier_rule,
     delta_copy_sql,
 )
-from repro.storage.database import Database
 from repro.storage.facts import fact
 from repro.storage.schema import RelationSchema, Schema
 from repro.storage.sqlite_backend import SQLiteDatabase
@@ -46,7 +45,13 @@ def tag_counter(db: SQLiteDatabase) -> Counter:
     counts: Counter = Counter()
 
     def hook(sql: str) -> None:
-        for tag in (TAG_ASSIGN_SELECT, TAG_STAGE, TAG_INSTALL_DIRECT, TAG_INSTALL_STAGED):
+        staging_tags = (
+            TAG_ASSIGN_SELECT,
+            TAG_STAGE,
+            TAG_INSTALL_DIRECT,
+            TAG_INSTALL_STAGED,
+        )
+        for tag in staging_tags:
             if tag in sql:
                 counts[tag] += 1
 
@@ -88,7 +93,8 @@ def reselect_closure(db: SQLiteDatabase, program: DeltaProgram):
         cursor = db.execute(variant.install_sql, variant.bind(gen=gen, **window))
         if cursor.rowcount > 0:
             relation = rule.head.relation
-            new_by_relation[relation] = new_by_relation.get(relation, 0) + cursor.rowcount
+            seen = new_by_relation.get(relation, 0)
+            new_by_relation[relation] = seen + cursor.rowcount
 
     rounds = 0
     hi = db.generation()
@@ -115,7 +121,7 @@ def reselect_closure(db: SQLiteDatabase, program: DeltaProgram):
                     continue
                 cursor = db.execute(variant.sql, variant.bind(lo=lo, hi=hi))
                 for assignment in assignments_from_rows(
-                    rule, variant.atom_arities, cursor
+                    rule, variant.atom_arities, cursor,
                 ):
                     record(assignment)
                 install(rule, variant, {"lo": lo, "hi": hi}, gen, new_by_relation)
@@ -127,18 +133,18 @@ def reselect_closure(db: SQLiteDatabase, program: DeltaProgram):
 def cascade_fixture():
     """The empty-frontier-round cascade from the backend edge-case tests."""
     schema = Schema.from_relations(
-        [RelationSchema.of("R", "x:int", "y:str"), RelationSchema.of("S", "x:int")]
+        [RelationSchema.of("R", "x:int", "y:str"), RelationSchema.of("S", "x:int")],
     )
     db = SQLiteDatabase(schema)
     db.insert_all(
-        [fact("R", 1, "a", tid="r1"), fact("R", 2, "b", tid="r2"), fact("S", 1, tid="s1")]
+        [fact("R", 1, "a", tid="r1"), fact("R", 2, "b", tid="r2"), fact("S", 1, tid="s1")],
     )
     program = DeltaProgram.from_text(
         """
         delta R(x, y) :- R(x, y), S(x).
         delta S(x) :- S(x), delta R(x, y).
         delta R(x, y) :- R(x, y), delta S(x).
-        """
+        """,
     )
     return db, program
 
@@ -255,7 +261,7 @@ class TestFastPath:
         db, program = cascade_fixture()
         fast_db = db.clone()
         fast = run_closure(
-            fast_db, program, engine="semi-naive", collect_assignments=False
+            fast_db, program, engine="semi-naive", collect_assignments=False,
         )
         assert fast.rounds == 3
         assert set(fast_db.all_deltas()) == {fact("R", 1, "a"), fact("S", 1)}

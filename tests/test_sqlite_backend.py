@@ -5,7 +5,7 @@ import pytest
 from repro.datalog import DeltaProgram, find_assignments, run_closure
 from repro.exceptions import ArityMismatchError, StorageError, UnknownRelationError
 from repro.storage.database import Database
-from repro.storage.facts import Fact, fact
+from repro.storage.facts import fact
 from repro.storage.schema import RelationSchema, Schema
 from repro.storage.sqlite_backend import (
     SQLiteDatabase,
@@ -18,7 +18,7 @@ from repro.storage.sqlite_backend import (
 @pytest.fixture
 def schema() -> Schema:
     return Schema.from_relations(
-        [RelationSchema.of("R", "x:int", "y:str"), RelationSchema.of("S", "x:int")]
+        [RelationSchema.of("R", "x:int", "y:str"), RelationSchema.of("S", "x:int")],
     )
 
 
@@ -130,7 +130,7 @@ class TestFrontierTables:
         assert db.delta_added_since("R", db.delta_token("R")) == []
 
     def test_generations_are_monotone_and_clone_preserves_them(
-        self, db: SQLiteDatabase
+        self, db: SQLiteDatabase,
     ):
         db.delete(fact("R", 1, "a"))
         before = db.generation()
@@ -174,7 +174,7 @@ class TestFrontierTables:
         db.mark_deleted(fact("S", 1))
         for relation in ("R", "S"):
             rows = db.execute(
-                f"SELECT COUNT(*) FROM {frontier_table(relation)}"
+                f"SELECT COUNT(*) FROM {frontier_table(relation)}",
             ).fetchone()
             assert rows[0] == db.count_delta(relation)
 
@@ -222,7 +222,7 @@ class TestWALMode:
         reopened.close()
 
     def test_reader_connections_are_read_only_and_see_commits(
-        self, schema, tmp_path
+        self, schema, tmp_path,
     ):
         import sqlite3
 
@@ -274,26 +274,26 @@ class TestFileBackedResume:
 
     def _cascade(self, tmp_path, name: str):
         schema = Schema.from_relations(
-            [RelationSchema.of("R", "x:int", "y:str"), RelationSchema.of("S", "x:int")]
+            [RelationSchema.of("R", "x:int", "y:str"), RelationSchema.of("S", "x:int")],
         )
         path = str(tmp_path / f"{name}.db")
         db = SQLiteDatabase(schema, path=path)
         db.insert_all(
-            [fact("R", 1, "a"), fact("R", 2, "b"), fact("S", 1), fact("S", 2)]
+            [fact("R", 1, "a"), fact("R", 2, "b"), fact("S", 1), fact("S", 2)],
         )
         program = DeltaProgram.from_text(
             """
             delta R(x, y) :- R(x, y), S(x), x < 2.
             delta S(x) :- S(x), delta R(x, y).
             delta R(x, y) :- R(x, y), delta S(x).
-            """
+            """,
         )
         return schema, path, db, program
 
     def _oracle_state(self, schema, program):
         oracle = SQLiteDatabase(schema)
         oracle.insert_all(
-            [fact("R", 1, "a"), fact("R", 2, "b"), fact("S", 1), fact("S", 2)]
+            [fact("R", 1, "a"), fact("R", 2, "b"), fact("S", 1), fact("S", 2)],
         )
         run_closure(oracle, program, engine="naive")
         return set(oracle.all_deltas())
@@ -335,7 +335,7 @@ class TestFileBackedResume:
         # delta fact again, and is never re-stamped (no duplicate frontier row).
         assert reopened.has_delta(fact("R", 1, "a"))
         rows = reopened.execute(
-            f"SELECT COUNT(*) FROM {frontier_table('R')} WHERE c0 = 1"
+            f"SELECT COUNT(*) FROM {frontier_table('R')} WHERE c0 = 1",
         ).fetchone()
         assert rows[0] == 1
         run_closure(reopened, program, engine="semi-naive")
@@ -348,7 +348,7 @@ class TestFileBackedResume:
         # without reconciliation no frontier window would ever join it.
         schema, path, db, program = self._cascade(tmp_path, "torn_mark")
         db.execute(
-            f"INSERT OR IGNORE INTO {delta_table('S')} (c0, tid) VALUES (2, NULL)"
+            f"INSERT OR IGNORE INTO {delta_table('S')} (c0, tid) VALUES (2, NULL)",
         )
         stale_generation = db.generation()
         db.close()
@@ -365,7 +365,7 @@ class TestFileBackedResume:
         # Equivalent to a naive oracle run from the same reconciled state.
         oracle = SQLiteDatabase(schema)
         oracle.insert_all(
-            [fact("R", 1, "a"), fact("R", 2, "b"), fact("S", 1), fact("S", 2)]
+            [fact("R", 1, "a"), fact("R", 2, "b"), fact("S", 1), fact("S", 2)],
         )
         oracle.mark_deleted(fact("S", 2))
         run_closure(oracle, program, engine="naive")
@@ -418,7 +418,7 @@ class TestSQLiteSemiNaiveEdgeCases(SQLiteSemiNaiveCase):
             delta R(x, y) :- R(x, y), S(x).
             delta S(x) :- S(x), delta R(x, y).
             delta R(x, y) :- R(x, y), delta S(x).
-            """
+            """,
         )
         semi, semi_db = self.closure_pair(db, program)
         assert set(semi_db.all_deltas()) == {fact("R", 1, "a"), fact("S", 1)}
@@ -432,13 +432,13 @@ class TestSQLiteSemiNaiveEdgeCases(SQLiteSemiNaiveCase):
         # stratification must not double-count the symmetric assignments.
         schema = Schema.from_relations([RelationSchema.of("E", "x:int", "y:int")])
         memory = Database.from_dicts(
-            schema, {"E": [(1, 2), (2, 1), (2, 2), (3, 4)]}
+            schema, {"E": [(1, 2), (2, 1), (2, 2), (3, 4)]},
         )
         program = DeltaProgram.from_text(
             """
             delta E(x, y) :- E(x, y), x = 1.
             delta E(y, z) :- E(y, z), delta E(x, y), delta E(z, w).
-            """
+            """,
         )
         db = SQLiteDatabase.from_database(memory)
         semi, semi_db = self.closure_pair(db, program)
@@ -455,7 +455,7 @@ class TestSQLiteSemiNaiveEdgeCases(SQLiteSemiNaiveCase):
         db.insert(fact("R", 1, "a", tid="r1"))
         db.insert(fact("S", 1, tid="s1"))
         program = DeltaProgram.from_text(
-            "delta R(x, y) :- R(x, y), S(x). delta S(x) :- S(x), delta R(x, y)."
+            "delta R(x, y) :- R(x, y), S(x). delta S(x) :- S(x), delta R(x, y).",
         )
         semi, semi_db = self.closure_pair(db, program)
         # Body facts keep their labels through SELECT reconstruction.

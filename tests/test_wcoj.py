@@ -95,7 +95,7 @@ class TestCyclicCore:
     def test_four_clique_core_survives(self):
         rule = parse_rule(
             "delta Edge(x, y) :- Edge(x, y), Edge(y, z), Edge(z, w), "
-            "Edge(w, x), Edge(x, z), Edge(y, w)."
+            "Edge(w, x), Edge(x, z), Edge(y, w).",
         )
         assert len(cyclic_core(rule)) == 6
 
@@ -214,7 +214,7 @@ class TestDriverOracle:
 
     @pytest.mark.parametrize("program_name", ["triangle", "mutual"])
     def test_closure_matches_naive_oracle_both_kinds(
-        self, cyclic, monkeypatch, program_name
+        self, cyclic, monkeypatch, program_name,
     ):
         program = (
             triangle_program()
@@ -314,7 +314,7 @@ class TestSQLLowering:
 
     def test_seeded_wcoj_variant_starts_at_the_frontier(self):
         rule = parse_rule(
-            "delta Edge(x, y) :- Edge(x, y), delta Edge(y, z), Edge(z, x)."
+            "delta Edge(x, y) :- Edge(x, y), delta Edge(y, z), Edge(z, x).",
         )
         _full, seeded = compile_frontier_rule(rule, plan_kind=PLAN_WCOJ)
         assert len(seeded) == 1
@@ -332,20 +332,20 @@ class TestSQLLowering:
     def test_ensure_wcoj_indexes_runs_ddl_once_per_connection(self, cyclic):
         db = SQLiteDatabase.from_database(cyclic.db)
         full, _seeded = compile_frontier_rule(
-            parse_rule(TRIANGLE), plan_kind=PLAN_WCOJ
+            parse_rule(TRIANGLE), plan_kind=PLAN_WCOJ,
         )
         assert db.ensure_wcoj_indexes(full.wcoj_index_sql) == len(full.wcoj_index_sql)
         assert db.ensure_wcoj_indexes(full.wcoj_index_sql) == 0
 
     @pytest.mark.parametrize(
-        "kind,expect_tagged", [(PLAN_WCOJ, True), (PLAN_BINARY, False)]
+        "kind,expect_tagged", [(PLAN_WCOJ, True), (PLAN_BINARY, False)],
     )
     def test_statement_tag_accounting(self, cyclic, monkeypatch, kind, expect_tagged):
         monkeypatch.setenv(PLAN_ENV, kind)
         db = SQLiteDatabase.from_database(cyclic.db)
         tagged = []
         db.add_statement_hook(
-            lambda sql: tagged.append(sql) if TAG_WCOJ in sql else None
+            lambda sql: tagged.append(sql) if TAG_WCOJ in sql else None,
         )
         run_closure(db, triangle_program(), engine="semi-naive")
         assert bool(tagged) is expect_tagged

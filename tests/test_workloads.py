@@ -31,7 +31,7 @@ class TestMASGenerator:
 
     def test_different_seeds_differ(self):
         assert not generate_mas(scale=0.2, seed=3).db.same_state_as(
-            generate_mas(scale=0.2, seed=4).db
+            generate_mas(scale=0.2, seed=4).db,
         )
 
     def test_scale_grows_the_instance(self):
@@ -67,7 +67,7 @@ class TestMASGenerator:
 class TestTPCHGenerator:
     def test_deterministic(self):
         assert generate_tpch(scale=0.2, seed=5).db.same_state_as(
-            generate_tpch(scale=0.2, seed=5).db
+            generate_tpch(scale=0.2, seed=5).db,
         )
 
     def test_counts_cover_all_eight_tables(self, small_tpch):

@@ -134,6 +134,47 @@ WCOJ_GATE_PROGRAMS = ("triangle", "clique4")
 #: factor at the largest benched cyclic scale on the in-memory backend.
 WCOJ_GATE_SPEEDUP = 3.0
 
+#: The sharded engine's **never-slower** contract, enforced absolutely by
+#: ``--check`` on the acceptance rows (mas/20, largest benched scale of each
+#: SQLite section): dynamic shard collapse makes a sharded run on a small
+#: frontier execute the semi-naive driver's own statements, so the
+#: staged and fast sharded ratios must stay within 5% of the
+#: single-connection driver **even on one CPU**.  The floor is applied
+#: exactly to the *committed baseline's* acceptance rows on every ``--check``
+#: (full-run, multi-repetition numbers: a regenerated baseline below the
+#: floor is refused outright) and to the live run's rows — at face value on
+#: full runs, relaxed by :data:`SMOKE_NOISE_ALLOWANCE` on smoke runs.
+SHARDED_OVERHEAD_FLOOR = 0.95
+
+#: Smoke closure rows time ~10–20 ms workloads on shared 1-CPU CI runners,
+#: where run-to-run scheduler noise is far larger than the 5% the floor
+#: resolves (observed paired-median swing: ±10%).  A smoke run therefore
+#: gates the live ratio at ``SHARDED_OVERHEAD_FLOOR * SMOKE_NOISE_ALLOWANCE``
+#: — still far above the pre-collapse ratios (0.56–0.75) this floor exists
+#: to catch — while the exact floor is enforced on the committed baseline.
+SMOKE_NOISE_ALLOWANCE = 0.85
+
+#: The multi-core acceptance target (ROADMAP item 1): with at least two real
+#: cores the sharded fast path must clear this factor over single-connection
+#: on the file-backed acceptance row.  On smaller machines the gate is
+#: skipped with a LOUD warning — never silently.
+PARALLEL_WIN_SPEEDUP = 1.8
+
+#: Every section ``run_benchmark`` can produce, in report order.  ``--axes``
+#: selects a subset; a partial report is marked ``meta.partial`` and refused
+#: by ``--check`` (the committed baseline is always a full run).
+BENCH_AXES = (
+    "closure",
+    "sqlite_closure",
+    "sqlite_file_closure",
+    "wcoj",
+    "end_to_end",
+    "compare",
+    "maintenance",
+    "counting",
+    "single_pass",
+)
+
 #: PR 2's recorded semi-naive seconds on the SQLite mas/20@8.0 closure
 #: (BENCH_fixpoint.json at commit 0d28ef4) — the double-pass baseline the
 #: single-pass acceptance criterion is measured against.
@@ -180,18 +221,40 @@ def _time_closure(factory, program, engine: str, repetitions: int, **options):
     do not materialise assignments.  Databases are closed after use so the
     file-backed axis never leaks handles into the temp directory cleanup.
     """
-    best = float("inf")
-    result = None
-    deltas = None
+    timings = _interleaved_closures(
+        factory, program, repetitions, [("only", engine, options)],
+    )
+    return timings["only"]
+
+
+def _interleaved_closures(factory, program, repetitions: int, runs):
+    """Best-of-N wall clock for several engines, repetitions interleaved.
+
+    ``runs`` is a list of ``(key, engine, options)``; each repetition runs
+    every engine once, in order, and the per-engine best is kept.  The
+    interleaving is what makes the engine-vs-engine *ratios* trustworthy on
+    a noisy shared runner: consecutive-block timing lets slow machine drift
+    (cache state, frequency scaling, a neighbour burning the core) bias
+    whichever engine ran in the slow window — observed at ±20% on ~60 ms
+    workloads — while alternating the engines within each repetition gives
+    every engine the same exposure to the drift.
+
+    Returns ``{key: (best_seconds, result, deltas)}`` with ``deltas`` the
+    final delta extent of the key's last repetition.
+    """
+    best = {key: float("inf") for key, _, _ in runs}
+    result = {}
+    deltas = {}
     for _ in range(repetitions):
-        working = factory()
-        start = time.perf_counter()
-        result = run_closure(working, program, engine=engine, **options)
-        best = min(best, time.perf_counter() - start)
-        deltas = set(working.all_deltas())
-        if isinstance(working, SQLiteDatabase):
-            working.close()
-    return best, result, deltas
+        for key, engine, options in runs:
+            working = factory()
+            start = time.perf_counter()
+            result[key] = run_closure(working, program, engine=engine, **options)
+            best[key] = min(best[key], time.perf_counter() - start)
+            deltas[key] = set(working.all_deltas())
+            if isinstance(working, SQLiteDatabase):
+                working.close()
+    return {key: (best[key], result[key], deltas[key]) for key in best}
 
 
 def bench_closures(
@@ -212,12 +275,36 @@ def bench_closures(
             dataset = _dataset(workload, scale)
             program = _program(workload, dataset, program_id)
             factory = _backend_factory(dataset, backend, workdir or Path("."))
-            naive_seconds, naive, naive_deltas = _time_closure(
-                factory, program, "naive", repetitions,
-            )
-            semi_seconds, semi, semi_deltas = _time_closure(
-                factory, program, "semi-naive", repetitions,
-            )
+            # All engines for this row are timed by one interleaved loop —
+            # the sharded/fast columns are consumed as *ratios*, and ratios
+            # taken from consecutive blocks soak up machine drift.
+            runs = [
+                ("naive", "naive", {}),
+                ("semi", "semi-naive", {}),
+            ]
+            shard_ctx = None
+            if backend != "memory":
+                # Sharded engine: 4-way hash partition, workers auto-fitted
+                # to the machine (recorded per row — ratios from different
+                # core counts are not comparable).  The staged ratio is
+                # sharded vs the single-connection staged path, the fast
+                # ratio sharded-fast vs the single-connection fast path.
+                shard_ctx = EvalContext(shards=BENCH_SHARDS)
+                runs += [
+                    ("fast", "semi-naive", {"collect_assignments": False}),
+                    ("sharded", "sharded", {"context": shard_ctx}),
+                    (
+                        "sharded_fast",
+                        "sharded",
+                        {
+                            "context": EvalContext(shards=BENCH_SHARDS),
+                            "collect_assignments": False,
+                        },
+                    ),
+                ]
+            timed = _interleaved_closures(factory, program, repetitions, runs)
+            naive_seconds, naive, naive_deltas = timed["naive"]
+            semi_seconds, semi, semi_deltas = timed["semi"]
             # The benchmark doubles as a differential check.
             naive_signatures = {a.signature() for a in naive.assignments}
             semi_signatures = {a.signature() for a in semi.assignments}
@@ -239,10 +326,7 @@ def bench_closures(
                 "speedup": round(naive_seconds / max(semi_seconds, 1e-9), 3),
             }
             if backend != "memory":
-                fast_seconds, fast, fast_deltas = _time_closure(
-                    factory, program, "semi-naive", repetitions,
-                    collect_assignments=False,
-                )
+                fast_seconds, fast, fast_deltas = timed["fast"]
                 # The fast path materialises no assignments, so its delta
                 # fixpoint is compared against the naive oracle directly.
                 if fast.rounds != semi.rounds or fast_deltas != naive_deltas:
@@ -254,15 +338,7 @@ def bench_closures(
                 row["fast_speedup"] = round(
                     naive_seconds / max(fast_seconds, 1e-9), 3,
                 )
-                # Sharded engine: 4-way hash partition, workers auto-fitted
-                # to the machine (recorded per row — ratios from different
-                # core counts are not comparable).  The staged ratio is
-                # sharded vs the single-connection staged path, the fast
-                # ratio sharded-fast vs the single-connection fast path.
-                shard_ctx = EvalContext(shards=BENCH_SHARDS)
-                sharded_seconds, sharded, sharded_deltas = _time_closure(
-                    factory, program, "sharded", repetitions, context=shard_ctx,
-                )
+                sharded_seconds, sharded, sharded_deltas = timed["sharded"]
                 sharded_signatures = {a.signature() for a in sharded.assignments}
                 if (
                     sharded_signatures != naive_signatures
@@ -273,11 +349,7 @@ def bench_closures(
                         f"{backend} {workload}/{program_id}@{scale}: sharded "
                         "engine diverged from the oracle",
                     )
-                sharded_fast_seconds, _, sharded_fast_deltas = _time_closure(
-                    factory, program, "sharded", repetitions,
-                    context=EvalContext(shards=BENCH_SHARDS),
-                    collect_assignments=False,
-                )
+                sharded_fast_seconds, _, sharded_fast_deltas = timed["sharded_fast"]
                 if sharded_fast_deltas != naive_deltas:
                     raise AssertionError(
                         f"{backend} {workload}/{program_id}@{scale}: sharded "
@@ -796,10 +868,16 @@ def assert_single_pass(scale: float = 1.0) -> dict:
       only on the first staging of each variant width: steady-state rounds
       issue zero DDL (the multi-round mas/20 cascade stages far more joins
       than it creates tables);
-    * sharded fast path — zero assignment SELECTs, zero staged inserts and
-      zero stage DDL: every statement is a partitioned shard-install join,
-      ``QueryStats.shard_selects`` counting exactly ``shards`` per variant
-      execution.
+    * sharded fast path (adaptive, the default) — zero assignment SELECTs,
+      zero staged inserts, zero stage DDL **and zero partitioned statements**:
+      with one worker every round's frontier collapses, so the engine runs
+      the semi-naive fast path's own direct installs
+      (``QueryStats.direct_installs``) — the never-slower contract is a
+      statement-level identity, not just a timing ratio;
+    * sharded fan-out path (``collapse_min=0`` pins the historical full
+      fan-out) — zero staged inserts and zero stage DDL: every statement is
+      a partitioned shard-install join, ``QueryStats.shard_selects``
+      counting exactly ``shards`` per variant execution.
     """
     from collections import Counter
 
@@ -807,10 +885,21 @@ def assert_single_pass(scale: float = 1.0) -> dict:
     program = mas_programs(dataset, ("20",))["20"]
     base = SQLiteDatabase.from_database(dataset.db)
     observed = {}
-    for path_name, engine, options in (
-        ("fast", "semi-naive", {"collect_assignments": False}),
-        ("staged", "semi-naive", {}),
-        ("sharded-fast", "sharded", {"collect_assignments": False}),
+    for path_name, engine, options, make_context in (
+        ("fast", "semi-naive", {"collect_assignments": False}, EvalContext),
+        ("staged", "semi-naive", {}, EvalContext),
+        (
+            "sharded-fast",
+            "sharded",
+            {"collect_assignments": False},
+            lambda: EvalContext(shards=BENCH_SHARDS, workers=1),
+        ),
+        (
+            "sharded-fanout",
+            "sharded",
+            {"collect_assignments": False},
+            lambda: EvalContext(shards=BENCH_SHARDS, workers=1, collapse_min=0),
+        ),
     ):
         working = base.clone()
         counts: Counter = Counter()
@@ -826,11 +915,7 @@ def assert_single_pass(scale: float = 1.0) -> dict:
                 counts["create_temp_table"] += 1
 
         working.add_statement_hook(hook)
-        context = (
-            EvalContext(shards=BENCH_SHARDS, workers=1)
-            if engine == "sharded"
-            else EvalContext()
-        )
+        context = make_context()
         run_closure(working, program, engine=engine, context=context, **options)
         if counts["assign_select"] != 0:
             raise AssertionError(
@@ -866,20 +951,47 @@ def assert_single_pass(scale: float = 1.0) -> dict:
                 raise AssertionError(
                     "sharded fast path staged rows despite no observer",
                 )
+            if context.stats.shard_selects != 0:
+                raise AssertionError(
+                    "adaptive sharded fast path ran "
+                    f"{context.stats.shard_selects} partitioned SELECTs with "
+                    "one worker — dynamic collapse must fold every round "
+                    "onto the semi-naive direct-install statements",
+                )
+            if not (context.stats.direct_installs > 0):
+                raise AssertionError(
+                    "adaptive sharded fast path recorded no direct installs "
+                    "— the collapsed rounds did not take the fast path",
+                )
+            if not (context.stats.collapsed_rounds > 0):
+                raise AssertionError(
+                    "adaptive sharded fast path recorded no collapsed "
+                    "rounds despite running with one worker",
+                )
+        if path_name == "sharded-fanout":
+            if counts["stage"] != 0 or counts["create_temp_table"] != 0:
+                raise AssertionError(
+                    "sharded fan-out path staged rows despite no observer",
+                )
             if not (
                 context.stats.shard_selects
                 == BENCH_SHARDS * context.stats.shard_installs
                 > 0
             ):
                 raise AssertionError(
-                    "sharded fast path did not run exactly one partitioned "
-                    "join per (variant, shard) "
+                    "sharded fan-out path did not run exactly one "
+                    "partitioned join per (variant, shard) "
                     f"(selects={context.stats.shard_selects}, "
                     f"installs={context.stats.shard_installs})",
                 )
         observed[path_name] = {
             **dict(counts),
             "joins": context.stats.joins(),
+            "shard_selects": context.stats.shard_selects,
+            "shard_installs": context.stats.shard_installs,
+            "direct_installs": context.stats.direct_installs,
+            "collapsed_rounds": context.stats.collapsed_rounds,
+            "effective_shards": context.stats.effective_shards,
         }
     return observed
 
@@ -914,14 +1026,44 @@ def check_against_baseline(
     ``wcoj_speedup >= WCOJ_GATE_SPEEDUP`` regardless of the baseline — the
     worst-case-optimal acceptance criterion, not a drift band.
 
+    The SQLite closure sections carry two more absolute gates on the
+    acceptance rows (mas/20 at the largest benched scale):
+
+    * the **never-slower floor** — ``sharded_speedup`` and
+      ``sharded_fast_speedup`` must each clear
+      :data:`SHARDED_OVERHEAD_FLOOR`, on any machine: dynamic shard
+      collapse makes the 1-CPU sharded run execute the single-connection
+      driver's own statements, so overhead beyond 5% is a regression, not
+      a core-count artefact.  The exact floor applies to the committed
+      baseline's acceptance rows (full-run numbers) on every ``--check``;
+      the live run's rows are gated with :data:`SMOKE_NOISE_ALLOWANCE`
+      relaxation under ``--smoke``, where ~15 ms workloads cannot resolve
+      5% on a shared runner;
+    * the **parallel win** — with ``meta.cpus >= 2`` the file-backed
+      acceptance row must hold ``sharded_fast_speedup >=``
+      :data:`PARALLEL_WIN_SPEEDUP`; on a 1-CPU runner this gate is
+      skipped with a LOUD stderr warning, never silently.
+
+    A report marked ``meta.partial`` (produced with ``--axes``) is refused
+    outright: the committed baseline is a full run, and gating a subset
+    would silently disarm every check on the missing axes.
+
     Returns the list of violations (empty = gate passes).  A run with
     **zero** comparable rows is itself a violation: key drift (renamed
     programs, changed scales, restructured baseline) must fail loudly
     instead of silently disabling the gate.
     """
     problems: List[str] = []
+    meta = report.get("meta", {})
+    if meta.get("partial"):
+        return [
+            "report is partial (axes="
+            + ",".join(meta.get("axes", []))
+            + ") — --check refuses to gate a subset against the full "
+            "committed baseline; re-run without --axes",
+        ]
     compared = 0
-    run_cpus = report.get("meta", {}).get("cpus") or 1
+    run_cpus = meta.get("cpus") or 1
     baseline_cpus = baseline.get("meta", {}).get("cpus") or 1
     gate_sharded = run_cpus >= baseline_cpus
 
@@ -1020,6 +1162,77 @@ def check_against_baseline(
                     f"wcoj_speedup {speedup:.3f} < "
                     f"{WCOJ_GATE_SPEEDUP} (absolute worst-case-optimal floor)",
                 )
+    smoke_run = bool(meta.get("smoke"))
+    run_floor = SHARDED_OVERHEAD_FLOOR * (
+        SMOKE_NOISE_ALLOWANCE if smoke_run else 1.0
+    )
+    for section in ("sqlite_closure", "sqlite_file_closure"):
+        sources = (
+            # The committed baseline's full-run ratios are gated at the exact
+            # floor on EVERY --check (smoke included): regenerating
+            # BENCH_fixpoint.json with a below-floor acceptance row is itself
+            # the regression the never-slower contract exists to refuse.
+            ("committed baseline", baseline, SHARDED_OVERHEAD_FLOOR),
+            ("this run", report, run_floor),
+        )
+        for origin, source, floor in sources:
+            rows = [
+                row
+                for row in source.get(section, [])
+                if row["workload"] == "mas" and row["program"] == "20"
+            ]
+            if not rows:
+                continue
+            acceptance = max(rows, key=lambda row: row["scale"])
+            label = f"{section} mas/20@{acceptance['scale']} ({origin})"
+            for ratio in ("sharded_speedup", "sharded_fast_speedup"):
+                compared += 1
+                value = acceptance.get(ratio)
+                if value is None:
+                    problems.append(
+                        f"{label}: {ratio} column missing — the absolute "
+                        "never-slower floor cannot be verified",
+                    )
+                elif value < floor:
+                    allowance = (
+                        " (smoke noise allowance applied)"
+                        if floor != SHARDED_OVERHEAD_FLOOR
+                        else ""
+                    )
+                    problems.append(
+                        f"{label}: {ratio} {value:.3f} < {floor:.3f} "
+                        "(absolute never-slower floor — dynamic shard "
+                        "collapse must keep the sharded engine within 5% "
+                        f"of single-connection even on 1 CPU){allowance}",
+                    )
+        rows = [
+            row
+            for row in report.get(section, [])
+            if row["workload"] == "mas" and row["program"] == "20"
+        ]
+        acceptance = max(rows, key=lambda row: row["scale"]) if rows else None
+        label = (
+            f"{section} mas/20@{acceptance['scale']}" if acceptance else section
+        )
+        if section == "sqlite_file_closure" and acceptance is not None:
+            if run_cpus >= 2:
+                compared += 1
+                value = acceptance.get("sharded_fast_speedup")
+                if value is not None and value < PARALLEL_WIN_SPEEDUP:
+                    problems.append(
+                        f"{label}: sharded_fast_speedup {value:.3f} < "
+                        f"{PARALLEL_WIN_SPEEDUP} (absolute multi-core "
+                        f"target with {run_cpus} cpus — ROADMAP item 1)",
+                    )
+            else:
+                print(
+                    "bench --check warning: PARALLEL WIN NOT VERIFIED — "
+                    f"{label}: the >= {PARALLEL_WIN_SPEEDUP}x multi-core "
+                    f"target needs >= 2 cpus and this run has {run_cpus}; "
+                    "the never-slower floor was still enforced, but the "
+                    "speedup itself must be proven on a multi-core runner",
+                    file=sys.stderr,
+                )
     if compared == 0:
         problems.append(
             "no rows of this run matched the committed baseline — the gate "
@@ -1029,15 +1242,30 @@ def check_against_baseline(
     return problems
 
 
-def run_benchmark(smoke: bool = False) -> dict:
+def run_benchmark(smoke: bool = False, axes=None) -> dict:
     # Warm the lazily imported engine modules so single-repetition (smoke)
     # timings measure evaluation, not the first import.
     import repro.datalog.seminaive  # noqa: F401
+
+    selected = tuple(BENCH_AXES) if axes is None else tuple(axes)
+    unknown = sorted(set(selected) - set(BENCH_AXES))
+    if unknown:
+        raise ValueError(
+            f"unknown bench axes {unknown}; valid axes: {', '.join(BENCH_AXES)}",
+        )
+    active = set(selected)
+    partial = active != set(BENCH_AXES)
 
     # Smoke keeps two repetitions (best-of-2): a single repetition makes the
     # first, cold run the measurement, and cold-cache noise on the file-backed
     # axis is larger than the --check tolerance band.
     repetitions = 2 if smoke else 3
+    # The closure axes feed the absolute never-slower floor, which leaves no
+    # headroom for the heavy-tailed timing noise of a shared container —
+    # repeated measurements on an idle 1-CPU box still swing ±20% on ~60 ms
+    # closures.  Full (baseline-producing) runs therefore take extra
+    # interleaved repetitions on those axes so the per-engine best settles.
+    closure_repetitions = repetitions if smoke else repetitions + 2
     if smoke:
         scales = {"mas": [1.0], "tpch": [1.0]}
         file_scales = {"mas": [1.0], "tpch": [1.0]}
@@ -1055,32 +1283,7 @@ def run_benchmark(smoke: bool = False) -> dict:
         compare_scale = 2.0
         maintenance_scale = 2.0
         wcoj_scales = [1.0, 2.0, 3.0, 4.0]
-    with tempfile.TemporaryDirectory(prefix="bench_fixpoint_") as tmp:
-        workdir = Path(tmp)
-        closure_rows = bench_closures(scales, repetitions)
-        sqlite_rows = bench_closures(scales, repetitions, backend="sqlite")
-        file_rows = bench_closures(
-            file_scales, repetitions, backend="sqlite-file", workdir=workdir,
-        )
-    wcoj_rows = bench_wcoj(wcoj_scales, repetitions)
-    end_rows = bench_end_to_end(end_scale, repetitions)
-    compare_rows = bench_compare(compare_scale, repetitions)
-    maintenance_rows = bench_maintenance(maintenance_scale, repetitions)
-    counting_rows = bench_counting(repetitions)
-    single_pass = assert_single_pass()
-
-    def deepest(rows):
-        return [
-            row
-            for row in rows
-            if row["workload"] == "mas" and row["program"] == "20"
-        ][-1]
-
-    largest = deepest(closure_rows)
-    sqlite_largest = deepest(sqlite_rows)
-    file_largest = deepest(file_rows)
-    end_speedups = [row["speedup"] for row in end_rows]
-    return {
+    report: dict = {
         "meta": {
             "benchmark": "fixpoint-engines",
             "smoke": smoke,
@@ -1091,102 +1294,170 @@ def run_benchmark(smoke: bool = False) -> dict:
             # same core budget: on one CPU the worker pool cannot overlap
             # the per-shard SELECTs.
             "cpus": os.cpu_count(),
+            # --axes marks the report partial; --check refuses such reports
+            # (the committed baseline is always a full run).
+            "axes": sorted(active),
+            "partial": partial,
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         },
-        "closure": closure_rows,
-        "sqlite_closure": sqlite_rows,
-        "sqlite_file_closure": file_rows,
-        "wcoj": wcoj_rows,
-        "end_to_end": end_rows,
-        "compare": compare_rows,
-        "maintenance": maintenance_rows,
-        "counting": counting_rows,
-        "single_pass": single_pass,
-        "summary": {
-            "largest_program": f"mas/20@{largest['scale']}",
-            "largest_program_speedup": largest["speedup"],
-            "max_closure_speedup": max(row["speedup"] for row in closure_rows),
-            "min_closure_speedup": min(row["speedup"] for row in closure_rows),
-            "sqlite_largest_program": f"mas/20@{sqlite_largest['scale']}",
-            "sqlite_largest_program_speedup": sqlite_largest["speedup"],
-            "sqlite_largest_program_fast_speedup": sqlite_largest["fast_speedup"],
-            "sqlite_max_closure_speedup": max(
+    }
+    with tempfile.TemporaryDirectory(prefix="bench_fixpoint_") as tmp:
+        workdir = Path(tmp)
+        if "closure" in active:
+            report["closure"] = bench_closures(scales, closure_repetitions)
+        if "sqlite_closure" in active:
+            report["sqlite_closure"] = bench_closures(
+                scales, closure_repetitions, backend="sqlite",
+            )
+        if "sqlite_file_closure" in active:
+            report["sqlite_file_closure"] = bench_closures(
+                file_scales, closure_repetitions,
+                backend="sqlite-file", workdir=workdir,
+            )
+    if "wcoj" in active:
+        report["wcoj"] = bench_wcoj(wcoj_scales, repetitions)
+    if "end_to_end" in active:
+        report["end_to_end"] = bench_end_to_end(end_scale, repetitions)
+    if "compare" in active:
+        report["compare"] = bench_compare(compare_scale, repetitions)
+    if "maintenance" in active:
+        report["maintenance"] = bench_maintenance(maintenance_scale, repetitions)
+    if "counting" in active:
+        report["counting"] = bench_counting(repetitions)
+    if "single_pass" in active:
+        report["single_pass"] = assert_single_pass()
+    report["summary"] = _summarise(report)
+    return report
+
+
+def _summarise(report: dict) -> dict:
+    """Build the summary from whichever sections the run produced."""
+
+    def deepest(rows):
+        return [
+            row
+            for row in rows
+            if row["workload"] == "mas" and row["program"] == "20"
+        ][-1]
+
+    summary: dict = {}
+    closure_rows = report.get("closure")
+    if closure_rows:
+        largest = deepest(closure_rows)
+        summary.update(
+            largest_program=f"mas/20@{largest['scale']}",
+            largest_program_speedup=largest["speedup"],
+            max_closure_speedup=max(row["speedup"] for row in closure_rows),
+            min_closure_speedup=min(row["speedup"] for row in closure_rows),
+        )
+    sqlite_rows = report.get("sqlite_closure")
+    if sqlite_rows:
+        sqlite_largest = deepest(sqlite_rows)
+        summary.update(
+            sqlite_largest_program=f"mas/20@{sqlite_largest['scale']}",
+            sqlite_largest_program_speedup=sqlite_largest["speedup"],
+            sqlite_largest_program_fast_speedup=sqlite_largest["fast_speedup"],
+            sqlite_max_closure_speedup=max(
                 row["speedup"] for row in sqlite_rows
             ),
-            "sqlite_min_closure_speedup": min(
+            sqlite_min_closure_speedup=min(
                 row["speedup"] for row in sqlite_rows
             ),
             # The acceptance ratio: single-pass semi-naive (both paths)
             # against PR 2's recorded double-pass semi-naive seconds on the
             # same workload.  Only meaningful for the full (non-smoke) run,
             # which measures the same mas/20@8.0 configuration.
-            "pr2_sqlite_semi_naive_seconds": PR2_SQLITE_SEMI_SECONDS,
-            "sqlite_staged_vs_pr2_semi": round(
+            pr2_sqlite_semi_naive_seconds=PR2_SQLITE_SEMI_SECONDS,
+            sqlite_staged_vs_pr2_semi=round(
                 PR2_SQLITE_SEMI_SECONDS
                 / max(sqlite_largest["semi_naive_seconds"], 1e-9),
                 3,
             ),
-            "sqlite_fast_vs_pr2_semi": round(
+            sqlite_fast_vs_pr2_semi=round(
                 PR2_SQLITE_SEMI_SECONDS
                 / max(sqlite_largest["semi_naive_fast_seconds"], 1e-9),
                 3,
             ),
-            "sqlite_file_largest_program": f"mas/20@{file_largest['scale']}",
-            "sqlite_file_largest_program_speedup": file_largest["speedup"],
-            "sqlite_file_largest_program_fast_speedup": file_largest[
+            sqlite_largest_program_sharded_speedup=sqlite_largest[
+                "sharded_speedup"
+            ],
+        )
+    file_rows = report.get("sqlite_file_closure")
+    if file_rows:
+        file_largest = deepest(file_rows)
+        summary.update(
+            sqlite_file_largest_program=f"mas/20@{file_largest['scale']}",
+            sqlite_file_largest_program_speedup=file_largest["speedup"],
+            sqlite_file_largest_program_fast_speedup=file_largest[
                 "fast_speedup"
             ],
             # Sharded vs single-connection on the acceptance workload
             # (deep-cascade mas/20 at the deepest file-backed scale), with
             # the worker count that actually ran — the parallel win only
             # materialises when `meta.cpus` provides the cores.
-            "sharded_workers": file_largest["workers"],
-            "sqlite_largest_program_sharded_speedup": sqlite_largest[
+            sharded_workers=file_largest["workers"],
+            sqlite_file_largest_program_sharded_speedup=file_largest[
                 "sharded_speedup"
             ],
-            "sqlite_file_largest_program_sharded_speedup": file_largest[
-                "sharded_speedup"
-            ],
-            "sqlite_file_largest_program_sharded_fast_speedup": file_largest[
+            sqlite_file_largest_program_sharded_fast_speedup=file_largest[
                 "sharded_fast_speedup"
             ],
-            "end_semantics_geomean_speedup": round(_geomean(end_speedups), 3),
-            "compare_shared_vs_cold": {
-                row["backend"]: row["speedup"] for row in compare_rows
-            },
-            # Incremental maintenance (RepairService) vs recompute-per-batch
-            # on the acceptance workload: small batches must win decisively.
-            "maintenance_speedups": {
+        )
+    end_rows = report.get("end_to_end")
+    if end_rows:
+        summary["end_semantics_geomean_speedup"] = round(
+            _geomean([row["speedup"] for row in end_rows]), 3,
+        )
+    compare_rows = report.get("compare")
+    if compare_rows:
+        summary["compare_shared_vs_cold"] = {
+            row["backend"]: row["speedup"] for row in compare_rows
+        }
+    maintenance_rows = report.get("maintenance")
+    if maintenance_rows:
+        # Incremental maintenance (RepairService) vs recompute-per-batch
+        # on the acceptance workload: small batches must win decisively.
+        summary.update(
+            maintenance_speedups={
                 row["backend"]: row["speedup"] for row in maintenance_rows
             },
-            "maintenance_min_speedup": min(
+            maintenance_min_speedup=min(
                 row["speedup"] for row in maintenance_rows
             ),
-            # Counting-based deletion vs exact DRed on the redundant-support
-            # chain: support counts must beat the over-delete/re-derive
-            # detour when they can decide the batch.
-            "counting_speedups": {
+        )
+    counting_rows = report.get("counting")
+    if counting_rows:
+        # Counting-based deletion vs exact DRed on the redundant-support
+        # chain: support counts must beat the over-delete/re-derive
+        # detour when they can decide the batch.
+        summary.update(
+            counting_speedups={
                 row["backend"]: row["speedup"] for row in counting_rows
             },
-            "counting_min_speedup": min(
+            counting_min_speedup=min(
                 row["speedup"] for row in counting_rows
             ),
-            # Binary vs worst-case-optimal at the largest benched cyclic
-            # scale; the gated programs must clear WCOJ_GATE_SPEEDUP.
-            "wcoj_largest_scale": max(row["scale"] for row in wcoj_rows),
-            "wcoj_speedups": {
+        )
+    wcoj_rows = report.get("wcoj")
+    if wcoj_rows:
+        # Binary vs worst-case-optimal at the largest benched cyclic
+        # scale; the gated programs must clear WCOJ_GATE_SPEEDUP.
+        wcoj_largest = max(row["scale"] for row in wcoj_rows)
+        summary.update(
+            wcoj_largest_scale=wcoj_largest,
+            wcoj_speedups={
                 row["program"]: row["wcoj_speedup"]
                 for row in wcoj_rows
-                if row["scale"] == max(r["scale"] for r in wcoj_rows)
+                if row["scale"] == wcoj_largest
             },
-            "wcoj_min_gated_speedup": min(
+            wcoj_min_gated_speedup=min(
                 row["wcoj_speedup"]
                 for row in wcoj_rows
-                if row["scale"] == max(r["scale"] for r in wcoj_rows)
+                if row["scale"] == wcoj_largest
                 and row["program"] in WCOJ_GATE_PROGRAMS
             ),
-        },
-    }
+        )
+    return summary
 
 
 def _geomean(values: List[float]) -> float:
@@ -1198,11 +1469,19 @@ def _geomean(values: List[float]) -> float:
 
 def _render(report: dict) -> str:
     lines = []
+    meta = report.get("meta", {})
+    if meta.get("partial"):
+        lines.append(
+            "PARTIAL run (--axes " + ",".join(meta.get("axes", [])) + "): "
+            "not comparable to the committed full-run baseline",
+        )
     for key, label in (
         ("closure", "in-memory"),
         ("sqlite_closure", "SQLite"),
         ("sqlite_file_closure", "SQLite file-backed"),
     ):
+        if key not in report:
+            continue
         lines.append(f"closure (naive vs semi-naive, {label} backend):")
         for row in report[key]:
             fast = (
@@ -1225,14 +1504,21 @@ def _render(report: dict) -> str:
                 f"semi={row['semi_naive_seconds']:.4f}s "
                 f"speedup={row['speedup']:.2f}x{fast}{sharded}",
             )
-    lines.append(
-        f"  note: sharded columns ran with {report['meta']['cpus']} cpu(s); "
-        "on a 1-CPU runner the worker pool cannot overlap shard SELECTs, so "
-        "committed sharded rows from such a machine are a 1-CPU baseline, "
-        "not the parallel win.",
-    )
-    lines.append("wcoj (binary vs worst-case-optimal plans, in-memory backend):")
-    for row in report["wcoj"]:
+    if any(
+        key in report
+        for key in ("closure", "sqlite_closure", "sqlite_file_closure")
+    ):
+        lines.append(
+            f"  note: sharded columns ran with {report['meta']['cpus']} "
+            "cpu(s); on a 1-CPU runner dynamic shard collapse keeps the "
+            "sharded engine within the never-slower floor, but the parallel "
+            "win itself needs real cores.",
+        )
+    if "wcoj" in report:
+        lines.append(
+            "wcoj (binary vs worst-case-optimal plans, in-memory backend):",
+        )
+    for row in report.get("wcoj", []):
         lines.append(
             f"  cyclic/{row['program']:<9} scale={row['scale']:<4} "
             f"tuples={row['tuples']:<6} binary={row['binary_seconds']:.4f}s "
@@ -1242,24 +1528,29 @@ def _render(report: dict) -> str:
             f"intersections={row['wcoj_intersections']}, "
             f"widths={row['width_estimates']})",
         )
-    lines.append("end-to-end end semantics (figure-6c style):")
-    for row in report["end_to_end"]:
+    if "end_to_end" in report:
+        lines.append("end-to-end end semantics (figure-6c style):")
+    for row in report.get("end_to_end", []):
         lines.append(
             f"  mas/{row['program']:<4} scale={row['scale']:<4} "
             f"naive={row['naive_seconds']:.4f}s semi={row['semi_naive_seconds']:.4f}s "
             f"speedup={row['speedup']:.2f}x",
         )
-    lines.append("compare() — four semantics, shared context vs cold engines:")
-    for row in report["compare"]:
+    if "compare" in report:
+        lines.append(
+            "compare() — four semantics, shared context vs cold engines:",
+        )
+    for row in report.get("compare", []):
         lines.append(
             f"  {row['backend']:>6} mas/{row['program']} scale={row['scale']:<4} "
             f"shared={row['shared_seconds']:.4f}s cold={row['cold_seconds']:.4f}s "
             f"speedup={row['speedup']:.2f}x",
         )
-    lines.append(
-        "maintenance (RepairService batches vs from-scratch recompute):",
-    )
-    for row in report["maintenance"]:
+    if "maintenance" in report:
+        lines.append(
+            "maintenance (RepairService batches vs from-scratch recompute):",
+        )
+    for row in report.get("maintenance", []):
         lines.append(
             f"  {row['backend']:>6} mas/{row['program']} scale={row['scale']:<4} "
             f"batches={row['batches']}x{row['batch_size']} "
@@ -1272,11 +1563,12 @@ def _render(report: dict) -> str:
             f"{row['maint_shard_jobs']} jobs) "
             f"(overdeleted={row['overdeleted']}, rederived={row['rederived']})",
         )
-    lines.append(
-        "counting deletion (base-only support counts vs exact DRed, "
-        "redundant-support chain):",
-    )
-    for row in report["counting"]:
+    if "counting" in report:
+        lines.append(
+            "counting deletion (base-only support counts vs exact DRed, "
+            "redundant-support chain):",
+        )
+    for row in report.get("counting", []):
         lines.append(
             f"  {row['backend']:>6} {row['workload']}/{row['program']} "
             f"chain={row['chain']} batches={row['batches']} "
@@ -1287,6 +1579,14 @@ def _render(report: dict) -> str:
             f"{row['exact_overdeleted']})",
         )
     summary = report["summary"]
+    if meta.get("partial"):
+        # Partial run: the one-line digest needs every axis; list what ran.
+        if summary:
+            lines.append(
+                "summary (partial): "
+                + ", ".join(f"{k}={v}" for k, v in sorted(summary.items())),
+            )
+        return "\n".join(lines)
     lines.append(
         f"summary: largest={summary['largest_program']} "
         f"{summary['largest_program_speedup']:.2f}x, sqlite largest="
@@ -1320,8 +1620,18 @@ def test_fixpoint_smoke():
     assert report["summary"]["sqlite_max_closure_speedup"] > 1.0
     assert report["single_pass"]["fast"].get("assign_select", 0) == 0
     assert report["single_pass"]["staged"].get("assign_select", 0) == 0
-    assert report["single_pass"]["sharded-fast"].get("assign_select", 0) == 0
-    assert report["single_pass"]["sharded-fast"].get("stage", 0) == 0
+    sharded_fast = report["single_pass"]["sharded-fast"]
+    assert sharded_fast.get("assign_select", 0) == 0
+    assert sharded_fast.get("stage", 0) == 0
+    # Dynamic collapse: with one worker the sharded fast path degenerates to
+    # the semi-naive direct installs — no partitioned statements at all.
+    assert sharded_fast["shard_selects"] == 0
+    assert sharded_fast["direct_installs"] > 0
+    assert sharded_fast["collapsed_rounds"] > 0
+    # collapse_min=0 pins the historical full fan-out: exactly one
+    # partitioned SELECT per (variant, shard).
+    fanout = report["single_pass"]["sharded-fanout"]
+    assert fanout["shard_selects"] == BENCH_SHARDS * fanout["shard_installs"] > 0
     # The wcoj path actually ran (counters flowed through QueryStats) and the
     # generic join won at the benched cyclic scale; the hard >= 3.0 gate is
     # applied by --check on the committed full-run baseline.
@@ -1374,6 +1684,16 @@ def main() -> None:
         ),
     )
     parser.add_argument(
+        "--axes",
+        default=None,
+        help=(
+            "comma-separated subset of axes to run (of: "
+            + ", ".join(BENCH_AXES)
+            + "); the report is marked partial and --check refuses it — "
+            "the committed baseline is always a full run"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help=(
@@ -1384,15 +1704,38 @@ def main() -> None:
         ),
     )
     args = parser.parse_args()
+    axes = None
+    if args.axes is not None:
+        axes = [name.strip() for name in args.axes.split(",") if name.strip()]
+        if not axes:
+            parser.error("--axes given but no axis names parsed")
+        unknown = sorted(set(axes) - set(BENCH_AXES))
+        if unknown:
+            parser.error(
+                f"unknown axes {', '.join(unknown)} "
+                f"(valid: {', '.join(BENCH_AXES)})",
+            )
+        if args.check and set(axes) != set(BENCH_AXES):
+            parser.error(
+                "--check refuses a partial run: the committed baseline is a "
+                "full run, and gating a subset would silently disarm the "
+                "checks on the missing axes (drop --axes or list them all)",
+            )
+    partial = axes is not None and set(axes) != set(BENCH_AXES)
     if args.out is None:
         root = Path(__file__).resolve().parent.parent
-        args.out = str(
-            root / ("bench-check-report.json" if args.check else "BENCH_fixpoint.json"),
-        )
+        if args.check:
+            name = "bench-check-report.json"
+        elif partial:
+            # A partial report must never land on the committed baseline.
+            name = "bench-axes-report.json"
+        else:
+            name = "BENCH_fixpoint.json"
+        args.out = str(root / name)
     baseline = None
     if args.check:
         baseline = json.loads(Path(args.baseline).read_text())
-    report = run_benchmark(smoke=args.smoke)
+    report = run_benchmark(smoke=args.smoke, axes=axes)
     print(_render(report))
     # Write before gating so CI can upload the report of a failed run too.
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

@@ -30,7 +30,11 @@ import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
 
-from repro.datalog.planner import DRIFT_FACTOR
+from repro.datalog.planner import (
+    COLLAPSE_MIN_FRONTIER,
+    DRIFT_FACTOR,
+    effective_shard_count,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.datalog.ast import Rule
@@ -75,6 +79,36 @@ def env_shard_maintenance() -> bool:
     """True when :data:`MAINTENANCE_ENV` enables sharded maintenance."""
     raw = os.environ.get(MAINTENANCE_ENV, "").strip().lower()
     return raw not in ("", "0", "false", "no", "off")
+
+
+#: Environment variable opting the in-memory sharded closure into the
+#: multiprocessing worker pool (:mod:`repro.datalog.process_pool`) instead of
+#: the GIL-bound thread pool.  Same dynamic-read contract as the other knobs.
+PROCESS_POOL_ENV = "REPRO_PROCESS_POOL"
+
+
+def env_process_pool() -> bool:
+    """True when :data:`PROCESS_POOL_ENV` enables the process pool."""
+    raw = os.environ.get(PROCESS_POOL_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
+
+
+#: Environment variable overriding the shard-collapse threshold
+#: (:data:`~repro.datalog.planner.COLLAPSE_MIN_FRONTIER`); ``0`` disables
+#: collapse entirely (every variant fans out to the full shard count).
+COLLAPSE_ENV = "REPRO_COLLAPSE_MIN"
+
+
+def env_collapse_min() -> int | None:
+    """The :data:`COLLAPSE_ENV` override, or None when unset/invalid."""
+    raw = os.environ.get(COLLAPSE_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
 
 
 #: Signature of an assignment observer.
@@ -134,6 +168,22 @@ class QueryStats:
         Merged head-fact install batches (``INSERT OR IGNORE`` executemany
         over the rows the shard SELECTs returned) — one per variant
         execution per round, always on the primary connection.
+    effective_shards:
+        Sum over variant executions of the shard count each one actually
+        fanned out to after dynamic collapse
+        (:func:`~repro.datalog.planner.effective_shard_count`) — with
+        collapse disabled this equals ``shards ×`` the number of variant
+        executions; on a single worker it equals the execution count (every
+        variant collapsed to one inline evaluation).
+    collapsed_rounds:
+        Rounds of a sharded closure in which *every* evaluated variant
+        collapsed to a single inline evaluation — the whole round ran without
+        a pool submit or a reader connection.
+    pipelined_waves:
+        Variant shard-waves whose per-shard SELECTs were submitted to the
+        worker pool *before* the previous variant's merge/install finished —
+        the producer/consumer overlap of the pipelined SQLite driver.  Zero
+        when everything collapses (nothing to overlap).
     replay_batches:
         Bounded chunks in which staged rows were replayed to observers
         (:data:`~repro.datalog.sql_seminaive.STAGE_REPLAY_CHUNK` rows per
@@ -206,6 +256,9 @@ class QueryStats:
     variant_compiles: int = 0
     shard_selects: int = 0
     shard_installs: int = 0
+    effective_shards: int = 0
+    collapsed_rounds: int = 0
+    pipelined_waves: int = 0
     replay_batches: int = 0
     wcoj_rules: int = 0
     wcoj_intersections: int = 0
@@ -246,6 +299,9 @@ class QueryStats:
         self.variant_compiles = 0
         self.shard_selects = 0
         self.shard_installs = 0
+        self.effective_shards = 0
+        self.collapsed_rounds = 0
+        self.pipelined_waves = 0
         self.replay_batches = 0
         self.wcoj_rules = 0
         self.wcoj_intersections = 0
@@ -281,6 +337,16 @@ class EvalContext:
     ``engine="auto"`` resolve to the sharded engine — the opt-in heuristic of
     :func:`repro.datalog.evaluation.resolve_engine`.
 
+    ``collapse_min`` tunes dynamic shard collapse: a variant whose observed
+    frontier/extent is smaller than this many rows (default
+    :data:`~repro.datalog.planner.COLLAPSE_MIN_FRONTIER`, env override
+    :data:`COLLAPSE_ENV`) runs as a single inline evaluation instead of
+    fanning out; ``0`` disables collapse (full fan-out regardless of size).
+    ``process_pool`` opts the in-memory sharded closure into a
+    ``multiprocessing`` worker pool (:mod:`repro.datalog.process_pool`) —
+    real parallelism past the GIL, at the cost of pickling per-round frontier
+    batches to the workers.  None defers to :data:`PROCESS_POOL_ENV`.
+
     ``shard_maintenance`` opts the *incremental maintenance drivers*
     (:mod:`repro.datalog.incremental`) into the same hash-partitioned
     worker-pool execution: insert discovery, frontier propagation and the
@@ -296,6 +362,8 @@ class EvalContext:
     shards: int | None = None
     workers: int | None = None
     shard_maintenance: bool | None = None
+    process_pool: bool | None = None
+    collapse_min: int | None = None
     _plans: Dict = field(default_factory=dict, repr=False)
     _variants: Dict = field(default_factory=dict, repr=False)
     _observers: List[AssignmentObserver] = field(default_factory=list, repr=False)
@@ -332,18 +400,66 @@ class EvalContext:
         return max(1, min(os.cpu_count() or 1, self.shard_count()))
 
     def wants_sharding(self) -> bool:
-        """True when this context explicitly opts into the sharded engine.
+        """True when ``engine="auto"`` should resolve to the sharded engine.
 
-        The ``engine="auto"`` heuristic: sharding only pays off on large
-        frontiers and multi-core machines, so it is opt-in — an explicit
-        :attr:`shards` / :attr:`workers` knob or the :data:`SHARDS_ENV`
-        environment variable.
+        An explicit :attr:`shards` / :attr:`workers` knob or the
+        :data:`SHARDS_ENV` environment variable always opts in.  With every
+        knob unset, auto consults ``os.cpu_count()``: multi-core machines get
+        the sharded engine by default (dynamic shard collapse makes it
+        never slower than semi-naive even on small frontiers), while a
+        single-core machine stays on semi-naive — there the fan-out is pure
+        bookkeeping with no concurrency to buy back.
         """
-        return (
+        if (
             self.shards is not None
             or self.workers is not None
             or env_shards() is not None
+        ):
+            return True
+        return (os.cpu_count() or 1) > 1
+
+    # -- dynamic shard collapse -------------------------------------------------
+
+    def collapse_threshold(self) -> int:
+        """The frontier size below which a variant collapses to one shard.
+
+        Resolution order: the explicit :attr:`collapse_min` knob, the
+        :data:`COLLAPSE_ENV` environment override, then
+        :data:`~repro.datalog.planner.COLLAPSE_MIN_FRONTIER`.  Zero disables
+        collapse (full fan-out).
+        """
+        if self.collapse_min is not None:
+            return max(0, int(self.collapse_min))
+        from_env = env_collapse_min()
+        if from_env is not None:
+            return from_env
+        return COLLAPSE_MIN_FRONTIER
+
+    def effective_shards_for(self, size: int) -> int:
+        """Shard count one variant over ``size`` rows should fan out to.
+
+        Applies :func:`~repro.datalog.planner.effective_shard_count` to this
+        context's resolved shard/worker counts and collapse threshold, and
+        records the decision in :attr:`QueryStats.effective_shards`.
+        """
+        effective = effective_shard_count(
+            size,
+            self.shard_count(),
+            self.worker_count(),
+            self.collapse_threshold(),
         )
+        self.stats.effective_shards += effective
+        return effective
+
+    def wants_process_pool(self) -> bool:
+        """True when the in-memory sharded closure should use process workers.
+
+        The explicit :attr:`process_pool` knob wins in both directions; when
+        left None the :data:`PROCESS_POOL_ENV` environment variable decides.
+        """
+        if self.process_pool is not None:
+            return bool(self.process_pool)
+        return env_process_pool()
 
     def wants_shard_maintenance(self) -> bool:
         """True when the maintenance drivers should run their sharded paths.
@@ -421,6 +537,8 @@ class EvalContext:
             shards=self.shards,
             workers=self.workers,
             shard_maintenance=self.shard_maintenance,
+            process_pool=self.process_pool,
+            collapse_min=self.collapse_min,
         )
         derived._plans = self._plans
         derived._variants = self._variants

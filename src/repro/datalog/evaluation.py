@@ -18,6 +18,7 @@ The evaluator works over any :class:`~repro.storage.database.BaseDatabase`:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence
 
@@ -57,24 +58,30 @@ def resolve_engine(
     ``"auto"`` (the default everywhere) selects the semi-naive engine on every
     backend: the delta-driven in-memory engine for :class:`Database` instances
     and the SQL-level frontier-table engine
-    (:mod:`repro.datalog.sql_seminaive`) for SQLite-backed ones — unless the
-    caller opted into sharding, in which case it resolves to the sharded
-    engine (:mod:`repro.datalog.sharded`).  The opt-in heuristic is
+    (:mod:`repro.datalog.sql_seminaive`) for SQLite-backed ones — unless
+    sharding is wanted, in which case it resolves to the sharded engine
+    (:mod:`repro.datalog.sharded`).  The heuristic is
     :meth:`~repro.datalog.context.EvalContext.wants_sharding`: an explicit
-    ``shards=`` / ``workers=`` knob on the ``context``, or the
-    ``REPRO_SHARDS`` environment variable (checked even without a context, so
-    a CI job can flip a whole run).  ``"naive"`` forces the
-    re-evaluate-everything loop, the differential-testing oracle.
+    ``shards=`` / ``workers=`` knob on the ``context`` or the
+    ``REPRO_SHARDS`` environment variable always opts in (checked even
+    without a context, so a CI job can flip a whole run); with every knob
+    unset, ``os.cpu_count()`` decides — multi-core machines default to the
+    sharded engine (dynamic shard collapse makes it never slower than
+    semi-naive), single-core machines stay on semi-naive.  ``"naive"``
+    forces the re-evaluate-everything loop, the differential-testing oracle.
     """
     validate_engine(engine)
     if engine is None or engine == ENGINE_AUTO:
-        if context is not None and context.wants_sharding():
-            return ENGINE_SHARDED
-        if context is None:
-            from repro.datalog.context import env_shards
+        if context is not None:
+            return (
+                ENGINE_SHARDED
+                if context.wants_sharding()
+                else ENGINE_SEMI_NAIVE
+            )
+        from repro.datalog.context import env_shards
 
-            if env_shards() is not None:
-                return ENGINE_SHARDED
+        if env_shards() is not None or (os.cpu_count() or 1) > 1:
+            return ENGINE_SHARDED
         return ENGINE_SEMI_NAIVE
     return engine
 

@@ -1,0 +1,178 @@
+"""Multiprocessing worker pool for the in-memory sharded closure.
+
+The thread pool of :mod:`repro.datalog.sharded` keeps the in-memory driver's
+shard waves GIL-bound: Python-level join enumeration never overlaps on real
+cores.  This module provides the opt-in alternative
+(``EvalContext(process_pool=True)`` / ``REPRO_PROCESS_POOL=1``): a
+:class:`concurrent.futures.ProcessPoolExecutor` whose workers each hold a
+**pickled replica** of the database being evaluated and run the exact same
+per-shard job functions (:func:`~repro.datalog.sharded._full_rule_shard`,
+:func:`~repro.datalog.seminaive.seeded_rank_assignments`) against it.
+
+Protocol
+--------
+
+* At pool creation the parent pickles ``(db.clone(), rules)`` once; every
+  worker process unpickles it in its initializer and builds a private
+  :class:`~repro.datalog.planner.JoinPlanner` over the replica.  Clones drop
+  observers and candidate hooks, so the payload is picklable and workers
+  never deliver duplicate notifications.
+* The closure mutates its database only through round-end
+  ``mark_deleted`` batches.  The parent accumulates those batches as a
+  *history* list and ships it with every wave; each worker replays the
+  suffix it has not applied yet, so replicas converge to the parent's state
+  no matter how the executor distributes tasks across processes.
+* A wave ships ``(history, frontier, jobs)`` where each job is a picklable
+  descriptor — ``("full", rule_index, first_atom, seed_facts)`` or
+  ``("rank", rule_index, rank, seed_index, seed_facts)`` — and returns one
+  assignment list per job, in job order.  The parent sorts each job's
+  results into the canonical replay order and records them in job order,
+  exactly as it does for thread-pool results, so the closure, the
+  assignment/observer streams and the tids are **byte-identical** to the
+  thread-pool execution at the same shard configuration.
+
+Shipping the cumulative history means per-wave pickling cost grows with the
+closure (see the README's process-pool caveats); the pool pays off when the
+per-round join work dominates, which is exactly when sharding is worth
+anything at all.  Workers use the ``fork`` start method where available —
+replicas are cheap to inherit and no re-import machinery runs — falling back
+to the platform default elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor, wait as futures_wait
+from typing import Dict, List, Sequence
+
+#: Per-process worker state, populated by :func:`_init_worker`.
+_worker_state: Dict[str, object] = {}
+
+
+def _init_worker(payload: bytes) -> None:
+    """Process-pool initializer: adopt the database replica and rules."""
+    from repro.datalog.planner import JoinPlanner
+
+    db, rules = pickle.loads(payload)
+    _worker_state["db"] = db
+    _worker_state["rules"] = rules
+    _worker_state["planner"] = JoinPlanner(db)
+    _worker_state["applied"] = 0
+
+
+def _run_jobs(history: Sequence[list], frontier_payload: tuple, jobs: Sequence[tuple]):
+    """Evaluate one group of shard-job descriptors against the replica."""
+    from repro.datalog.seminaive import seeded_rank_assignments
+    from repro.datalog.sharded import _full_rule_shard
+
+    db = _worker_state["db"]
+    rules = _worker_state["rules"]
+    planner = _worker_state["planner"]
+    applied = _worker_state["applied"]
+    for batch in history[applied:]:
+        for item in batch:
+            db.mark_deleted(item)
+        planner.begin_round()
+    _worker_state["applied"] = len(history)
+    frontier = {relation: set(items) for relation, items in frontier_payload}
+    results = []
+    for job in jobs:
+        if job[0] == "full":
+            _kind, rule_index, first, seeds = job
+            results.append(
+                _full_rule_shard(db, planner, rules[rule_index], first, seeds),
+            )
+        else:
+            _kind, rule_index, rank, seed_index, seeds = job
+            results.append(
+                seeded_rank_assignments(
+                    db, rules[rule_index], frontier, planner, rank, seed_index, seeds,
+                ),
+            )
+    return results
+
+
+class ProcessShardPool:
+    """One closure's process pool; see the module docstring for the protocol."""
+
+    __slots__ = ("_executor", "_workers")
+
+    def __init__(self, executor: ProcessPoolExecutor, workers: int) -> None:
+        self._executor = executor
+        self._workers = workers
+
+    @classmethod
+    def create(
+        cls, db, rules, workers: int,
+    ) -> "ProcessShardPool | None":
+        """Build a pool over a replica of ``db``, or None when unavailable.
+
+        Failure (a backend whose clone cannot pickle, a platform without
+        process pools) degrades to the thread pool with a warning — the
+        closure's results are identical either way.
+        """
+        try:
+            payload = pickle.dumps(
+                (db.clone(), list(rules)), protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                mp_context = None
+            executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=mp_context,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+        except Exception as error:
+            warnings.warn(
+                f"process pool unavailable ({error!r}); "
+                "falling back to the thread pool",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return cls(executor, workers)
+
+    def run_wave(
+        self,
+        history: Sequence[list],
+        frontier_payload: tuple,
+        jobs: Sequence[tuple],
+    ) -> List[list]:
+        """Run one wave of job descriptors; per-job assignment lists in job order.
+
+        Jobs are dealt round-robin into at most ``workers`` groups (one task
+        each, mirroring :func:`~repro.datalog.sharded._run_wave`'s slicing);
+        a failing group cancels and drains its siblings before the error
+        propagates, so no worker is left evaluating against a torn wave.
+        """
+        groups = [
+            list(range(start, len(jobs), self._workers))
+            for start in range(min(self._workers, len(jobs)))
+        ]
+        history = list(history)
+        futures = [
+            self._executor.submit(
+                _run_jobs, history, frontier_payload, [jobs[i] for i in chunk],
+            )
+            for chunk in groups
+        ]
+        results: List[list] = [None] * len(jobs)
+        try:
+            for chunk, future in zip(groups, futures):
+                for index, result in zip(chunk, future.result()):
+                    results[index] = result
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            futures_wait(futures)
+            raise
+        return results
+
+    def close(self) -> None:
+        """Shut the workers down (no wait: the closure already merged)."""
+        self._executor.shutdown(wait=False, cancel_futures=True)

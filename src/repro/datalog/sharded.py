@@ -46,6 +46,39 @@ The shard and worker counts come from the
 ``workers=``, or the ``REPRO_SHARDS`` environment override); with
 ``shards=1`` the drivers degenerate to a single partition of the same
 machinery.
+
+Adaptive execution
+------------------
+
+The configured shard count is a *ceiling*, not a constant: every variant
+execution first observes the size of the extent it would partition (the
+previous round's install count for seeded variants, a hook-free ``COUNT`` of
+the shard-axis table for round-1 variants, the partition list length in
+memory) and collapses to an *effective* shard count via
+:func:`~repro.datalog.planner.effective_shard_count`.  A tiny frontier — or
+any run with a single worker — runs as one inline evaluation on the primary
+connection/thread: no pool submit, no reader connection, and on SQLite the
+byte-identical ``install_sql`` / ``sql`` statements of the semi-naive driver.
+This is what makes ``engine="sharded"`` never slower than semi-naive on one
+core.  The decisions are counted in
+:attr:`~repro.datalog.context.QueryStats.effective_shards` /
+:attr:`~repro.datalog.context.QueryStats.collapsed_rounds`.
+
+On SQLite with reader connections the round is additionally *pipelined*:
+variant *k+1*'s per-shard SELECTs are submitted to the worker pool as soon as
+variant *k*'s rows have been gathered, so they stream on the readers while
+the primary connection replays and installs variant *k*'s merge
+(:attr:`~repro.datalog.context.QueryStats.pipelined_waves`).  Merge order
+stays the pending order and rows stay in (variant, shard) order, so results,
+tids and observer streams are byte-identical to the unpipelined execution.
+
+The in-memory driver can swap its GIL-bound thread pool for an opt-in
+``multiprocessing`` pool (``EvalContext(process_pool=True)`` /
+``REPRO_PROCESS_POOL=1``, see :mod:`repro.datalog.process_pool`): workers
+hold a pickled replica of the database, receive each round's frontier
+partitions as pickled fact batches, and the merge thread records their
+per-job results in the exact order the thread pool would — byte-identical
+closures, assignment streams and tids at any worker count.
 """
 
 from __future__ import annotations
@@ -71,10 +104,15 @@ from repro.datalog.sql_compiler import (
     compile_frontier_rule,
     delta_copy_sql,
 )
+from repro.datalog.sql_seminaive import stage_variant_rows, staged_row_batches
 from repro.exceptions import EvaluationError
 from repro.storage.database import BaseDatabase
 from repro.storage.facts import Fact
-from repro.storage.sqlite_backend import SQLiteDatabase
+from repro.storage.sqlite_backend import (
+    SQLiteDatabase,
+    active_table,
+    frontier_table,
+)
 
 # ---------------------------------------------------------------------------
 # Persistent worker pool
@@ -205,50 +243,96 @@ def partition_facts(items: Iterable[Fact], nshards: int) -> List[List[Fact]]:
     return partitions
 
 
-def _run_wave(
-    jobs: Sequence[Callable[[], object]], workers: int,
-) -> List[object]:
-    """Run one wave of shard jobs, returning results in job order.
+class _WaveHandle:
+    """An in-flight wave of shard jobs submitted to the worker pool.
 
-    Concurrency is capped at ``workers`` regardless of the shared pool's
-    size: the jobs are dealt round-robin into at most ``workers`` slices and
-    each slice runs sequentially inside one submitted task, so a run
-    configured with ``workers=2`` never executes more than two jobs at once
-    even after an earlier run grew the pool.  With one worker (or one job)
-    the jobs run inline on the calling thread — no pool overhead, still the
-    exact same code path.
+    Holds the pool lease from submission until :meth:`results` (or
+    :meth:`abandon`) completes, so a concurrent closure growing the shared
+    pool can never shut the executor down beneath the wave's futures.  The
+    pipelined SQLite driver keeps one handle outstanding while the primary
+    connection merges the previous variant.
     """
-    if workers <= 1 or len(jobs) <= 1:
-        return [job() for job in jobs]
-    pool = _acquire_pool(workers)
-    try:
-        slices = [
-            list(range(start, len(jobs), workers))
-            for start in range(min(workers, len(jobs)))
-        ]
 
-        def run_slice(indices: List[int]) -> List[tuple]:
-            return [(index, jobs[index]()) for index in indices]
+    __slots__ = ("_pool", "_futures", "_count", "_done")
 
-        results: List[object] = [None] * len(jobs)
-        futures = [pool.submit(run_slice, chunk) for chunk in slices]
+    def __init__(self, pool, futures, count: int) -> None:
+        self._pool = pool
+        self._futures = futures
+        self._count = count
+        self._done = False
+
+    def results(self) -> List[object]:
+        """Block until every job finished; results in job order."""
         try:
-            for future in futures:
+            gathered: List[object] = [None] * self._count
+            for future in self._futures:
                 for index, result in future.result():
-                    results[index] = result
+                    gathered[index] = result
+            return gathered
         except BaseException:
             # A failing slice must not propagate while sibling slices still
             # execute: the memory driver's ``finally`` would detach candidate
             # observers under live workers, and the released pool lease could
             # shut the executor down beneath them.  Cancel what has not
             # started and drain what has before re-raising.
-            for future in futures:
+            for future in self._futures:
                 future.cancel()
-            futures_wait(futures)
+            futures_wait(self._futures)
             raise
-        return results
-    finally:
-        _release_pool(pool)
+        finally:
+            self._finish()
+
+    def abandon(self) -> None:
+        """Cancel/drain the wave without consuming results (error paths)."""
+        for future in self._futures:
+            future.cancel()
+        futures_wait(self._futures)
+        self._finish()
+
+    def _finish(self) -> None:
+        if not self._done:
+            self._done = True
+            _release_pool(self._pool)
+
+
+def _submit_wave(
+    jobs: Sequence[Callable[[], object]], workers: int,
+) -> _WaveHandle:
+    """Submit one wave of shard jobs to the pool without waiting.
+
+    The jobs are dealt round-robin into at most ``workers`` slices and each
+    slice runs sequentially inside one submitted task, so a run configured
+    with ``workers=2`` never executes more than two jobs at once even after
+    an earlier run grew the pool.  Unlike :func:`_run_wave` even a single
+    job is submitted (never run inline): the caller wants the overlap, not
+    the result — the pipelined driver merges on the primary connection while
+    the handle's jobs stream on the readers.
+    """
+    pool = _acquire_pool(workers)
+    slices = [
+        list(range(start, len(jobs), workers))
+        for start in range(min(workers, len(jobs)))
+    ]
+
+    def run_slice(indices: List[int]) -> List[tuple]:
+        return [(index, jobs[index]()) for index in indices]
+
+    return _WaveHandle(pool, [pool.submit(run_slice, chunk) for chunk in slices], len(jobs))
+
+
+def _run_wave(
+    jobs: Sequence[Callable[[], object]], workers: int,
+) -> List[object]:
+    """Run one wave of shard jobs, returning results in job order.
+
+    Concurrency is capped at ``workers`` regardless of the shared pool's
+    size (see :func:`_submit_wave`).  With one worker (or one job) the jobs
+    run inline on the calling thread — no pool overhead, still the exact
+    same code path.
+    """
+    if workers <= 1 or len(jobs) <= 1:
+        return [job() for job in jobs]
+    return _submit_wave(jobs, workers).results()
 
 
 # ---------------------------------------------------------------------------
@@ -260,6 +344,28 @@ def _sql_variants(rule: Rule, context: EvalContext | None):
     if context is not None:
         return context.frontier_variants(rule)
     return compile_frontier_rule(rule)
+
+
+def _axis_window_count(
+    db: SQLiteDatabase, rule: Rule, variant: FrontierQuery, window: Dict[str, int],
+) -> int:
+    """Rows of the variant's shard-axis extent inside its frontier window.
+
+    The observed size dynamic shard collapse decides from
+    (:func:`~repro.datalog.planner.effective_shard_count`): the seed atom's
+    window slice for seeded variants, the first body atom's bounded extent
+    for the round-1 full variant.  Read through
+    :meth:`~repro.storage.sqlite_backend.SQLiteDatabase.extent_count`, which
+    bypasses the statement hooks — a costing read, not part of the round's
+    statement discipline.
+    """
+    axis = rule.body[variant.seed] if variant.seed is not None else rule.body[0]
+    if not axis.is_delta:
+        return db.extent_count(active_table(axis.relation))
+    table = frontier_table(axis.relation)
+    if variant.seed is not None:
+        return db.extent_count(table, "gen > :lo AND gen <= :hi", window)
+    return db.extent_count(table, "gen <= :hi", window)
 
 
 def sql_sharded_closure(
@@ -312,147 +418,249 @@ def sql_sharded_closure(
             on_assignment(assignment)
         ctx.notify(assignment)
 
-    def shard_wave(
-        pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]],
-    ) -> List[List[tuple]]:
-        """Run every pending variant's join across all shards; per-variant rows.
+    def variant_size(
+        rule: Rule, variant: FrontierQuery, window: Dict[str, int],
+        frontier: Dict[str, int],
+    ) -> int:
+        """Observed extent size the collapse decision for one variant uses."""
+        if variant.seed_relation is not None:
+            # The previous round's install count *is* the seed window's row
+            # count — no query needed.
+            return frontier.get(variant.seed_relation, 0)
+        return _axis_window_count(db, rule, variant, window)
 
-        Phase 1 of a round: read-only.  Each worker owns a slice of the shard
-        indices and one reader connection, runs every variant's sharded
-        SELECT for its shards (``sharded_heads_sql`` on the fast path,
-        ``sharded_sql`` when observers need assignment rows) and fetches the
-        rows.  The merge thread concatenates per variant in shard order, so
-        downstream processing is deterministic regardless of worker
-        interleaving, and replays the executed statements to the statement
-        hooks from a single thread.
+    def merges(index: int, effs: List[int]) -> bool:
+        """True when pending[index] gathers rows and merges on the primary.
+
+        Only genuinely fanned-out variants (``eff > 1``) gather: a collapsed
+        variant runs the semi-naive driver's own discipline instead —
+        ``staged_inline`` (stage + observer replay + in-SQL install) when
+        observing, ``direct_install``'s unsharded ``install_sql`` otherwise —
+        so a fully-collapsed round is statement-identical to the
+        single-connection driver (the never-slower contract).  A non-observed
+        fan-out without reader connections also skips the gather: its
+        sequential ``sharded_install_sql`` per shard never brings rows into
+        Python.
         """
-        select_sql = [
-            (variant.sharded_sql if observing else variant.sharded_heads_sql)
-            for _, variant, _ in pending
-        ]
+        return effs[index] > 1 and (observing or readers is not None)
+
+    def submit(
+        pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]],
+        index: int,
+        effs: List[int],
+    ) -> _WaveHandle | None:
+        """Submit pending[index]'s per-shard SELECTs to the reader pool.
+
+        Returns None when the variant runs inline instead: it collapsed
+        (``eff <= 1``), there are no reader connections, or it is a direct
+        install.  Each wave deals its ``eff`` shards round-robin across at
+        most ``min(workers, eff)`` reader connections; only one wave is in
+        flight at a time, so no reader is ever shared by two waves.
+        """
+        eff = effs[index]
+        if readers is None or eff <= 1 or not merges(index, effs):
+            return None
+        _rule, variant, window = pending[index]
+        select = variant.sharded_sql if observing else variant.sharded_heads_sql
+        slots = min(workers, eff)
+        slices = [list(range(slot, eff, slots)) for slot in range(slots)]
 
         def job(slot: int, shard_indices: List[int]):
-            connection = readers[slot] if readers is not None else None
-            results: Dict[Tuple[int, int], list] = {}
+            connection = readers[slot]
+            results: Dict[int, list] = {}
             for shard in shard_indices:
-                for index, (_, variant, window) in enumerate(pending):
-                    bind = variant.bind(nshards=nshards, shard=shard, **window)
-                    if connection is not None:
-                        cursor = connection.execute(select_sql[index], bind)
-                        results[(index, shard)] = cursor.fetchall()
-                    else:
-                        results[(index, shard)] = db.execute(
-                            select_sql[index], bind,
-                        ).fetchall()
+                bind = variant.bind(nshards=eff, shard=shard, **window)
+                results[shard] = connection.execute(select, bind).fetchall()
             return results
 
-        if readers is not None:
-            slices = [list(range(slot, nshards, workers)) for slot in range(workers)]
-            slices = [chunk for chunk in slices if chunk]
-            waves = _run_wave(
-                [
-                    (lambda s=slot, c=chunk: job(s, c))
-                    for slot, chunk in enumerate(slices)
-                ],
-                workers,
-            )
-            by_key: Dict[Tuple[int, int], list] = {}
-            for result in waves:
-                by_key.update(result)
+        return _submit_wave(
+            [
+                (lambda s=slot, c=chunk: job(s, c))
+                for slot, chunk in enumerate(slices)
+            ],
+            slots,
+        )
+
+    def gather(
+        pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]],
+        index: int,
+        effs: List[int],
+        handle: _WaveHandle | None,
+    ) -> List[list]:
+        """Per-shard row batches for one merging (fanned-out) variant, in shard order.
+
+        Pool waves are gathered from their handle (and their reader-executed
+        statements replayed to the hooks from this thread, keeping counters
+        coherent); shard fan-outs without readers run their ``sharded_sql``
+        sequentially on the primary connection.  Collapsed variants never
+        reach here (``merges`` routes them to the semi-naive disciplines).
+        Either way the per-shard lists are the parallel-prefetch buffers
+        downstream merging consumes one batch at a time, never concatenated
+        into one list.
+        """
+        rule, variant, window = pending[index]
+        eff = effs[index]
+        select = variant.sharded_sql if observing else variant.sharded_heads_sql
+        if handle is not None:
+            by_shard: Dict[int, list] = {}
+            for result in handle.results():
+                by_shard.update(result)
             # Reader connections bypass ``db.execute``; replay the statements
             # to the hooks from the merge thread so counters stay coherent.
-            for index in range(len(pending)):
-                for _ in range(nshards):
-                    db.notify_statement_hooks(select_sql[index])
-        else:
-            by_key = job(0, list(range(nshards)))
-        ctx.stats.shard_selects += len(pending) * nshards
-        # Per-variant, per-shard row lists: the merge consumes them one shard
-        # batch at a time, never concatenating a round's rows into one list.
-        # The per-shard lists themselves are the parallel-prefetch buffers —
-        # that materialisation is what lets the SELECTs overlap; callers who
-        # need bounded memory run the fast path (head rows only) instead.
+            for _ in range(eff):
+                db.notify_statement_hooks(select)
+            ctx.stats.shard_selects += eff
+            return [by_shard[shard] for shard in range(eff)]
+        ctx.stats.shard_selects += eff
         return [
-            [by_key[(index, shard)] for shard in range(nshards)]
-            for index in range(len(pending))
+            db.execute(
+                select, variant.bind(nshards=eff, shard=shard, **window),
+            ).fetchall()
+            for shard in range(eff)
         ]
 
-    def merge_and_install(
+    def merge_one(
         pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]],
-        per_variant_rows: List[List[list]],
+        index: int,
+        shard_rows: List[list],
         gen: int,
         new_by_relation: Dict[str, int],
     ) -> None:
-        """Phase 2 of a round: serial, on the primary connection.
+        """Merge/install one variant's gathered rows on the primary connection.
 
-        Replays assignment rows to the observers (staged path, one shard
-        batch at a time, in shard order) and installs the derived head facts
-        with this round's generation stamp.  The install is an ``INSERT OR
-        IGNORE`` executemany keyed on the value columns, so re-derived facts
-        keep their first-arrival generation exactly like the in-SQL installs
-        — and the number of *new* rows (measured via ``total_changes``)
-        drives the next round's frontier test, mirroring the
-        single-connection driver's change counts.
+        Replays assignment rows to the observers (one shard batch at a time,
+        in shard order) and installs the derived head facts with this round's
+        generation stamp.  The install is an ``INSERT OR IGNORE`` executemany
+        keyed on the value columns, so re-derived facts keep their
+        first-arrival generation exactly like the in-SQL installs — and the
+        number of *new* rows (measured via ``total_changes``) drives the next
+        round's frontier test, mirroring the single-connection driver's
+        change counts.
         """
-        for (rule, variant, _window), shard_rows in zip(pending, per_variant_rows):
-            if observing:
-                heads = {
-                    variant.head_values(row)
-                    for batch in shard_rows
-                    for row in batch
-                }
-                for batch in shard_rows:
-                    for assignment in assignments_from_rows(
-                        rule, variant.atom_arities, batch,
-                    ):
-                        record(assignment)
-            else:
-                heads = {row for batch in shard_rows for row in batch}
-            if heads:
-                before = db.connection.total_changes
-                # One transaction per batch: the connection runs in autocommit
-                # mode, where executemany would otherwise commit every row —
-                # per-commit WAL bookkeeping dwarfs the insert itself.
-                db.connection.execute("BEGIN")
-                try:
-                    # Sorted batch order: head values are the table's primary
-                    # key so no two rows collide, but the *rowids* assigned
-                    # here become the shard axis of later rounds' partitioned
-                    # SELECTs — set order is salted for strings, sorted order
-                    # reproduces identical routing across processes.
-                    db.connection.executemany(
-                        variant.head_insert_sql,
-                        [(*head, gen) for head in sorted(heads, key=repr)],
-                    )
-                    db.connection.execute("COMMIT")
-                except BaseException:
-                    db.connection.execute("ROLLBACK")
-                    raise
-                installed = db.connection.total_changes - before
-                db.notify_statement_hooks(variant.head_insert_sql)
-                ctx.stats.shard_installs += 1
-                if installed > 0:
-                    relation = rule.head.relation
-                    new_by_relation[relation] = (
-                        new_by_relation.get(relation, 0) + installed
-                    )
+        rule, variant, _window = pending[index]
+        if observing:
+            heads = {
+                variant.head_values(row) for batch in shard_rows for row in batch
+            }
+            for batch in shard_rows:
+                for assignment in assignments_from_rows(
+                    rule, variant.atom_arities, batch,
+                ):
+                    record(assignment)
+        else:
+            heads = {row for batch in shard_rows for row in batch}
+        if heads:
+            before = db.connection.total_changes
+            # One transaction per batch: the connection runs in autocommit
+            # mode, where executemany would otherwise commit every row —
+            # per-commit WAL bookkeeping dwarfs the insert itself.
+            db.connection.execute("BEGIN")
+            try:
+                # Sorted batch order: head values are the table's primary
+                # key so no two rows collide, but the *rowids* assigned
+                # here become the shard axis of later rounds' partitioned
+                # SELECTs — set order is salted for strings, sorted order
+                # reproduces identical routing across processes.
+                db.connection.executemany(
+                    variant.head_insert_sql,
+                    [(*head, gen) for head in sorted(heads, key=repr)],
+                )
+                db.connection.execute("COMMIT")
+            except BaseException:
+                db.connection.execute("ROLLBACK")
+                raise
+            installed = db.connection.total_changes - before
+            db.notify_statement_hooks(variant.head_insert_sql)
+            ctx.stats.shard_installs += 1
+            if installed > 0:
+                relation = rule.head.relation
+                new_by_relation[relation] = (
+                    new_by_relation.get(relation, 0) + installed
+                )
+
+    def staged_inline(
+        pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]],
+        index: int,
+        gen: int,
+        new_by_relation: Dict[str, int],
+    ) -> None:
+        """Collapsed observing variant: the semi-naive staged discipline verbatim.
+
+        Stage the join once, replay the staged rows to the observers in
+        bounded batches, install the heads from the *same* staged rows via
+        ``staged_install_sql`` (no head values cross back into Python) and
+        clear the variant's stage key — exactly the statements, counters and
+        tid-assignment order of the single-connection driver.  This is what
+        makes a fully-collapsed sharded closure statement-identical to
+        semi-naive, which the never-slower floor in the benchmark gates on.
+        """
+        rule, variant, window = pending[index]
+        rows = stage_variant_rows(db, variant, window, ctx)
+        for batch in staged_row_batches(rows, ctx):
+            for assignment in assignments_from_rows(
+                rule, variant.atom_arities, batch,
+            ):
+                record(assignment)
+        cursor = db.execute(variant.staged_install_sql, variant.bind(gen=gen))
+        ctx.stats.staged_installs += 1
+        db.execute(variant.stage_delete_sql, variant.bind())
+        if cursor.rowcount > 0:
+            relation = rule.head.relation
+            new_by_relation[relation] = (
+                new_by_relation.get(relation, 0) + cursor.rowcount
+            )
+
+    def direct_install(
+        pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]],
+        index: int,
+        effs: List[int],
+        gen: int,
+        new_by_relation: Dict[str, int],
+    ) -> None:
+        """Install one non-observed variant without any row crossing into Python."""
+        rule, variant, window = pending[index]
+        eff = effs[index]
+        installed = 0
+        if eff <= 1:
+            # Collapsed: the semi-naive fast path's own statement, counted
+            # as such (``shard_*`` counters track only shard-partitioned
+            # statements — the statement-hook tests equate the two).
+            cursor = db.execute(variant.install_sql, variant.bind(gen=gen, **window))
+            if cursor.rowcount > 0:
+                installed = cursor.rowcount
+            ctx.stats.direct_installs += 1
+        else:
+            for shard in range(eff):
+                cursor = db.execute(
+                    variant.sharded_install_sql,
+                    variant.bind(nshards=eff, shard=shard, gen=gen, **window),
+                )
+                if cursor.rowcount > 0:
+                    installed += cursor.rowcount
+            ctx.stats.shard_selects += eff
+            ctx.stats.shard_installs += 1
+        if installed:
+            relation = rule.head.relation
+            new_by_relation[relation] = (
+                new_by_relation.get(relation, 0) + installed
+            )
 
     def run_round(
         pending: List[Tuple[Rule, FrontierQuery, Dict[str, int]]],
         gen: int,
         new_by_relation: Dict[str, int],
+        frontier: Dict[str, int],
     ) -> None:
-        """Evaluate one round's pending variants across all shards.
+        """Evaluate one round's pending variants adaptively.
 
-        Two execution strategies, same results:
-
-        * **sequential fast path** (no observers, no reader connections): the
-          primary connection runs each variant's ``sharded_install_sql`` per
-          shard — the partitioned join and the install are one statement, no
-          row crosses into Python, exactly like the single-connection fast
-          path but in ``nshards`` slices;
-        * otherwise a shard wave gathers the rows (concurrently when readers
-          exist) and the merge thread installs them.
+        Per variant, the observed extent size picks an effective shard count
+        (collapse); per execution form, either a *direct install* (no rows in
+        Python) or a gather + merge runs.  With reader connections the waves
+        are pipelined: variant ``k+1``'s SELECTs are submitted as soon as
+        variant ``k``'s rows are gathered, overlapping with ``k``'s
+        merge/install on the primary connection.  Merge order is the pending
+        order regardless, so results and observer streams are independent of
+        the overlap.
         """
         # wcoj covering indexes must exist (committed on the primary
         # connection) before any reader connection runs the variant's
@@ -460,25 +668,49 @@ def sql_sharded_closure(
         for _rule, variant, _window in pending:
             if variant.wcoj_index_sql:
                 db.ensure_wcoj_indexes(variant.wcoj_index_sql)
-        if not observing and readers is None:
-            for rule, variant, window in pending:
-                installed = 0
-                for shard in range(nshards):
-                    cursor = db.execute(
-                        variant.sharded_install_sql,
-                        variant.bind(nshards=nshards, shard=shard, gen=gen, **window),
-                    )
-                    if cursor.rowcount > 0:
-                        installed += cursor.rowcount
-                ctx.stats.shard_selects += nshards
-                ctx.stats.shard_installs += 1
-                if installed:
-                    relation = rule.head.relation
-                    new_by_relation[relation] = (
-                        new_by_relation.get(relation, 0) + installed
-                    )
+        if ctx.worker_count() <= 1:
+            # With no pool to feed, the collapse decision is size-independent
+            # (:func:`effective_shard_count` ignores the extent when
+            # ``workers <= 1``), so skip the per-variant extent probes — on
+            # the file backend each one is a COUNT scan per variant per
+            # round, and the never-slower floor has no room for them.
+            effs = [ctx.effective_shards_for(0) for _ in pending]
         else:
-            merge_and_install(pending, shard_wave(pending), gen, new_by_relation)
+            effs = [
+                ctx.effective_shards_for(
+                    variant_size(rule, variant, window, frontier),
+                )
+                for rule, variant, window in pending
+            ]
+        if pending and all(eff <= 1 for eff in effs):
+            ctx.stats.collapsed_rounds += 1
+        handle: _WaveHandle | None = None
+        try:
+            if pending:
+                handle = submit(pending, 0, effs)
+            for index in range(len(pending)):
+                current, handle = handle, None
+                rows = (
+                    gather(pending, index, effs, current)
+                    if merges(index, effs)
+                    else None
+                )
+                if index + 1 < len(pending):
+                    # Pipelining: the next wave streams on the readers while
+                    # the primary connection merges/installs this variant.
+                    handle = submit(pending, index + 1, effs)
+                    if handle is not None:
+                        ctx.stats.pipelined_waves += 1
+                if rows is not None:
+                    merge_one(pending, index, rows, gen, new_by_relation)
+                elif observing and effs[index] <= 1:
+                    staged_inline(pending, index, gen, new_by_relation)
+                else:
+                    direct_install(pending, index, effs, gen, new_by_relation)
+        except BaseException:
+            if handle is not None:
+                handle.abandon()
+            raise
 
     rounds = 0
 
@@ -499,7 +731,7 @@ def sql_sharded_closure(
     for rule in rules:
         full, _ = _sql_variants(rule, ctx)
         pending.append((rule, full, {"hi": hi}))
-    run_round(pending, gen, new_by_relation)
+    run_round(pending, gen, new_by_relation, {})
     for relation in new_by_relation:
         db.execute(copy_statements[relation], {"gen": gen})
 
@@ -518,7 +750,7 @@ def sql_sharded_closure(
                     continue
                 pending.append((rule, variant, {"lo": lo, "hi": hi}))
         if pending:
-            run_round(pending, gen, new_by_relation)
+            run_round(pending, gen, new_by_relation, frontier)
         for relation in new_by_relation:
             db.execute(copy_statements[relation], {"gen": gen})
 
@@ -528,6 +760,42 @@ def sql_sharded_closure(
 # ---------------------------------------------------------------------------
 # In-memory driver
 # ---------------------------------------------------------------------------
+
+
+def _full_rule_shard(
+    db: BaseDatabase, planner, rule: Rule, first: int, seeds: List[Fact],
+) -> List[Assignment]:
+    """One shard of a rule's full (round-1) evaluation.
+
+    The partition axis is the first atom of the rule's cached plan: every
+    assignment extends exactly one candidate fact of that atom, so
+    restricting the first atom to one hash partition of its candidates
+    (``seeds``, pre-partitioned on the merge thread) partitions the full
+    result set.  Module-level so the process-pool workers
+    (:mod:`repro.datalog.process_pool`) evaluate the exact same code against
+    their database replica.
+    """
+    plan = planner.plan(rule, seed=None)
+    if plan.kind != "binary":
+        from repro.datalog.wcoj import wcoj_eligible, wcoj_seeded_assignments
+
+        if wcoj_eligible(db, plan):
+            # Same partition axis: the generic join unifies the first
+            # planned atom with each of this shard's candidate facts and
+            # intersects the remaining variables outward.
+            return wcoj_seeded_assignments(
+                db, rule, plan, first, seeds, stats=planner.stats,
+            )
+    base = default_candidates(db, False)
+
+    def candidates_for(index: int, atom, fixed):
+        if index == first:
+            return seeds
+        return base(index, atom, fixed)
+
+    results: List[Assignment] = []
+    planned_search(rule, plan.order, 0, {}, [], set(), results, candidates_for)
+    return results
 
 
 def memory_sharded_closure(
@@ -600,38 +868,40 @@ def memory_sharded_closure(
                 f"closure did not converge within {max_rounds} rounds",
             )
 
-    def full_rule_shard(
-        rule: Rule, first: int, seeds: List[Fact],
-    ) -> List[Assignment]:
-        """One shard of a rule's full (round-1) evaluation.
+    pool = None
+    if ctx.wants_process_pool() and workers > 1 and not watching_candidates:
+        # Candidate observers are probe-level hooks on the parent database's
+        # indexes; process workers probe their own replica, so the stream
+        # would be lost — fall back to the thread pool for those runs.
+        from repro.datalog.process_pool import ProcessShardPool
 
-        The partition axis is the first atom of the rule's cached plan: every
-        assignment extends exactly one candidate fact of that atom, so
-        restricting the first atom to one hash partition of its candidates
-        (``seeds``, pre-partitioned on the merge thread) partitions the full
-        result set.
+        pool = ProcessShardPool.create(db, rules, workers)
+    rule_index_of = {id(rule): index for index, rule in enumerate(rules)}
+    #: Per-round ``mark_deleted`` batches, in record order: process workers
+    #: replay the unapplied suffix to bring their replica up to date before
+    #: evaluating a wave (see :meth:`ProcessShardPool.run_wave`).
+    history: List[List[Fact]] = []
+
+    def run_jobs(
+        jobs: List[Callable[[], List[Assignment]]],
+        descriptors: List[tuple],
+        effs: List[int],
+        frontier_payload: tuple,
+    ) -> List[List[Assignment]]:
+        """Execute one round's shard jobs: inline, thread pool or process pool.
+
+        A round whose every variant collapsed (``eff <= 1`` throughout) runs
+        inline on the merge thread — zero pool submits, zero pool leases —
+        and counts a :attr:`~repro.datalog.context.QueryStats.collapsed_rounds`.
         """
-        plan = planner.plan(rule, seed=None)
-        if plan.kind != "binary":
-            from repro.datalog.wcoj import wcoj_eligible, wcoj_seeded_assignments
-
-            if wcoj_eligible(db, plan):
-                # Same partition axis: the generic join unifies the first
-                # planned atom with each of this shard's candidate facts and
-                # intersects the remaining variables outward.
-                return wcoj_seeded_assignments(
-                    db, rule, plan, first, seeds, stats=planner.stats,
-                )
-        base = default_candidates(db, False)
-
-        def candidates_for(index: int, atom, fixed):
-            if index == first:
-                return seeds
-            return base(index, atom, fixed)
-
-        results: List[Assignment] = []
-        planned_search(rule, plan.order, 0, {}, [], set(), results, candidates_for)
-        return results
+        if not jobs:
+            return []
+        if all(eff <= 1 for eff in effs):
+            ctx.stats.collapsed_rounds += 1
+            return [job() for job in jobs]
+        if pool is not None:
+            return pool.run_wave(history, frontier_payload, descriptors)
+        return _run_wave(jobs, workers)
 
     try:
         # Round 1: full evaluation of every rule, hash-partitioned on the
@@ -642,30 +912,38 @@ def memory_sharded_closure(
         # shard), and candidate observers see each probed fact exactly as
         # often as the single-threaded engine would.
         enter_round()
-        round_one_jobs = []
+        round_one_jobs: List[Callable[[], List[Assignment]]] = []
+        descriptors: List[tuple] = []
+        effs: List[int] = []
         for rule in rules:
             plan = planner.plan(rule, seed=None)
             first = plan.order[0]
             first_atom = rule.body[first]
             first_fixed = _bound_positions(first_atom, {})
-            partitions = partition_facts(
+            candidates = list(
                 db.candidates(
                     first_atom.relation, first_fixed, delta=first_atom.is_delta
                 ),
-                nshards,
             )
-            for shard in range(nshards):
+            eff = ctx.effective_shards_for(len(candidates))
+            effs.append(eff)
+            partitions = partition_facts(candidates, eff)
+            for shard in range(eff):
                 round_one_jobs.append(
                     lambda r=rule, f=first, seeds=partitions[
                         shard
-                    ]: full_rule_shard(r, f, seeds),
+                    ]: _full_rule_shard(db, planner, r, f, seeds),
                 )
-        wave = _run_wave(round_one_jobs, workers)
+                descriptors.append(
+                    ("full", rule_index_of[id(rule)], first, partitions[shard]),
+                )
+        wave = run_jobs(round_one_jobs, descriptors, effs, ())
         for results in wave:
             for assignment in sorted(results, key=_assignment_order):
                 record(assignment)
         for item in derived_now:
             db.mark_deleted(item)
+        history.append(derived_now)
 
         # Rounds 2..: partition each (rule, rank)'s frontier seeds by hash.
         while True:
@@ -680,15 +958,19 @@ def memory_sharded_closure(
             enter_round()
             planner.begin_round()
             derived_now = []
-            jobs = []
+            jobs: List[Callable[[], List[Assignment]]] = []
+            descriptors = []
+            effs = []
             for rule in delta_rules:
                 for rank, seed_index in enumerate(delta_body_positions(rule)):
                     seed_facts = frontier.get(rule.body[seed_index].relation)
                     if not seed_facts:
                         continue
                     planner.plan(rule, seed=seed_index)
-                    partitions = partition_facts(seed_facts, nshards)
-                    for shard in range(nshards):
+                    eff = ctx.effective_shards_for(len(seed_facts))
+                    effs.append(eff)
+                    partitions = partition_facts(seed_facts, eff)
+                    for shard in range(eff):
                         if not partitions[shard]:
                             continue
                         jobs.append(
@@ -698,12 +980,27 @@ def memory_sharded_closure(
                                 db, r, frontier, planner, k, i, seeds
                             ),
                         )
-            for results in _run_wave(jobs, workers):
+                        descriptors.append(
+                            (
+                                "rank",
+                                rule_index_of[id(rule)],
+                                rank,
+                                seed_index,
+                                partitions[shard],
+                            ),
+                        )
+            frontier_payload = tuple(
+                (relation, list(items)) for relation, items in frontier.items()
+            )
+            for results in run_jobs(jobs, descriptors, effs, frontier_payload):
                 for assignment in sorted(results, key=_assignment_order):
                     record(assignment)
             for item in derived_now:
                 db.mark_deleted(item)
+            history.append(derived_now)
     finally:
+        if pool is not None:
+            pool.close()
         if watching_candidates:
             db.remove_candidate_observer(ctx.notify_candidate)
 

@@ -43,6 +43,12 @@ class Fact:
     def __delattr__(self, name: str) -> None:
         raise AttributeError("Fact objects are immutable")
 
+    def __reduce__(self) -> tuple:
+        # Default pickling would __setattr__ into the frozen slots; rebuild
+        # through the constructor instead (the process-pool workers of the
+        # sharded engine ship fact batches across process boundaries).
+        return (Fact, (self.relation, self.values, self.tid))
+
     # -- identity ----------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

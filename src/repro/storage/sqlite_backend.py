@@ -331,6 +331,24 @@ class SQLiteDatabase(BaseDatabase):
         row = self._connection.execute(f"SELECT COUNT(*) FROM {table}").fetchone()
         return int(row[0])
 
+    def extent_count(
+        self,
+        table: str,
+        where: str | None = None,
+        params: dict | None = None,
+    ) -> int:
+        """Row count of ``table`` (optionally windowed), for shard-collapse costing.
+
+        Bypasses the statement hooks on purpose: this is a planning read, not
+        part of the per-round statement discipline the staging/sharding tests
+        pin down.
+        """
+        sql = f"SELECT COUNT(*) FROM {table}"
+        if where is not None:
+            sql += f" WHERE {where}"
+        row = self._connection.execute(sql, params or {}).fetchone()
+        return int(row[0])
+
     # -- frontier tracking --------------------------------------------------------
 
     def generation(self) -> int:

@@ -1,0 +1,459 @@
+"""Adaptive sharded execution tests.
+
+Covers the adaptive layer on top of the sharded engine
+(:mod:`repro.datalog.sharded`): dynamic shard collapse (tiny frontiers run
+inline — zero pool jobs, zero sharded statements), the pipelined wave/merge
+on SQLite reader connections, the shard-parallel stage-semantics discovery
+joins, and the opt-in process pool for the in-memory backend — each with a
+determinism differential pinning closures, tids and observer streams against
+the serial execution, including across processes (``PYTHONHASHSEED``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import sharded
+from repro.datalog.context import (
+    COLLAPSE_ENV,
+    EvalContext,
+    PROCESS_POOL_ENV,
+    SHARDS_ENV,
+)
+from repro.datalog.delta import DeltaProgram
+from repro.datalog.evaluation import run_closure
+from repro.datalog.planner import COLLAPSE_MIN_FRONTIER, effective_shard_count
+from repro.datalog.sql_seminaive import (
+    full_assignments_sql,
+    seeded_assignments_sql,
+)
+from repro.storage.database import Database
+from repro.storage.schema import RelationSchema, Schema
+from repro.storage.sqlite_backend import SQLiteDatabase
+
+
+def cascade_instance():
+    """A three-relation cascade deep enough for several frontier rounds."""
+    schema = Schema.from_relations(
+        [
+            RelationSchema.of("E", "x:int", "y:int"),
+            RelationSchema.of("N", "x:int"),
+        ],
+    )
+    edges = [(i, i + 1) for i in range(12)] + [(i, i + 2) for i in range(0, 10, 2)]
+    db = Database.from_dicts(
+        schema, {"E": edges, "N": [(i,) for i in range(14)]},
+    )
+    program = DeltaProgram.from_text(
+        """
+        delta N(x) :- N(x), x = 0.
+        delta E(x, y) :- E(x, y), delta N(x).
+        delta N(y) :- N(y), E(x, y), delta E(x, y).
+        """,
+    )
+    return db, program
+
+
+def labelled_state(db):
+    return sorted((item.relation, item.values, item.tid) for item in db.all_deltas())
+
+
+class TestCollapsePolicy:
+    """The pure sizing function behind dynamic shard collapse."""
+
+    def test_single_shard_never_fans_out(self):
+        assert effective_shard_count(10_000, 1, 8) == 1
+
+    def test_one_worker_always_collapses(self):
+        assert effective_shard_count(10_000, 4, 1) == 1
+
+    def test_small_frontier_collapses(self):
+        assert effective_shard_count(COLLAPSE_MIN_FRONTIER - 1, 4, 4) == 1
+
+    def test_large_frontier_fans_out_proportionally(self):
+        minimum = COLLAPSE_MIN_FRONTIER
+        assert effective_shard_count(minimum * 2, 4, 4) == 2
+        assert effective_shard_count(minimum * 3, 4, 4) == 3
+        # Never beyond the configured shard count.
+        assert effective_shard_count(minimum * 100, 4, 4) == 4
+
+    def test_minimum_zero_disables_collapse(self):
+        assert effective_shard_count(0, 4, 1, minimum=0) == 4
+
+    def test_context_threshold_resolution(self, monkeypatch):
+        monkeypatch.delenv(COLLAPSE_ENV, raising=False)
+        assert EvalContext().collapse_threshold() == COLLAPSE_MIN_FRONTIER
+        assert EvalContext(collapse_min=7).collapse_threshold() == 7
+        monkeypatch.setenv(COLLAPSE_ENV, "128")
+        assert EvalContext().collapse_threshold() == 128
+        # The explicit knob beats the environment.
+        assert EvalContext(collapse_min=5).collapse_threshold() == 5
+        monkeypatch.setenv(COLLAPSE_ENV, "not-a-number")
+        assert EvalContext().collapse_threshold() == COLLAPSE_MIN_FRONTIER
+
+
+class TestZeroJobContract:
+    """shards=1 and fully-collapsed rounds never touch the worker pool.
+
+    Closure-side mirror of the maintenance-side single-shard test in
+    test_incremental.py: the never-slower contract is enforceable because a
+    collapsed round is *observably* free of pool traffic.
+    """
+
+    def _count_leases(self, monkeypatch):
+        leases = {"n": 0}
+        original = sharded._acquire_pool
+
+        def counting_acquire(workers):
+            leases["n"] += 1
+            return original(workers)
+
+        monkeypatch.setattr(sharded, "_acquire_pool", counting_acquire)
+        return leases
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite-file"])
+    def test_single_shard_submits_zero_pool_jobs(
+        self, backend, tmp_path, monkeypatch,
+    ):
+        base, program = cascade_instance()
+        leases = self._count_leases(monkeypatch)
+        db = (
+            base.clone()
+            if backend == "memory"
+            else SQLiteDatabase.from_database(base, path=str(tmp_path / "z1.db"))
+        )
+        ctx = EvalContext(shards=1, workers=1)
+        run_closure(db, program, engine="sharded", context=ctx)
+        assert leases["n"] == 0
+        if isinstance(db, SQLiteDatabase):
+            db.close()
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite-file"])
+    def test_collapsed_rounds_submit_zero_pool_jobs(
+        self, backend, tmp_path, monkeypatch,
+    ):
+        # Multiple shards AND workers configured, but every frontier of this
+        # instance is far below COLLAPSE_MIN_FRONTIER: every round collapses
+        # and the pool must never be leased.
+        base, program = cascade_instance()
+        leases = self._count_leases(monkeypatch)
+        db = (
+            base.clone()
+            if backend == "memory"
+            else SQLiteDatabase.from_database(base, path=str(tmp_path / "zc.db"))
+        )
+        ctx = EvalContext(shards=4, workers=2)
+        result = run_closure(db, program, engine="sharded", context=ctx)
+        assert leases["n"] == 0
+        assert ctx.stats.collapsed_rounds == result.rounds
+        assert ctx.stats.pipelined_waves == 0
+        # Every variant execution collapsed to one effective shard, and no
+        # shard-partitioned SELECT ever ran (collapsed observing variants
+        # still install through the merge path's executemany, so
+        # ``shard_installs`` may be nonzero on SQLite).
+        assert ctx.stats.effective_shards > 0
+        assert ctx.stats.shard_selects == 0
+        if isinstance(db, SQLiteDatabase):
+            db.close()
+
+    def test_disabling_collapse_restores_pool_fanout(self, tmp_path, monkeypatch):
+        base, program = cascade_instance()
+        leases = self._count_leases(monkeypatch)
+        db = SQLiteDatabase.from_database(base, path=str(tmp_path / "zf.db"))
+        ctx = EvalContext(shards=4, workers=2, collapse_min=0)
+        run_closure(db, program, engine="sharded", context=ctx)
+        assert leases["n"] > 0
+        assert ctx.stats.collapsed_rounds == 0
+        assert ctx.stats.shard_selects > 0
+        db.close()
+
+
+class TestPipelinedWaves:
+    """Wave k+1's SELECTs overlap wave k's merge — results invariant."""
+
+    def _run(self, base, program, tmp_path, tag, workers):
+        db = SQLiteDatabase.from_database(base, path=str(tmp_path / f"{tag}.db"))
+        ctx = EvalContext(shards=4, workers=workers, collapse_min=0)
+        delivered = []
+        ctx.add_observer(delivered.append)
+        result = run_closure(db, program, engine="sharded", context=ctx)
+        state = labelled_state(db)
+        db.close()
+        return state, [str(a) for a in delivered], result.rounds, ctx
+
+    def test_pipelined_streams_match_sequential(self, tmp_path):
+        base, program = cascade_instance()
+        reference = self._run(base, program, tmp_path, "pipe1", workers=1)
+        for workers in (2, 4):
+            run = self._run(base, program, tmp_path, f"pipe{workers}", workers)
+            # Byte-identical closure, tids, round count and observer stream.
+            assert run[:3] == reference[:3]
+            assert run[3].stats.pipelined_waves > 0
+        # The sequential run has readers=None and thus nothing to pipeline.
+        assert reference[3].stats.pipelined_waves == 0
+
+
+class TestShardedDiscovery:
+    """Stage-semantics discovery joins hash-partition over readers."""
+
+    def _discovery_streams(self, base, program, db, shards, workers):
+        ctx = EvalContext(shards=shards, workers=workers, collapse_min=0)
+        observed = []
+        ctx.add_observer(observed.append)
+        stream = []
+        for rule in program:
+            stream += [
+                str(a)
+                for a in full_assignments_sql(
+                    db, rule, db.generation(), context=ctx,
+                )
+            ]
+            stream += [
+                str(a)
+                for a in seeded_assignments_sql(
+                    db, rule, 0, db.generation(), context=ctx,
+                )
+            ]
+        return stream, [str(a) for a in observed], ctx
+
+    def test_sharded_discovery_matches_serial(self, tmp_path):
+        base, program = cascade_instance()
+        runs = {}
+        for label, (shards, workers) in (
+            ("serial", (1, 1)),
+            ("sharded", (4, 2)),
+            ("wide", (7, 3)),
+        ):
+            db = SQLiteDatabase.from_database(
+                base, path=str(tmp_path / f"disc_{label}.db"),
+            )
+            run_closure(db, program, engine="semi-naive")
+            runs[label] = self._discovery_streams(base, program, db, *(
+                (shards, workers)
+            ))
+            db.close()
+        assert runs["sharded"][2].stats.shard_selects > 0
+        assert runs["wide"][2].stats.shard_selects > 0
+        assert runs["serial"][2].stats.shard_selects == 0
+        for label in ("sharded", "wide"):
+            # Byte-identical enumeration AND observer delivery order.
+            assert runs[label][0] == runs["serial"][0]
+            assert runs[label][1] == runs["serial"][1]
+        assert runs["serial"][0]
+
+    def test_in_memory_database_falls_back_serially(self):
+        base, program = cascade_instance()
+        db = SQLiteDatabase.from_database(base)
+        run_closure(db, program, engine="semi-naive")
+        stream, observed, ctx = self._discovery_streams(base, program, db, 4, 2)
+        # No reader connections: staging ran, sharding did not.
+        assert ctx.stats.shard_selects == 0
+        assert ctx.stats.staged_selects > 0
+        assert stream == observed
+        assert stream
+        db.close()
+
+    def test_collapse_keeps_small_discoveries_serial(self, tmp_path):
+        base, program = cascade_instance()
+        db = SQLiteDatabase.from_database(base, path=str(tmp_path / "dcoll.db"))
+        run_closure(db, program, engine="semi-naive")
+        ctx = EvalContext(shards=4, workers=2)  # default collapse threshold
+        observed = []
+        ctx.add_observer(observed.append)
+        for rule in program:
+            list(full_assignments_sql(db, rule, db.generation(), context=ctx))
+        # Every extent of this instance is below the threshold.
+        assert ctx.stats.shard_selects == 0
+        assert ctx.stats.staged_selects > 0
+        assert observed
+        db.close()
+
+
+class TestProcessPool:
+    """Opt-in multiprocessing pool for the in-memory backend."""
+
+    def _run(self, base, program, process_pool):
+        db = base.clone()
+        ctx = EvalContext(
+            shards=4, workers=2, process_pool=process_pool, collapse_min=0,
+        )
+        delivered = []
+        ctx.add_observer(delivered.append)
+        result = run_closure(db, program, engine="sharded", context=ctx)
+        return labelled_state(db), [str(a) for a in delivered], result.rounds
+
+    def test_env_gate(self, monkeypatch):
+        monkeypatch.delenv(PROCESS_POOL_ENV, raising=False)
+        assert not EvalContext().wants_process_pool()
+        monkeypatch.setenv(PROCESS_POOL_ENV, "1")
+        assert EvalContext().wants_process_pool()
+        monkeypatch.setenv(PROCESS_POOL_ENV, "0")
+        assert not EvalContext().wants_process_pool()
+        # The explicit knob beats the environment.
+        monkeypatch.setenv(PROCESS_POOL_ENV, "1")
+        assert not EvalContext(process_pool=False).wants_process_pool()
+
+    def test_process_pool_matches_thread_pool(self):
+        base, program = cascade_instance()
+        threads = self._run(base, program, process_pool=False)
+        procs = self._run(base, program, process_pool=True)
+        # Byte-identical closure, tids, rounds and observer stream.
+        assert procs == threads
+
+    def test_candidate_observers_fall_back_to_threads(self):
+        # Candidate probes happen inside the shard jobs; a process pool
+        # cannot deliver them to the parent's observer, so the driver must
+        # silently run this closure on the thread pool instead.
+        base, program = cascade_instance()
+
+        def probe_counts(process_pool):
+            db = base.clone()
+            ctx = EvalContext(
+                shards=4, workers=2, process_pool=process_pool, collapse_min=0,
+            )
+            seen = []
+            ctx.add_candidate_observer(lambda rel, item: seen.append((rel, item)))
+            run_closure(db, program, engine="sharded", context=ctx)
+            return seen, labelled_state(db)
+
+        reference, ref_state = probe_counts(False)
+        observed, state = probe_counts(True)
+        assert observed == reference
+        assert state == ref_state
+        assert len(observed) > 0
+
+    def test_fact_pickling_round_trip(self):
+        import pickle
+
+        from repro.storage.facts import fact
+
+        item = fact("R", 1, "x", tid="r1")
+        clone = pickle.loads(pickle.dumps(item))
+        assert clone == item
+        assert clone.tid == "r1"
+        assert clone.values == (1, "x")
+
+
+class TestCrossProcessDeterminism:
+    """The adaptive paths must not depend on the process (PYTHONHASHSEED)."""
+
+    SCRIPT = """
+import json
+
+from repro.datalog.context import EvalContext
+from repro.datalog.delta import DeltaProgram
+from repro.datalog.evaluation import run_closure
+from repro.datalog.sql_seminaive import full_assignments_sql
+from repro.storage.database import Database
+from repro.storage.schema import RelationSchema, Schema
+from repro.storage.sqlite_backend import SQLiteDatabase
+
+schema = Schema.from_relations(
+    [
+        RelationSchema.of("E", "x:str", "y:str"),
+        RelationSchema.of("N", "x:str"),
+        RelationSchema.of("S", "x:str"),
+    ]
+)
+nodes = ["n%d" % i for i in range(14)]
+edges = [(nodes[i], nodes[i + 1]) for i in range(12)]
+edges += [(nodes[i], nodes[i + 2]) for i in range(0, 10, 2)]
+base = Database.from_dicts(
+    schema, {"E": edges, "N": [(n,) for n in nodes], "S": [(nodes[0],)]}
+)
+program = DeltaProgram.from_text(
+    \"\"\"
+    delta N(x) :- N(x), S(x).
+    delta E(x, y) :- E(x, y), delta N(x).
+    delta N(y) :- N(y), E(x, y), delta E(x, y).
+    \"\"\"
+)
+payload = {}
+
+# Process-pool closure on the in-memory backend.
+db = base.clone()
+ctx = EvalContext(shards=4, workers=2, process_pool=True, collapse_min=0)
+delivered = []
+ctx.add_observer(delivered.append)
+result = run_closure(db, program, engine="sharded", context=ctx)
+payload["process-pool"] = {
+    "rounds": result.rounds,
+    "closure": sorted(
+        [item.relation, list(item.values), item.tid] for item in db.all_deltas()
+    ),
+    "stream": [str(a) for a in delivered],
+}
+
+# Pipelined closure + sharded discovery on a file-backed database.
+import tempfile, os
+with tempfile.TemporaryDirectory() as td:
+    db = SQLiteDatabase.from_database(base, path=os.path.join(td, "x.db"))
+    ctx = EvalContext(shards=4, workers=2, collapse_min=0)
+    delivered = []
+    ctx.add_observer(delivered.append)
+    result = run_closure(db, program, engine="sharded", context=ctx)
+    discovery_ctx = EvalContext(shards=4, workers=2, collapse_min=0)
+    observed = []
+    discovery_ctx.add_observer(observed.append)
+    discovery = []
+    for rule in program:
+        discovery += [
+            str(a)
+            for a in full_assignments_sql(
+                db, rule, db.generation(), context=discovery_ctx,
+            )
+        ]
+    payload["pipelined"] = {
+        "rounds": result.rounds,
+        "closure": sorted(
+            [item.relation, list(item.values), item.tid]
+            for item in db.all_deltas()
+        ),
+        "stream": [str(a) for a in delivered],
+        "discovery": discovery,
+        "discovery_stream": [str(a) for a in observed],
+        "discovery_sharded": discovery_ctx.stats.shard_selects > 0,
+    }
+    db.close()
+print(json.dumps(payload, sort_keys=True))
+"""
+
+    def test_adaptive_paths_match_across_hash_seeds(self):
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        outputs = []
+        for seed in ("1", "2"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = src_root
+            env.pop(SHARDS_ENV, None)
+            env.pop(PROCESS_POOL_ENV, None)
+            env.pop(COLLAPSE_ENV, None)
+            proc = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=180,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        # Byte-identical payloads across hash seeds: same closures, tids,
+        # round counts, observer and discovery streams on every new path.
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        assert payload["process-pool"]["rounds"] >= 3
+        assert payload["process-pool"]["stream"]
+        assert payload["pipelined"]["discovery_sharded"] is True
+        assert payload["pipelined"]["discovery"]
+        assert (
+            payload["pipelined"]["discovery"]
+            == payload["pipelined"]["discovery_stream"]
+        )

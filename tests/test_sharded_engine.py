@@ -74,6 +74,7 @@ def make_backend(db, backend, tmp_path, tag=""):
 class TestKnobs:
     def test_defaults(self, monkeypatch):
         monkeypatch.delenv(SHARDS_ENV, raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
         ctx = EvalContext()
         assert ctx.shard_count() == DEFAULT_SHARDS
         assert 1 <= ctx.worker_count() <= ctx.shard_count()
@@ -104,17 +105,33 @@ class TestKnobs:
 
     def test_auto_heuristic(self, monkeypatch):
         monkeypatch.delenv(SHARDS_ENV, raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
         db, _ = cascade_instance()
+        # One CPU, no knobs: sharding has nothing to win — stay semi-naive.
         assert resolve_engine(db, "auto") == ENGINE_SEMI_NAIVE
         assert resolve_engine(db, "auto", EvalContext()) == ENGINE_SEMI_NAIVE
         assert (resolve_engine(db, "auto", EvalContext(shards=4)) == ENGINE_SHARDED)
         assert (resolve_engine(db, "auto", EvalContext(workers=2)) == ENGINE_SHARDED)
-        # The environment flips auto even without a context (CI uses this).
+        # The environment flips auto even without a context (CI uses this),
+        # including on a single-CPU host.
         monkeypatch.setenv(SHARDS_ENV, "4")
         assert resolve_engine(db, "auto") == ENGINE_SHARDED
         assert resolve_engine(db, "auto", EvalContext()) == ENGINE_SHARDED
         # Explicit engines are never overridden.
         assert resolve_engine(db, "semi-naive") == ENGINE_SEMI_NAIVE
+
+    def test_auto_heuristic_multicore(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
+        db, _ = cascade_instance()
+        # Multiple CPUs: auto routes sharded even with no knobs set — the
+        # collapse heuristic keeps small rounds on the inline path anyway.
+        assert EvalContext().wants_sharding()
+        assert resolve_engine(db, "auto") == ENGINE_SHARDED
+        assert resolve_engine(db, "auto", EvalContext()) == ENGINE_SHARDED
+        # Explicit engines are never overridden by the CPU count.
+        assert resolve_engine(db, "semi-naive") == ENGINE_SEMI_NAIVE
+        assert resolve_engine(db, "naive") == "naive"
 
     def test_fact_shard_partitions(self):
         facts = [fact("R", i, i + 1) for i in range(100)]
@@ -290,16 +307,41 @@ class TestDeterministicMerge:
 
 
 class TestShardedSQLAccounting:
-    def test_sequential_fast_path_counts_partitioned_installs(self):
+    def test_sequential_fast_path_collapses_to_single_installs(self):
+        # One worker: every variant collapses to one unsharded install join —
+        # the never-slower-on-one-core contract.
         base, program = cascade_instance()
         db = SQLiteDatabase.from_database(base)
         ctx = EvalContext(shards=4, workers=1)
         run_closure(
             db, program, engine="sharded", context=ctx, collect_assignments=False,
         )
-        # Every variant execution ran as nshards partitioned install joins.
+        # Collapsed installs run the semi-naive fast path's own statement and
+        # are counted as such; nothing shard-partitioned ever ran.
+        assert ctx.stats.direct_installs > 0
+        assert ctx.stats.shard_selects == 0
+        assert ctx.stats.shard_installs == 0
+        assert ctx.stats.collapsed_rounds > 0
+        # Every variant execution collapsed to one effective shard.
+        assert ctx.stats.effective_shards == ctx.stats.direct_installs
+        # The fast path never staged, never streamed assignment rows.
+        assert ctx.stats.staged_selects == 0
+        assert ctx.stats.assignment_selects == 0
+        db.close()
+
+    def test_sequential_fast_path_counts_partitioned_installs(self):
+        # Collapse disabled (collapse_min=0): the historical full fan-out —
+        # every variant execution runs as nshards partitioned install joins.
+        base, program = cascade_instance()
+        db = SQLiteDatabase.from_database(base)
+        ctx = EvalContext(shards=4, workers=1, collapse_min=0)
+        run_closure(
+            db, program, engine="sharded", context=ctx, collect_assignments=False,
+        )
         assert ctx.stats.shard_installs > 0
         assert ctx.stats.shard_selects == 4 * ctx.stats.shard_installs
+        assert ctx.stats.collapsed_rounds == 0
+        assert ctx.stats.effective_shards == 4 * ctx.stats.shard_installs
         # The fast path never staged, never streamed assignment rows.
         assert ctx.stats.staged_selects == 0
         assert ctx.stats.assignment_selects == 0
@@ -309,7 +351,9 @@ class TestShardedSQLAccounting:
         base, program = cascade_instance()
         db = make_backend(base, "sqlite-file", tmp_path, "wave")
         assert db.supports_readers()
-        ctx = EvalContext(shards=4, workers=2)
+        # collapse_min=0 disables dynamic collapse: this test pins the full
+        # fan-out over the reader connections on a small instance.
+        ctx = EvalContext(shards=4, workers=2, collapse_min=0)
         run_closure(db, program, engine="sharded", context=ctx)
         # Readers were opened lazily for the wave and survive for reuse.
         readers = db.reader_connections(2)
@@ -332,8 +376,9 @@ class TestShardedSQLAccounting:
                 seen["install"] += 1
 
         db.add_statement_hook(hook)
-        ctx = EvalContext(shards=4, workers=2)
+        ctx = EvalContext(shards=4, workers=2, collapse_min=0)
         run_closure(db, program, engine="sharded", context=ctx)
+        assert ctx.stats.shard_selects > 0
         assert seen["select"] == ctx.stats.shard_selects
         assert seen["install"] == ctx.stats.shard_installs
         db.close()
@@ -345,7 +390,7 @@ class TestShardedSQLAccounting:
         base, program = cascade_instance()
         oracle_deltas, _ = oracle_state(base, program)
         db = make_backend(base, "sqlite-file", tmp_path, "pfast")
-        ctx = EvalContext(shards=4, workers=2)
+        ctx = EvalContext(shards=4, workers=2, collapse_min=0)
         result = run_closure(
             db, program, engine="sharded", context=ctx, collect_assignments=False,
         )
